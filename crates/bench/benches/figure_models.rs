@@ -1,0 +1,62 @@
+//! Criterion benchmarks over the paper-scale figure models: evaluating each
+//! figure's full model must stay cheap enough to sweep interactively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use megis::pipeline::MegisTimingModel;
+use megis::MegisVariant;
+use megis_genomics::sample::Diversity;
+use megis_host::system::SystemConfig;
+use megis_ssd::config::SsdConfig;
+use megis_tools::kraken::KrakenTimingModel;
+use megis_tools::metalign::MetalignTimingModel;
+use megis_tools::workload::WorkloadSpec;
+
+fn bench_presence_models(c: &mut Criterion) {
+    let system = SystemConfig::reference(SsdConfig::ssd_p());
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let mut group = c.benchmark_group("presence_models");
+    group.bench_function("p_opt", |b| {
+        b.iter(|| KrakenTimingModel.presence_breakdown(&system, &workload).total())
+    });
+    group.bench_function("a_opt", |b| {
+        b.iter(|| {
+            MetalignTimingModel::a_opt()
+                .presence_breakdown(&system, &workload)
+                .total()
+        })
+    });
+    for variant in MegisVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("megis", variant.label()),
+            &variant,
+            |b, v| {
+                b.iter(|| {
+                    MegisTimingModel::new(*v)
+                        .presence_breakdown(&system, &workload)
+                        .total()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_figure_suites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_suites");
+    group.sample_size(10);
+    group.bench_function("fig12", |b| {
+        b.iter(megis_bench::experiments::fig12_presence_speedup)
+    });
+    group.bench_function("fig16", |b| {
+        b.iter(megis_bench::experiments::fig16_dram_capacity)
+    });
+    group.bench_function("fig21", |b| {
+        b.iter(megis_bench::experiments::fig21_multi_sample)
+    });
+    group.bench_function("energy", |b| b.iter(megis_bench::experiments::energy_analysis));
+    group.finish();
+}
+
+criterion_group!(benches, bench_presence_models, bench_figure_suites);
+criterion_main!(benches);

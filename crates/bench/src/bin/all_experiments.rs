@@ -1,0 +1,5 @@
+//! Regenerates every figure and table of the MegIS evaluation in paper order.
+
+fn main() {
+    print!("{}", megis_bench::experiments::all());
+}

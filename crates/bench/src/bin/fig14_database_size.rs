@@ -1,0 +1,6 @@
+//! Regenerates one experiment of the MegIS evaluation; see
+//! `megis_bench::experiments::fig14_database_size` for details.
+
+fn main() {
+    print!("{}", megis_bench::experiments::fig14_database_size());
+}

@@ -1,0 +1,101 @@
+//! §6.5 energy and data-movement analysis.
+
+use megis::energy::EnergyModel;
+use megis::pipeline::MegisTimingModel;
+use megis_host::accelerators::PimKmerMatcher;
+use megis_host::system::SystemConfig;
+use megis_ssd::config::SsdConfig;
+use megis_tools::kraken::KrakenTimingModel;
+use megis_tools::metalign::MetalignTimingModel;
+use megis_tools::pim::PimAcceleratedKraken;
+use megis_tools::timing::geometric_mean;
+use megis_tools::workload::WorkloadSpec;
+
+use crate::report::Report;
+
+/// Energy consumption and I/O data movement of every tool on both SSDs.
+pub fn energy_analysis() -> String {
+    let mut report = Report::new();
+    report.title("Energy and I/O data movement analysis (paper section 6.5)");
+
+    let mut reduction_vs_p = Vec::new();
+    let mut reduction_vs_a = Vec::new();
+    let mut reduction_vs_pim = Vec::new();
+
+    for base in [SsdConfig::ssd_c(), SsdConfig::ssd_p()] {
+        let system =
+            SystemConfig::reference(base.clone()).with_pim_matcher(PimKmerMatcher::default());
+        report.section(&format!("{} (presence/absence identification)", base.name));
+        report.table_header(&["config", "CAMI-L kJ", "CAMI-M kJ", "CAMI-H kJ", "ext. I/O GB"]);
+
+        let workloads = WorkloadSpec::all_cami();
+        let mut rows: Vec<(&str, Vec<f64>, f64)> = Vec::new();
+        let mut megis_energy = Vec::new();
+
+        for (name, is_megis) in [
+            ("P-Opt", false),
+            ("A-Opt", false),
+            ("PIM P-Opt", false),
+            ("MS", true),
+        ] {
+            let mut energies = Vec::new();
+            let mut io_gb = 0.0;
+            for w in &workloads {
+                let breakdown = match name {
+                    "P-Opt" => KrakenTimingModel.presence_breakdown(&system, w),
+                    "A-Opt" => MetalignTimingModel::a_opt().presence_breakdown(&system, w),
+                    "PIM P-Opt" => PimAcceleratedKraken.presence_breakdown(&system, w),
+                    _ => MegisTimingModel::full().presence_breakdown(&system, w),
+                };
+                let model = if is_megis {
+                    EnergyModel::megis()
+                } else {
+                    EnergyModel::baseline()
+                };
+                let energy = model.report(&breakdown, &system).total().as_joules() / 1000.0;
+                energies.push(energy);
+                io_gb = breakdown.external_io.as_gb();
+                if is_megis {
+                    megis_energy.push(energy);
+                }
+            }
+            rows.push((name, energies, io_gb));
+        }
+
+        for (name, energies, io_gb) in &rows {
+            let mut values = energies.clone();
+            values.push(*io_gb);
+            report.table_row(name, &values);
+        }
+
+        // Reductions relative to MegIS for this SSD.
+        let ms = &rows[3].1;
+        for (i, w) in workloads.iter().enumerate() {
+            let _ = w;
+            reduction_vs_p.push(rows[0].1[i] / ms[i]);
+            reduction_vs_a.push(rows[1].1[i] / ms[i]);
+            reduction_vs_pim.push(rows[2].1[i] / ms[i]);
+        }
+
+        let io_reduction_a = rows[1].2 / rows[3].2;
+        let io_reduction_p = rows[0].2 / rows[3].2;
+        report.line(&format!(
+            "I/O data movement reduction: {io_reduction_a:.1}x vs A-Opt, {io_reduction_p:.1}x vs P-Opt (paper: 71.7x / 30.1x)"
+        ));
+    }
+
+    report.section("Average energy reductions (geometric mean across SSDs and workloads)");
+    report.line(&format!(
+        "vs P-Opt:  {:.1}x   (paper: 5.4x average, 9.8x max)",
+        geometric_mean(&reduction_vs_p)
+    ));
+    report.line(&format!(
+        "vs A-Opt:  {:.1}x   (paper: 15.2x average, 25.7x max)",
+        geometric_mean(&reduction_vs_a)
+    ));
+    report.line(&format!(
+        "vs PIM:    {:.1}x   (paper: 1.9x average, 3.5x max)",
+        geometric_mean(&reduction_vs_pim)
+    ));
+    report.finish()
+}

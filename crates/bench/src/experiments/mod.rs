@@ -1,0 +1,85 @@
+//! One function per figure/table of the paper's evaluation.
+//!
+//! Every function evaluates the workspace's models at paper scale and returns
+//! a plain-text report with the same rows/series as the corresponding figure
+//! or table. The binaries under `src/bin/` are thin wrappers over these
+//! functions; [`all`] concatenates the complete suite (what
+//! `cargo run -p megis-bench --bin all_experiments` prints and what
+//! EXPERIMENTS.md records).
+
+mod accuracy;
+mod comparison;
+mod energy;
+mod hardware;
+mod motivation;
+mod presence;
+mod scaling;
+
+pub use accuracy::accuracy_analysis;
+pub use comparison::{fig18_cost_efficiency, fig19_pim_comparison, fig20_abundance, fig21_multi_sample};
+pub use energy::energy_analysis;
+pub use hardware::{kss_size_analysis, table1_ssd_configs, table2_area_power};
+pub use motivation::fig03_io_overhead;
+pub use presence::{fig12_presence_speedup, fig13_time_breakdown, fig14_database_size};
+pub use scaling::{fig15_multi_ssd, fig16_dram_capacity, fig17_internal_bandwidth};
+
+/// Runs every experiment and concatenates the reports in paper order.
+pub fn all() -> String {
+    [
+        fig03_io_overhead(),
+        table1_ssd_configs(),
+        fig12_presence_speedup(),
+        fig13_time_breakdown(),
+        fig14_database_size(),
+        fig15_multi_ssd(),
+        fig16_dram_capacity(),
+        fig17_internal_bandwidth(),
+        fig18_cost_efficiency(),
+        fig19_pim_comparison(),
+        fig20_abundance(),
+        fig21_multi_sample(),
+        table2_area_power(),
+        kss_size_analysis(),
+        energy_analysis(),
+        accuracy_analysis(),
+    ]
+    .concat()
+}
+
+/// The two reference single-SSD systems of the evaluation (§5).
+pub(crate) fn reference_systems() -> Vec<megis_host::system::SystemConfig> {
+    vec![
+        megis_host::system::SystemConfig::reference(megis_ssd::config::SsdConfig::ssd_c()),
+        megis_host::system::SystemConfig::reference(megis_ssd::config::SsdConfig::ssd_p()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_experiment_produces_output() {
+        for (name, text) in [
+            ("fig03", super::fig03_io_overhead()),
+            ("table1", super::table1_ssd_configs()),
+            ("fig12", super::fig12_presence_speedup()),
+            ("fig13", super::fig13_time_breakdown()),
+            ("fig14", super::fig14_database_size()),
+            ("fig15", super::fig15_multi_ssd()),
+            ("fig16", super::fig16_dram_capacity()),
+            ("fig17", super::fig17_internal_bandwidth()),
+            ("fig18", super::fig18_cost_efficiency()),
+            ("fig19", super::fig19_pim_comparison()),
+            ("fig20", super::fig20_abundance()),
+            ("fig21", super::fig21_multi_sample()),
+            ("table2", super::table2_area_power()),
+            ("kss", super::kss_size_analysis()),
+            ("energy", super::energy_analysis()),
+        ] {
+            assert!(text.len() > 200, "{name} report looks empty");
+            assert!(
+                text.contains("Figure") || text.contains("Table") || text.contains("analysis"),
+                "{name} report misses expected content"
+            );
+        }
+    }
+}

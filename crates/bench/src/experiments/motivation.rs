@@ -1,0 +1,156 @@
+//! §3.2 motivational analysis (Fig. 3) and Table 1.
+
+use megis_genomics::sample::Diversity;
+use megis_host::system::SystemConfig;
+use megis_ssd::config::SsdConfig;
+use megis_ssd::timing::ByteSize;
+use megis_tools::kraken::KrakenTimingModel;
+use megis_tools::metalign::MetalignTimingModel;
+use megis_tools::workload::WorkloadSpec;
+
+use crate::report::Report;
+
+/// Fig. 3: throughput of R-Qry and S-Qry under SSD-C / SSD-P / No-I/O, for
+/// two database sizes each, normalized to No-I/O.
+pub fn fig03_io_overhead() -> String {
+    let mut report = Report::new();
+    report.title("Figure 3: performance impact of storage I/O (normalized to No-I/O)");
+    report.line("Workload: CAMI-L, 100 M reads. Values are throughput normalized to a");
+    report.line("hypothetical configuration with zero storage-I/O overhead (No-I/O = 1.0).");
+
+    let base = WorkloadSpec::cami(Diversity::Low);
+
+    // (a) R-Qry (Kraken2-style) with 0.3 TB and 0.6 TB databases.
+    report.section("(a) R-Qry (random-access queries)");
+    report.table_header(&["DB size", "SSD-C", "SSD-P", "No-I/O"]);
+    for scale in [1.0, 2.0] {
+        let w = base.with_database_scale(scale);
+        let mut norm = Vec::new();
+        for system in crate::experiments::reference_systems() {
+            let b = KrakenTimingModel.presence_breakdown(&system, &w);
+            let with_io = b.total();
+            let no_io = with_io.saturating_sub(b.phase("database load (I/O)").unwrap());
+            norm.push(no_io / with_io);
+        }
+        norm.push(1.0);
+        report.table_row(&format!("{:.1} TB", w.kraken_db.as_gb() / 1000.0), &norm);
+    }
+
+    // (b) S-Qry (streaming queries) with 0.7 TB and 1.4 TB databases.
+    report.section("(b) S-Qry (streaming queries)");
+    report.table_header(&["DB size", "SSD-C", "SSD-P", "No-I/O"]);
+    for scale in [1.0, 2.0] {
+        let w = base.with_database_scale(scale);
+        let mut norm = Vec::new();
+        for system in crate::experiments::reference_systems() {
+            let b = MetalignTimingModel::a_opt().presence_breakdown(&system, &w);
+            let with_io = b.total();
+            // Remove the I/O component: the intersection phase becomes pure
+            // merge compute and the sketch-tree load disappears.
+            let db_entries = w.metalign_db.as_bytes() / 19;
+            let merge_only = system.cpu.stream_merge_time(db_entries + w.selected_kmers);
+            let no_io = with_io
+                .saturating_sub(b.phase("intersection finding").unwrap())
+                + merge_only;
+            norm.push(no_io / with_io);
+        }
+        norm.push(1.0);
+        report.table_row(&format!("{:.1} TB", w.metalign_db.as_gb() / 1000.0), &norm);
+    }
+
+    report.section("Key observations (paper: §3.2)");
+    let w = base.clone();
+    let sata = SystemConfig::reference(SsdConfig::ssd_c());
+    let nvme = SystemConfig::reference(SsdConfig::ssd_p());
+    let r_sata = KrakenTimingModel.presence_breakdown(&sata, &w);
+    let r_nvme = KrakenTimingModel.presence_breakdown(&nvme, &w);
+    let r_no_io = r_sata
+        .total()
+        .saturating_sub(r_sata.phase("database load (I/O)").unwrap());
+    report.line(&format!(
+        "R-Qry: No-I/O is {:.1}x faster than SSD-C and {:.1}x faster than SSD-P",
+        r_sata.total() / r_no_io,
+        r_nvme.total()
+            / r_nvme
+                .total()
+                .saturating_sub(r_nvme.phase("database load (I/O)").unwrap()),
+    ));
+    let s_sata = MetalignTimingModel::a_opt().presence_breakdown(&sata, &w);
+    let s_nvme = MetalignTimingModel::a_opt().presence_breakdown(&nvme, &w);
+    report.line(&format!(
+        "S-Qry totals: {:.0} s on SSD-C, {:.0} s on SSD-P (paper Fig. 13 annotations: 1694 s / 401 s)",
+        s_sata.total().as_secs(),
+        s_nvme.total().as_secs()
+    ));
+    report.finish()
+}
+
+/// Table 1: the two SSD configurations.
+pub fn table1_ssd_configs() -> String {
+    let mut report = Report::new();
+    report.title("Table 1: SSD configurations");
+    report.table_header(&["", "SSD-C", "SSD-P"]);
+    let c = SsdConfig::ssd_c();
+    let p = SsdConfig::ssd_p();
+    let rows: Vec<(&str, String, String)> = vec![
+        ("interface", c.interface.label().to_string(), p.interface.label().to_string()),
+        (
+            "seq-read BW",
+            format!("{:.0} MB/s", c.external_read_bandwidth() / 1e6),
+            format!("{:.0} GB/s", p.external_read_bandwidth() / 1e9),
+        ),
+        (
+            "channels",
+            c.geometry.channels.to_string(),
+            p.geometry.channels.to_string(),
+        ),
+        (
+            "dies/channel",
+            c.geometry.dies_per_channel.to_string(),
+            p.geometry.dies_per_channel.to_string(),
+        ),
+        (
+            "planes/die",
+            c.geometry.planes_per_die.to_string(),
+            p.geometry.planes_per_die.to_string(),
+        ),
+        (
+            "page size",
+            format!("{} KiB", c.geometry.page_size.as_bytes() / 1024),
+            format!("{} KiB", p.geometry.page_size.as_bytes() / 1024),
+        ),
+        (
+            "channel rate",
+            format!("{:.1} GB/s", c.channel_io_rate / 1e9),
+            format!("{:.1} GB/s", p.channel_io_rate / 1e9),
+        ),
+        (
+            "internal BW",
+            format!("{:.1} GB/s", c.internal_read_bandwidth() / 1e9),
+            format!("{:.1} GB/s", p.internal_read_bandwidth() / 1e9),
+        ),
+        (
+            "tR / tPROG",
+            format!(
+                "{:.1}/{:.0} us",
+                c.nand_timing.t_read.as_micros(),
+                c.nand_timing.t_prog.as_micros()
+            ),
+            format!(
+                "{:.1}/{:.0} us",
+                p.nand_timing.t_read.as_micros(),
+                p.nand_timing.t_prog.as_micros()
+            ),
+        ),
+        (
+            "internal DRAM",
+            format!("{}", ByteSize::from_bytes(c.dram.capacity.as_bytes())),
+            format!("{}", ByteSize::from_bytes(p.dram.capacity.as_bytes())),
+        ),
+        ("ctrl cores", c.cores.count.to_string(), p.cores.count.to_string()),
+    ];
+    for (label, a, b) in rows {
+        report.table_row_text(&[label, &a, &b]);
+    }
+    report.finish()
+}

@@ -1,0 +1,135 @@
+//! Presence/absence identification experiments: Fig. 12 (speedups), Fig. 13
+//! (time breakdown), and Fig. 14 (database-size sweep).
+
+use megis::pipeline::MegisTimingModel;
+use megis::MegisVariant;
+use megis_genomics::sample::Diversity;
+use megis_host::system::SystemConfig;
+use megis_tools::kraken::KrakenTimingModel;
+use megis_tools::metalign::MetalignTimingModel;
+use megis_tools::timing::{geometric_mean, Breakdown};
+use megis_tools::workload::WorkloadSpec;
+
+use crate::report::Report;
+
+/// The seven configurations of Fig. 12, in figure order.
+fn configurations(system: &SystemConfig, workload: &WorkloadSpec) -> Vec<(String, Breakdown)> {
+    vec![
+        (
+            "P-Opt".to_string(),
+            KrakenTimingModel.presence_breakdown(system, workload),
+        ),
+        (
+            "A-Opt".to_string(),
+            MetalignTimingModel::a_opt().presence_breakdown(system, workload),
+        ),
+        (
+            "A-Opt+KSS".to_string(),
+            MetalignTimingModel::a_opt_with_kss().presence_breakdown(system, workload),
+        ),
+        (
+            "Ext-MS".to_string(),
+            MegisTimingModel::new(MegisVariant::OutsideSsd).presence_breakdown(system, workload),
+        ),
+        (
+            "MS-NOL".to_string(),
+            MegisTimingModel::new(MegisVariant::NoOverlap).presence_breakdown(system, workload),
+        ),
+        (
+            "MS-CC".to_string(),
+            MegisTimingModel::new(MegisVariant::ControllerCores)
+                .presence_breakdown(system, workload),
+        ),
+        (
+            "MS".to_string(),
+            MegisTimingModel::full().presence_breakdown(system, workload),
+        ),
+    ]
+}
+
+/// Fig. 12: speedup over P-Opt for all seven configurations, three CAMI
+/// read sets, and both SSDs.
+pub fn fig12_presence_speedup() -> String {
+    let mut report = Report::new();
+    report.title("Figure 12: presence/absence speedup over P-Opt (7 configurations)");
+    for system in crate::experiments::reference_systems() {
+        report.section(&system.primary_ssd().name.clone());
+        report.table_header(&["config", "CAMI-L", "CAMI-M", "CAMI-H", "GMean"]);
+        let workloads = WorkloadSpec::all_cami();
+        let p_opt_totals: Vec<f64> = workloads
+            .iter()
+            .map(|w| KrakenTimingModel.presence_breakdown(&system, w).total().as_secs())
+            .collect();
+        for config_index in 0..7 {
+            let mut speedups = Vec::new();
+            let mut name = String::new();
+            for (w, p_total) in workloads.iter().zip(&p_opt_totals) {
+                let (n, b) = &configurations(&system, w)[config_index];
+                name = n.clone();
+                speedups.push(p_total / b.total().as_secs());
+            }
+            let gmean = geometric_mean(&speedups);
+            speedups.push(gmean);
+            report.table_row(&name, &speedups);
+        }
+    }
+    report.line("");
+    report.line("Paper: MS is 5.3-6.4x (SSD-C) and 2.7-6.5x (SSD-P) over P-Opt, and");
+    report.line("12.4-18.2x / 6.9-20.4x over A-Opt; speedup grows with sample diversity.");
+    report.finish()
+}
+
+/// Fig. 13: time breakdown for CAMI-L on both SSDs.
+pub fn fig13_time_breakdown() -> String {
+    let mut report = Report::new();
+    report.title("Figure 13: time breakdown for CAMI-L (seconds)");
+    let workload = WorkloadSpec::cami(Diversity::Low);
+    for system in crate::experiments::reference_systems() {
+        report.section(&system.primary_ssd().name.clone());
+        for (name, breakdown) in configurations(&system, &workload) {
+            report.line(&format!("{name}: total {:.0} s", breakdown.total().as_secs()));
+            for phase in &breakdown.phases {
+                report.line(&format!("    {:<45} {:>9.1} s", phase.name, phase.duration.as_secs()));
+            }
+        }
+    }
+    report.line("");
+    report.line("Paper annotations: A-Opt totals ~1694 s (SSD-C) and ~401 s (SSD-P).");
+    report.finish()
+}
+
+/// Fig. 14: speedup over P-Opt as the database scales 1x/2x/3x (CAMI-M).
+pub fn fig14_database_size() -> String {
+    let mut report = Report::new();
+    report.title("Figure 14: effect of database size (speedup over P-Opt, CAMI-M)");
+    let base = WorkloadSpec::cami(Diversity::Medium).with_database_scale(1.0 / 3.0);
+    for system in crate::experiments::reference_systems() {
+        report.section(&system.primary_ssd().name.clone());
+        report.table_header(&["config", "1x", "2x", "3x"]);
+        let scales = [1.0, 2.0, 3.0];
+        let p_totals: Vec<f64> = scales
+            .iter()
+            .map(|s| {
+                KrakenTimingModel
+                    .presence_breakdown(&system, &base.with_database_scale(*s))
+                    .total()
+                    .as_secs()
+            })
+            .collect();
+        for config_index in [0usize, 1, 2, 4, 6] {
+            let mut name = String::new();
+            let mut speedups = Vec::new();
+            for (scale, p_total) in scales.iter().zip(&p_totals) {
+                let w = base.with_database_scale(*scale);
+                let (n, b) = &configurations(&system, &w)[config_index];
+                name = n.clone();
+                speedups.push(p_total / b.total().as_secs());
+            }
+            report.table_row(&name, &speedups);
+        }
+    }
+    report.line("");
+    report.line("Paper: MegIS's speedup grows with database size (up to 5.6x/3.7x over");
+    report.line("P-Opt on SSD-C/SSD-P at the 3x point).");
+    report.finish()
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness for the MegIS reproduction.
+//!
+//! Each figure and table of the paper's evaluation (§3 and §6) has a
+//! corresponding function in [`experiments`] that evaluates the models of the
+//! workspace at paper scale and renders the same rows/series the paper
+//! reports. One binary per experiment wraps each function (`cargo run -p
+//! megis-bench --bin fig12_presence_speedup`, …), and `all_experiments` runs
+//! the full suite. Criterion micro-benchmarks over the functional kernels and
+//! the figure models live under `benches/`.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

@@ -1,0 +1,112 @@
+//! Plain-text report formatting shared by all experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text report builder.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    text: String,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a top-level experiment title.
+    pub fn title(&mut self, title: &str) -> &mut Self {
+        let _ = writeln!(self.text, "\n{}", "=".repeat(78));
+        let _ = writeln!(self.text, "{title}");
+        let _ = writeln!(self.text, "{}", "=".repeat(78));
+        self
+    }
+
+    /// Adds a section heading.
+    pub fn section(&mut self, heading: &str) -> &mut Self {
+        let _ = writeln!(self.text, "\n-- {heading}");
+        self
+    }
+
+    /// Adds a free-form line.
+    pub fn line(&mut self, line: &str) -> &mut Self {
+        let _ = writeln!(self.text, "{line}");
+        self
+    }
+
+    /// Adds a table header row followed by a rule.
+    pub fn table_header(&mut self, columns: &[&str]) -> &mut Self {
+        let row = columns
+            .iter()
+            .map(|c| format!("{c:>14}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(self.text, "{row}");
+        let _ = writeln!(self.text, "{}", "-".repeat(row.len().min(100)));
+        self
+    }
+
+    /// Adds a table row with a string label followed by numeric cells.
+    pub fn table_row(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        let mut row = format!("{label:>14}");
+        for v in values {
+            let cell = if *v >= 1000.0 {
+                format!("{v:.0}")
+            } else if *v >= 10.0 {
+                format!("{v:.1}")
+            } else {
+                format!("{v:.2}")
+            };
+            row.push_str(&format!(" {cell:>14}"));
+        }
+        let _ = writeln!(self.text, "{row}");
+        self
+    }
+
+    /// Adds a table row of string cells.
+    pub fn table_row_text(&mut self, cells: &[&str]) -> &mut Self {
+        let row = cells
+            .iter()
+            .map(|c| format!("{c:>14}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(self.text, "{row}");
+        self
+    }
+
+    /// The rendered report.
+    pub fn finish(&self) -> String {
+        self.text.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_titles_tables_and_rows() {
+        let mut r = Report::new();
+        r.title("Figure X");
+        r.section("SSD-C");
+        r.table_header(&["config", "speedup"]);
+        r.table_row("MS", &[5.3]);
+        r.table_row_text(&["P-Opt", "1.00"]);
+        let text = r.finish();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("-- SSD-C"));
+        assert!(text.contains("speedup"));
+        assert!(text.contains("5.30"));
+        assert!(text.contains("P-Opt"));
+    }
+
+    #[test]
+    fn large_values_render_without_decimals() {
+        let mut r = Report::new();
+        r.table_row("load", &[1251.7, 12.34, 3.456]);
+        let text = r.finish();
+        assert!(text.contains("1252"));
+        assert!(text.contains("12.3"));
+        assert!(text.contains("3.46"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The functional end-to-end MegIS analyzer.
+//!
+//! [`MegisAnalyzer`] wires Steps 1–3 together over in-memory synthetic data:
+//! it owns the sorted k-mer database, the sketch content, the KSS tables, and
+//! the per-species mapping indexes, and analyzes samples with exactly the same
+//! results as the accuracy-optimized baseline (same databases, same
+//! thresholds) — the property the paper's accuracy claim rests on. The
+//! performance side (what runs where, and how long it takes on paper-scale
+//! workloads) is modeled separately in [`crate::pipeline`].
+
+use megis_genomics::database::{ReferenceIndex, SortedKmerDatabase};
+use megis_genomics::profile::{AbundanceProfile, PresenceResult};
+use megis_genomics::reference::ReferenceCollection;
+use megis_genomics::sample::Sample;
+use megis_genomics::sketch::SketchDatabase;
+use megis_tools::kmc::ExclusionPolicy;
+
+use crate::config::MegisConfig;
+use crate::kss::KssTables;
+use crate::{step1, step2, step3};
+
+/// Result of one end-to-end functional analysis.
+#[derive(Debug, Clone, Default)]
+pub struct MegisOutput {
+    /// Species reported present (Step 2).
+    pub presence: PresenceResult,
+    /// Mapping-based abundance estimate (Step 3).
+    pub abundance: AbundanceProfile,
+    /// Number of query k-mers that intersected the database.
+    pub intersecting_kmers: u64,
+    /// Number of distinct query k-mers sent to Step 2.
+    pub selected_kmers: u64,
+    /// Number of reads that mapped during abundance estimation.
+    pub mapped_reads: u64,
+}
+
+/// The functional MegIS analyzer.
+#[derive(Debug, Clone)]
+pub struct MegisAnalyzer {
+    config: MegisConfig,
+    database: SortedKmerDatabase,
+    sketches: SketchDatabase,
+    kss: KssTables,
+    reference_indexes: Vec<ReferenceIndex>,
+    exclusion: ExclusionPolicy,
+}
+
+impl MegisAnalyzer {
+    /// Builds all databases (sorted k-mer database, sketches, KSS tables, and
+    /// per-species mapping indexes) from a reference collection.
+    pub fn build(references: &ReferenceCollection, config: MegisConfig) -> MegisAnalyzer {
+        let database = SortedKmerDatabase::build(references, config.k());
+        let sketches = SketchDatabase::build(references, config.sketch);
+        let kss = KssTables::build(&sketches);
+        let reference_indexes = references
+            .genomes()
+            .iter()
+            .map(|g| ReferenceIndex::build(g, config.mapping_k))
+            .collect();
+        MegisAnalyzer {
+            config,
+            database,
+            sketches,
+            kss,
+            reference_indexes,
+            exclusion: ExclusionPolicy::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MegisConfig {
+        &self.config
+    }
+
+    /// The sorted k-mer database.
+    pub fn database(&self) -> &SortedKmerDatabase {
+        &self.database
+    }
+
+    /// The KSS tables.
+    pub fn kss(&self) -> &KssTables {
+        &self.kss
+    }
+
+    /// The logical sketch content.
+    pub fn sketches(&self) -> &SketchDatabase {
+        &self.sketches
+    }
+
+    /// Sets the k-mer exclusion policy applied in Step 1.
+    pub fn set_exclusion(&mut self, exclusion: ExclusionPolicy) {
+        self.exclusion = exclusion;
+    }
+
+    /// Runs presence/absence identification only (Steps 1–2).
+    pub fn identify_presence(&self, sample: &Sample) -> MegisOutput {
+        let step1 = step1::run(sample.reads(), &self.config, self.exclusion);
+        let step2 = step2::run(
+            &step1,
+            &self.database,
+            &self.kss,
+            &self.sketches,
+            &self.config,
+        );
+        MegisOutput {
+            presence: step2.presence.clone(),
+            abundance: AbundanceProfile::new(),
+            intersecting_kmers: step2.intersection_size() as u64,
+            selected_kmers: step1.selected_kmers,
+            mapped_reads: 0,
+        }
+    }
+
+    /// Runs the full pipeline: presence identification followed by
+    /// mapping-based abundance estimation (Steps 1–3).
+    pub fn analyze(&self, sample: &Sample) -> MegisOutput {
+        let step1 = step1::run(sample.reads(), &self.config, self.exclusion);
+        let step2 = step2::run(
+            &step1,
+            &self.database,
+            &self.kss,
+            &self.sketches,
+            &self.config,
+        );
+        let candidate_indexes: Vec<ReferenceIndex> = self
+            .reference_indexes
+            .iter()
+            .filter(|idx| step2.presence.contains(idx.taxid()))
+            .cloned()
+            .collect();
+        let step3 = step3::run(sample.reads(), &candidate_indexes, self.config.mapping_k);
+        MegisOutput {
+            presence: step2.presence.clone(),
+            abundance: step3.abundance,
+            intersecting_kmers: step2.intersection_size() as u64,
+            selected_kmers: step1.selected_kmers,
+            mapped_reads: step3.mapped_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::metrics::{AbundanceError, ClassificationMetrics};
+    use megis_genomics::sample::{CommunityConfig, Diversity};
+
+    fn community() -> megis_genomics::sample::Community {
+        CommunityConfig::preset(Diversity::Medium)
+            .with_reads(300)
+            .with_database_species(16)
+            .build(63)
+    }
+
+    #[test]
+    fn presence_has_high_f1_against_truth() {
+        let c = community();
+        let analyzer = MegisAnalyzer::build(c.references(), MegisConfig::small());
+        let out = analyzer.identify_presence(c.sample());
+        let m = ClassificationMetrics::score(&out.presence, &c.truth_presence());
+        assert!(m.recall() > 0.9, "recall {}", m.recall());
+        assert!(m.f1() > 0.7, "f1 {}", m.f1());
+        assert!(out.intersecting_kmers > 0);
+        assert!(out.selected_kmers >= out.intersecting_kmers);
+    }
+
+    #[test]
+    fn full_analysis_estimates_abundance() {
+        let c = community();
+        let analyzer = MegisAnalyzer::build(c.references(), MegisConfig::small());
+        let out = analyzer.analyze(c.sample());
+        assert!(!out.abundance.is_empty());
+        assert!(out.mapped_reads > 0);
+        let err = AbundanceError::score(&out.abundance, c.truth_profile());
+        assert!(err.l1_norm < 0.8, "L1 error {}", err.l1_norm);
+    }
+
+    #[test]
+    fn exclusion_policy_is_respected() {
+        let c = community();
+        let mut analyzer = MegisAnalyzer::build(c.references(), MegisConfig::small());
+        let baseline = analyzer.identify_presence(c.sample());
+        analyzer.set_exclusion(ExclusionPolicy {
+            min_count: 2,
+            max_count: None,
+        });
+        let filtered = analyzer.identify_presence(c.sample());
+        assert!(filtered.selected_kmers < baseline.selected_kmers);
+    }
+}

@@ -1,0 +1,266 @@
+//! MegIS's NVMe command extensions and the device-side mode state machine
+//! (§4.6).
+//!
+//! MegIS adds three commands to the storage interface:
+//!
+//! * `MegIS_Init` — enters metagenomic-acceleration mode and communicates the
+//!   host DRAM region available to MegIS,
+//! * `MegIS_Step` — marks the start/end of each host-side step (k-mer
+//!   extraction, sorting) so the device can coordinate data/control flow;
+//!   sending the same step twice toggles start → end,
+//! * `MegIS_Write` — a write that also updates MegIS FTL's coarse mapping
+//!   metadata (used when metagenomic data, e.g. spilled k-mer buckets, is
+//!   written to the SSD).
+//!
+//! After the analysis completes (`finish`), the device returns to operating
+//! as a baseline SSD.
+
+use megis_ssd::timing::ByteSize;
+
+/// Host-side steps whose boundaries are communicated with `MegIS_Step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostStep {
+    /// Step 1a: k-mer extraction and bucketing.
+    KmerExtraction,
+    /// Step 1b: per-bucket sorting and exclusion.
+    Sorting,
+}
+
+/// A MegIS storage-interface command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MegisCommand {
+    /// Enter acceleration mode; `host_buffer` is the host DRAM available to
+    /// MegIS's operations.
+    Init {
+        /// Size of the host DRAM region handed to MegIS.
+        host_buffer: ByteSize,
+    },
+    /// Toggle the start/end boundary of a host-side step.
+    Step(HostStep),
+    /// Write metagenomic data (updates MegIS FTL metadata too).
+    Write {
+        /// Number of flash pages written.
+        pages: u64,
+    },
+}
+
+/// Errors returned by the device-mode state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandError {
+    /// A command other than `MegIS_Init` arrived while in baseline mode.
+    NotInAccelerationMode,
+    /// `MegIS_Init` arrived while already in acceleration mode.
+    AlreadyInitialized,
+    /// `MegIS_Write` arrived while a write-free phase was active (after
+    /// k-mer extraction has ended, MegIS performs no flash writes, §4.5).
+    WriteAfterExtraction,
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::NotInAccelerationMode => {
+                write!(f, "device is in baseline mode; send MegIS_Init first")
+            }
+            CommandError::AlreadyInitialized => write!(f, "device is already in acceleration mode"),
+            CommandError::WriteAfterExtraction => {
+                write!(f, "MegIS performs no flash writes after k-mer extraction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+/// Device-side acceleration-mode state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceMode {
+    /// Operating as a regular SSD.
+    Baseline,
+    /// Acceleration mode, before or during k-mer extraction (writes allowed).
+    AcceleratingWritable,
+    /// Acceleration mode after k-mer extraction ended: the regular L2P has
+    /// been flushed, MegIS FTL metadata is loaded, and no flash writes occur.
+    AcceleratingReadOnly,
+}
+
+/// The device-side command handler / mode state machine.
+#[derive(Debug, Clone)]
+pub struct MegisDevice {
+    mode: DeviceMode,
+    host_buffer: ByteSize,
+    active_steps: Vec<HostStep>,
+    pages_written: u64,
+}
+
+impl Default for MegisDevice {
+    fn default() -> Self {
+        MegisDevice::new()
+    }
+}
+
+impl MegisDevice {
+    /// Creates a device in baseline mode.
+    pub fn new() -> MegisDevice {
+        MegisDevice {
+            mode: DeviceMode::Baseline,
+            host_buffer: ByteSize::ZERO,
+            active_steps: Vec::new(),
+            pages_written: 0,
+        }
+    }
+
+    /// The current device mode.
+    pub fn mode(&self) -> DeviceMode {
+        self.mode
+    }
+
+    /// The host DRAM region communicated by `MegIS_Init`.
+    pub fn host_buffer(&self) -> ByteSize {
+        self.host_buffer
+    }
+
+    /// Host-side steps currently marked as running.
+    pub fn active_steps(&self) -> &[HostStep] {
+        &self.active_steps
+    }
+
+    /// Flash pages written through `MegIS_Write` in this acceleration session.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written
+    }
+
+    /// Handles one command.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CommandError`] when the command is not valid in the current
+    /// mode.
+    pub fn handle(&mut self, command: MegisCommand) -> Result<(), CommandError> {
+        match command {
+            MegisCommand::Init { host_buffer } => {
+                if self.mode != DeviceMode::Baseline {
+                    return Err(CommandError::AlreadyInitialized);
+                }
+                self.mode = DeviceMode::AcceleratingWritable;
+                self.host_buffer = host_buffer;
+                Ok(())
+            }
+            MegisCommand::Step(step) => {
+                if self.mode == DeviceMode::Baseline {
+                    return Err(CommandError::NotInAccelerationMode);
+                }
+                if let Some(pos) = self.active_steps.iter().position(|s| *s == step) {
+                    // End of the step.
+                    self.active_steps.remove(pos);
+                    if step == HostStep::KmerExtraction {
+                        // After extraction, MegIS flushes the regular L2P and
+                        // requires no further flash writes.
+                        self.mode = DeviceMode::AcceleratingReadOnly;
+                    }
+                } else {
+                    self.active_steps.push(step);
+                }
+                Ok(())
+            }
+            MegisCommand::Write { pages } => match self.mode {
+                DeviceMode::Baseline => Err(CommandError::NotInAccelerationMode),
+                DeviceMode::AcceleratingReadOnly => Err(CommandError::WriteAfterExtraction),
+                DeviceMode::AcceleratingWritable => {
+                    self.pages_written += pages;
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Ends the acceleration session and returns the device to baseline mode.
+    pub fn finish(&mut self) {
+        self.mode = DeviceMode::Baseline;
+        self.active_steps.clear();
+        self.host_buffer = ByteSize::ZERO;
+        self.pages_written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_enters_acceleration_mode() {
+        let mut dev = MegisDevice::new();
+        assert_eq!(dev.mode(), DeviceMode::Baseline);
+        dev.handle(MegisCommand::Init {
+            host_buffer: ByteSize::from_gb(64.0),
+        })
+        .unwrap();
+        assert_eq!(dev.mode(), DeviceMode::AcceleratingWritable);
+        assert_eq!(dev.host_buffer().as_gb(), 64.0);
+    }
+
+    #[test]
+    fn double_init_is_rejected() {
+        let mut dev = MegisDevice::new();
+        dev.handle(MegisCommand::Init {
+            host_buffer: ByteSize::from_gb(1.0),
+        })
+        .unwrap();
+        assert_eq!(
+            dev.handle(MegisCommand::Init {
+                host_buffer: ByteSize::from_gb(1.0)
+            }),
+            Err(CommandError::AlreadyInitialized)
+        );
+    }
+
+    #[test]
+    fn commands_require_acceleration_mode() {
+        let mut dev = MegisDevice::new();
+        assert_eq!(
+            dev.handle(MegisCommand::Step(HostStep::Sorting)),
+            Err(CommandError::NotInAccelerationMode)
+        );
+        assert_eq!(
+            dev.handle(MegisCommand::Write { pages: 1 }),
+            Err(CommandError::NotInAccelerationMode)
+        );
+    }
+
+    #[test]
+    fn step_toggles_start_and_end() {
+        let mut dev = MegisDevice::new();
+        dev.handle(MegisCommand::Init {
+            host_buffer: ByteSize::from_gb(1.0),
+        })
+        .unwrap();
+        dev.handle(MegisCommand::Step(HostStep::KmerExtraction)).unwrap();
+        assert_eq!(dev.active_steps(), &[HostStep::KmerExtraction]);
+        // Writes (spilled buckets) are allowed during extraction.
+        dev.handle(MegisCommand::Write { pages: 128 }).unwrap();
+        assert_eq!(dev.pages_written(), 128);
+        // Ending extraction flushes the regular L2P: no more writes.
+        dev.handle(MegisCommand::Step(HostStep::KmerExtraction)).unwrap();
+        assert!(dev.active_steps().is_empty());
+        assert_eq!(dev.mode(), DeviceMode::AcceleratingReadOnly);
+        assert_eq!(
+            dev.handle(MegisCommand::Write { pages: 1 }),
+            Err(CommandError::WriteAfterExtraction)
+        );
+        // Sorting boundaries still toggle normally.
+        dev.handle(MegisCommand::Step(HostStep::Sorting)).unwrap();
+        dev.handle(MegisCommand::Step(HostStep::Sorting)).unwrap();
+    }
+
+    #[test]
+    fn finish_returns_to_baseline() {
+        let mut dev = MegisDevice::new();
+        dev.handle(MegisCommand::Init {
+            host_buffer: ByteSize::from_gb(1.0),
+        })
+        .unwrap();
+        dev.finish();
+        assert_eq!(dev.mode(), DeviceMode::Baseline);
+        assert_eq!(dev.pages_written(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! System-level energy model (§6.5).
+//!
+//! The paper computes each tool's energy as the sum, over system components,
+//! of active/idle power × the time spent in each state. The components are
+//! the host processor, host DRAM, any attached accelerators (PIM, sorting,
+//! mapping), the SSD (flash array + controller), the SSD-internal DRAM, and
+//! MegIS's ISP logic. [`EnergyModel::report`] evaluates that sum for any
+//! timing [`Breakdown`] produced by the baselines or the MegIS pipeline.
+
+use megis_host::system::SystemConfig;
+use megis_ssd::energy::{Energy, SsdPowerModel};
+use megis_tools::timing::Breakdown;
+
+use crate::accel::AcceleratorModel;
+
+/// Per-component energy of one analysis run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Host CPU energy (active + idle).
+    pub host_cpu: Energy,
+    /// Host DRAM energy.
+    pub host_dram: Energy,
+    /// SSD energy (flash array + controller + internal DRAM), all devices.
+    pub ssd: Energy,
+    /// Attached accelerator energy (PIM / sorting / mapping accelerators).
+    pub accelerators: Energy,
+    /// MegIS in-storage accelerator energy (zero for the baselines).
+    pub isp_logic: Energy,
+}
+
+impl EnergyReport {
+    /// Total energy of the run.
+    pub fn total(&self) -> Energy {
+        self.host_cpu + self.host_dram + self.ssd + self.accelerators + self.isp_logic
+    }
+}
+
+/// Energy model parameterized by the system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    /// SSD power states.
+    pub ssd_power: SsdPowerModel,
+    /// Power of the accelerator that is busy during `accelerator_busy`
+    /// phases (PIM matcher, sorting accelerator, or mapping accelerator).
+    pub attached_accelerator_w: f64,
+    /// Whether the run uses MegIS's ISP logic (adds its power during SSD-busy
+    /// time).
+    pub uses_isp_accelerator: bool,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            ssd_power: SsdPowerModel::default(),
+            attached_accelerator_w: 40.0,
+            uses_isp_accelerator: false,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// An energy model for a baseline (no ISP logic).
+    pub fn baseline() -> EnergyModel {
+        EnergyModel::default()
+    }
+
+    /// An energy model for a MegIS configuration (ISP logic active while the
+    /// SSD streams data).
+    pub fn megis() -> EnergyModel {
+        EnergyModel {
+            uses_isp_accelerator: true,
+            ..EnergyModel::default()
+        }
+    }
+
+    /// Evaluates the energy of one run described by `breakdown` on `system`.
+    pub fn report(&self, breakdown: &Breakdown, system: &SystemConfig) -> EnergyReport {
+        let total = breakdown.total();
+        let host_active = breakdown.host_busy.min(total);
+        let host_idle = total.saturating_sub(host_active);
+        let host_cpu = Energy::from_power(system.cpu.active_power_w, host_active)
+            + Energy::from_power(system.cpu.idle_power_w, host_idle);
+        let host_dram = Energy::from_power(system.memory.power_w(), total);
+
+        let ssd_active = breakdown.ssd_busy.min(total);
+        let ssd_idle = total.saturating_sub(ssd_active);
+        let per_ssd =
+            self.ssd_power.read_energy(ssd_active) + self.ssd_power.idle_energy(ssd_idle);
+        let ssd: Energy = (0..system.ssd_count()).map(|_| per_ssd).sum();
+
+        let accelerators = Energy::from_power(
+            self.attached_accelerator_w,
+            breakdown.accelerator_busy.min(total),
+        );
+
+        let isp_logic = if self.uses_isp_accelerator {
+            let per_device: Energy = system
+                .ssds
+                .iter()
+                .map(|cfg| {
+                    let acc = AcceleratorModel::new(cfg.geometry.channels);
+                    Energy::from_power(acc.total_power_w(), ssd_active)
+                })
+                .sum();
+            per_device
+        } else {
+            Energy::ZERO
+        };
+
+        EnergyReport {
+            host_cpu,
+            host_dram,
+            ssd,
+            accelerators,
+            isp_logic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::sample::Diversity;
+    use megis_ssd::config::SsdConfig;
+    use megis_tools::kraken::KrakenTimingModel;
+    use megis_tools::metalign::MetalignTimingModel;
+    use megis_tools::workload::WorkloadSpec;
+
+    #[test]
+    fn baseline_energy_is_hundreds_of_kilojoules() {
+        // §3.1: processing a 100 M-read sample on a commodity server costs
+        // on the order of several hundred kJ.
+        let system = SystemConfig::reference(SsdConfig::ssd_c());
+        let w = WorkloadSpec::cami(Diversity::Low);
+        let b = MetalignTimingModel::a_opt().presence_breakdown(&system, &w);
+        let report = EnergyModel::baseline().report(&b, &system);
+        let kj = report.total().as_joules() / 1000.0;
+        assert!(kj > 200.0 && kj < 1500.0, "got {kj} kJ");
+    }
+
+    #[test]
+    fn isp_logic_energy_is_negligible_compared_to_host() {
+        let system = SystemConfig::reference(SsdConfig::ssd_c());
+        let w = WorkloadSpec::cami(Diversity::Low);
+        let b = KrakenTimingModel.presence_breakdown(&system, &w);
+        let report = EnergyModel::megis().report(&b, &system);
+        assert!(report.isp_logic.as_joules() < 0.001 * report.host_cpu.as_joules());
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let system = SystemConfig::reference(SsdConfig::ssd_p());
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        let b = KrakenTimingModel.presence_breakdown(&system, &w);
+        let r = EnergyModel::baseline().report(&b, &system);
+        let manual = r.host_cpu + r.host_dram + r.ssd + r.accelerators + r.isp_logic;
+        assert!((manual.as_joules() - r.total().as_joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_host_still_draws_power() {
+        // A breakdown with zero host-busy time must still charge idle power.
+        let system = SystemConfig::reference(SsdConfig::ssd_c());
+        let mut b = Breakdown::new("idle");
+        b.push_phase("wait", megis_ssd::timing::SimDuration::from_secs(100.0));
+        let r = EnergyModel::baseline().report(&b, &system);
+        assert!(r.host_cpu.as_joules() >= 100.0 * system.cpu.idle_power_w * 0.99);
+    }
+}

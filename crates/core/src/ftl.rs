@@ -1,0 +1,339 @@
+//! MegIS FTL: block-level mapping and channel-balanced data placement (§4.5).
+//!
+//! During ISP, MegIS does not need the regular page-level L2P mapping: its
+//! databases are written once, sequentially, and always read sequentially.
+//! MegIS FTL therefore flushes the regular L2P metadata and keeps only
+//!
+//! * the start LPA→PPA mapping and the database size,
+//! * the sequence of physical blocks holding the database on each channel, and
+//! * per-block read counts for read-disturbance management,
+//!
+//! which together fit in a few megabytes even for terabyte-scale databases —
+//! freeing almost all of the internal DRAM's capacity and bandwidth for the
+//! ISP dataflow. Databases are striped evenly across channels with all active
+//! blocks at the same page offset, so a sequential read proceeds round-robin
+//! across channels at full internal bandwidth.
+
+use std::collections::HashMap;
+
+use megis_ssd::geometry::{Geometry, PhysicalBlockAddr};
+use megis_ssd::timing::ByteSize;
+
+/// Placement record of one sequentially stored database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabasePlacement {
+    /// Name of the stored object.
+    pub name: String,
+    /// Start logical page address.
+    pub start_lpa: u64,
+    /// Database size in bytes.
+    pub size: ByteSize,
+    /// Physical blocks holding the database, per channel, in read order.
+    pub blocks_per_channel: Vec<Vec<PhysicalBlockAddr>>,
+}
+
+impl DatabasePlacement {
+    /// Total number of physical blocks used.
+    pub fn total_blocks(&self) -> usize {
+        self.blocks_per_channel.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no channel holds more than one block more than any
+    /// other (the even striping MegIS requires to use the full internal
+    /// bandwidth).
+    pub fn is_balanced(&self) -> bool {
+        let counts: Vec<usize> = self.blocks_per_channel.iter().map(Vec::len).collect();
+        match (counts.iter().max(), counts.iter().min()) {
+            (Some(max), Some(min)) => max - min <= 1,
+            _ => true,
+        }
+    }
+}
+
+/// Errors returned by MegIS FTL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MegisFtlError {
+    /// Not enough free blocks remain to place the database.
+    InsufficientSpace {
+        /// Blocks requested by the failed placement.
+        requested: u64,
+        /// Blocks still available.
+        available: u64,
+    },
+    /// A database with this name is already placed.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for MegisFtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MegisFtlError::InsufficientSpace { requested, available } => write!(
+                f,
+                "placement needs {requested} blocks but only {available} are free"
+            ),
+            MegisFtlError::DuplicateName(n) => write!(f, "database '{n}' is already placed"),
+        }
+    }
+}
+
+impl std::error::Error for MegisFtlError {}
+
+/// The MegIS flash translation layer.
+#[derive(Debug, Clone)]
+pub struct MegisFtl {
+    geometry: Geometry,
+    placements: HashMap<String, DatabasePlacement>,
+    /// Next free block index per channel.
+    next_block_per_channel: Vec<u64>,
+    /// Per-block read counts since the last erase (read-disturb accounting,
+    /// the only non-L2P metadata MegIS FTL must keep during ISP).
+    read_counts: HashMap<PhysicalBlockAddr, u64>,
+    next_lpa: u64,
+}
+
+impl MegisFtl {
+    /// Creates an empty MegIS FTL for the given geometry.
+    pub fn new(geometry: Geometry) -> MegisFtl {
+        MegisFtl {
+            geometry,
+            placements: HashMap::new(),
+            next_block_per_channel: vec![0; geometry.channels as usize],
+            read_counts: HashMap::new(),
+            next_lpa: 0,
+        }
+    }
+
+    /// The geometry this FTL manages.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    fn blocks_per_channel_capacity(&self) -> u64 {
+        self.geometry.dies_per_channel as u64
+            * self.geometry.planes_per_die as u64
+            * self.geometry.blocks_per_plane as u64
+    }
+
+    fn block_addr(&self, channel: u32, seq: u64) -> PhysicalBlockAddr {
+        let dies = self.geometry.dies_per_channel as u64;
+        let planes = self.geometry.planes_per_die as u64;
+        PhysicalBlockAddr {
+            channel,
+            die: (seq % dies) as u32,
+            plane: ((seq / dies) % planes) as u32,
+            block: (seq / (dies * planes)) as u32,
+        }
+    }
+
+    /// Places a database of `size` bytes sequentially and evenly across all
+    /// channels, with every active block at the same offset (Fig. 10).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already used or the device lacks free blocks.
+    pub fn place_database(
+        &mut self,
+        name: &str,
+        size: ByteSize,
+    ) -> Result<&DatabasePlacement, MegisFtlError> {
+        if self.placements.contains_key(name) {
+            return Err(MegisFtlError::DuplicateName(name.to_string()));
+        }
+        let channels = self.geometry.channels as u64;
+        let blocks_needed = self.geometry.blocks_for(size).max(1);
+        // Round up to a multiple of the channel count so striping stays even.
+        let blocks_per_channel = blocks_needed.div_ceil(channels);
+        let available_per_channel: Vec<u64> = self
+            .next_block_per_channel
+            .iter()
+            .map(|used| self.blocks_per_channel_capacity() - used)
+            .collect();
+        let available: u64 = available_per_channel.iter().sum();
+        if available_per_channel.iter().any(|a| *a < blocks_per_channel) {
+            return Err(MegisFtlError::InsufficientSpace {
+                requested: blocks_per_channel * channels,
+                available,
+            });
+        }
+
+        let mut per_channel = Vec::with_capacity(channels as usize);
+        for ch in 0..channels as u32 {
+            let start = self.next_block_per_channel[ch as usize];
+            let blocks: Vec<PhysicalBlockAddr> = (start..start + blocks_per_channel)
+                .map(|seq| self.block_addr(ch, seq))
+                .collect();
+            self.next_block_per_channel[ch as usize] += blocks_per_channel;
+            per_channel.push(blocks);
+        }
+        let placement = DatabasePlacement {
+            name: name.to_string(),
+            start_lpa: self.next_lpa,
+            size,
+            blocks_per_channel: per_channel,
+        };
+        self.next_lpa += self.geometry.pages_for(size);
+        self.placements.insert(name.to_string(), placement);
+        Ok(&self.placements[name])
+    }
+
+    /// Looks up a placed database.
+    pub fn placement(&self, name: &str) -> Option<&DatabasePlacement> {
+        self.placements.get(name)
+    }
+
+    /// Records one full sequential read of a database (for read-disturb
+    /// accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database is not placed.
+    pub fn record_sequential_read(&mut self, name: &str) {
+        let placement = self.placements.get(name).expect("database must be placed");
+        for blocks in &placement.blocks_per_channel {
+            for b in blocks {
+                *self.read_counts.entry(*b).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Read count of a block since the last erase.
+    pub fn block_read_count(&self, block: PhysicalBlockAddr) -> u64 {
+        self.read_counts.get(&block).copied().unwrap_or(0)
+    }
+
+    /// The sequence of blocks a full sequential read visits: round-robin
+    /// across channels, one block per channel per round.
+    pub fn sequential_read_order(&self, name: &str) -> Vec<PhysicalBlockAddr> {
+        let Some(placement) = self.placements.get(name) else {
+            return Vec::new();
+        };
+        let rounds = placement
+            .blocks_per_channel
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        let mut order = Vec::with_capacity(placement.total_blocks());
+        for round in 0..rounds {
+            for blocks in &placement.blocks_per_channel {
+                if let Some(b) = blocks.get(round) {
+                    order.push(*b);
+                }
+            }
+        }
+        order
+    }
+
+    /// Size of MegIS FTL's L2P metadata: 4 bytes per used block (the block
+    /// sequence) plus the start mapping and database sizes (§4.5 — about
+    /// 1.3 MB for a 4 TB database with 12 MB blocks).
+    pub fn l2p_metadata_bytes(&self) -> ByteSize {
+        let block_entries: u64 = self
+            .placements
+            .values()
+            .map(|p| p.total_blocks() as u64)
+            .sum();
+        ByteSize::from_bytes(block_entries * 4 + self.placements.len() as u64 * 16)
+    }
+
+    /// Size of the read-disturb counters (4 bytes per used block).
+    pub fn read_counter_bytes(&self) -> ByteSize {
+        let block_entries: u64 = self
+            .placements
+            .values()
+            .map(|p| p.total_blocks() as u64)
+            .sum();
+        ByteSize::from_bytes(block_entries * 4)
+    }
+
+    /// Total MegIS FTL metadata resident in internal DRAM during ISP.
+    pub fn total_metadata_bytes(&self) -> ByteSize {
+        self.l2p_metadata_bytes() + self.read_counter_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_ssd::config::SsdConfig;
+
+    fn ftl() -> MegisFtl {
+        MegisFtl::new(SsdConfig::ssd_c().geometry)
+    }
+
+    #[test]
+    fn placement_is_balanced_across_channels() {
+        let mut f = ftl();
+        let p = f.place_database("kmer-db", ByteSize::from_gb(701.0)).unwrap();
+        assert!(p.is_balanced());
+        assert_eq!(p.blocks_per_channel.len(), 8);
+        assert!(p.total_blocks() as u64 >= ByteSize::from_gb(701.0).as_bytes() / (12 * 1024 * 1024));
+    }
+
+    #[test]
+    fn metadata_is_megabytes_for_terabyte_databases() {
+        let mut f = ftl();
+        // A 4 TB database with ~12 MB blocks needs ~350 K block entries →
+        // ~1.3 MB of L2P metadata, ≤ 2.6 MB total (§4.5).
+        f.place_database("db", ByteSize::from_tb(4.0)).unwrap();
+        let l2p = f.l2p_metadata_bytes();
+        let total = f.total_metadata_bytes();
+        assert!(l2p.as_bytes() > 1_000_000 && l2p.as_bytes() < 1_700_000, "{l2p}");
+        assert!(total.as_bytes() < 2_800_000, "{total}");
+    }
+
+    #[test]
+    fn megis_ftl_metadata_is_far_smaller_than_page_level() {
+        let cfg = SsdConfig::ssd_c();
+        let mut f = MegisFtl::new(cfg.geometry);
+        f.place_database("db", ByteSize::from_tb(4.0)).unwrap();
+        let page_level = cfg.page_level_l2p_bytes().as_bytes();
+        assert!(f.total_metadata_bytes().as_bytes() * 100 < page_level);
+    }
+
+    #[test]
+    fn sequential_read_order_alternates_channels() {
+        let mut f = ftl();
+        f.place_database("db", ByteSize::from_gb(1.0)).unwrap();
+        let order = f.sequential_read_order("db");
+        assert!(!order.is_empty());
+        // The first `channels` reads must hit distinct channels.
+        let channels: std::collections::HashSet<u32> =
+            order.iter().take(8).map(|b| b.channel).collect();
+        assert_eq!(channels.len(), 8);
+    }
+
+    #[test]
+    fn read_disturb_counters_accumulate() {
+        let mut f = ftl();
+        f.place_database("db", ByteSize::from_gb(1.0)).unwrap();
+        f.record_sequential_read("db");
+        f.record_sequential_read("db");
+        let order = f.sequential_read_order("db");
+        assert_eq!(f.block_read_count(order[0]), 2);
+    }
+
+    #[test]
+    fn duplicate_names_and_overflow_are_rejected() {
+        let mut f = ftl();
+        f.place_database("db", ByteSize::from_gb(1.0)).unwrap();
+        assert!(matches!(
+            f.place_database("db", ByteSize::from_gb(1.0)),
+            Err(MegisFtlError::DuplicateName(_))
+        ));
+        let err = f.place_database("huge", ByteSize::from_tb(100.0));
+        assert!(matches!(err, Err(MegisFtlError::InsufficientSpace { .. })));
+    }
+
+    #[test]
+    fn multiple_databases_get_disjoint_blocks() {
+        let mut f = ftl();
+        f.place_database("a", ByteSize::from_gb(10.0)).unwrap();
+        f.place_database("b", ByteSize::from_gb(10.0)).unwrap();
+        let a: std::collections::HashSet<_> =
+            f.sequential_read_order("a").into_iter().collect();
+        let b: std::collections::HashSet<_> =
+            f.sequential_read_order("b").into_iter().collect();
+        assert!(a.is_disjoint(&b));
+    }
+}

@@ -1,0 +1,70 @@
+//! MegIS: in-storage processing for end-to-end metagenomic analysis.
+//!
+//! This crate is the core of the reproduction of *MegIS: High-Performance,
+//! Energy-Efficient, and Low-Cost Metagenomic Analysis with In-Storage
+//! Processing* (ISCA 2024). MegIS is a cooperative in-storage-processing (ISP)
+//! system: it partitions the accuracy-optimized metagenomic analysis pipeline
+//! between the host and lightweight accelerators inside the SSD controller so
+//! that the terabyte-scale, low-reuse database is streamed and filtered where
+//! it lives, and only small results cross the host interface.
+//!
+//! The three steps of the pipeline (§4 of the paper):
+//!
+//! 1. **Step 1 — query preparation (host)** ([`step1`]): k-mer extraction from
+//!    the sample, partitioning into lexicographic buckets, per-bucket sorting,
+//!    and frequency-based exclusion. Bucketing lets Step 1 overlap with Step 2.
+//! 2. **Step 2 — finding candidate species (in-SSD)** ([`step2`]): streaming
+//!    intersection of the sorted query k-mers with the sorted k-mer database
+//!    read from all flash channels, followed by taxID retrieval through
+//!    *K-mer Sketch Streaming* ([`kss`]), MegIS's pointer-chase-free sketch
+//!    representation.
+//! 3. **Step 3 — abundance estimation support (in-SSD + accelerator/host)**
+//!    ([`step3`]): in-SSD generation of a unified reference index over the
+//!    candidate species, handed to a read mapper.
+//!
+//! Supporting pieces: the specialized block-level [`ftl`] (MegIS FTL) and its
+//! channel-balanced data placement, the in-storage accelerator area/power
+//! model ([`accel`], Table 2), the NVMe command extensions ([`commands`]),
+//! the end-to-end performance model with all of the paper's configurations
+//! ([`pipeline`], [`variants`]), and the system-level energy model
+//! ([`energy`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use megis::MegisAnalyzer;
+//! use megis::config::MegisConfig;
+//! use megis_genomics::sample::{CommunityConfig, Diversity};
+//!
+//! // Build a small synthetic community and analyze it functionally.
+//! let community = CommunityConfig::preset(Diversity::Low)
+//!     .with_reads(200)
+//!     .with_database_species(16)
+//!     .build(7);
+//! let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+//! let result = analyzer.analyze(community.sample());
+//! assert!(!result.presence.is_empty());
+//! ```
+//!
+//! For the paper-scale performance results, see [`pipeline::MegisTimingModel`]
+//! and the `megis-bench` crate, which regenerates every figure and table of
+//! the paper's evaluation.
+
+pub mod accel;
+pub mod analyzer;
+pub mod commands;
+pub mod config;
+pub mod energy;
+pub mod ftl;
+pub mod kss;
+pub mod pipeline;
+pub mod step1;
+pub mod step2;
+pub mod step3;
+pub mod variants;
+
+pub use analyzer::{MegisAnalyzer, MegisOutput};
+pub use config::MegisConfig;
+pub use kss::KssTables;
+pub use pipeline::MegisTimingModel;
+pub use variants::MegisVariant;

@@ -1,0 +1,550 @@
+//! End-to-end MegIS performance model (§4, evaluated in §6).
+//!
+//! [`MegisTimingModel`] computes the wall-clock breakdown of a MegIS analysis
+//! on a paper-scale workload, for any of the design variants of Fig. 12
+//! (MS / MS-NOL / MS-CC / Ext-MS), any system configuration (SSD-C / SSD-P,
+//! DRAM capacity, SSD count, channel count, optional sorting accelerator),
+//! plus abundance estimation (Fig. 20, including the MS-NIdx ablation) and
+//! the multi-sample use case (Fig. 21).
+//!
+//! The model composes the substrate models of `megis-ssd` and `megis-host`:
+//!
+//! * Step 1 runs on the host (k-mer extraction, bucketed sorting, exclusion);
+//!   its bucketing both enables overlap with Step 2 and avoids page-swap
+//!   thrashing when the extracted k-mers exceed host DRAM.
+//! * Step 2 streams the sorted database from flash at the SSD's *internal*
+//!   bandwidth (or the external bandwidth for Ext-MS), overlapped with the
+//!   query-batch transfers into internal DRAM; the per-channel Intersect
+//!   units (or the controller cores for MS-CC) must keep up with the stream.
+//! * TaxID retrieval streams the KSS tables the same way.
+//! * Step 3 merges the candidate reference indexes inside the SSD and hands
+//!   the unified index to the mapping accelerator.
+
+use megis_host::system::SystemConfig;
+use megis_ssd::timing::SimDuration;
+use megis_tools::timing::Breakdown;
+use megis_tools::workload::WorkloadSpec;
+
+use crate::accel::AcceleratorModel;
+use crate::variants::MegisVariant;
+
+/// Whether Step 3's unified index is generated inside the SSD or in software
+/// on the host (the MS-NIdx ablation of Fig. 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexGeneration {
+    /// In-SSD sequential merge (full MegIS).
+    InStorage,
+    /// Software index construction on the host (MS-NIdx).
+    HostSoftware,
+}
+
+/// The MegIS performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct MegisTimingModel {
+    /// Which design variant to model.
+    pub variant: MegisVariant,
+    /// How Step 3 generates the unified index.
+    pub index_generation: IndexGeneration,
+}
+
+impl Default for MegisTimingModel {
+    fn default() -> Self {
+        MegisTimingModel::new(MegisVariant::Full)
+    }
+}
+
+impl MegisTimingModel {
+    /// Creates a model for the given variant (in-SSD index generation).
+    pub fn new(variant: MegisVariant) -> MegisTimingModel {
+        MegisTimingModel {
+            variant,
+            index_generation: IndexGeneration::InStorage,
+        }
+    }
+
+    /// The full MegIS design (MS).
+    pub fn full() -> MegisTimingModel {
+        MegisTimingModel::new(MegisVariant::Full)
+    }
+
+    /// The MS-NIdx ablation: full MegIS for Steps 1–2, software index
+    /// generation in Step 3.
+    pub fn without_in_storage_index() -> MegisTimingModel {
+        MegisTimingModel {
+            variant: MegisVariant::Full,
+            index_generation: IndexGeneration::HostSoftware,
+        }
+    }
+
+    fn label(&self, workload: &WorkloadSpec) -> String {
+        let idx = match self.index_generation {
+            IndexGeneration::InStorage => "",
+            IndexGeneration::HostSoftware => "-NIdx",
+        };
+        format!("{}{idx} ({})", self.variant.label(), workload.label)
+    }
+
+    // ----- step components ---------------------------------------------------
+
+    /// Host-side k-mer extraction time (including 2-bit format conversion).
+    fn extraction_time(&self, system: &SystemConfig, workload: &WorkloadSpec) -> SimDuration {
+        system.cpu.kmer_extraction_time(workload.total_bases())
+            + system.cpu.format_convert_time(workload.total_bases())
+    }
+
+    /// Host-side sorting + exclusion time, including any bucket spill penalty
+    /// when the extracted k-mers exceed host DRAM.
+    fn sorting_time(&self, system: &SystemConfig, workload: &WorkloadSpec) -> SimDuration {
+        let mut sort = match system.sorting_accelerator {
+            Some(acc) => acc.sort_time(workload.extracted_kmers, 2 * workload.metalign_k / 8),
+            None => system.cpu.sort_time(workload.extracted_kmers),
+        };
+        // Buckets that do not fit in host DRAM are pinned on the SSD: they are
+        // written once during extraction and consumed from there, instead of
+        // thrashing back and forth (§4.2.1).
+        let overflow = system.memory.overflow(workload.extracted_kmer_bytes);
+        if overflow.as_bytes() > 0 {
+            let ssd = system.primary_ssd();
+            sort += overflow.time_at(ssd.external_write_bandwidth());
+        }
+        sort
+    }
+
+    /// Transfer time of the selected (sorted, excluded) query k-mers into the
+    /// SSDs' internal DRAM.
+    fn query_transfer_time(&self, system: &SystemConfig, workload: &WorkloadSpec) -> SimDuration {
+        let write_bw: f64 = system
+            .ssds
+            .iter()
+            .map(|s| s.interface.sequential_write_bandwidth())
+            .sum();
+        workload.selected_kmer_bytes.time_at(write_bw)
+    }
+
+    /// Sustained ISP compute bandwidth limit in database bytes/s for the
+    /// intersection and KSS streams, aggregated over all SSDs.
+    fn isp_compute_bandwidth(&self, system: &SystemConfig, workload: &WorkloadSpec) -> f64 {
+        let bytes_per_entry = (2 * workload.metalign_k / 8 + 4) as f64;
+        system
+            .ssds
+            .iter()
+            .map(|cfg| {
+                let compares_per_sec = if self.variant.uses_controller_cores() {
+                    cfg.cores.count as f64 * cfg.cores.compares_per_sec_per_core
+                } else {
+                    AcceleratorModel::new(cfg.geometry.channels).compare_throughput()
+                };
+                compares_per_sec * bytes_per_entry
+            })
+            .sum()
+    }
+
+    /// Database streaming bandwidth available to Step 2 (internal for ISP
+    /// variants, external for Ext-MS).
+    fn database_stream_bandwidth(&self, system: &SystemConfig) -> f64 {
+        if self.variant.uses_isp() {
+            system.aggregate_internal_read_bandwidth()
+        } else {
+            system.aggregate_external_read_bandwidth()
+        }
+    }
+
+    /// Intersection-finding time: the database stream, the query-batch
+    /// fetches, and the compare throughput all run concurrently; the slowest
+    /// dictates the duration.
+    fn intersection_time(&self, system: &SystemConfig, workload: &WorkloadSpec) -> SimDuration {
+        let stream_bw = self.database_stream_bandwidth(system);
+        let db_stream = workload.metalign_db.time_at(stream_bw);
+        let compute = workload
+            .metalign_db
+            .time_at(self.isp_compute_bandwidth(system, workload));
+        let query_fetch = self.query_transfer_time(system, workload);
+        db_stream.max(compute).max(query_fetch)
+    }
+
+    /// TaxID-retrieval time: streaming the KSS tables against the (much
+    /// smaller) intersecting k-mer set held in internal DRAM, then returning
+    /// the taxIDs to the host.
+    fn retrieval_time(&self, system: &SystemConfig, workload: &WorkloadSpec) -> SimDuration {
+        let stream_bw = self.database_stream_bandwidth(system);
+        let kss_stream = workload.kss_tables.time_at(stream_bw);
+        let compute = workload
+            .kss_tables
+            .time_at(self.isp_compute_bandwidth(system, workload));
+        let dram_traffic = workload
+            .intersecting_kmer_bytes()
+            .time_at(system.primary_ssd().dram.bandwidth);
+        let result_transfer = workload
+            .taxid_result_bytes()
+            .time_at(system.aggregate_external_read_bandwidth());
+        kss_stream.max(compute).max(dram_traffic) + result_transfer
+    }
+
+    // ----- presence/absence ---------------------------------------------------
+
+    /// Timing breakdown of presence/absence identification (Fig. 12/13).
+    pub fn presence_breakdown(
+        &self,
+        system: &SystemConfig,
+        workload: &WorkloadSpec,
+    ) -> Breakdown {
+        let mut b = Breakdown::new(self.label(workload));
+        let extraction = self.extraction_time(system, workload);
+        let sorting = self.sorting_time(system, workload);
+        let intersection = self.intersection_time(system, workload);
+        let retrieval = self.retrieval_time(system, workload);
+        let transfer = self.query_transfer_time(system, workload);
+
+        b.push_phase("k-mer extraction", extraction);
+        if self.variant.overlaps_steps() {
+            // Bucketing lets per-bucket sorting and transfer proceed while the
+            // SSD intersects previously delivered buckets: only the portion of
+            // sorting that the in-SSD work cannot hide is exposed, plus the
+            // pipeline-fill cost of the first bucket.
+            let isp_total = intersection + retrieval;
+            let fill = sorting / 512.0;
+            let exposed_sorting = sorting.saturating_sub(isp_total) + fill;
+            b.push_phase("sorting + k-mer exclusion + transfer (exposed)", exposed_sorting);
+            b.push_phase("intersection finding", intersection);
+            b.push_phase("taxid retrieval", retrieval);
+        } else {
+            b.push_phase("sorting + k-mer exclusion", sorting);
+            b.push_phase("query transfer", transfer);
+            b.push_phase("intersection finding", intersection);
+            b.push_phase("taxid retrieval", retrieval);
+        }
+
+        b.external_io = workload.selected_kmer_bytes + workload.taxid_result_bytes();
+        if self.variant.uses_isp() {
+            b.internal_io = workload.metalign_db + workload.kss_tables;
+        } else {
+            b.external_io += workload.metalign_db + workload.kss_tables;
+            b.internal_io = workload.metalign_db + workload.kss_tables;
+        }
+        b.host_busy = extraction + sorting;
+        b.ssd_busy = intersection + retrieval;
+        b
+    }
+
+    // ----- abundance estimation ----------------------------------------------
+
+    /// Timing breakdown of the full pipeline including abundance estimation
+    /// (Fig. 20).
+    pub fn abundance_breakdown(
+        &self,
+        system: &SystemConfig,
+        workload: &WorkloadSpec,
+    ) -> Breakdown {
+        let mut b = self.presence_breakdown(system, workload);
+
+        let index_generation = match self.index_generation {
+            IndexGeneration::InStorage => {
+                // Sequentially merge the candidate indexes at internal
+                // bandwidth, then ship the unified index to the host/mapper.
+                let merge = workload
+                    .candidate_reference_indexes
+                    .time_at(system.aggregate_internal_read_bandwidth());
+                let transfer = workload
+                    .candidate_reference_indexes
+                    .time_at(system.aggregate_external_read_bandwidth());
+                merge + transfer
+            }
+            IndexGeneration::HostSoftware => {
+                // Read the indexes out of the SSD and build the unified index
+                // in software (several passes over the entries).
+                let io = workload
+                    .candidate_reference_indexes
+                    .time_at(system.aggregate_external_read_bandwidth());
+                let entries = workload.candidate_reference_indexes.as_bytes() / 12;
+                io + system.cpu.stream_merge_time(entries * 4)
+            }
+        };
+        let mapping = system.mapping_accelerator.mapping_time(workload.reads);
+        b.push_phase("unified index generation", index_generation);
+        b.push_phase("read mapping", mapping);
+        b.external_io += workload.candidate_reference_indexes;
+        b.internal_io += workload.candidate_reference_indexes;
+        match self.index_generation {
+            IndexGeneration::InStorage => b.ssd_busy += index_generation,
+            IndexGeneration::HostSoftware => b.host_busy += index_generation,
+        }
+        b.accelerator_busy += mapping;
+        b
+    }
+
+    // ----- multi-sample use case ----------------------------------------------
+
+    /// Timing breakdown for analyzing `samples` read sets against the same
+    /// database (§4.7, Fig. 21). K-mers extracted from as many samples as fit
+    /// in host DRAM are buffered so the database is streamed once per group
+    /// rather than once per sample.
+    pub fn multi_sample_breakdown(
+        &self,
+        system: &SystemConfig,
+        workload: &WorkloadSpec,
+        samples: usize,
+    ) -> Breakdown {
+        assert!(samples > 0, "at least one sample is required");
+        let mut b = Breakdown::new(format!(
+            "{} x{} samples ({})",
+            self.variant.label(),
+            samples,
+            workload.label
+        ));
+
+        // How many samples' extracted k-mers fit in host DRAM at once.
+        let per_sample = workload.extracted_kmer_bytes.as_bytes().max(1);
+        let usable = (system.memory.capacity.as_bytes() as f64 * 0.9) as u64;
+        let samples_per_group = ((usable / per_sample).max(1) as usize).min(samples);
+        let groups = samples.div_ceil(samples_per_group);
+
+        let extraction = self.extraction_time(system, workload) * samples as f64;
+        let sorting = self.sorting_time(system, workload) * samples as f64;
+        let intersection = self.intersection_time(system, workload) * groups as f64;
+        let retrieval = self.retrieval_time(system, workload) * samples as f64;
+
+        b.push_phase("k-mer extraction (all samples)", extraction);
+        if self.variant.overlaps_steps() {
+            let isp_total = intersection + retrieval;
+            let exposed = sorting.saturating_sub(isp_total) + sorting / 512.0;
+            b.push_phase("sorting + transfer (exposed)", exposed);
+        } else {
+            b.push_phase("sorting + k-mer exclusion", sorting);
+        }
+        b.push_phase("intersection finding (per group)", intersection);
+        b.push_phase("taxid retrieval (per sample)", retrieval);
+
+        b.external_io = workload.selected_kmer_bytes * samples as u64;
+        b.internal_io = (workload.metalign_db * groups as u64) + (workload.kss_tables * samples as u64);
+        b.host_busy = extraction + sorting;
+        b.ssd_busy = intersection + retrieval;
+        b
+    }
+}
+
+/// Multi-sample model for the *software* baselines of Fig. 21: each sample is
+/// analyzed independently, so the total is `samples ×` the single-sample time.
+pub fn baseline_multi_sample(single_sample: &Breakdown, samples: usize) -> Breakdown {
+    assert!(samples > 0);
+    let mut b = Breakdown::new(format!("{} x{} samples", single_sample.label, samples));
+    for phase in &single_sample.phases {
+        b.push_phase(phase.name.clone(), phase.duration * samples as f64);
+    }
+    b.external_io = single_sample.external_io * samples as u64;
+    b.internal_io = single_sample.internal_io * samples as u64;
+    b.host_busy = single_sample.host_busy * samples as f64;
+    b.ssd_busy = single_sample.ssd_busy * samples as f64;
+    b.accelerator_busy = single_sample.accelerator_busy * samples as f64;
+    b
+}
+
+/// The software-only multi-sample optimization of §4.7 (labeled `MS-SW` /
+/// `MS-Pipe` in Fig. 21): the same k-mer buffering across samples as MegIS,
+/// but with intersection finding and taxID retrieval executed on the host
+/// (i.e. the A-Opt+KSS flow batched over samples).
+pub fn software_multi_sample(
+    system: &SystemConfig,
+    workload: &WorkloadSpec,
+    samples: usize,
+) -> Breakdown {
+    assert!(samples > 0);
+    let mut b = Breakdown::new(format!("MS-SW x{samples} samples ({})", workload.label));
+    let cpu = &system.cpu;
+
+    let per_sample = workload.extracted_kmer_bytes.as_bytes().max(1);
+    let usable = (system.memory.capacity.as_bytes() as f64 * 0.9) as u64;
+    let samples_per_group = ((usable / per_sample).max(1) as usize).min(samples);
+    let groups = samples.div_ceil(samples_per_group);
+
+    let extraction = (cpu.kmer_extraction_time(workload.total_bases())
+        + cpu.format_convert_time(workload.total_bases()))
+        * samples as f64;
+    let sorting = match system.sorting_accelerator {
+        Some(acc) => acc.sort_time(workload.extracted_kmers, 2 * workload.metalign_k / 8),
+        None => cpu.sort_time(workload.extracted_kmers),
+    } * samples as f64;
+
+    let db_entries = workload.metalign_db.as_bytes() / 19;
+    let db_io = workload
+        .metalign_db
+        .time_at(system.aggregate_external_read_bandwidth());
+    let merge = cpu.stream_merge_time(db_entries + workload.selected_kmers * samples_per_group as u64);
+    let intersection = db_io.max(merge) * groups as f64;
+
+    let kss_io = workload
+        .kss_tables
+        .time_at(system.aggregate_external_read_bandwidth());
+    let kss_entries = workload.kss_tables.as_bytes() / 16;
+    let retrieval =
+        kss_io.max(cpu.stream_merge_time(kss_entries + workload.intersecting_kmers)) * samples as f64;
+
+    b.push_phase("k-mer extraction (all samples)", extraction);
+    b.push_phase("sorting + k-mer exclusion", sorting);
+    b.push_phase("intersection finding (per group)", intersection);
+    b.push_phase("taxid retrieval (per sample)", retrieval);
+    b.external_io = workload.metalign_db * groups as u64 + workload.kss_tables * samples as u64;
+    b.internal_io = b.external_io;
+    b.host_busy = extraction + sorting + intersection + retrieval;
+    b.ssd_busy = db_io * groups as f64;
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::sample::Diversity;
+    use megis_host::accelerators::SortingAccelerator;
+    use megis_ssd::config::SsdConfig;
+    use megis_ssd::timing::ByteSize;
+    use megis_tools::kraken::KrakenTimingModel;
+    use megis_tools::metalign::MetalignTimingModel;
+
+    fn reference(ssd: SsdConfig) -> SystemConfig {
+        SystemConfig::reference(ssd)
+    }
+
+    #[test]
+    fn ms_beats_both_baselines_on_both_ssds() {
+        for ssd in [SsdConfig::ssd_c(), SsdConfig::ssd_p()] {
+            let system = reference(ssd);
+            for d in Diversity::ALL {
+                let w = WorkloadSpec::cami(d);
+                let ms = MegisTimingModel::full().presence_breakdown(&system, &w);
+                let p_opt = KrakenTimingModel.presence_breakdown(&system, &w);
+                let a_opt = MetalignTimingModel::a_opt().presence_breakdown(&system, &w);
+                let vs_p = ms.speedup_over(&p_opt);
+                let vs_a = ms.speedup_over(&a_opt);
+                assert!(vs_p > 2.0 && vs_p < 10.0, "{}: speedup vs P-Opt {vs_p}", w.label);
+                assert!(vs_a > 5.0 && vs_a < 25.0, "{}: speedup vs A-Opt {vs_a}", w.label);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_ordering_matches_fig12() {
+        // MS ≥ MS-CC, MS ≥ MS-NOL, and every ISP variant beats Ext-MS.
+        for ssd in [SsdConfig::ssd_c(), SsdConfig::ssd_p()] {
+            let system = reference(ssd);
+            let w = WorkloadSpec::cami(Diversity::Medium);
+            let time = |v: MegisVariant| {
+                MegisTimingModel::new(v)
+                    .presence_breakdown(&system, &w)
+                    .total()
+            };
+            let full = time(MegisVariant::Full);
+            assert!(full <= time(MegisVariant::ControllerCores));
+            assert!(full < time(MegisVariant::NoOverlap));
+            assert!(time(MegisVariant::ControllerCores) < time(MegisVariant::OutsideSsd));
+        }
+    }
+
+    #[test]
+    fn controller_cores_hurt_more_with_more_internal_bandwidth() {
+        // §6.1: the accelerator advantage over MS-CC grows with internal
+        // bandwidth (43% on SSD-P vs 9% on SSD-C).
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        let gap = |ssd: SsdConfig| {
+            let system = reference(ssd);
+            let full = MegisTimingModel::full().presence_breakdown(&system, &w).total();
+            let cc = MegisTimingModel::new(MegisVariant::ControllerCores)
+                .presence_breakdown(&system, &w)
+                .total();
+            cc / full
+        };
+        assert!(gap(SsdConfig::ssd_p()) > gap(SsdConfig::ssd_c()));
+    }
+
+    #[test]
+    fn speedup_grows_with_diversity() {
+        // §6.1: more diverse samples do more sketch lookups in the baseline,
+        // which MegIS's KSS handles in a single pass.
+        let system = reference(SsdConfig::ssd_c());
+        let speedup = |d: Diversity| {
+            let w = WorkloadSpec::cami(d);
+            let ms = MegisTimingModel::full().presence_breakdown(&system, &w);
+            let a = MetalignTimingModel::a_opt().presence_breakdown(&system, &w);
+            ms.speedup_over(&a)
+        };
+        assert!(speedup(Diversity::High) > speedup(Diversity::Low));
+    }
+
+    #[test]
+    fn small_dram_increases_advantage_over_p_opt() {
+        // Fig. 16: with 32 GB of DRAM, P-Opt chunks its database and MegIS's
+        // bucketing avoids page swaps, so the speedup grows substantially.
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        let speedup_at = |gb: f64| {
+            let system =
+                reference(SsdConfig::ssd_c()).with_dram_capacity(ByteSize::from_gb(gb));
+            let ms = MegisTimingModel::full().presence_breakdown(&system, &w);
+            let p = KrakenTimingModel.presence_breakdown(&system, &w);
+            ms.speedup_over(&p)
+        };
+        assert!(speedup_at(32.0) > 2.0 * speedup_at(1000.0));
+    }
+
+    #[test]
+    fn more_ssds_keep_large_speedup() {
+        // Fig. 15: MegIS keeps a large speedup as SSDs (and thus both
+        // internal and external bandwidth) scale, eventually limited by
+        // host-side sorting.
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        for count in [1usize, 2, 4, 8] {
+            let system = reference(SsdConfig::ssd_c()).with_ssd_count(count);
+            let ms = MegisTimingModel::full().presence_breakdown(&system, &w);
+            let p = KrakenTimingModel.presence_breakdown(&system, &w);
+            assert!(ms.speedup_over(&p) > 3.0, "count {count}");
+        }
+    }
+
+    #[test]
+    fn more_channels_speed_up_isp_steps() {
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        let total_at = |channels: u32| {
+            let system = reference(SsdConfig::ssd_c()).with_ssd_channels(channels);
+            MegisTimingModel::full()
+                .presence_breakdown(&system, &w)
+                .phase("intersection finding")
+                .unwrap()
+        };
+        assert!(total_at(16) < total_at(8));
+        assert!(total_at(8) < total_at(4));
+    }
+
+    #[test]
+    fn abundance_in_storage_index_beats_software_index() {
+        // Fig. 20: MS vs MS-NIdx.
+        for ssd in [SsdConfig::ssd_c(), SsdConfig::ssd_p()] {
+            let system = reference(ssd);
+            let w = WorkloadSpec::cami(Diversity::Medium);
+            let ms = MegisTimingModel::full().abundance_breakdown(&system, &w);
+            let nidx = MegisTimingModel::without_in_storage_index()
+                .abundance_breakdown(&system, &w);
+            assert!(ms.total() < nidx.total());
+        }
+    }
+
+    #[test]
+    fn multi_sample_pipelining_beats_independent_runs() {
+        // Fig. 21: buffering k-mers from several samples amortizes the
+        // database stream.
+        let system = reference(SsdConfig::ssd_c())
+            .with_dram_capacity(ByteSize::from_gb(256.0))
+            .with_sorting_accelerator(SortingAccelerator::default());
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        let single = MegisTimingModel::full().presence_breakdown(&system, &w);
+        let independent = baseline_multi_sample(&single, 16);
+        let pipelined = MegisTimingModel::full().multi_sample_breakdown(&system, &w, 16);
+        assert!(pipelined.total() < independent.total());
+        let sw = software_multi_sample(&system, &w, 16);
+        assert!(pipelined.total() < sw.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let system = reference(SsdConfig::ssd_c());
+        let w = WorkloadSpec::cami(Diversity::Low);
+        MegisTimingModel::full().multi_sample_breakdown(&system, &w, 0);
+    }
+}

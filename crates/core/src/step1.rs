@@ -1,0 +1,190 @@
+//! Step 1 — preparing the input queries on the host (§4.2).
+//!
+//! MegIS extracts k-mers from the sample, partitions them into buckets that
+//! each cover a lexicographic range, sorts each bucket, and (optionally)
+//! excludes k-mers by frequency. Bucketing is what enables the cooperative
+//! pipeline: as soon as bucket *i* is sorted it can be transferred to the SSD
+//! and intersected (Step 2) while bucket *i + 1* is still being sorted —
+//! because the database is also sorted, each bucket only needs the database
+//! range it covers.
+
+use megis_genomics::kmer::Kmer;
+use megis_genomics::read::ReadSet;
+use megis_ssd::timing::ByteSize;
+use megis_tools::kmc::{ExclusionPolicy, KmerCounts};
+
+use crate::config::MegisConfig;
+
+/// One lexicographic k-mer bucket produced by Step 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bucket {
+    /// Sorted, deduplicated k-mers in this bucket's range.
+    kmers: Vec<Kmer>,
+}
+
+impl Bucket {
+    /// The sorted k-mers of the bucket.
+    pub fn kmers(&self) -> &[Kmer] {
+        &self.kmers
+    }
+
+    /// Number of k-mers in the bucket.
+    pub fn len(&self) -> usize {
+        self.kmers.len()
+    }
+
+    /// Returns `true` if the bucket is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kmers.is_empty()
+    }
+
+    /// First (smallest) k-mer of the bucket, if any.
+    pub fn first(&self) -> Option<Kmer> {
+        self.kmers.first().copied()
+    }
+
+    /// Last (largest) k-mer of the bucket, if any.
+    pub fn last(&self) -> Option<Kmer> {
+        self.kmers.last().copied()
+    }
+
+    /// Size of the bucket in the 2-bit transfer encoding.
+    pub fn encoded_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(
+            self.kmers
+                .iter()
+                .map(|k| k.encoded_bytes() as u64)
+                .sum(),
+        )
+    }
+}
+
+/// Output of Step 1.
+#[derive(Debug, Clone, Default)]
+pub struct Step1Output {
+    /// The buckets, in lexicographic order.
+    pub buckets: Vec<Bucket>,
+    /// Number of k-mer occurrences extracted from the sample (before
+    /// deduplication/exclusion).
+    pub extracted_occurrences: u64,
+    /// Number of distinct k-mers that survived exclusion.
+    pub selected_kmers: u64,
+}
+
+impl Step1Output {
+    /// All selected k-mers across buckets, in sorted order.
+    pub fn sorted_kmers(&self) -> Vec<Kmer> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.kmers().iter().copied())
+            .collect()
+    }
+
+    /// Returns `true` if bucket ranges are disjoint and globally sorted.
+    pub fn ranges_are_ordered(&self) -> bool {
+        let non_empty: Vec<&Bucket> = self.buckets.iter().filter(|b| !b.is_empty()).collect();
+        non_empty
+            .windows(2)
+            .all(|w| w[0].last().unwrap() < w[1].first().unwrap())
+    }
+}
+
+/// Runs Step 1 on a sample read set.
+///
+/// Extraction and sorting reuse the same KMC-style counting as the S-Qry
+/// baseline, so MegIS's query k-mer set is identical to the baseline's — the
+/// bucketing only changes *when* each range becomes available, not *what* is
+/// produced.
+pub fn run(reads: &ReadSet, config: &MegisConfig, exclusion: ExclusionPolicy) -> Step1Output {
+    let counts = KmerCounts::count(reads, config.k());
+    let extracted_occurrences = counts.total_occurrences();
+    let selected = counts.apply_exclusion(exclusion);
+    let selected_kmers = selected.len() as u64;
+
+    // Partition the (already sorted) selected k-mers into `bucket_count`
+    // lexicographic ranges with near-equal population — the same effect as the
+    // paper's preliminary-bucket balancing (§4.2.1).
+    let bucket_count = config.bucket_count.max(1);
+    let per_bucket = selected.len().div_ceil(bucket_count).max(1);
+    let mut buckets: Vec<Bucket> = selected
+        .chunks(per_bucket)
+        .map(|c| Bucket { kmers: c.to_vec() })
+        .collect();
+    while buckets.len() < bucket_count {
+        buckets.push(Bucket::default());
+    }
+    Step1Output {
+        buckets,
+        extracted_occurrences,
+        selected_kmers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::sample::{CommunityConfig, Diversity};
+
+    fn sample() -> megis_genomics::sample::Community {
+        CommunityConfig::preset(Diversity::Low)
+            .with_reads(150)
+            .with_database_species(8)
+            .build(3)
+    }
+
+    #[test]
+    fn buckets_cover_all_selected_kmers_in_order() {
+        let c = sample();
+        let cfg = MegisConfig::small();
+        let out = run(c.sample().reads(), &cfg, ExclusionPolicy::default());
+        assert_eq!(out.buckets.len(), cfg.bucket_count);
+        assert!(out.ranges_are_ordered());
+        let all = out.sorted_kmers();
+        assert_eq!(all.len() as u64, out.selected_kmers);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn extraction_counts_occurrences() {
+        let c = sample();
+        let out = run(c.sample().reads(), &MegisConfig::small(), ExclusionPolicy::default());
+        assert!(out.extracted_occurrences >= out.selected_kmers);
+        assert!(out.extracted_occurrences > 0);
+    }
+
+    #[test]
+    fn exclusion_reduces_selected_kmers() {
+        let c = sample();
+        let cfg = MegisConfig::small();
+        let all = run(c.sample().reads(), &cfg, ExclusionPolicy::default());
+        let filtered = run(
+            c.sample().reads(),
+            &cfg,
+            ExclusionPolicy {
+                min_count: 2,
+                max_count: None,
+            },
+        );
+        assert!(filtered.selected_kmers < all.selected_kmers);
+    }
+
+    #[test]
+    fn bucket_sizes_are_balanced() {
+        let c = sample();
+        let cfg = MegisConfig::small();
+        let out = run(c.sample().reads(), &cfg, ExclusionPolicy::default());
+        let sizes: Vec<usize> = out.buckets.iter().map(Bucket::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min_nonzero = sizes.iter().filter(|s| **s > 0).min().copied().unwrap_or(0);
+        assert!(max - min_nonzero <= max, "bucket sizes: {sizes:?}");
+        assert!(max <= out.selected_kmers as usize / (cfg.bucket_count / 2).max(1) + 1);
+    }
+
+    #[test]
+    fn bucket_encoded_bytes_counts_payload() {
+        let c = sample();
+        let out = run(c.sample().reads(), &MegisConfig::small(), ExclusionPolicy::default());
+        let bytes: u64 = out.buckets.iter().map(|b| b.encoded_bytes().as_bytes()).sum();
+        assert!(bytes >= out.selected_kmers * 6);
+    }
+}

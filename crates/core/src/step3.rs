@@ -1,0 +1,134 @@
+//! Step 3 — abundance estimation support (§4.4).
+//!
+//! For applications that need relative abundances, MegIS prepares the data a
+//! read mapper needs: a *unified* reference index over the candidate species
+//! identified in Step 2, generated inside the SSD by sequentially merging the
+//! candidate species' per-species indexes (Fig. 9). The unified index and the
+//! reads are then handed to a mapping accelerator (or the host) and the
+//! per-species read counts become the abundance profile. Lightweight
+//! statistical estimators can instead run directly on Step 2's output.
+
+use std::collections::HashMap;
+
+use megis_genomics::database::{ReferenceIndex, UnifiedReferenceIndex};
+use megis_genomics::profile::{AbundanceProfile, PresenceResult};
+use megis_genomics::read::ReadSet;
+use megis_genomics::reference::ReferenceCollection;
+use megis_genomics::taxonomy::TaxId;
+
+/// Output of Step 3.
+#[derive(Debug, Clone, Default)]
+pub struct Step3Output {
+    /// The unified index generated for the candidate species.
+    pub unified_index: UnifiedReferenceIndex,
+    /// Mapping-based abundance estimate.
+    pub abundance: AbundanceProfile,
+    /// Number of reads that mapped to some candidate species.
+    pub mapped_reads: u64,
+}
+
+/// Builds per-species reference indexes for the given candidates.
+///
+/// Index construction for individual species is a one-time offline task
+/// (§4.4); this helper exists so tests and examples can produce them from a
+/// synthetic reference collection.
+pub fn build_candidate_indexes(
+    references: &ReferenceCollection,
+    candidates: &PresenceResult,
+    seed_k: usize,
+) -> Vec<ReferenceIndex> {
+    references
+        .genomes()
+        .iter()
+        .filter(|g| candidates.contains(g.taxid()))
+        .map(|g| ReferenceIndex::build(g, seed_k))
+        .collect()
+}
+
+/// Generates the unified reference index over the candidate species
+/// (the in-SSD merge of Fig. 9).
+pub fn generate_unified_index(candidate_indexes: &[ReferenceIndex]) -> UnifiedReferenceIndex {
+    UnifiedReferenceIndex::merge(candidate_indexes)
+}
+
+/// Runs Step 3: unified index generation followed by read mapping.
+pub fn run(
+    reads: &ReadSet,
+    candidate_indexes: &[ReferenceIndex],
+    mapping_k: usize,
+) -> Step3Output {
+    let unified_index = generate_unified_index(candidate_indexes);
+    let mut counts: HashMap<TaxId, u64> = HashMap::new();
+    let mut mapped_reads = 0;
+    for read in reads.iter() {
+        if let Some(taxid) = unified_index.map_read(read, mapping_k) {
+            *counts.entry(taxid).or_insert(0) += 1;
+            mapped_reads += 1;
+        }
+    }
+    Step3Output {
+        unified_index,
+        abundance: AbundanceProfile::from_counts(counts),
+        mapped_reads,
+    }
+}
+
+/// Lightweight statistical abundance estimation directly from sketch-match
+/// support counts (the alternative integration path of §4.4 for tools that do
+/// not require read mapping).
+pub fn statistical_abundance(support: &HashMap<TaxId, u32>) -> AbundanceProfile {
+    AbundanceProfile::from_counts(support.iter().map(|(t, c)| (*t, *c as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::metrics::AbundanceError;
+    use megis_genomics::sample::{CommunityConfig, Diversity};
+
+    fn community() -> megis_genomics::sample::Community {
+        CommunityConfig::preset(Diversity::Medium)
+            .with_reads(400)
+            .with_species(4)
+            .with_database_species(16)
+            .build(55)
+    }
+
+    #[test]
+    fn unified_index_covers_all_candidates() {
+        let c = community();
+        let truth = c.truth_presence();
+        let indexes = build_candidate_indexes(c.references(), &truth, 15);
+        assert_eq!(indexes.len(), truth.len());
+        let unified = generate_unified_index(&indexes);
+        assert_eq!(unified.offsets().len(), truth.len());
+    }
+
+    #[test]
+    fn mapping_based_abundance_tracks_truth() {
+        let c = community();
+        let truth = c.truth_presence();
+        let indexes = build_candidate_indexes(c.references(), &truth, 15);
+        let out = run(c.sample().reads(), &indexes, 15);
+        assert!(out.mapped_reads > (c.sample().len() as u64) / 2);
+        let err = AbundanceError::score(&out.abundance, c.truth_profile());
+        assert!(err.l1_norm < 0.6, "L1 error {}", err.l1_norm);
+    }
+
+    #[test]
+    fn statistical_abundance_normalizes_support() {
+        let mut support = HashMap::new();
+        support.insert(TaxId(1), 30u32);
+        support.insert(TaxId(2), 10u32);
+        let profile = statistical_abundance(&support);
+        assert!((profile.abundance(TaxId(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_output() {
+        let c = community();
+        let out = run(c.sample().reads(), &[], 15);
+        assert!(out.abundance.is_empty());
+        assert_eq!(out.mapped_reads, 0);
+    }
+}

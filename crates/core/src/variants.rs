@@ -1,0 +1,100 @@
+//! MegIS design-point variants evaluated in the paper (§6.1).
+//!
+//! The paper compares the full MegIS design (*MS*) against three ablations
+//! that each remove one of its ingredients:
+//!
+//! * **Ext-MS** — the same accelerators placed *outside* the SSD, so the
+//!   database crosses the host interface (shows the value of ISP itself),
+//! * **MS-NOL** — no overlap between host-side Step 1 and in-SSD Step 2
+//!   (shows the value of the bucketing scheme),
+//! * **MS-CC** — the ISP tasks run on the SSD controller's existing embedded
+//!   cores instead of the specialized accelerators (shows the value — and
+//!   bandwidth-scaling behaviour — of the lightweight accelerators),
+//!
+//! plus **MS-NIdx** for abundance estimation (unified index generated in
+//! software instead of inside the SSD, Fig. 20).
+
+/// One MegIS design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MegisVariant {
+    /// Full MegIS: ISP on specialized accelerators, overlapped pipeline.
+    Full,
+    /// MegIS without overlapping Step 1 and Step 2.
+    NoOverlap,
+    /// MegIS with ISP executed on the SSD controller's embedded cores.
+    ControllerCores,
+    /// MegIS's accelerators placed outside the SSD (no ISP).
+    OutsideSsd,
+}
+
+impl MegisVariant {
+    /// All variants, in the order used by Fig. 12.
+    pub const ALL: [MegisVariant; 4] = [
+        MegisVariant::OutsideSsd,
+        MegisVariant::NoOverlap,
+        MegisVariant::ControllerCores,
+        MegisVariant::Full,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MegisVariant::Full => "MS",
+            MegisVariant::NoOverlap => "MS-NOL",
+            MegisVariant::ControllerCores => "MS-CC",
+            MegisVariant::OutsideSsd => "Ext-MS",
+        }
+    }
+
+    /// Returns `true` if this variant processes the database inside the SSD.
+    pub fn uses_isp(self) -> bool {
+        !matches!(self, MegisVariant::OutsideSsd)
+    }
+
+    /// Returns `true` if this variant overlaps Step 1 with Step 2.
+    pub fn overlaps_steps(self) -> bool {
+        !matches!(self, MegisVariant::NoOverlap)
+    }
+
+    /// Returns `true` if the ISP work runs on the controller's embedded cores
+    /// rather than the specialized accelerators.
+    pub fn uses_controller_cores(self) -> bool {
+        matches!(self, MegisVariant::ControllerCores)
+    }
+}
+
+impl std::fmt::Display for MegisVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(MegisVariant::Full.label(), "MS");
+        assert_eq!(MegisVariant::NoOverlap.label(), "MS-NOL");
+        assert_eq!(MegisVariant::ControllerCores.label(), "MS-CC");
+        assert_eq!(MegisVariant::OutsideSsd.label(), "Ext-MS");
+    }
+
+    #[test]
+    fn variant_properties() {
+        assert!(MegisVariant::Full.uses_isp());
+        assert!(!MegisVariant::OutsideSsd.uses_isp());
+        assert!(!MegisVariant::NoOverlap.overlaps_steps());
+        assert!(MegisVariant::ControllerCores.uses_controller_cores());
+        assert!(!MegisVariant::Full.uses_controller_cores());
+    }
+
+    #[test]
+    fn all_variants_listed_once() {
+        let mut labels: Vec<&str> = MegisVariant::ALL.iter().map(|v| v.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for MegIS's core invariants: sorted-stream
+//! intersection, KSS/ternary-tree/flat-sketch lookup equivalence, bucketing
+//! invariance, and FTL placement balance.
+
+use proptest::prelude::*;
+
+use megis::config::MegisConfig;
+use megis::ftl::MegisFtl;
+use megis::kss::KssTables;
+use megis_genomics::database::SortedKmerDatabase;
+use megis_genomics::kmer::Kmer;
+use megis_genomics::reference::ReferenceCollection;
+use megis_genomics::sketch::{SketchConfig, SketchDatabase};
+use megis_ssd::config::SsdConfig;
+use megis_ssd::timing::ByteSize;
+use megis_tools::ternary::TernarySketchTree;
+
+fn kmer_strategy(k: usize) -> impl Strategy<Value = Kmer> {
+    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), k..=k)
+        .prop_map(|ascii| Kmer::from_ascii(&ascii).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn intersection_equals_set_intersection(
+        seed in 0u64..500,
+        queries in proptest::collection::vec(kmer_strategy(21), 0..200),
+    ) {
+        let refs = ReferenceCollection::synthetic(3, 300, seed);
+        let db = SortedKmerDatabase::build(&refs, 21);
+        let mut sorted = queries.clone();
+        sorted.sort();
+        sorted.dedup();
+        let via_stream = db.intersect_sorted(&sorted);
+        let via_lookup: Vec<Kmer> = sorted
+            .iter()
+            .copied()
+            .filter(|q| db.lookup(*q).is_some())
+            .collect();
+        prop_assert_eq!(via_stream, via_lookup);
+    }
+
+    #[test]
+    fn database_partition_preserves_intersections(
+        seed in 0u64..200,
+        parts in 1usize..7,
+        queries in proptest::collection::vec(kmer_strategy(21), 0..100),
+    ) {
+        let refs = ReferenceCollection::synthetic(4, 250, seed);
+        let db = SortedKmerDatabase::build(&refs, 21);
+        let mut sorted = queries;
+        sorted.sort();
+        sorted.dedup();
+        let whole = db.intersect_sorted(&sorted);
+        let mut merged: Vec<Kmer> = db
+            .partition(parts)
+            .iter()
+            .flat_map(|shard| shard.intersect_sorted(&sorted))
+            .collect();
+        merged.sort();
+        merged.dedup();
+        prop_assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn kss_tree_and_flat_lookups_agree(seed in 0u64..200, query in kmer_strategy(31)) {
+        let refs = ReferenceCollection::synthetic(4, 400, seed);
+        let sketches = SketchDatabase::build(&refs, SketchConfig::small());
+        let kss = KssTables::build(&sketches);
+        let tree = TernarySketchTree::build(&sketches);
+        let flat = sketches.lookup_with_prefixes(query);
+        prop_assert_eq!(kss.lookup(query), flat.clone());
+        prop_assert_eq!(tree.lookup_with_prefixes(query), flat);
+    }
+
+    #[test]
+    fn bucket_count_never_changes_step1_output(
+        seed in 0u64..200,
+        buckets_a in 1usize..32,
+        buckets_b in 1usize..32,
+    ) {
+        use megis_genomics::sample::{CommunityConfig, Diversity};
+        use megis_tools::kmc::ExclusionPolicy;
+        let community = CommunityConfig::preset(Diversity::Low)
+            .with_reads(60)
+            .with_database_species(8)
+            .build(seed);
+        let config = MegisConfig::small();
+        let a = megis::step1::run(
+            community.sample().reads(),
+            &config.with_bucket_count(buckets_a),
+            ExclusionPolicy::default(),
+        );
+        let b = megis::step1::run(
+            community.sample().reads(),
+            &config.with_bucket_count(buckets_b),
+            ExclusionPolicy::default(),
+        );
+        prop_assert_eq!(a.sorted_kmers(), b.sorted_kmers());
+        prop_assert!(a.ranges_are_ordered());
+        prop_assert!(b.ranges_are_ordered());
+    }
+
+    #[test]
+    fn ftl_placement_is_always_balanced(size_gb in 1u64..2000) {
+        let mut ftl = MegisFtl::new(SsdConfig::ssd_c().geometry);
+        let placement = ftl
+            .place_database("db", ByteSize::from_gb(size_gb as f64))
+            .unwrap()
+            .clone();
+        prop_assert!(placement.is_balanced());
+        prop_assert!(placement.total_blocks() > 0);
+        // Metadata stays tiny regardless of database size.
+        prop_assert!(ftl.total_metadata_bytes().as_bytes() < 4_000_000);
+    }
+}

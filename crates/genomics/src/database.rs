@@ -1,0 +1,554 @@
+//! k-mer databases and reference indexes.
+//!
+//! The streaming-access (S-Qry) analysis flow that MegIS builds on keeps its
+//! database as a *lexicographically sorted* list of k-mers, each associated
+//! with the taxa whose reference genomes contain it (§2.1.1, §4.2). MegIS
+//! stores this database sequentially across SSD channels and streams through
+//! it once per sample, intersecting it with the (also sorted) query k-mers.
+//!
+//! For read-mapping-based abundance estimation, each species additionally has
+//! a [`ReferenceIndex`] mapping k-mers to their genome locations; MegIS's Step
+//! 3 merges the indexes of the candidate species into a
+//! [`UnifiedReferenceIndex`] inside the SSD (Fig. 9 of the paper).
+
+use std::collections::BTreeMap;
+
+use crate::kmer::{Kmer, KmerExtractor};
+use crate::reference::{ReferenceCollection, ReferenceGenome};
+use crate::taxonomy::TaxId;
+
+/// One entry of a sorted k-mer database: a k-mer and the taxa it occurs in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmerEntry {
+    /// The indexed k-mer.
+    pub kmer: Kmer,
+    /// Sorted, deduplicated taxa whose genomes contain the k-mer.
+    pub taxa: Vec<TaxId>,
+}
+
+/// A lexicographically sorted k-mer database (the S-Qry / MegIS database).
+///
+/// # Example
+///
+/// ```
+/// use megis_genomics::reference::ReferenceCollection;
+/// use megis_genomics::database::SortedKmerDatabase;
+///
+/// let refs = ReferenceCollection::synthetic(4, 400, 1);
+/// let db = SortedKmerDatabase::build(&refs, 21);
+/// assert!(db.len() > 0);
+/// assert!(db.is_sorted());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SortedKmerDatabase {
+    k: usize,
+    entries: Vec<KmerEntry>,
+}
+
+impl SortedKmerDatabase {
+    /// Builds the database from a reference collection using k-mers of length
+    /// `k` (canonical form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds [`crate::kmer::MAX_K`].
+    pub fn build(references: &ReferenceCollection, k: usize) -> SortedKmerDatabase {
+        let mut map: BTreeMap<Kmer, Vec<TaxId>> = BTreeMap::new();
+        for genome in references.genomes() {
+            for kmer in KmerExtractor::new(genome.sequence(), k) {
+                let canon = kmer.canonical();
+                let taxa = map.entry(canon).or_default();
+                if !taxa.contains(&genome.taxid()) {
+                    taxa.push(genome.taxid());
+                }
+            }
+        }
+        let entries = map
+            .into_iter()
+            .map(|(kmer, mut taxa)| {
+                taxa.sort();
+                KmerEntry { kmer, taxa }
+            })
+            .collect();
+        SortedKmerDatabase { k, entries }
+    }
+
+    /// Creates a database from pre-sorted entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are not strictly sorted by k-mer.
+    pub fn from_sorted_entries(k: usize, entries: Vec<KmerEntry>) -> SortedKmerDatabase {
+        for w in entries.windows(2) {
+            assert!(w[0].kmer < w[1].kmer, "entries must be strictly sorted");
+        }
+        SortedKmerDatabase { k, entries }
+    }
+
+    /// The k-mer length of this database.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct k-mers indexed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the database has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[KmerEntry] {
+        &self.entries
+    }
+
+    /// Iterates over the sorted k-mers.
+    pub fn kmers(&self) -> impl Iterator<Item = Kmer> + '_ {
+        self.entries.iter().map(|e| e.kmer)
+    }
+
+    /// Returns `true` if the entries are strictly sorted (always true for
+    /// databases built by this crate; exposed for tests and debug checks).
+    pub fn is_sorted(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].kmer < w[1].kmer)
+    }
+
+    /// Looks up a single k-mer (binary search).
+    pub fn lookup(&self, kmer: Kmer) -> Option<&KmerEntry> {
+        self.entries
+            .binary_search_by(|e| e.kmer.cmp(&kmer))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// All taxa indexed by the database, sorted and deduplicated.
+    pub fn taxa(&self) -> Vec<TaxId> {
+        let mut taxa: Vec<TaxId> = self
+            .entries
+            .iter()
+            .flat_map(|e| e.taxa.iter().copied())
+            .collect();
+        taxa.sort();
+        taxa.dedup();
+        taxa
+    }
+
+    /// Streaming intersection with a sorted list of query k-mers.
+    ///
+    /// Both inputs are consumed as sorted streams with a two-pointer merge —
+    /// exactly the access pattern MegIS's per-channel Intersect units perform
+    /// on data arriving from the flash channels and the internal DRAM
+    /// (§4.3.1). Returns the intersecting k-mers in sorted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `sorted_queries` is not sorted.
+    pub fn intersect_sorted(&self, sorted_queries: &[Kmer]) -> Vec<Kmer> {
+        debug_assert!(sorted_queries.windows(2).all(|w| w[0] <= w[1]));
+        let mut out = Vec::new();
+        let mut qi = 0;
+        let mut di = 0;
+        while qi < sorted_queries.len() && di < self.entries.len() {
+            let q = sorted_queries[qi];
+            let d = self.entries[di].kmer;
+            match q.cmp(&d) {
+                std::cmp::Ordering::Equal => {
+                    if out.last() != Some(&q) {
+                        out.push(q);
+                    }
+                    qi += 1;
+                }
+                std::cmp::Ordering::Less => qi += 1,
+                std::cmp::Ordering::Greater => di += 1,
+            }
+        }
+        out
+    }
+
+    /// Size of the database in its 2-bit on-storage encoding, in bytes
+    /// (k-mer payloads plus one 4-byte taxid per association). Used by the
+    /// SSD placement and timing models.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| (e.kmer.encoded_bytes() + 4 * e.taxa.len()) as u64)
+            .sum()
+    }
+
+    /// Splits the database into `parts` contiguous sorted shards of
+    /// near-equal entry counts (used to distribute a database disjointly
+    /// across multiple SSDs, §6.1 "Effect of the Number of SSDs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn partition(&self, parts: usize) -> Vec<SortedKmerDatabase> {
+        assert!(parts > 0, "parts must be positive");
+        let per = self.entries.len().div_ceil(parts.max(1)).max(1);
+        let mut shards = Vec::with_capacity(parts);
+        for chunk in self.entries.chunks(per) {
+            shards.push(SortedKmerDatabase {
+                k: self.k,
+                entries: chunk.to_vec(),
+            });
+        }
+        while shards.len() < parts {
+            shards.push(SortedKmerDatabase {
+                k: self.k,
+                entries: Vec::new(),
+            });
+        }
+        shards
+    }
+}
+
+/// A per-species read-mapping index: k-mer → sorted genome locations.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceIndex {
+    taxid: TaxId,
+    k: usize,
+    genome_len: usize,
+    entries: Vec<(Kmer, Vec<u32>)>,
+}
+
+impl ReferenceIndex {
+    /// Builds the index of one reference genome with seeds of length `k`.
+    pub fn build(genome: &ReferenceGenome, k: usize) -> ReferenceIndex {
+        let mut map: BTreeMap<Kmer, Vec<u32>> = BTreeMap::new();
+        for (pos, kmer) in KmerExtractor::new(genome.sequence(), k).enumerate() {
+            map.entry(kmer.canonical()).or_default().push(pos as u32);
+        }
+        ReferenceIndex {
+            taxid: genome.taxid(),
+            k,
+            genome_len: genome.len(),
+            entries: map.into_iter().collect(),
+        }
+    }
+
+    /// The species this index belongs to.
+    pub fn taxid(&self) -> TaxId {
+        self.taxid
+    }
+
+    /// The seed length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Length of the indexed genome in bases.
+    pub fn genome_len(&self) -> usize {
+        self.genome_len
+    }
+
+    /// Number of distinct seeds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the index has no seeds.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorted `(kmer, locations)` entries.
+    pub fn entries(&self) -> &[(Kmer, Vec<u32>)] {
+        &self.entries
+    }
+
+    /// Locations of a seed, if indexed.
+    pub fn locations(&self, kmer: Kmer) -> Option<&[u32]> {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(&kmer))
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// On-storage size in bytes (2-bit k-mers + 4-byte locations).
+    pub fn encoded_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(k, locs)| (k.encoded_bytes() + 4 * locs.len()) as u64)
+            .sum()
+    }
+}
+
+/// A location in the unified index: which species and what offset-adjusted
+/// position the seed occurs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnifiedLocation {
+    /// The species the location belongs to.
+    pub taxid: TaxId,
+    /// Position within the concatenated (offset-adjusted) reference space.
+    pub position: u64,
+}
+
+/// A unified read-mapping index over several candidate species.
+///
+/// MegIS generates this inside the SSD by sequentially merging the per-species
+/// indexes of the candidate species found in Step 2, adjusting locations by
+/// per-species offsets (Fig. 9). A single unified index avoids searching each
+/// per-species index separately during read mapping.
+#[derive(Debug, Clone, Default)]
+pub struct UnifiedReferenceIndex {
+    k: usize,
+    entries: Vec<(Kmer, Vec<UnifiedLocation>)>,
+    offsets: Vec<(TaxId, u64)>,
+}
+
+impl UnifiedReferenceIndex {
+    /// Merges per-species indexes into a unified index.
+    ///
+    /// The merge walks all input indexes as sorted streams — the same
+    /// sequential access pattern MegIS's in-SSD index generation uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indexes do not all share the same `k`.
+    pub fn merge(indexes: &[ReferenceIndex]) -> UnifiedReferenceIndex {
+        if indexes.is_empty() {
+            return UnifiedReferenceIndex::default();
+        }
+        let k = indexes[0].k();
+        assert!(
+            indexes.iter().all(|i| i.k() == k),
+            "all indexes must share the same seed length"
+        );
+        // Assign each species an offset in the concatenated reference space.
+        let mut offsets = Vec::with_capacity(indexes.len());
+        let mut running = 0u64;
+        for idx in indexes {
+            offsets.push((idx.taxid(), running));
+            running += idx.genome_len() as u64;
+        }
+
+        let mut merged: BTreeMap<Kmer, Vec<UnifiedLocation>> = BTreeMap::new();
+        for (idx, (taxid, offset)) in indexes.iter().zip(&offsets) {
+            for (kmer, locs) in idx.entries() {
+                let out = merged.entry(*kmer).or_default();
+                for &pos in locs {
+                    out.push(UnifiedLocation {
+                        taxid: *taxid,
+                        position: *offset + pos as u64,
+                    });
+                }
+            }
+        }
+        UnifiedReferenceIndex {
+            k,
+            entries: merged.into_iter().collect(),
+            offsets,
+        }
+    }
+
+    /// The seed length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct seeds in the unified index.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Per-species offsets in the concatenated reference space.
+    pub fn offsets(&self) -> &[(TaxId, u64)] {
+        &self.offsets
+    }
+
+    /// Locations of a seed across all merged species.
+    pub fn locations(&self, kmer: Kmer) -> Option<&[UnifiedLocation]> {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(&kmer))
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Maps one read against the unified index and returns the species with
+    /// the most seed hits (requiring at least two supporting seeds), or `None`
+    /// if the read does not map.
+    ///
+    /// This is the seed-voting mapper used for abundance estimation by both
+    /// the S-Qry baseline and MegIS; sharing it keeps their abundance outputs
+    /// identical, as the paper requires.
+    pub fn map_read(&self, read: &crate::read::Read, seed_k: usize) -> Option<TaxId> {
+        let mut votes: BTreeMap<TaxId, u32> = BTreeMap::new();
+        for kmer in read.kmers(seed_k) {
+            if let Some(locations) = self.locations(kmer.canonical()) {
+                for loc in locations {
+                    *votes.entry(loc.taxid).or_insert(0) += 1;
+                }
+            }
+        }
+        votes
+            .into_iter()
+            .max_by_key(|(t, c)| (*c, std::cmp::Reverse(*t)))
+            .filter(|(_, c)| *c >= 2)
+            .map(|(t, _)| t)
+    }
+
+    /// Maps a concatenated-space position back to its species.
+    pub fn taxon_of_position(&self, position: u64) -> Option<TaxId> {
+        let mut result = None;
+        for (taxid, offset) in &self.offsets {
+            if position >= *offset {
+                result = Some(*taxid);
+            } else {
+                break;
+            }
+        }
+        result
+    }
+
+    /// On-storage size in bytes.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(k, locs)| (k.encoded_bytes() + 12 * locs.len()) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs() -> ReferenceCollection {
+        ReferenceCollection::synthetic(6, 600, 42)
+    }
+
+    #[test]
+    fn database_is_sorted_and_nonempty() {
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        assert!(db.len() > 100);
+        assert!(db.is_sorted());
+        assert_eq!(db.k(), 21);
+    }
+
+    #[test]
+    fn lookup_finds_genome_kmers() {
+        let r = refs();
+        let db = SortedKmerDatabase::build(&r, 21);
+        let genome = &r.genomes()[0];
+        let kmer = KmerExtractor::new(genome.sequence(), 21)
+            .next()
+            .unwrap()
+            .canonical();
+        let entry = db.lookup(kmer).expect("genome k-mer must be indexed");
+        assert!(entry.taxa.contains(&genome.taxid()));
+    }
+
+    #[test]
+    fn shared_kmers_carry_multiple_taxa() {
+        let r = refs();
+        let db = SortedKmerDatabase::build(&r, 21);
+        let multi = db.entries().iter().filter(|e| e.taxa.len() > 1).count();
+        assert!(multi > 0, "same-genus species should share k-mers");
+    }
+
+    #[test]
+    fn intersect_sorted_matches_lookup() {
+        let r = refs();
+        let db = SortedKmerDatabase::build(&r, 21);
+        let genome = &r.genomes()[2];
+        let mut queries: Vec<Kmer> = KmerExtractor::new(genome.sequence(), 21)
+            .map(|k| k.canonical())
+            .collect();
+        queries.sort();
+        queries.dedup();
+        let inter = db.intersect_sorted(&queries);
+        assert_eq!(inter.len(), queries.iter().filter(|q| db.lookup(**q).is_some()).count());
+        assert!(inter.windows(2).all(|w| w[0] < w[1]));
+        // All of this genome's k-mers are in the database, so the intersection
+        // must cover every query.
+        assert_eq!(inter.len(), queries.len());
+    }
+
+    #[test]
+    fn intersect_with_foreign_kmers_is_partial() {
+        let r = refs();
+        let db = SortedKmerDatabase::build(&r, 21);
+        let foreign = ReferenceCollection::synthetic(2, 600, 999);
+        let mut queries: Vec<Kmer> = KmerExtractor::new(foreign.genomes()[0].sequence(), 21)
+            .map(|k| k.canonical())
+            .collect();
+        queries.sort();
+        queries.dedup();
+        let inter = db.intersect_sorted(&queries);
+        assert!(inter.len() < queries.len());
+    }
+
+    #[test]
+    fn partition_preserves_entries_and_order() {
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        let shards = db.partition(4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(SortedKmerDatabase::len).sum();
+        assert_eq!(total, db.len());
+        for s in &shards {
+            assert!(s.is_sorted());
+        }
+    }
+
+    #[test]
+    fn encoded_bytes_scales_with_entries() {
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        assert!(db.encoded_bytes() as usize >= db.len() * 6);
+    }
+
+    #[test]
+    fn reference_index_locations_roundtrip() {
+        let r = refs();
+        let genome = &r.genomes()[0];
+        let idx = ReferenceIndex::build(genome, 15);
+        let kmer = KmerExtractor::new(genome.sequence(), 15)
+            .nth(10)
+            .unwrap()
+            .canonical();
+        let locs = idx.locations(kmer).expect("indexed seed");
+        assert!(!locs.is_empty());
+        assert_eq!(idx.taxid(), genome.taxid());
+    }
+
+    #[test]
+    fn unified_index_merges_and_offsets() {
+        let r = refs();
+        let indexes: Vec<ReferenceIndex> = r
+            .genomes()
+            .iter()
+            .take(3)
+            .map(|g| ReferenceIndex::build(g, 15))
+            .collect();
+        let unified = UnifiedReferenceIndex::merge(&indexes);
+        assert_eq!(unified.offsets().len(), 3);
+        assert_eq!(unified.offsets()[0].1, 0);
+        assert_eq!(unified.offsets()[1].1, 600);
+        assert_eq!(unified.offsets()[2].1, 1200);
+        // Every seed of every merged index must be resolvable.
+        for idx in &indexes {
+            for (kmer, _) in idx.entries().iter().take(20) {
+                let locs = unified.locations(*kmer).expect("merged seed present");
+                assert!(locs.iter().any(|l| l.taxid == idx.taxid()));
+            }
+        }
+        // Position→taxon mapping respects offsets.
+        assert_eq!(unified.taxon_of_position(0), Some(indexes[0].taxid()));
+        assert_eq!(unified.taxon_of_position(650), Some(indexes[1].taxid()));
+        assert_eq!(unified.taxon_of_position(1800), Some(indexes[2].taxid()));
+    }
+
+    #[test]
+    fn unified_index_of_empty_input_is_empty() {
+        let unified = UnifiedReferenceIndex::merge(&[]);
+        assert!(unified.is_empty());
+        assert!(unified.offsets().is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Analysis result types: presence/absence and relative abundance.
+//!
+//! Metagenomic analysis commonly involves two key tasks (§2.1 of the paper):
+//! determining which species are present in a sample ([`PresenceResult`]) and
+//! estimating their relative abundances ([`AbundanceProfile`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::taxonomy::TaxId;
+
+/// The set of taxa identified as present in a sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PresenceResult {
+    present: Vec<TaxId>,
+}
+
+impl PresenceResult {
+    /// Creates a presence result from an iterator of taxids (deduplicated and
+    /// sorted).
+    pub fn from_taxa<I: IntoIterator<Item = TaxId>>(taxa: I) -> PresenceResult {
+        let mut present: Vec<TaxId> = taxa.into_iter().collect();
+        present.sort();
+        present.dedup();
+        PresenceResult { present }
+    }
+
+    /// The sorted list of present taxa.
+    pub fn taxa(&self) -> &[TaxId] {
+        &self.present
+    }
+
+    /// Number of taxa reported present.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Returns `true` if no taxa were reported present.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Returns `true` if `taxid` was reported present.
+    pub fn contains(&self, taxid: TaxId) -> bool {
+        self.present.binary_search(&taxid).is_ok()
+    }
+}
+
+impl fmt::Display for PresenceResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} taxa present", self.present.len())
+    }
+}
+
+impl FromIterator<TaxId> for PresenceResult {
+    fn from_iter<I: IntoIterator<Item = TaxId>>(iter: I) -> PresenceResult {
+        PresenceResult::from_taxa(iter)
+    }
+}
+
+/// Relative abundances of taxa in a sample (fractions summing to 1 over the
+/// reported taxa, unless the profile is empty).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AbundanceProfile {
+    abundances: BTreeMap<TaxId, f64>,
+}
+
+impl AbundanceProfile {
+    /// Creates an empty profile.
+    pub fn new() -> AbundanceProfile {
+        AbundanceProfile::default()
+    }
+
+    /// Creates a profile from raw per-taxon counts, normalizing to fractions.
+    pub fn from_counts<I: IntoIterator<Item = (TaxId, u64)>>(counts: I) -> AbundanceProfile {
+        let mut abundances = BTreeMap::new();
+        let mut total = 0u64;
+        for (taxid, count) in counts {
+            if count > 0 {
+                *abundances.entry(taxid).or_insert(0.0) += count as f64;
+                total += count;
+            }
+        }
+        if total > 0 {
+            for v in abundances.values_mut() {
+                *v /= total as f64;
+            }
+        }
+        AbundanceProfile { abundances }
+    }
+
+    /// Creates a profile directly from fractions, renormalizing so they sum
+    /// to 1 (entries with non-positive weight are dropped).
+    pub fn from_fractions<I: IntoIterator<Item = (TaxId, f64)>>(fractions: I) -> AbundanceProfile {
+        let mut abundances = BTreeMap::new();
+        let mut total = 0.0;
+        for (taxid, frac) in fractions {
+            if frac > 0.0 {
+                *abundances.entry(taxid).or_insert(0.0) += frac;
+                total += frac;
+            }
+        }
+        if total > 0.0 {
+            for v in abundances.values_mut() {
+                *v /= total;
+            }
+        }
+        AbundanceProfile { abundances }
+    }
+
+    /// Relative abundance of `taxid` (0.0 if absent).
+    pub fn abundance(&self, taxid: TaxId) -> f64 {
+        self.abundances.get(&taxid).copied().unwrap_or(0.0)
+    }
+
+    /// Number of taxa with non-zero abundance.
+    pub fn len(&self) -> usize {
+        self.abundances.len()
+    }
+
+    /// Returns `true` if the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.abundances.is_empty()
+    }
+
+    /// Iterates over `(taxid, abundance)` pairs in taxid order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaxId, f64)> + '_ {
+        self.abundances.iter().map(|(t, a)| (*t, *a))
+    }
+
+    /// The taxa present in this profile.
+    pub fn taxa(&self) -> Vec<TaxId> {
+        self.abundances.keys().copied().collect()
+    }
+
+    /// Converts the profile to a presence/absence result (taxa above
+    /// `threshold` relative abundance).
+    pub fn to_presence(&self, threshold: f64) -> PresenceResult {
+        PresenceResult::from_taxa(
+            self.abundances
+                .iter()
+                .filter(|(_, &a)| a > threshold)
+                .map(|(t, _)| *t),
+        )
+    }
+
+    /// Sum of all abundances (1.0 for non-empty normalized profiles).
+    pub fn total(&self) -> f64 {
+        self.abundances.values().sum()
+    }
+}
+
+impl fmt::Display for AbundanceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "abundance profile ({} taxa):", self.abundances.len())?;
+        for (taxid, a) in &self.abundances {
+            writeln!(f, "  {taxid}\t{:.4}", a)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presence_result_dedup_and_lookup() {
+        let p = PresenceResult::from_taxa([TaxId(3), TaxId(1), TaxId(3), TaxId(2)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.taxa(), &[TaxId(1), TaxId(2), TaxId(3)]);
+        assert!(p.contains(TaxId(2)));
+        assert!(!p.contains(TaxId(9)));
+    }
+
+    #[test]
+    fn abundance_from_counts_normalizes() {
+        let p = AbundanceProfile::from_counts([(TaxId(1), 30), (TaxId(2), 70)]);
+        assert!((p.abundance(TaxId(1)) - 0.3).abs() < 1e-12);
+        assert!((p.abundance(TaxId(2)) - 0.7).abs() < 1e-12);
+        assert!((p.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abundance_drops_zero_counts() {
+        let p = AbundanceProfile::from_counts([(TaxId(1), 0), (TaxId(2), 5)]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.abundance(TaxId(1)), 0.0);
+    }
+
+    #[test]
+    fn abundance_from_fractions_renormalizes() {
+        let p = AbundanceProfile::from_fractions([(TaxId(1), 2.0), (TaxId(2), 2.0)]);
+        assert!((p.abundance(TaxId(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_presence_applies_threshold() {
+        let p = AbundanceProfile::from_counts([(TaxId(1), 990), (TaxId(2), 10)]);
+        let pres = p.to_presence(0.05);
+        assert!(pres.contains(TaxId(1)));
+        assert!(!pres.contains(TaxId(2)));
+    }
+
+    #[test]
+    fn empty_profile_behaviour() {
+        let p = AbundanceProfile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.total(), 0.0);
+        assert!(p.to_presence(0.0).is_empty());
+    }
+}

@@ -1,0 +1,422 @@
+//! Synthetic metagenomic communities and read simulation.
+//!
+//! The paper evaluates on three read sets from the CAMI benchmark with low,
+//! medium, and high genetic diversity (CAMI-L/M/H, 100 million reads each).
+//! Real CAMI data is not redistributable here, so this module generates
+//! synthetic communities whose key property — genetic diversity, i.e. the
+//! number of species present and the evenness of their abundances — mirrors
+//! those presets. The presets also carry the *paper-scale* parameters (100 M
+//! reads, extracted-k-mer set sizes) consumed by the performance model, while
+//! `build` produces small functional samples used by tests and examples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dna::Base;
+use crate::profile::{AbundanceProfile, PresenceResult};
+use crate::read::{Read, ReadSet};
+use crate::reference::ReferenceCollection;
+use crate::taxonomy::TaxId;
+
+/// Genetic diversity preset mirroring the CAMI query sets used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Diversity {
+    /// CAMI-L: few species, skewed abundances.
+    Low,
+    /// CAMI-M: moderate species count and evenness.
+    Medium,
+    /// CAMI-H: many species, more even abundances.
+    High,
+}
+
+impl Diversity {
+    /// All presets, in paper order.
+    pub const ALL: [Diversity; 3] = [Diversity::Low, Diversity::Medium, Diversity::High];
+
+    /// Short label used in figures ("CAMI-L" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            Diversity::Low => "CAMI-L",
+            Diversity::Medium => "CAMI-M",
+            Diversity::High => "CAMI-H",
+        }
+    }
+
+    /// Fraction of database species present in a sample of this diversity —
+    /// drives how many sketch lookups the baseline taxID retrieval performs
+    /// (the paper observes MegIS's speedup grows with diversity, §6.1).
+    pub fn species_fraction(self) -> f64 {
+        match self {
+            Diversity::Low => 0.04,
+            Diversity::Medium => 0.12,
+            Diversity::High => 0.30,
+        }
+    }
+
+    /// Skew of the abundance distribution (higher = more dominated by a few
+    /// species).
+    pub fn abundance_skew(self) -> f64 {
+        match self {
+            Diversity::Low => 1.6,
+            Diversity::Medium => 1.2,
+            Diversity::High => 0.8,
+        }
+    }
+}
+
+impl std::fmt::Display for Diversity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Paper-scale workload parameters attached to each diversity preset,
+/// consumed by the performance model (not by the functional pipeline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperScale {
+    /// Number of reads in the query sample (100 million in the paper).
+    pub reads: u64,
+    /// Read length in bases (short reads).
+    pub read_len: u64,
+    /// Size of all k-mers extracted from the sample before exclusion
+    /// (the paper reports ~60 GB on average for CAMI read sets, §4.2).
+    pub extracted_kmer_bytes: u64,
+    /// Size of the k-mer set that proceeds to Step 2 after exclusion
+    /// (~6.5 GB on average in the paper, §4.2.3).
+    pub selected_kmer_bytes: u64,
+}
+
+impl PaperScale {
+    /// Paper-scale parameters for a diversity preset.
+    pub fn for_diversity(d: Diversity) -> PaperScale {
+        // All CAMI read sets have 100M reads; extracted k-mer volume grows
+        // mildly with diversity (more distinct sequence content).
+        let (extracted, selected) = match d {
+            Diversity::Low => (55.0, 5.5),
+            Diversity::Medium => (60.0, 6.5),
+            Diversity::High => (68.0, 8.0),
+        };
+        PaperScale {
+            reads: 100_000_000,
+            read_len: 150,
+            extracted_kmer_bytes: (extracted * 1e9) as u64,
+            selected_kmer_bytes: (selected * 1e9) as u64,
+        }
+    }
+}
+
+/// Configuration for building a synthetic community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityConfig {
+    diversity: Diversity,
+    species: usize,
+    reads: usize,
+    read_len: usize,
+    genome_len: usize,
+    error_rate: f64,
+    database_species: usize,
+}
+
+impl CommunityConfig {
+    /// Creates a configuration for the given diversity preset with small,
+    /// test-friendly defaults.
+    pub fn preset(diversity: Diversity) -> CommunityConfig {
+        let database_species = 32;
+        let species = ((database_species as f64) * diversity.species_fraction())
+            .round()
+            .max(2.0) as usize;
+        CommunityConfig {
+            diversity,
+            species,
+            reads: 500,
+            read_len: 150,
+            genome_len: 2_000,
+            error_rate: 0.002,
+            database_species,
+        }
+    }
+
+    /// Sets the number of species present in the sample.
+    pub fn with_species(mut self, species: usize) -> Self {
+        self.species = species.max(1);
+        self
+    }
+
+    /// Sets the number of reads to simulate.
+    pub fn with_reads(mut self, reads: usize) -> Self {
+        self.reads = reads;
+        self
+    }
+
+    /// Sets the read length.
+    pub fn with_read_len(mut self, read_len: usize) -> Self {
+        self.read_len = read_len;
+        self
+    }
+
+    /// Sets the per-species genome length.
+    pub fn with_genome_len(mut self, genome_len: usize) -> Self {
+        self.genome_len = genome_len;
+        self
+    }
+
+    /// Sets the per-base sequencing error rate.
+    pub fn with_error_rate(mut self, error_rate: f64) -> Self {
+        self.error_rate = error_rate.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Sets how many species the *reference database* contains (a superset of
+    /// the species present in the sample).
+    pub fn with_database_species(mut self, database_species: usize) -> Self {
+        self.database_species = database_species;
+        self
+    }
+
+    /// The diversity preset of this configuration.
+    pub fn diversity(&self) -> Diversity {
+        self.diversity
+    }
+
+    /// Builds the community (reference collection + ground-truth profile +
+    /// simulated reads) deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> Community {
+        let db_species = self.database_species.max(self.species);
+        let references = ReferenceCollection::synthetic(db_species, self.genome_len, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5a4d);
+
+        // Choose which species are present and their abundances (power-law
+        // with the preset's skew).
+        let all_species = references.species();
+        let mut chosen = all_species.clone();
+        partial_shuffle(&mut chosen, &mut rng);
+        chosen.truncate(self.species.min(all_species.len()));
+        chosen.sort();
+
+        let skew = self.diversity.abundance_skew();
+        let weights: Vec<f64> = (0..chosen.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(skew))
+            .collect();
+        let truth_profile = AbundanceProfile::from_fractions(
+            chosen.iter().copied().zip(weights.iter().copied()),
+        );
+
+        // Simulate reads proportional to abundance.
+        let mut reads = ReadSet::new();
+        for i in 0..self.reads {
+            let taxid = sample_taxon(&chosen, &weights, &mut rng);
+            let genome = references
+                .genome_for(taxid)
+                .expect("chosen species has a genome");
+            let max_start = genome.len().saturating_sub(self.read_len);
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
+            let len = self.read_len.min(genome.len());
+            let mut seq = genome.sequence().subsequence(start, len);
+            // Apply sequencing errors.
+            if self.error_rate > 0.0 {
+                let mut mutated = crate::dna::PackedSequence::with_capacity(seq.len());
+                for b in seq.iter() {
+                    if rng.gen_bool(self.error_rate) {
+                        mutated.push(Base::from_code(rng.gen_range(0..4)));
+                    } else {
+                        mutated.push(b);
+                    }
+                }
+                seq = mutated;
+            }
+            // Half of the reads come from the reverse strand.
+            if rng.gen_bool(0.5) {
+                seq = seq.reverse_complement();
+            }
+            reads.push(Read::with_truth(format!("read_{i}"), seq, taxid));
+        }
+
+        Community {
+            diversity: self.diversity,
+            references,
+            truth_profile,
+            sample: Sample { reads },
+        }
+    }
+}
+
+/// A complete synthetic community: references, ground truth, and the sample.
+#[derive(Debug, Clone)]
+pub struct Community {
+    diversity: Diversity,
+    references: ReferenceCollection,
+    truth_profile: AbundanceProfile,
+    sample: Sample,
+}
+
+impl Community {
+    /// The diversity preset this community was built from.
+    pub fn diversity(&self) -> Diversity {
+        self.diversity
+    }
+
+    /// The reference collection databases are built from.
+    pub fn references(&self) -> &ReferenceCollection {
+        &self.references
+    }
+
+    /// Ground-truth abundance profile.
+    pub fn truth_profile(&self) -> &AbundanceProfile {
+        &self.truth_profile
+    }
+
+    /// Ground-truth presence/absence.
+    pub fn truth_presence(&self) -> PresenceResult {
+        self.truth_profile.to_presence(0.0)
+    }
+
+    /// The simulated sample.
+    pub fn sample(&self) -> &Sample {
+        &self.sample
+    }
+}
+
+/// A sequenced metagenomic sample (read set).
+#[derive(Debug, Clone, Default)]
+pub struct Sample {
+    reads: ReadSet,
+}
+
+impl Sample {
+    /// Creates a sample from a read set.
+    pub fn from_reads(reads: ReadSet) -> Sample {
+        Sample { reads }
+    }
+
+    /// The reads in the sample.
+    pub fn reads(&self) -> &ReadSet {
+        &self.reads
+    }
+
+    /// Number of reads.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Returns `true` if the sample has no reads.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Ground-truth abundance profile computed from the reads' recorded
+    /// origins (available only for synthetic samples).
+    pub fn truth_from_reads(&self) -> AbundanceProfile {
+        let mut counts: std::collections::BTreeMap<TaxId, u64> = std::collections::BTreeMap::new();
+        for r in self.reads.iter() {
+            if let Some(t) = r.truth() {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        AbundanceProfile::from_counts(counts)
+    }
+}
+
+fn partial_shuffle(items: &mut [TaxId], rng: &mut StdRng) {
+    let n = items.len();
+    for i in 0..n {
+        let j = rng.gen_range(i..n);
+        items.swap(i, j);
+    }
+}
+
+fn sample_taxon(taxa: &[TaxId], weights: &[f64], rng: &mut StdRng) -> TaxId {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (t, w) in taxa.iter().zip(weights) {
+        if x < *w {
+            return *t;
+        }
+        x -= w;
+    }
+    *taxa.last().expect("non-empty taxa")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_increasing_diversity() {
+        assert!(Diversity::Low.species_fraction() < Diversity::Medium.species_fraction());
+        assert!(Diversity::Medium.species_fraction() < Diversity::High.species_fraction());
+    }
+
+    #[test]
+    fn paper_scale_parameters_match_paper() {
+        let p = PaperScale::for_diversity(Diversity::Medium);
+        assert_eq!(p.reads, 100_000_000);
+        assert_eq!(p.extracted_kmer_bytes, 60_000_000_000);
+        assert_eq!(p.selected_kmer_bytes, 6_500_000_000);
+    }
+
+    #[test]
+    fn community_build_is_deterministic() {
+        let cfg = CommunityConfig::preset(Diversity::Low).with_reads(50);
+        let a = cfg.build(9);
+        let b = cfg.build(9);
+        assert_eq!(a.sample().reads().reads()[0].sequence(),
+                   b.sample().reads().reads()[0].sequence());
+    }
+
+    #[test]
+    fn community_reads_have_truth_in_profile() {
+        let cfg = CommunityConfig::preset(Diversity::Medium)
+            .with_reads(100)
+            .with_species(5);
+        let c = cfg.build(11);
+        assert_eq!(c.sample().len(), 100);
+        let truth_taxa = c.truth_presence();
+        for r in c.sample().reads().iter() {
+            let t = r.truth().expect("synthetic reads carry truth");
+            assert!(truth_taxa.contains(t), "read origin {t} missing from truth");
+        }
+    }
+
+    #[test]
+    fn database_is_superset_of_sample_species() {
+        let cfg = CommunityConfig::preset(Diversity::High)
+            .with_reads(20)
+            .with_database_species(24);
+        let c = cfg.build(3);
+        assert!(c.references().species().len() >= c.truth_presence().len());
+    }
+
+    #[test]
+    fn read_length_and_error_rate_respected() {
+        let cfg = CommunityConfig::preset(Diversity::Low)
+            .with_reads(30)
+            .with_read_len(80)
+            .with_error_rate(0.0);
+        let c = cfg.build(5);
+        for r in c.sample().reads().iter() {
+            assert_eq!(r.len(), 80);
+        }
+    }
+
+    #[test]
+    fn higher_diversity_yields_more_species() {
+        let low = CommunityConfig::preset(Diversity::Low).build(17);
+        let high = CommunityConfig::preset(Diversity::High).build(17);
+        assert!(high.truth_presence().len() > low.truth_presence().len());
+    }
+
+    #[test]
+    fn truth_from_reads_approximates_profile() {
+        let cfg = CommunityConfig::preset(Diversity::Low)
+            .with_reads(2_000)
+            .with_species(3);
+        let c = cfg.build(23);
+        let empirical = c.sample().truth_from_reads();
+        let err = crate::metrics::AbundanceError::score(&empirical, c.truth_profile());
+        assert!(err.l1_norm < 0.15, "empirical profile too far from truth: {}", err.l1_norm);
+    }
+}

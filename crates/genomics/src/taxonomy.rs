@@ -1,0 +1,344 @@
+//! Taxonomic identifiers and a taxonomy tree with LCA queries.
+//!
+//! Metagenomic databases associate each indexed k-mer with a *taxID* — an
+//! integer attributed to a cluster of related species (§2.1.1 of the paper).
+//! Kraken2-style classification assigns a read to the lowest common ancestor
+//! (LCA) of the taxa its k-mers hit, so the tree must support LCA queries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A taxonomic identifier.
+///
+/// `TaxId(0)` is reserved for the root of the taxonomy ("unclassified" /
+/// cellular organisms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaxId(pub u32);
+
+impl TaxId {
+    /// The root taxon.
+    pub const ROOT: TaxId = TaxId(0);
+}
+
+impl fmt::Display for TaxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "taxid:{}", self.0)
+    }
+}
+
+impl From<u32> for TaxId {
+    fn from(v: u32) -> TaxId {
+        TaxId(v)
+    }
+}
+
+/// Taxonomic rank of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rank {
+    /// Root of the tree.
+    Root,
+    /// Domain (e.g. Bacteria).
+    Domain,
+    /// Phylum.
+    Phylum,
+    /// Genus.
+    Genus,
+    /// Species — the rank at which presence/absence and abundance are
+    /// reported in the paper's evaluation.
+    Species,
+    /// Strain / below-species.
+    Strain,
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rank::Root => "root",
+            Rank::Domain => "domain",
+            Rank::Phylum => "phylum",
+            Rank::Genus => "genus",
+            Rank::Species => "species",
+            Rank::Strain => "strain",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: TaxId,
+    rank: Rank,
+    name: String,
+    depth: u32,
+}
+
+/// An in-memory taxonomy tree.
+///
+/// # Example
+///
+/// ```
+/// use megis_genomics::taxonomy::{Taxonomy, TaxId, Rank};
+/// let mut tax = Taxonomy::new();
+/// let genus = tax.add_node(TaxId(10), TaxId::ROOT, Rank::Genus, "Examplea");
+/// let a = tax.add_node(TaxId(11), genus, Rank::Species, "Examplea alpha");
+/// let b = tax.add_node(TaxId(12), genus, Rank::Species, "Examplea beta");
+/// assert_eq!(tax.lca(a, b), genus);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    nodes: HashMap<TaxId, Node>,
+}
+
+impl Taxonomy {
+    /// Creates a taxonomy containing only the root node.
+    pub fn new() -> Taxonomy {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            TaxId::ROOT,
+            Node {
+                parent: TaxId::ROOT,
+                rank: Rank::Root,
+                name: "root".to_string(),
+                depth: 0,
+            },
+        );
+        Taxonomy { nodes }
+    }
+
+    /// Adds a node and returns its id (for chaining convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is unknown, if `id` already exists, or if
+    /// `id == TaxId::ROOT`.
+    pub fn add_node(&mut self, id: TaxId, parent: TaxId, rank: Rank, name: &str) -> TaxId {
+        assert_ne!(id, TaxId::ROOT, "cannot re-add the root");
+        assert!(!self.nodes.contains_key(&id), "duplicate taxid {id}");
+        let parent_depth = self
+            .nodes
+            .get(&parent)
+            .unwrap_or_else(|| panic!("unknown parent {parent}"))
+            .depth;
+        self.nodes.insert(
+            id,
+            Node {
+                parent,
+                rank,
+                name: name.to_string(),
+                depth: parent_depth + 1,
+            },
+        );
+        id
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the taxonomy contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Returns `true` if the taxonomy contains `id`.
+    pub fn contains(&self, id: TaxId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Parent of `id`, or `None` for the root or unknown ids.
+    pub fn parent(&self, id: TaxId) -> Option<TaxId> {
+        if id == TaxId::ROOT {
+            return None;
+        }
+        self.nodes.get(&id).map(|n| n.parent)
+    }
+
+    /// Rank of `id`, if known.
+    pub fn rank(&self, id: TaxId) -> Option<Rank> {
+        self.nodes.get(&id).map(|n| n.rank)
+    }
+
+    /// Name of `id`, if known.
+    pub fn name(&self, id: TaxId) -> Option<&str> {
+        self.nodes.get(&id).map(|n| n.name.as_str())
+    }
+
+    /// Path from `id` up to (and including) the root.
+    pub fn lineage(&self, id: TaxId) -> Vec<TaxId> {
+        let mut path = Vec::new();
+        let mut cur = id;
+        loop {
+            path.push(cur);
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// Lowest common ancestor of `a` and `b`.
+    ///
+    /// Unknown taxids are treated as the root (most conservative assignment),
+    /// matching how classifiers fall back when a k-mer maps to a taxon that is
+    /// absent from the loaded taxonomy.
+    pub fn lca(&self, a: TaxId, b: TaxId) -> TaxId {
+        if !self.contains(a) || !self.contains(b) {
+            return TaxId::ROOT;
+        }
+        let (mut a, mut b) = (a, b);
+        let mut da = self.nodes[&a].depth;
+        let mut db = self.nodes[&b].depth;
+        while da > db {
+            a = self.nodes[&a].parent;
+            da -= 1;
+        }
+        while db > da {
+            b = self.nodes[&b].parent;
+            db -= 1;
+        }
+        while a != b {
+            a = self.nodes[&a].parent;
+            b = self.nodes[&b].parent;
+        }
+        a
+    }
+
+    /// LCA of an iterator of taxids; returns `None` for an empty iterator.
+    pub fn lca_of<I: IntoIterator<Item = TaxId>>(&self, ids: I) -> Option<TaxId> {
+        let mut iter = ids.into_iter();
+        let first = iter.next()?;
+        Some(iter.fold(first, |acc, id| self.lca(acc, id)))
+    }
+
+    /// Ancestor of `id` at the given `rank`, if any (walking towards the root).
+    pub fn ancestor_at_rank(&self, id: TaxId, rank: Rank) -> Option<TaxId> {
+        let mut cur = id;
+        loop {
+            if self.rank(cur)? == rank {
+                return Some(cur);
+            }
+            cur = self.parent(cur)?;
+        }
+    }
+
+    /// All taxids at a given rank.
+    pub fn ids_at_rank(&self, rank: Rank) -> Vec<TaxId> {
+        let mut ids: Vec<TaxId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.rank == rank)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Builds a simple balanced taxonomy with `genera` genus nodes, each with
+    /// `species_per_genus` species children. Species taxids are
+    /// `1000 * (genus_index + 1) + species_index + 1`.
+    ///
+    /// This is the synthetic stand-in for the NCBI taxonomy used by the
+    /// paper's database generation.
+    pub fn synthetic(genera: usize, species_per_genus: usize) -> Taxonomy {
+        let mut tax = Taxonomy::new();
+        let domain = tax.add_node(TaxId(1), TaxId::ROOT, Rank::Domain, "Bacteria (synthetic)");
+        for g in 0..genera {
+            let genus_id = TaxId(100 + g as u32);
+            tax.add_node(genus_id, domain, Rank::Genus, &format!("Genus{g}"));
+            for s in 0..species_per_genus {
+                let species_id = TaxId(1000 * (g as u32 + 1) + s as u32 + 1);
+                tax.add_node(
+                    species_id,
+                    genus_id,
+                    Rank::Species,
+                    &format!("Genus{g} species{s}"),
+                );
+            }
+        }
+        tax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.add_node(TaxId(1), TaxId::ROOT, Rank::Domain, "Bacteria");
+        t.add_node(TaxId(10), TaxId(1), Rank::Genus, "GenusA");
+        t.add_node(TaxId(11), TaxId(10), Rank::Species, "A1");
+        t.add_node(TaxId(12), TaxId(10), Rank::Species, "A2");
+        t.add_node(TaxId(20), TaxId(1), Rank::Genus, "GenusB");
+        t.add_node(TaxId(21), TaxId(20), Rank::Species, "B1");
+        t
+    }
+
+    #[test]
+    fn lca_within_genus() {
+        let t = small_tree();
+        assert_eq!(t.lca(TaxId(11), TaxId(12)), TaxId(10));
+    }
+
+    #[test]
+    fn lca_across_genera() {
+        let t = small_tree();
+        assert_eq!(t.lca(TaxId(11), TaxId(21)), TaxId(1));
+    }
+
+    #[test]
+    fn lca_with_self_and_ancestor() {
+        let t = small_tree();
+        assert_eq!(t.lca(TaxId(11), TaxId(11)), TaxId(11));
+        assert_eq!(t.lca(TaxId(11), TaxId(10)), TaxId(10));
+    }
+
+    #[test]
+    fn lca_unknown_id_falls_back_to_root() {
+        let t = small_tree();
+        assert_eq!(t.lca(TaxId(11), TaxId(999)), TaxId::ROOT);
+    }
+
+    #[test]
+    fn lca_of_iterator() {
+        let t = small_tree();
+        assert_eq!(t.lca_of([TaxId(11), TaxId(12), TaxId(21)]), Some(TaxId(1)));
+        assert_eq!(t.lca_of(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn lineage_reaches_root() {
+        let t = small_tree();
+        let l = t.lineage(TaxId(11));
+        assert_eq!(l, vec![TaxId(11), TaxId(10), TaxId(1), TaxId::ROOT]);
+    }
+
+    #[test]
+    fn ancestor_at_rank() {
+        let t = small_tree();
+        assert_eq!(t.ancestor_at_rank(TaxId(11), Rank::Genus), Some(TaxId(10)));
+        assert_eq!(t.ancestor_at_rank(TaxId(11), Rank::Domain), Some(TaxId(1)));
+        assert_eq!(t.ancestor_at_rank(TaxId(1), Rank::Species), None);
+    }
+
+    #[test]
+    fn synthetic_taxonomy_shape() {
+        let t = Taxonomy::synthetic(4, 5);
+        assert_eq!(t.ids_at_rank(Rank::Genus).len(), 4);
+        assert_eq!(t.ids_at_rank(Rank::Species).len(), 20);
+        for s in t.ids_at_rank(Rank::Species) {
+            assert_eq!(t.rank(s), Some(Rank::Species));
+            let genus = t.parent(s).unwrap();
+            assert_eq!(t.rank(genus), Some(Rank::Genus));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate taxid")]
+    fn duplicate_taxid_panics() {
+        let mut t = small_tree();
+        t.add_node(TaxId(11), TaxId(10), Rank::Species, "dup");
+    }
+}

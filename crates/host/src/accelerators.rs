@@ -1,0 +1,144 @@
+//! Throughput models of the hardware accelerators the paper integrates with
+//! or compares against.
+//!
+//! * [`PimKmerMatcher`] — a Sieve-style processing-in-memory k-mer matching
+//!   accelerator, used as the hardware-accelerated baseline of Fig. 19 (it
+//!   removes the k-mer-matching compute bottleneck of the R-Qry baseline but
+//!   still pays the full database-load I/O).
+//! * [`SortingAccelerator`] — a TopSort/Bonsai-class FPGA merge-sort
+//!   accelerator MegIS can optionally use for Step 1 sorting (multi-sample
+//!   use case, §4.7 / Fig. 21).
+//! * [`MappingAccelerator`] — a GenCache-class read-mapping accelerator used
+//!   for abundance estimation by both Metalign and MegIS (§5).
+//!
+//! All three are modeled with the throughputs the paper takes from the
+//! respective original publications.
+
+use megis_ssd::timing::SimDuration;
+
+/// A Sieve-style PIM k-mer matching accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimKmerMatcher {
+    /// Sustained k-mer match throughput (k-mer lookups/s).
+    pub matches_per_sec: f64,
+    /// Accelerator (DRAM-based PIM) power in watts while matching.
+    pub active_power_w: f64,
+}
+
+impl Default for PimKmerMatcher {
+    fn default() -> Self {
+        PimKmerMatcher {
+            // Calibrated so that, per §3.2, a Sieve-accelerated Kraken2 run is
+            // compute-wise ~25× faster than the software classification,
+            // making No-I/O ≈ 26× faster than SSD-C for the 0.3–0.6 TB DBs.
+            matches_per_sec: 450e6,
+            // DRAM-based in-situ matching activates many banks concurrently;
+            // tens of watts across the PIM-enabled memory.
+            active_power_w: 60.0,
+        }
+    }
+}
+
+impl PimKmerMatcher {
+    /// Time to match `kmers` query k-mers against the in-memory database.
+    pub fn matching_time(&self, kmers: u64) -> SimDuration {
+        SimDuration::from_secs(kmers as f64 / self.matches_per_sec)
+    }
+}
+
+/// A TopSort-class FPGA/HBM sorting accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SortingAccelerator {
+    /// Sustained sort throughput in keys/s (two-phase merge sort on HBM).
+    pub keys_per_sec: f64,
+    /// Accelerator power in watts.
+    pub active_power_w: f64,
+    /// PCIe transfer bandwidth to/from the accelerator in bytes/s.
+    pub transfer_bandwidth: f64,
+}
+
+impl Default for SortingAccelerator {
+    fn default() -> Self {
+        SortingAccelerator {
+            keys_per_sec: 1.0e9,
+            active_power_w: 60.0,
+            transfer_bandwidth: 12e9,
+        }
+    }
+}
+
+impl SortingAccelerator {
+    /// Time to sort `keys` fixed-width keys of `key_bytes` bytes each,
+    /// including moving the data to and from the accelerator.
+    pub fn sort_time(&self, keys: u64, key_bytes: u64) -> SimDuration {
+        let sort = SimDuration::from_secs(keys as f64 / self.keys_per_sec);
+        let transfer =
+            SimDuration::from_secs(2.0 * (keys * key_bytes) as f64 / self.transfer_bandwidth);
+        sort + transfer
+    }
+}
+
+/// A GenCache-class in-cache read-mapping accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingAccelerator {
+    /// Sustained mapping throughput in reads/s.
+    pub reads_per_sec: f64,
+    /// Accelerator power in watts.
+    pub active_power_w: f64,
+}
+
+impl Default for MappingAccelerator {
+    fn default() -> Self {
+        MappingAccelerator {
+            reads_per_sec: 2.0e6,
+            active_power_w: 40.0,
+        }
+    }
+}
+
+impl MappingAccelerator {
+    /// Time to map `reads` reads against a prepared unified index.
+    pub fn mapping_time(&self, reads: u64) -> SimDuration {
+        SimDuration::from_secs(reads as f64 / self.reads_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::HostCpu;
+
+    #[test]
+    fn pim_is_much_faster_than_software_classification() {
+        let cpu = HostCpu::default();
+        let pim = PimKmerMatcher::default();
+        let lookups = 11_600_000_000;
+        let sw = cpu.hash_classify_time(lookups);
+        let hw = pim.matching_time(lookups);
+        let speedup = sw / hw;
+        assert!(speedup > 8.0 && speedup < 30.0, "got {speedup}");
+    }
+
+    #[test]
+    fn sorting_accelerator_beats_host_sort() {
+        let cpu = HostCpu::default();
+        let acc = SortingAccelerator::default();
+        let kmers = 4_000_000_000;
+        assert!(acc.sort_time(kmers, 15) < cpu.sort_time(kmers));
+    }
+
+    #[test]
+    fn sort_time_includes_transfers() {
+        let acc = SortingAccelerator::default();
+        let with_big_keys = acc.sort_time(1_000_000_000, 64);
+        let with_small_keys = acc.sort_time(1_000_000_000, 8);
+        assert!(with_big_keys > with_small_keys);
+    }
+
+    #[test]
+    fn mapping_accelerator_time_scales_with_reads() {
+        let acc = MappingAccelerator::default();
+        let t = acc.mapping_time(100_000_000);
+        assert!((t.as_secs() - 50.0).abs() < 1.0);
+    }
+}

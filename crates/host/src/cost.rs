@@ -1,0 +1,80 @@
+//! Hardware cost model for the cost-efficiency analysis (Fig. 18).
+//!
+//! The paper prices the performance-optimized system's 1 TB of DRAM at about
+//! 7,080 USD (8 × 128 GB LRDIMMs) and its SSD-P at about 875 USD, versus
+//! roughly 312 USD (8 × 8 GB DIMMs) and 346 USD for the cost-optimized
+//! system's DRAM and SSD-C (§6.1, footnote 13).
+
+use megis_ssd::config::{InterfaceKind, SsdConfig};
+use megis_ssd::timing::ByteSize;
+
+use crate::system::SystemConfig;
+
+/// Price of one SSD in USD.
+pub fn ssd_price_usd(ssd: &SsdConfig) -> f64 {
+    match ssd.interface {
+        InterfaceKind::Sata3 => 346.0,
+        InterfaceKind::PcieGen4x4 => 875.0,
+    }
+}
+
+/// Price of a host DRAM configuration in USD.
+///
+/// Large configurations require high-density LRDIMMs (≈55 USD/ GB above
+/// 128 GB total); small configurations use commodity DIMMs (≈4.9 USD/GB).
+pub fn dram_price_usd(capacity: ByteSize) -> f64 {
+    let gb = capacity.as_gb();
+    if gb > 128.0 {
+        gb * 7.08
+    } else {
+        gb * 4.875
+    }
+}
+
+/// Storage + memory price of a system in USD (the components the paper's
+/// cost-efficiency argument varies; CPU cost is common to both systems).
+pub fn system_price_usd(system: &SystemConfig) -> f64 {
+    let ssds: f64 = system.ssds.iter().map(ssd_price_usd).sum();
+    ssds + dram_price_usd(system.memory.capacity)
+}
+
+/// Cost-efficiency of a run: work per dollar-second, i.e. `1 / (price ×
+/// runtime)` scaled by 1e6 for readability. Higher is better.
+pub fn cost_efficiency(price_usd: f64, runtime_secs: f64) -> f64 {
+    assert!(price_usd > 0.0 && runtime_secs > 0.0);
+    1e6 / (price_usd * runtime_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_price_points_are_reproduced() {
+        assert!((dram_price_usd(ByteSize::from_tb(1.0)) - 7080.0).abs() < 1.0);
+        assert!((dram_price_usd(ByteSize::from_gb(64.0)) - 312.0).abs() < 1.0);
+        assert_eq!(ssd_price_usd(&SsdConfig::ssd_p()), 875.0);
+        assert_eq!(ssd_price_usd(&SsdConfig::ssd_c()), 346.0);
+    }
+
+    #[test]
+    fn performance_system_costs_several_times_more() {
+        let perf = system_price_usd(&SystemConfig::performance_optimized());
+        let cost = system_price_usd(&SystemConfig::cost_optimized());
+        assert!(perf / cost > 8.0, "perf {perf} vs cost {cost}");
+    }
+
+    #[test]
+    fn cost_efficiency_prefers_cheaper_and_faster() {
+        let a = cost_efficiency(1000.0, 100.0);
+        let b = cost_efficiency(500.0, 100.0);
+        let c = cost_efficiency(1000.0, 50.0);
+        assert!(b > a && c > a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_price_panics() {
+        cost_efficiency(0.0, 10.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Host CPU throughput and power model.
+//!
+//! Aggregate (all-core, best thread count) throughputs for the software
+//! kernels of the metagenomic analysis pipeline, calibrated so that the
+//! baseline behaviours reported in §3 and §6.1 of the paper hold on the
+//! reference host (AMD EPYC 7742, 128 physical cores):
+//!
+//! * Kraken2-class classification of a 100 M-read sample costs a few hundred
+//!   seconds of compute on top of its database-load I/O,
+//! * Metalign-class analysis spends tens of seconds extracting and sorting
+//!   k-mers, and (for CAMI-L) a few hundred seconds retrieving taxIDs through
+//!   pointer-chasing sketch-tree lookups,
+//! * the overall A-Opt runtimes land near the ~1,700 s (SSD-C) and ~400 s
+//!   (SSD-P) totals shown in Fig. 13.
+
+use megis_ssd::timing::SimDuration;
+
+/// Aggregate host throughputs for the pipeline's software kernels.
+///
+/// All rates are aggregate across the whole socket at the best-performing
+/// thread count, in "operations per second" of the unit named in each field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostThroughput {
+    /// k-mer extraction (KMC-style counting/partitioning), in input bases/s.
+    pub kmer_extraction_bases_per_sec: f64,
+    /// In-memory k-mer sorting (including exclusion filtering), in k-mers/s.
+    pub sort_kmers_per_sec: f64,
+    /// Hash-table k-mer lookups + read classification (Kraken2-style), in
+    /// k-mer lookups/s.
+    pub hash_classify_kmers_per_sec: f64,
+    /// Ternary-search-tree sketch lookups (CMash-style, pointer chasing), in
+    /// query k-mers/s.
+    pub tree_lookup_kmers_per_sec: f64,
+    /// Sorted-stream merge/intersection compute (branchy compares), in
+    /// element comparisons/s.
+    pub stream_merge_elems_per_sec: f64,
+    /// Format conversion (ASCII → 2-bit), in bases/s.
+    pub format_convert_bases_per_sec: f64,
+    /// Read mapping in software (seed-and-extend), in reads/s.
+    pub software_mapping_reads_per_sec: f64,
+}
+
+impl Default for HostThroughput {
+    fn default() -> Self {
+        HostThroughput {
+            kmer_extraction_bases_per_sec: 1.0e9,
+            sort_kmers_per_sec: 150e6,
+            hash_classify_kmers_per_sec: 50e6,
+            tree_lookup_kmers_per_sec: 0.7e6,
+            stream_merge_elems_per_sec: 500e6,
+            format_convert_bases_per_sec: 5e9,
+            software_mapping_reads_per_sec: 0.5e6,
+        }
+    }
+}
+
+/// The host CPU: core count, kernel throughputs, and power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCpu {
+    /// Number of physical cores (128 on the reference EPYC 7742 node).
+    pub cores: u32,
+    /// Aggregate kernel throughputs at the best thread count.
+    pub throughput: HostThroughput,
+    /// Package power when running the analysis (W).
+    pub active_power_w: f64,
+    /// Package power when idle (W).
+    pub idle_power_w: f64,
+}
+
+impl Default for HostCpu {
+    fn default() -> Self {
+        HostCpu {
+            cores: 128,
+            throughput: HostThroughput::default(),
+            active_power_w: 280.0,
+            idle_power_w: 80.0,
+        }
+    }
+}
+
+impl HostCpu {
+    /// A smaller, cost-optimized host CPU (used together with the
+    /// cost-optimized system of Fig. 18). Throughputs scale with core count.
+    pub fn cost_optimized() -> HostCpu {
+        HostCpu::default().scaled_to_cores(32)
+    }
+
+    /// Returns a copy scaled to a different core count, scaling all aggregate
+    /// throughputs and active power proportionally (idle power scales less).
+    pub fn scaled_to_cores(&self, cores: u32) -> HostCpu {
+        assert!(cores > 0, "core count must be positive");
+        let f = cores as f64 / self.cores as f64;
+        HostCpu {
+            cores,
+            throughput: HostThroughput {
+                kmer_extraction_bases_per_sec: self.throughput.kmer_extraction_bases_per_sec * f,
+                sort_kmers_per_sec: self.throughput.sort_kmers_per_sec * f,
+                hash_classify_kmers_per_sec: self.throughput.hash_classify_kmers_per_sec * f,
+                tree_lookup_kmers_per_sec: self.throughput.tree_lookup_kmers_per_sec * f,
+                stream_merge_elems_per_sec: self.throughput.stream_merge_elems_per_sec * f,
+                format_convert_bases_per_sec: self.throughput.format_convert_bases_per_sec * f,
+                software_mapping_reads_per_sec: self.throughput.software_mapping_reads_per_sec * f,
+            },
+            active_power_w: self.active_power_w * f.max(0.3),
+            idle_power_w: self.idle_power_w * f.sqrt(),
+        }
+    }
+
+    /// Time to extract k-mers from `bases` input bases.
+    pub fn kmer_extraction_time(&self, bases: u64) -> SimDuration {
+        SimDuration::from_secs(bases as f64 / self.throughput.kmer_extraction_bases_per_sec)
+    }
+
+    /// Time to sort (and exclusion-filter) `kmers` k-mers. An `n log n`
+    /// correction relative to a 1-billion-element baseline keeps large sorts
+    /// slightly super-linear.
+    pub fn sort_time(&self, kmers: u64) -> SimDuration {
+        if kmers == 0 {
+            return SimDuration::ZERO;
+        }
+        let n = kmers as f64;
+        let log_correction = (n.log2() / 30.0).max(0.5);
+        SimDuration::from_secs(n * log_correction / self.throughput.sort_kmers_per_sec)
+    }
+
+    /// Time to classify `kmer_lookups` hash-table lookups (Kraken2-style).
+    pub fn hash_classify_time(&self, kmer_lookups: u64) -> SimDuration {
+        SimDuration::from_secs(kmer_lookups as f64 / self.throughput.hash_classify_kmers_per_sec)
+    }
+
+    /// Time to look up `queries` k-mers in a ternary-search-tree sketch
+    /// database (CMash-style pointer chasing).
+    pub fn tree_lookup_time(&self, queries: u64) -> SimDuration {
+        SimDuration::from_secs(queries as f64 / self.throughput.tree_lookup_kmers_per_sec)
+    }
+
+    /// Compute time for a sorted-stream merge over `elements` total elements.
+    pub fn stream_merge_time(&self, elements: u64) -> SimDuration {
+        SimDuration::from_secs(elements as f64 / self.throughput.stream_merge_elems_per_sec)
+    }
+
+    /// Time to convert `bases` bases from ASCII to the 2-bit encoding.
+    pub fn format_convert_time(&self, bases: u64) -> SimDuration {
+        SimDuration::from_secs(bases as f64 / self.throughput.format_convert_bases_per_sec)
+    }
+
+    /// Time to map `reads` reads in software (no accelerator).
+    pub fn software_mapping_time(&self, reads: u64) -> SimDuration {
+        SimDuration::from_secs(reads as f64 / self.throughput.software_mapping_reads_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_reference_host() {
+        let cpu = HostCpu::default();
+        assert_eq!(cpu.cores, 128);
+        // 100M reads × 150 bases ≈ 15 Gbases → ~15 s of extraction.
+        let t = cpu.kmer_extraction_time(15_000_000_000);
+        assert!(t.as_secs() > 8.0 && t.as_secs() < 30.0, "got {}", t);
+    }
+
+    #[test]
+    fn sort_time_is_superlinear() {
+        let cpu = HostCpu::default();
+        let small = cpu.sort_time(1_000_000);
+        let large = cpu.sort_time(100_000_000);
+        assert!(large.as_secs() > 100.0 * small.as_secs());
+    }
+
+    #[test]
+    fn kraken_class_compute_is_hundreds_of_seconds() {
+        let cpu = HostCpu::default();
+        // 100M reads × ~116 k-mers/read (k = 35) ≈ 11.6 G lookups.
+        let t = cpu.hash_classify_time(11_600_000_000);
+        assert!(t.as_secs() > 150.0 && t.as_secs() < 350.0, "got {}", t);
+    }
+
+    #[test]
+    fn tree_lookups_dominate_streaming_merges() {
+        let cpu = HostCpu::default();
+        let n = 400_000_000;
+        assert!(cpu.tree_lookup_time(n).as_secs() > 20.0 * cpu.stream_merge_time(n).as_secs());
+    }
+
+    #[test]
+    fn scaling_preserves_per_core_rates() {
+        let full = HostCpu::default();
+        let half = full.scaled_to_cores(64);
+        assert_eq!(half.cores, 64);
+        let ratio = half.throughput.sort_kmers_per_sec / full.throughput.sort_kmers_per_sec;
+        assert!((ratio - 0.5).abs() < 1e-9);
+        assert!(half.active_power_w < full.active_power_w);
+    }
+
+    #[test]
+    fn zero_work_takes_zero_time() {
+        let cpu = HostCpu::default();
+        assert_eq!(cpu.sort_time(0), SimDuration::ZERO);
+        assert_eq!(cpu.kmer_extraction_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cores_panics() {
+        HostCpu::default().scaled_to_cores(0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Host-system and accelerator substrate models for the MegIS reproduction.
+//!
+//! The MegIS paper measures its software steps and baselines on a real
+//! high-end server (AMD EPYC 7742, 128 cores, 1 TB DDR4) and feeds those
+//! measurements into its simulator. This crate provides the equivalent
+//! calibrated models:
+//!
+//! * [`cpu`] — host CPU throughput for the metagenomics kernels that run on
+//!   the host (k-mer extraction, sorting, hash-table classification,
+//!   sketch-tree lookups, streaming merges) plus host power,
+//! * [`memory`] — host DRAM capacity/bandwidth/power and the page-swap
+//!   penalty model used when the working set exceeds DRAM,
+//! * [`accelerators`] — throughput models for the hardware baselines the
+//!   paper integrates: a Sieve-style processing-in-memory k-mer matcher, a
+//!   TopSort-style sorting accelerator, and a GenCache-style read mapper,
+//! * [`system`] — full-system configurations (host + one or more SSDs),
+//!   including the paper's performance-optimized and cost-optimized systems,
+//! * [`cost`] — the hardware cost model behind the cost-efficiency analysis
+//!   (Fig. 18).
+
+pub mod accelerators;
+pub mod cost;
+pub mod cpu;
+pub mod memory;
+pub mod system;
+
+pub use accelerators::{MappingAccelerator, PimKmerMatcher, SortingAccelerator};
+pub use cpu::{HostCpu, HostThroughput};
+pub use memory::HostMemory;
+pub use system::SystemConfig;

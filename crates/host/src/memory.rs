@@ -1,0 +1,120 @@
+//! Host DRAM model: capacity, bandwidth, power, and the chunking/page-swap
+//! behaviour used when the analysis working set exceeds DRAM (Fig. 16).
+
+use megis_ssd::timing::{ByteSize, SimDuration};
+
+/// Host main memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostMemory {
+    /// Installed DRAM capacity.
+    pub capacity: ByteSize,
+    /// Sustained bandwidth in bytes/s (8-channel DDR4-3200 ≈ 200 GB/s).
+    pub bandwidth: f64,
+    /// Power per installed gigabyte (W/GB); DDR4 LRDIMMs draw roughly
+    /// 0.4 W per 8 GB plus controller overheads.
+    pub power_w_per_gb: f64,
+}
+
+impl Default for HostMemory {
+    /// The reference host's 1 TB DDR4 configuration.
+    fn default() -> Self {
+        HostMemory {
+            capacity: ByteSize::from_tb(1.0),
+            bandwidth: 200e9,
+            power_w_per_gb: 0.08,
+        }
+    }
+}
+
+impl HostMemory {
+    /// Creates a memory configuration with a different capacity (bandwidth is
+    /// assumed unchanged — the paper varies only capacity in Fig. 16).
+    pub fn with_capacity(capacity: ByteSize) -> HostMemory {
+        HostMemory {
+            capacity,
+            ..HostMemory::default()
+        }
+    }
+
+    /// Total DRAM power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.capacity.as_gb() * self.power_w_per_gb
+    }
+
+    /// Time to stream `size` bytes through memory.
+    pub fn stream_time(&self, size: ByteSize) -> SimDuration {
+        size.time_at(self.bandwidth)
+    }
+
+    /// Returns `true` if a working set of `size` bytes fits in memory
+    /// (leaving a fixed 10% headroom for the OS and the application).
+    pub fn fits(&self, size: ByteSize) -> bool {
+        (size.as_bytes() as f64) <= self.capacity.as_bytes() as f64 * 0.9
+    }
+
+    /// Number of chunks a `working_set` must be split into so that each chunk
+    /// fits in memory (1 if it already fits). This drives the chunked
+    /// database processing used for the R-Qry baseline with small DRAM
+    /// (Fig. 16): every chunk must be loaded from storage and all queries
+    /// re-scanned against it.
+    pub fn chunks_needed(&self, working_set: ByteSize) -> u64 {
+        if working_set == ByteSize::ZERO {
+            return 1;
+        }
+        let usable = (self.capacity.as_bytes() as f64 * 0.9) as u64;
+        if usable == 0 {
+            return u64::MAX;
+        }
+        working_set.as_bytes().div_ceil(usable).max(1)
+    }
+
+    /// Bytes that overflow memory and would be swapped to storage when a
+    /// working set does not fit and the application does *not* chunk its
+    /// accesses (the page-swap case MegIS's bucketing avoids, §4.2.1).
+    pub fn overflow(&self, working_set: ByteSize) -> ByteSize {
+        let usable = ByteSize::from_bytes((self.capacity.as_bytes() as f64 * 0.9) as u64);
+        working_set.saturating_sub(usable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_one_terabyte() {
+        let m = HostMemory::default();
+        assert_eq!(m.capacity.as_gb(), 1000.0);
+        assert!(m.power_w() > 50.0 && m.power_w() < 150.0);
+    }
+
+    #[test]
+    fn fits_leaves_headroom() {
+        let m = HostMemory::with_capacity(ByteSize::from_gb(64.0));
+        assert!(m.fits(ByteSize::from_gb(57.0)));
+        assert!(!m.fits(ByteSize::from_gb(60.0)));
+    }
+
+    #[test]
+    fn chunks_needed_scales_with_working_set() {
+        let m = HostMemory::with_capacity(ByteSize::from_gb(64.0));
+        assert_eq!(m.chunks_needed(ByteSize::from_gb(10.0)), 1);
+        assert_eq!(m.chunks_needed(ByteSize::from_gb(293.0)), 6);
+        let m_small = HostMemory::with_capacity(ByteSize::from_gb(32.0));
+        assert!(m_small.chunks_needed(ByteSize::from_gb(293.0)) > 10);
+    }
+
+    #[test]
+    fn overflow_is_zero_when_fitting() {
+        let m = HostMemory::with_capacity(ByteSize::from_gb(128.0));
+        assert_eq!(m.overflow(ByteSize::from_gb(60.0)), ByteSize::ZERO);
+        assert!(m.overflow(ByteSize::from_gb(200.0)).as_gb() > 80.0);
+    }
+
+    #[test]
+    fn stream_time_uses_bandwidth() {
+        let m = HostMemory::default();
+        let t = m.stream_time(ByteSize::from_gb(200.0));
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+    }
+}

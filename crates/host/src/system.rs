@@ -1,0 +1,205 @@
+//! Full-system configurations: host CPU + host DRAM + one or more SSDs.
+//!
+//! The paper evaluates two system classes (Fig. 18): a *performance-optimized*
+//! system (1 TB DRAM + SSD-P) and a *cost-optimized* system (64 GB DRAM +
+//! SSD-C), plus sweeps over DRAM capacity (Fig. 16), SSD count (Fig. 15) and
+//! SSD internal bandwidth (Fig. 17). [`SystemConfig`] captures one point of
+//! that space.
+
+use megis_ssd::config::SsdConfig;
+use megis_ssd::timing::ByteSize;
+
+use crate::accelerators::{MappingAccelerator, PimKmerMatcher, SortingAccelerator};
+use crate::cpu::HostCpu;
+use crate::memory::HostMemory;
+
+/// One full-system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Host CPU model.
+    pub cpu: HostCpu,
+    /// Host DRAM model.
+    pub memory: HostMemory,
+    /// The SSDs attached to the system (identical devices; databases can be
+    /// partitioned across them).
+    pub ssds: Vec<SsdConfig>,
+    /// Optional sorting accelerator available to Step 1 (used in the
+    /// multi-sample experiments).
+    pub sorting_accelerator: Option<SortingAccelerator>,
+    /// Read-mapping accelerator used for abundance estimation.
+    pub mapping_accelerator: MappingAccelerator,
+    /// PIM k-mer matcher (present only in the PIM-accelerated baseline).
+    pub pim_matcher: Option<PimKmerMatcher>,
+}
+
+impl SystemConfig {
+    /// The paper's reference evaluation system: 128-core host, 1 TB DRAM, one
+    /// SSD of the given configuration.
+    pub fn reference(ssd: SsdConfig) -> SystemConfig {
+        SystemConfig {
+            name: format!("reference ({})", ssd.name),
+            cpu: HostCpu::default(),
+            memory: HostMemory::default(),
+            ssds: vec![ssd],
+            sorting_accelerator: None,
+            mapping_accelerator: MappingAccelerator::default(),
+            pim_matcher: None,
+        }
+    }
+
+    /// The performance-optimized system of Fig. 18: 1 TB DRAM + SSD-P.
+    pub fn performance_optimized() -> SystemConfig {
+        let mut cfg = SystemConfig::reference(SsdConfig::ssd_p());
+        cfg.name = "performance-optimized (1 TB DRAM, SSD-P)".to_string();
+        cfg
+    }
+
+    /// The cost-optimized system of Fig. 18: 64 GB DRAM + SSD-C.
+    pub fn cost_optimized() -> SystemConfig {
+        SystemConfig {
+            name: "cost-optimized (64 GB DRAM, SSD-C)".to_string(),
+            cpu: HostCpu::default(),
+            memory: HostMemory::with_capacity(ByteSize::from_gb(64.0)),
+            ssds: vec![SsdConfig::ssd_c()],
+            sorting_accelerator: None,
+            mapping_accelerator: MappingAccelerator::default(),
+            pim_matcher: None,
+        }
+    }
+
+    /// Returns a copy with a different host DRAM capacity (Fig. 16 sweep).
+    pub fn with_dram_capacity(mut self, capacity: ByteSize) -> SystemConfig {
+        self.memory = HostMemory::with_capacity(capacity);
+        self.name = format!("{} [DRAM {capacity}]", self.name);
+        self
+    }
+
+    /// Returns a copy with `count` identical SSDs (Fig. 15 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no SSD or `count` is zero.
+    pub fn with_ssd_count(mut self, count: usize) -> SystemConfig {
+        assert!(count > 0, "at least one SSD is required");
+        let template = self.ssds.first().expect("existing SSD to replicate").clone();
+        self.ssds = vec![template; count];
+        self.name = format!("{} [{} SSDs]", self.name, count);
+        self
+    }
+
+    /// Returns a copy whose SSDs have `channels` channels each (Fig. 17 sweep).
+    pub fn with_ssd_channels(mut self, channels: u32) -> SystemConfig {
+        self.ssds = self.ssds.iter().map(|s| s.with_channels(channels)).collect();
+        self
+    }
+
+    /// Returns a copy with a sorting accelerator attached.
+    pub fn with_sorting_accelerator(mut self, acc: SortingAccelerator) -> SystemConfig {
+        self.sorting_accelerator = Some(acc);
+        self
+    }
+
+    /// Returns a copy with a Sieve-style PIM k-mer matcher attached.
+    pub fn with_pim_matcher(mut self, pim: PimKmerMatcher) -> SystemConfig {
+        self.pim_matcher = Some(pim);
+        self
+    }
+
+    /// The first (or only) SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no SSD.
+    pub fn primary_ssd(&self) -> &SsdConfig {
+        self.ssds.first().expect("system has at least one SSD")
+    }
+
+    /// Number of attached SSDs.
+    pub fn ssd_count(&self) -> usize {
+        self.ssds.len()
+    }
+
+    /// Aggregate external sequential-read bandwidth across all SSDs.
+    pub fn aggregate_external_read_bandwidth(&self) -> f64 {
+        self.ssds.iter().map(SsdConfig::external_read_bandwidth).sum()
+    }
+
+    /// Aggregate internal read bandwidth across all SSDs.
+    pub fn aggregate_internal_read_bandwidth(&self) -> f64 {
+        self.ssds.iter().map(SsdConfig::internal_read_bandwidth).sum()
+    }
+
+    /// Aggregate random-read bandwidth (4-KiB requests) across all SSDs.
+    pub fn aggregate_random_read_bandwidth(&self) -> f64 {
+        self.ssds
+            .iter()
+            .map(SsdConfig::external_random_read_bandwidth)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_system_shape() {
+        let sys = SystemConfig::reference(SsdConfig::ssd_c());
+        assert_eq!(sys.ssd_count(), 1);
+        assert_eq!(sys.memory.capacity.as_gb(), 1000.0);
+        assert!(sys.pim_matcher.is_none());
+    }
+
+    #[test]
+    fn cost_and_performance_presets_differ() {
+        let perf = SystemConfig::performance_optimized();
+        let cost = SystemConfig::cost_optimized();
+        assert!(perf.memory.capacity > cost.memory.capacity);
+        assert!(
+            perf.aggregate_external_read_bandwidth() > cost.aggregate_external_read_bandwidth()
+        );
+    }
+
+    #[test]
+    fn ssd_count_sweep_scales_bandwidth() {
+        let one = SystemConfig::reference(SsdConfig::ssd_c());
+        let four = one.clone().with_ssd_count(4);
+        assert_eq!(four.ssd_count(), 4);
+        let ratio = four.aggregate_internal_read_bandwidth()
+            / one.aggregate_internal_read_bandwidth();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_sweep_scales_internal_only() {
+        let base = SystemConfig::reference(SsdConfig::ssd_p());
+        let wide = base.clone().with_ssd_channels(32);
+        assert!(
+            wide.aggregate_internal_read_bandwidth()
+                > base.aggregate_internal_read_bandwidth() * 1.9
+        );
+        assert_eq!(
+            wide.aggregate_external_read_bandwidth(),
+            base.aggregate_external_read_bandwidth()
+        );
+    }
+
+    #[test]
+    fn dram_sweep_changes_capacity_only() {
+        let base = SystemConfig::reference(SsdConfig::ssd_c());
+        let small = base.clone().with_dram_capacity(ByteSize::from_gb(32.0));
+        assert_eq!(small.memory.capacity.as_gb(), 32.0);
+        assert_eq!(small.cpu.cores, base.cpu.cores);
+    }
+
+    #[test]
+    fn accelerator_attachment() {
+        let sys = SystemConfig::reference(SsdConfig::ssd_c())
+            .with_sorting_accelerator(SortingAccelerator::default())
+            .with_pim_matcher(PimKmerMatcher::default());
+        assert!(sys.sorting_accelerator.is_some());
+        assert!(sys.pim_matcher.is_some());
+    }
+}

@@ -1,0 +1,162 @@
+//! SSD-internal DRAM model.
+//!
+//! Modern SSDs carry low-power DRAM (LPDDR4 in both Table 1 devices) that is
+//! mostly occupied by L2P mapping metadata. MegIS's ISP steps compete for the
+//! remaining capacity and, critically, for its limited bandwidth: the paper
+//! notes that streaming the database from all flash channels at full internal
+//! bandwidth would exceed the internal DRAM bandwidth, which is why MegIS
+//! computes directly on the flash data stream instead of staging it in DRAM
+//! (§4.3.1).
+
+use crate::config::InternalDramConfig;
+use crate::timing::{ByteSize, SimDuration};
+
+/// Errors returned by DRAM allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// The requested allocation does not fit in the remaining capacity.
+    OutOfCapacity {
+        /// Bytes requested by the failed allocation.
+        requested: ByteSize,
+        /// Bytes still available.
+        available: ByteSize,
+    },
+}
+
+impl std::fmt::Display for DramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DramError::OutOfCapacity { requested, available } => write!(
+                f,
+                "internal DRAM allocation of {requested} exceeds available {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+/// The SSD-internal DRAM with capacity tracking and transfer timing.
+#[derive(Debug, Clone)]
+pub struct InternalDram {
+    config: InternalDramConfig,
+    used: ByteSize,
+}
+
+impl InternalDram {
+    /// Creates an empty DRAM of the given configuration.
+    pub fn new(config: InternalDramConfig) -> InternalDram {
+        InternalDram {
+            config,
+            used: ByteSize::ZERO,
+        }
+    }
+
+    /// The DRAM configuration.
+    pub fn config(&self) -> &InternalDramConfig {
+        &self.config
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.config.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> ByteSize {
+        self.config.capacity.saturating_sub(self.used)
+    }
+
+    /// Reserves `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the allocation does not fit.
+    pub fn allocate(&mut self, size: ByteSize) -> Result<(), DramError> {
+        if size.as_bytes() > self.available().as_bytes() {
+            return Err(DramError::OutOfCapacity {
+                requested: size,
+                available: self.available(),
+            });
+        }
+        self.used += size;
+        Ok(())
+    }
+
+    /// Releases `size` bytes (saturating at zero).
+    pub fn free(&mut self, size: ByteSize) {
+        self.used = self.used.saturating_sub(size);
+    }
+
+    /// Releases all allocations.
+    pub fn reset(&mut self) {
+        self.used = ByteSize::ZERO;
+    }
+
+    /// Time to move `size` bytes through the DRAM at full bandwidth.
+    pub fn transfer_time(&self, size: ByteSize) -> SimDuration {
+        size.time_at(self.config.bandwidth)
+    }
+
+    /// Sustainable throughput (bytes/s) left over when `reserved_bandwidth`
+    /// bytes/s are already being consumed by other agents (e.g. fetching query
+    /// k-mers while the intersection output is written back).
+    pub fn remaining_bandwidth(&self, reserved_bandwidth: f64) -> f64 {
+        (self.config.bandwidth - reserved_bandwidth).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_track_usage() {
+        let mut d = InternalDram::new(InternalDramConfig::default());
+        assert_eq!(d.capacity().as_gb(), 4.0);
+        d.allocate(ByteSize::from_gb(1.0)).unwrap();
+        assert_eq!(d.used().as_gb(), 1.0);
+        d.free(ByteSize::from_gb(0.5));
+        assert_eq!(d.used().as_gb(), 0.5);
+        d.reset();
+        assert_eq!(d.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let mut d = InternalDram::new(InternalDramConfig::default());
+        let err = d.allocate(ByteSize::from_gb(5.0)).unwrap_err();
+        assert!(matches!(err, DramError::OutOfCapacity { .. }));
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn transfer_time_uses_bandwidth() {
+        let d = InternalDram::new(InternalDramConfig {
+            capacity: ByteSize::from_gb(4.0),
+            bandwidth: 8.5e9,
+        });
+        let t = d.transfer_time(ByteSize::from_gb(8.5));
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn internal_bandwidth_smaller_than_high_end_internal_flash_bandwidth() {
+        // The paper's argument: 19.2 GB/s of flash streaming cannot be staged
+        // through the internal DRAM.
+        let d = InternalDram::new(InternalDramConfig::default());
+        assert!(d.config().bandwidth < 19.2e9);
+    }
+
+    #[test]
+    fn remaining_bandwidth_saturates_at_zero() {
+        let d = InternalDram::new(InternalDramConfig::default());
+        assert_eq!(d.remaining_bandwidth(9e9), 0.0);
+        assert!(d.remaining_bandwidth(2e9) > 6e9);
+    }
+}

@@ -1,0 +1,157 @@
+//! SSD power and energy model.
+//!
+//! The paper's energy evaluation (§6.5) sums, for each system component, the
+//! product of its active/idle power and the time it spends in each state.
+//! This module provides the SSD-side component powers (flash array + controller
+//! and internal DRAM), based on datasheet values for a Samsung 3D-NAND SATA
+//! SSD and an LPDDR4 DRAM device.
+
+use crate::timing::SimDuration;
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy value from joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or NaN.
+    pub fn from_joules(joules: f64) -> Energy {
+        assert!(joules >= 0.0 && joules.is_finite());
+        Energy(joules)
+    }
+
+    /// The energy in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Energy from power (watts) sustained for a duration.
+    pub fn from_power(watts: f64, time: SimDuration) -> Energy {
+        Energy::from_joules(watts * time.as_secs())
+    }
+}
+
+impl std::ops::Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, std::ops::Add::add)
+    }
+}
+
+impl std::ops::Div<Energy> for Energy {
+    type Output = f64;
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl std::fmt::Display for Energy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.2} kJ", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.2} J", self.0)
+        }
+    }
+}
+
+/// Power states of the SSD (flash array + controller, excluding internal
+/// DRAM which is modeled separately).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdPowerModel {
+    /// Power while actively reading from the flash array.
+    pub read_active_w: f64,
+    /// Power while actively programming the flash array.
+    pub write_active_w: f64,
+    /// Idle power.
+    pub idle_w: f64,
+    /// Internal DRAM active power.
+    pub dram_active_w: f64,
+    /// Internal DRAM idle (self-refresh) power.
+    pub dram_idle_w: f64,
+}
+
+impl Default for SsdPowerModel {
+    /// Datasheet-class values for a 4 TB consumer/enterprise SSD with 4 GB
+    /// LPDDR4.
+    fn default() -> Self {
+        SsdPowerModel {
+            read_active_w: 3.0,
+            write_active_w: 3.5,
+            idle_w: 0.3,
+            dram_active_w: 0.8,
+            dram_idle_w: 0.1,
+        }
+    }
+}
+
+impl SsdPowerModel {
+    /// Energy for a period of active reading (flash + DRAM active).
+    pub fn read_energy(&self, time: SimDuration) -> Energy {
+        Energy::from_power(self.read_active_w + self.dram_active_w, time)
+    }
+
+    /// Energy for a period of active writing.
+    pub fn write_energy(&self, time: SimDuration) -> Energy {
+        Energy::from_power(self.write_active_w + self.dram_active_w, time)
+    }
+
+    /// Energy for a period of idling.
+    pub fn idle_energy(&self, time: SimDuration) -> Energy {
+        Energy::from_power(self.idle_w + self.dram_idle_w, time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_arithmetic() {
+        let a = Energy::from_joules(2.0);
+        let b = Energy::from_power(3.0, SimDuration::from_secs(2.0));
+        assert_eq!(b.as_joules(), 6.0);
+        assert_eq!((a + b).as_joules(), 8.0);
+        assert_eq!(b / a, 3.0);
+        let total: Energy = [a, b].into_iter().sum();
+        assert_eq!(total.as_joules(), 8.0);
+    }
+
+    #[test]
+    fn active_read_costs_more_than_idle() {
+        let m = SsdPowerModel::default();
+        let t = SimDuration::from_secs(10.0);
+        assert!(m.read_energy(t) > m.idle_energy(t));
+        assert!(m.write_energy(t) > m.read_energy(t));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", Energy::from_joules(12.0)), "12.00 J");
+        assert_eq!(format!("{}", Energy::from_joules(675_000.0)), "675.00 kJ");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_energy_panics() {
+        Energy::from_joules(-1.0);
+    }
+}

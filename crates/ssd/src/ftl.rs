@@ -1,0 +1,285 @@
+//! Baseline page-level Flash Translation Layer.
+//!
+//! Regular SSDs maintain logical-to-physical (L2P) mappings at 4-KiB
+//! granularity, which dominates the internal DRAM capacity (≈0.1% of device
+//! capacity, §2.2). This module provides that baseline FTL: page-granularity
+//! mapping, channel-striped write allocation, out-of-place updates, and
+//! garbage-collection accounting. MegIS's specialized block-level FTL (§4.5)
+//! lives in the `megis` core crate and is compared against this one.
+
+use std::collections::HashMap;
+
+use crate::geometry::{Geometry, PhysicalPageAddr};
+use crate::timing::ByteSize;
+
+/// A logical page address (in units of flash pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lpa(pub u64);
+
+/// Errors returned by FTL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// No free pages remain for allocation.
+    DeviceFull,
+    /// The logical page has never been written.
+    Unmapped(Lpa),
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtlError::DeviceFull => write!(f, "no free flash pages remain"),
+            FtlError::Unmapped(lpa) => write!(f, "logical page {} is unmapped", lpa.0),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+/// Per-channel write cursor.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelCursor {
+    /// Next page index within the channel's private page space.
+    next: u64,
+}
+
+/// Baseline page-level FTL.
+#[derive(Debug, Clone)]
+pub struct PageLevelFtl {
+    geometry: Geometry,
+    l2p: HashMap<Lpa, PhysicalPageAddr>,
+    cursors: Vec<ChannelCursor>,
+    invalid_pages: u64,
+    next_channel: usize,
+}
+
+impl PageLevelFtl {
+    /// Creates an FTL for the given geometry with all pages free.
+    pub fn new(geometry: Geometry) -> PageLevelFtl {
+        PageLevelFtl {
+            geometry,
+            l2p: HashMap::new(),
+            cursors: vec![ChannelCursor::default(); geometry.channels as usize],
+            invalid_pages: 0,
+            next_channel: 0,
+        }
+    }
+
+    /// The geometry this FTL manages.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Number of pages available to each channel.
+    fn pages_per_channel(&self) -> u64 {
+        self.geometry.total_pages() / self.geometry.channels as u64
+    }
+
+    /// Translates a per-channel sequential index into a physical address:
+    /// blocks are filled one at a time, cycling through the channel's dies and
+    /// planes for successive blocks.
+    fn channel_page_addr(&self, channel: u32, index: u64) -> PhysicalPageAddr {
+        let pages_per_block = self.geometry.pages_per_block as u64;
+        let block_seq = index / pages_per_block;
+        let page = (index % pages_per_block) as u32;
+        let dies = self.geometry.dies_per_channel as u64;
+        let planes = self.geometry.planes_per_die as u64;
+        let die = (block_seq % dies) as u32;
+        let plane = ((block_seq / dies) % planes) as u32;
+        let block = (block_seq / (dies * planes)) as u32;
+        PhysicalPageAddr {
+            channel,
+            die,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    /// Writes a logical page: allocates the next free physical page (striping
+    /// writes across channels) and installs the mapping. A previous mapping
+    /// for the same LPA is invalidated (out-of-place update).
+    ///
+    /// Returns the chosen physical page address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::DeviceFull`] if no channel has free pages left.
+    pub fn write(&mut self, lpa: Lpa) -> Result<PhysicalPageAddr, FtlError> {
+        let per_channel = self.pages_per_channel();
+        let channels = self.geometry.channels as usize;
+        let mut chosen = None;
+        for offset in 0..channels {
+            let ch = (self.next_channel + offset) % channels;
+            if self.cursors[ch].next < per_channel {
+                chosen = Some(ch);
+                break;
+            }
+        }
+        let ch = chosen.ok_or(FtlError::DeviceFull)?;
+        let addr = self.channel_page_addr(ch as u32, self.cursors[ch].next);
+        self.cursors[ch].next += 1;
+        self.next_channel = (ch + 1) % channels;
+        if self.l2p.insert(lpa, addr).is_some() {
+            self.invalid_pages += 1;
+        }
+        Ok(addr)
+    }
+
+    /// Looks up the physical location of a logical page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::Unmapped`] if the page has never been written.
+    pub fn translate(&self, lpa: Lpa) -> Result<PhysicalPageAddr, FtlError> {
+        self.l2p.get(&lpa).copied().ok_or(FtlError::Unmapped(lpa))
+    }
+
+    /// Number of currently mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Number of invalidated (stale) physical pages awaiting garbage
+    /// collection.
+    pub fn invalid_pages(&self) -> u64 {
+        self.invalid_pages
+    }
+
+    /// Fraction of written physical pages that are stale.
+    pub fn garbage_ratio(&self) -> f64 {
+        let written = self.l2p.len() as u64 + self.invalid_pages;
+        if written == 0 {
+            0.0
+        } else {
+            self.invalid_pages as f64 / written as f64
+        }
+    }
+
+    /// Size of the L2P mapping metadata that must reside in internal DRAM:
+    /// 4 bytes per mapped 4-KiB unit (a 16-KiB flash page holds four units).
+    pub fn metadata_bytes(&self) -> ByteSize {
+        let units_per_page = self.geometry.page_size.as_bytes() / 4096;
+        ByteSize::from_bytes(self.l2p.len() as u64 * units_per_page * 4)
+    }
+
+    /// Worst-case (fully mapped device) L2P metadata size.
+    pub fn max_metadata_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.geometry.capacity().as_bytes() / 4096 * 4)
+    }
+
+    /// Models a garbage-collection pass: reclaims all stale pages and returns
+    /// how many pages of valid data had to be migrated (one migrated page per
+    /// reclaimed stale page is a conservative first-order model).
+    pub fn collect_garbage(&mut self) -> u64 {
+        let migrated = self.invalid_pages;
+        self.invalid_pages = 0;
+        migrated
+    }
+
+    /// Distribution of mapped pages across channels (used to verify that
+    /// sequential writes stripe evenly — a prerequisite for reading at full
+    /// internal bandwidth).
+    pub fn pages_per_channel_distribution(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.geometry.channels as usize];
+        for addr in self.l2p.values() {
+            counts[addr.channel as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry {
+            channels: 4,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 4,
+            pages_per_block: 8,
+            page_size: ByteSize::from_kib(16),
+        }
+    }
+
+    #[test]
+    fn writes_stripe_across_channels() {
+        let mut ftl = PageLevelFtl::new(geom());
+        for i in 0..64 {
+            ftl.write(Lpa(i)).unwrap();
+        }
+        let dist = ftl.pages_per_channel_distribution();
+        assert_eq!(dist, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn translate_returns_written_location() {
+        let mut ftl = PageLevelFtl::new(geom());
+        let addr = ftl.write(Lpa(5)).unwrap();
+        assert_eq!(ftl.translate(Lpa(5)).unwrap(), addr);
+        assert!(matches!(ftl.translate(Lpa(6)), Err(FtlError::Unmapped(_))));
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_page() {
+        let mut ftl = PageLevelFtl::new(geom());
+        let first = ftl.write(Lpa(1)).unwrap();
+        let second = ftl.write(Lpa(1)).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(ftl.invalid_pages(), 1);
+        assert_eq!(ftl.mapped_pages(), 1);
+        assert!(ftl.garbage_ratio() > 0.0);
+        assert_eq!(ftl.collect_garbage(), 1);
+        assert_eq!(ftl.invalid_pages(), 0);
+    }
+
+    #[test]
+    fn device_full_is_reported() {
+        let mut ftl = PageLevelFtl::new(geom());
+        let total = geom().total_pages();
+        for i in 0..total {
+            ftl.write(Lpa(i)).unwrap();
+        }
+        assert!(matches!(ftl.write(Lpa(total)), Err(FtlError::DeviceFull)));
+    }
+
+    #[test]
+    fn metadata_is_four_bytes_per_4kib() {
+        let mut ftl = PageLevelFtl::new(geom());
+        for i in 0..10 {
+            ftl.write(Lpa(i)).unwrap();
+        }
+        // 16-KiB pages → 4 mapping units of 4 bytes each per page.
+        assert_eq!(ftl.metadata_bytes().as_bytes(), 10 * 4 * 4);
+        let max_ratio =
+            ftl.max_metadata_bytes().as_bytes() as f64 / geom().capacity().as_bytes() as f64;
+        assert!((max_ratio - 0.0009765625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_block_fill_within_channel() {
+        let mut ftl = PageLevelFtl::new(geom());
+        // Write 4 channels * 8 pages = one block's worth per channel.
+        for i in 0..32 {
+            ftl.write(Lpa(i)).unwrap();
+        }
+        // Every channel's pages must share the same (die, plane, block) and
+        // have consecutive page offsets — the "same offset" active-block rule.
+        for ch in 0..4u32 {
+            let mut pages: Vec<PhysicalPageAddr> = (0..32)
+                .filter_map(|i| ftl.translate(Lpa(i)).ok())
+                .filter(|a| a.channel == ch)
+                .collect();
+            pages.sort();
+            assert_eq!(pages.len(), 8);
+            assert!(pages.iter().all(|p| p.block == pages[0].block
+                && p.die == pages[0].die
+                && p.plane == pages[0].plane));
+            for (i, p) in pages.iter().enumerate() {
+                assert_eq!(p.page as usize, i);
+            }
+        }
+    }
+}

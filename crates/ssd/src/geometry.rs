@@ -1,0 +1,237 @@
+//! Flash geometry: channels, dies, planes, blocks, and pages.
+//!
+//! Mirrors the organization described in §2.2 of the paper: packages/dies
+//! share a channel to the controller, each die has multiple planes that can
+//! operate concurrently on pages at the same offset (multi-plane operation),
+//! and blocks are the erase unit.
+
+use crate::timing::ByteSize;
+
+/// Physical geometry of the NAND flash array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of channels between the controller and the flash packages.
+    pub channels: u32,
+    /// Dies per channel.
+    pub dies_per_channel: u32,
+    /// Planes per die.
+    pub planes_per_die: u32,
+    /// Blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Pages per block.
+    pub pages_per_block: u32,
+    /// Page size.
+    pub page_size: ByteSize,
+}
+
+impl Geometry {
+    /// Total number of dies in the device.
+    pub fn total_dies(&self) -> u64 {
+        self.channels as u64 * self.dies_per_channel as u64
+    }
+
+    /// Total number of blocks in the device.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_dies() * self.planes_per_die as u64 * self.blocks_per_plane as u64
+    }
+
+    /// Total number of pages in the device.
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block as u64
+    }
+
+    /// Raw capacity of the device.
+    pub fn capacity(&self) -> ByteSize {
+        ByteSize::from_bytes(self.total_pages() * self.page_size.as_bytes())
+    }
+
+    /// Size of one block.
+    pub fn block_size(&self) -> ByteSize {
+        ByteSize::from_bytes(self.pages_per_block as u64 * self.page_size.as_bytes())
+    }
+
+    /// Bytes delivered by one multi-plane read on one die (all planes read a
+    /// page at the same offset concurrently).
+    pub fn multiplane_read_size(&self) -> ByteSize {
+        ByteSize::from_bytes(self.planes_per_die as u64 * self.page_size.as_bytes())
+    }
+
+    /// Number of pages needed to store `size` bytes.
+    pub fn pages_for(&self, size: ByteSize) -> u64 {
+        size.div_ceil(self.page_size)
+    }
+
+    /// Number of blocks needed to store `size` bytes.
+    pub fn blocks_for(&self, size: ByteSize) -> u64 {
+        size.div_ceil(self.block_size())
+    }
+
+    /// Converts a physical page address to a flat page index.
+    pub fn page_index(&self, addr: PhysicalPageAddr) -> u64 {
+        debug_assert!(self.contains(addr));
+        (((addr.channel as u64 * self.dies_per_channel as u64 + addr.die as u64)
+            * self.planes_per_die as u64
+            + addr.plane as u64)
+            * self.blocks_per_plane as u64
+            + addr.block as u64)
+            * self.pages_per_block as u64
+            + addr.page as u64
+    }
+
+    /// Converts a flat page index to a physical page address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.total_pages()`.
+    pub fn page_addr(&self, index: u64) -> PhysicalPageAddr {
+        assert!(index < self.total_pages(), "page index out of range");
+        let page = (index % self.pages_per_block as u64) as u32;
+        let rest = index / self.pages_per_block as u64;
+        let block = (rest % self.blocks_per_plane as u64) as u32;
+        let rest = rest / self.blocks_per_plane as u64;
+        let plane = (rest % self.planes_per_die as u64) as u32;
+        let rest = rest / self.planes_per_die as u64;
+        let die = (rest % self.dies_per_channel as u64) as u32;
+        let channel = (rest / self.dies_per_channel as u64) as u32;
+        PhysicalPageAddr {
+            channel,
+            die,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    /// Returns `true` if the address is within this geometry.
+    pub fn contains(&self, addr: PhysicalPageAddr) -> bool {
+        addr.channel < self.channels
+            && addr.die < self.dies_per_channel
+            && addr.plane < self.planes_per_die
+            && addr.block < self.blocks_per_plane
+            && addr.page < self.pages_per_block
+    }
+}
+
+/// Address of one physical flash page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysicalPageAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Die index within the channel.
+    pub die: u32,
+    /// Plane index within the die.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+/// Address of one physical flash block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysicalBlockAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Die index within the channel.
+    pub die: u32,
+    /// Plane index within the die.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+}
+
+impl PhysicalPageAddr {
+    /// The block this page belongs to.
+    pub fn block_addr(self) -> PhysicalBlockAddr {
+        PhysicalBlockAddr {
+            channel: self.channel,
+            die: self.die,
+            plane: self.plane,
+            block: self.block,
+        }
+    }
+}
+
+impl PhysicalBlockAddr {
+    /// The address of a page within this block.
+    pub fn page(self, page: u32) -> PhysicalPageAddr {
+        PhysicalPageAddr {
+            channel: self.channel,
+            die: self.die,
+            plane: self.plane,
+            block: self.block,
+            page,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry {
+            channels: 4,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 8,
+            pages_per_block: 16,
+            page_size: ByteSize::from_kib(16),
+        }
+    }
+
+    #[test]
+    fn totals_multiply_out() {
+        let g = geom();
+        assert_eq!(g.total_dies(), 8);
+        assert_eq!(g.total_blocks(), 128);
+        assert_eq!(g.total_pages(), 2048);
+        assert_eq!(g.capacity().as_bytes(), 2048 * 16 * 1024);
+        assert_eq!(g.block_size().as_bytes(), 16 * 16 * 1024);
+    }
+
+    #[test]
+    fn page_index_roundtrip() {
+        let g = geom();
+        for index in [0u64, 1, 17, 255, 1024, 2047] {
+            let addr = g.page_addr(index);
+            assert!(g.contains(addr));
+            assert_eq!(g.page_index(addr), index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_addr_out_of_range_panics() {
+        let g = geom();
+        g.page_addr(g.total_pages());
+    }
+
+    #[test]
+    fn pages_and_blocks_for_sizes() {
+        let g = geom();
+        assert_eq!(g.pages_for(ByteSize::from_kib(16)), 1);
+        assert_eq!(g.pages_for(ByteSize::from_kib(17)), 2);
+        assert_eq!(g.blocks_for(g.block_size()), 1);
+        assert_eq!(g.blocks_for(ByteSize::from_bytes(g.block_size().as_bytes() + 1)), 2);
+    }
+
+    #[test]
+    fn block_and_page_addr_conversions() {
+        let addr = PhysicalPageAddr {
+            channel: 1,
+            die: 0,
+            plane: 1,
+            block: 3,
+            page: 7,
+        };
+        let blk = addr.block_addr();
+        assert_eq!(blk.page(7), addr);
+    }
+
+    #[test]
+    fn multiplane_read_covers_all_planes() {
+        let g = geom();
+        assert_eq!(g.multiplane_read_size().as_bytes(), 2 * 16 * 1024);
+    }
+}

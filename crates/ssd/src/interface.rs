@@ -1,0 +1,97 @@
+//! Host–SSD interface transfer model (SATA3 and PCIe Gen4).
+
+use crate::config::InterfaceKind;
+use crate::timing::{ByteSize, SimDuration};
+
+/// The host interface of an SSD, with per-command overhead and bandwidth
+/// limits for sequential and random transfers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostInterface {
+    kind: InterfaceKind,
+    /// Fixed protocol overhead per command (NVMe/AHCI submission, completion,
+    /// interrupt handling).
+    command_overhead: SimDuration,
+}
+
+impl HostInterface {
+    /// Creates an interface of the given kind with a default per-command
+    /// overhead (10 µs for SATA/AHCI, 5 µs for NVMe).
+    pub fn new(kind: InterfaceKind) -> HostInterface {
+        let command_overhead = match kind {
+            InterfaceKind::Sata3 => SimDuration::from_micros(10.0),
+            InterfaceKind::PcieGen4x4 => SimDuration::from_micros(5.0),
+        };
+        HostInterface {
+            kind,
+            command_overhead,
+        }
+    }
+
+    /// The interface kind.
+    pub fn kind(&self) -> InterfaceKind {
+        self.kind
+    }
+
+    /// Per-command protocol overhead.
+    pub fn command_overhead(&self) -> SimDuration {
+        self.command_overhead
+    }
+
+    /// Time to read `size` bytes sequentially over the interface
+    /// (one large command stream; protocol overhead amortized away).
+    pub fn sequential_read_time(&self, size: ByteSize) -> SimDuration {
+        size.time_at(self.kind.sequential_read_bandwidth())
+    }
+
+    /// Time to write `size` bytes sequentially over the interface.
+    pub fn sequential_write_time(&self, size: ByteSize) -> SimDuration {
+        size.time_at(self.kind.sequential_write_bandwidth())
+    }
+
+    /// Time to serve `requests` random reads of `request_size` each over the
+    /// interface at its sustained random-read throughput.
+    pub fn random_read_time(&self, requests: u64, request_size: ByteSize) -> SimDuration {
+        let total = ByteSize::from_bytes(requests * request_size.as_bytes());
+        total.time_at(self.kind.random_read_bandwidth())
+    }
+
+    /// Time to send a single small command (e.g. MegIS_Init / MegIS_Step) and
+    /// receive its completion.
+    pub fn command_round_trip(&self) -> SimDuration {
+        self.command_overhead * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_read_times_match_table1() {
+        let sata = HostInterface::new(InterfaceKind::Sata3);
+        let nvme = HostInterface::new(InterfaceKind::PcieGen4x4);
+        // 293 GB Kraken2 database load times.
+        let db = ByteSize::from_gb(293.0);
+        let t_sata = sata.sequential_read_time(db).as_secs();
+        let t_nvme = nvme.sequential_read_time(db).as_secs();
+        assert!((t_sata - 523.2).abs() < 1.0, "SATA load ≈ 523 s, got {t_sata}");
+        assert!((t_nvme - 41.9).abs() < 0.5, "NVMe load ≈ 42 s, got {t_nvme}");
+        assert!(t_sata / t_nvme > 10.0, "order-of-magnitude gap per §3.2");
+    }
+
+    #[test]
+    fn random_reads_are_much_slower_than_sequential() {
+        let sata = HostInterface::new(InterfaceKind::Sata3);
+        let size = ByteSize::from_gb(10.0);
+        let seq = sata.sequential_read_time(size);
+        let rand = sata.random_read_time(size.as_bytes() / 4096, ByteSize::from_kib(4));
+        assert!(rand.as_secs() > seq.as_secs());
+    }
+
+    #[test]
+    fn command_overhead_differs_by_protocol() {
+        let sata = HostInterface::new(InterfaceKind::Sata3);
+        let nvme = HostInterface::new(InterfaceKind::PcieGen4x4);
+        assert!(sata.command_round_trip() > nvme.command_round_trip());
+    }
+}

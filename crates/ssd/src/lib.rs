@@ -1,0 +1,47 @@
+//! NAND-flash SSD simulator for the MegIS reproduction.
+//!
+//! The MegIS paper (ISCA 2024) evaluates in-storage processing on two modeled
+//! SSDs — a cost-optimized SATA3 device (*SSD-C*) and a performance-optimized
+//! PCIe Gen4 device (*SSD-P*) — using MQSim-style simulation with the
+//! parameters of its Table 1. This crate provides that substrate:
+//!
+//! * [`config`] — SSD configurations, including the exact Table 1 presets,
+//! * [`geometry`] — channels / dies / planes / blocks / pages addressing,
+//! * [`nand`] — a functional flash array with program/read/erase timing,
+//! * [`ftl`] — a baseline page-level FTL (L2P mapping, write allocation,
+//!   garbage-collection accounting) whose metadata footprint matches the
+//!   0.1%-of-capacity rule the paper cites,
+//! * [`dram`] — the SSD-internal LPDDR4 DRAM model,
+//! * [`interface`] — SATA3 / PCIe Gen4 host interface transfer model,
+//! * [`ssd`] — the assembled device with sequential/random, internal/external
+//!   access timing (the quantities MegIS's ISP steps and the host baselines
+//!   are bounded by),
+//! * [`timing`] — simulation time and byte-size value types,
+//! * [`energy`] — SSD power states and access energy.
+//!
+//! # Example
+//!
+//! ```
+//! use megis_ssd::config::SsdConfig;
+//! use megis_ssd::ssd::Ssd;
+//! use megis_ssd::timing::ByteSize;
+//!
+//! let mut ssd = Ssd::new(SsdConfig::ssd_p());
+//! let summary = ssd.read_sequential_internal(ByteSize::from_gib(64));
+//! // Reading 64 GiB over 16 channels at 1.2 GB/s per channel takes ~3.6 s.
+//! assert!(summary.time.as_secs() > 3.0 && summary.time.as_secs() < 4.5);
+//! ```
+
+pub mod config;
+pub mod dram;
+pub mod energy;
+pub mod ftl;
+pub mod geometry;
+pub mod interface;
+pub mod nand;
+pub mod ssd;
+pub mod timing;
+
+pub use config::{InterfaceKind, NandTiming, SsdConfig};
+pub use ssd::{AccessSummary, Ssd};
+pub use timing::{ByteSize, SimDuration};

@@ -1,0 +1,346 @@
+//! Functional NAND flash array model.
+//!
+//! Tracks per-page state (free / programmed / invalid) and optionally the
+//! actual page contents, and charges flash-array timing (tR / tPROG / tBERS)
+//! for every operation. Paper-scale experiments do not materialize page
+//! contents; functional tests and examples do.
+
+use std::collections::HashMap;
+
+use crate::config::NandTiming;
+use crate::geometry::{Geometry, PhysicalBlockAddr, PhysicalPageAddr};
+use crate::timing::SimDuration;
+
+/// State of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageState {
+    /// Erased and available for programming.
+    #[default]
+    Free,
+    /// Programmed and holding valid data.
+    Valid,
+    /// Programmed but superseded (awaiting garbage collection).
+    Invalid,
+}
+
+/// Errors returned by flash array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NandError {
+    /// The address is outside the configured geometry.
+    OutOfRange(PhysicalPageAddr),
+    /// Attempt to program a page that is not in the `Free` state (NAND
+    /// requires erase-before-program).
+    ProgramOnUsedPage(PhysicalPageAddr),
+    /// Attempt to read a page that has never been programmed.
+    ReadOfFreePage(PhysicalPageAddr),
+}
+
+impl std::fmt::Display for NandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NandError::OutOfRange(a) => write!(f, "address out of range: {a:?}"),
+            NandError::ProgramOnUsedPage(a) => write!(f, "program on non-free page: {a:?}"),
+            NandError::ReadOfFreePage(a) => write!(f, "read of never-programmed page: {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NandError {}
+
+/// A functional NAND flash array.
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geometry: Geometry,
+    timing: NandTiming,
+    /// States of pages that are not in the default `Free` state, keyed by
+    /// flat page index. Full-size devices have hundreds of millions of pages,
+    /// so the state store is sparse.
+    states: HashMap<u64, PageState>,
+    /// Materialized page contents (only for pages written with data).
+    contents: HashMap<u64, Vec<u8>>,
+    /// Per-block erase counts (wear), indexed by flat block index.
+    erase_counts: HashMap<u64, u64>,
+    /// Per-block read counts since last erase (read-disturb accounting).
+    read_counts: HashMap<u64, u64>,
+}
+
+impl FlashArray {
+    /// Creates an erased flash array.
+    pub fn new(geometry: Geometry, timing: NandTiming) -> FlashArray {
+        FlashArray {
+            geometry,
+            timing,
+            states: HashMap::new(),
+            contents: HashMap::new(),
+            erase_counts: HashMap::new(),
+            read_counts: HashMap::new(),
+        }
+    }
+
+    fn state(&self, idx: u64) -> PageState {
+        self.states.get(&idx).copied().unwrap_or(PageState::Free)
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The array timing.
+    pub fn timing(&self) -> &NandTiming {
+        &self.timing
+    }
+
+    /// State of a page.
+    pub fn page_state(&self, addr: PhysicalPageAddr) -> Result<PageState, NandError> {
+        if !self.geometry.contains(addr) {
+            return Err(NandError::OutOfRange(addr));
+        }
+        Ok(self.state(self.geometry.page_index(addr)))
+    }
+
+    /// Programs a page, optionally storing its contents.
+    ///
+    /// Returns the program latency (tPROG).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range or the page is not free.
+    pub fn program_page(
+        &mut self,
+        addr: PhysicalPageAddr,
+        data: Option<Vec<u8>>,
+    ) -> Result<SimDuration, NandError> {
+        if !self.geometry.contains(addr) {
+            return Err(NandError::OutOfRange(addr));
+        }
+        let idx = self.geometry.page_index(addr);
+        if self.state(idx) != PageState::Free {
+            return Err(NandError::ProgramOnUsedPage(addr));
+        }
+        self.states.insert(idx, PageState::Valid);
+        if let Some(d) = data {
+            self.contents.insert(idx, d);
+        }
+        Ok(self.timing.t_prog)
+    }
+
+    /// Reads a page.
+    ///
+    /// Returns the read latency (tR) and the stored contents if the page was
+    /// materialized.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range or the page was never programmed.
+    pub fn read_page(
+        &mut self,
+        addr: PhysicalPageAddr,
+    ) -> Result<(SimDuration, Option<&[u8]>), NandError> {
+        if !self.geometry.contains(addr) {
+            return Err(NandError::OutOfRange(addr));
+        }
+        let idx = self.geometry.page_index(addr);
+        if self.state(idx) == PageState::Free {
+            return Err(NandError::ReadOfFreePage(addr));
+        }
+        let block_idx = idx / self.geometry.pages_per_block as u64;
+        *self.read_counts.entry(block_idx).or_insert(0) += 1;
+        Ok((
+            self.timing.t_read,
+            self.contents.get(&idx).map(|v| v.as_slice()),
+        ))
+    }
+
+    /// Marks a valid page invalid (out-of-place update or trim).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn invalidate_page(&mut self, addr: PhysicalPageAddr) -> Result<(), NandError> {
+        if !self.geometry.contains(addr) {
+            return Err(NandError::OutOfRange(addr));
+        }
+        let idx = self.geometry.page_index(addr);
+        if self.state(idx) == PageState::Valid {
+            self.states.insert(idx, PageState::Invalid);
+        }
+        Ok(())
+    }
+
+    /// Erases a block, freeing all of its pages.
+    ///
+    /// Returns the erase latency.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the block address is out of range.
+    pub fn erase_block(&mut self, block: PhysicalBlockAddr) -> Result<SimDuration, NandError> {
+        let first_page = block.page(0);
+        if !self.geometry.contains(first_page) {
+            return Err(NandError::OutOfRange(first_page));
+        }
+        let start = self.geometry.page_index(first_page);
+        for p in 0..self.geometry.pages_per_block as u64 {
+            self.states.remove(&(start + p));
+            self.contents.remove(&(start + p));
+        }
+        let block_idx = start / self.geometry.pages_per_block as u64;
+        *self.erase_counts.entry(block_idx).or_insert(0) += 1;
+        self.read_counts.insert(block_idx, 0);
+        Ok(self.timing.t_erase)
+    }
+
+    /// Number of valid pages in the array.
+    pub fn valid_pages(&self) -> u64 {
+        self.states
+            .values()
+            .filter(|s| **s == PageState::Valid)
+            .count() as u64
+    }
+
+    /// Number of invalid pages awaiting garbage collection.
+    pub fn invalid_pages(&self) -> u64 {
+        self.states
+            .values()
+            .filter(|s| **s == PageState::Invalid)
+            .count() as u64
+    }
+
+    /// Number of free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.geometry.total_pages() - self.states.len() as u64
+    }
+
+    /// Total erase operations performed (wear proxy).
+    pub fn total_erases(&self) -> u64 {
+        self.erase_counts.values().sum()
+    }
+
+    /// Read count of a block since its last erase (read-disturb proxy, the
+    /// per-block access count MegIS FTL must keep during ISP, §4.5).
+    pub fn block_read_count(&self, block: PhysicalBlockAddr) -> u64 {
+        let idx = self.geometry.page_index(block.page(0)) / self.geometry.pages_per_block as u64;
+        self.read_counts.get(&idx).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::ByteSize;
+
+    fn array() -> FlashArray {
+        FlashArray::new(
+            Geometry {
+                channels: 2,
+                dies_per_channel: 2,
+                planes_per_die: 2,
+                blocks_per_plane: 4,
+                pages_per_block: 8,
+                page_size: ByteSize::from_kib(16),
+            },
+            NandTiming::default(),
+        )
+    }
+
+    fn addr(channel: u32, page: u32) -> PhysicalPageAddr {
+        PhysicalPageAddr {
+            channel,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page,
+        }
+    }
+
+    #[test]
+    fn program_then_read_returns_data_and_latency() {
+        let mut a = array();
+        let t = a.program_page(addr(0, 0), Some(vec![7u8; 16])).unwrap();
+        assert!((t.as_micros() - 700.0).abs() < 1e-9);
+        let (tr, data) = a.read_page(addr(0, 0)).unwrap();
+        assert!((tr.as_micros() - 52.5).abs() < 1e-9);
+        assert_eq!(data, Some(&[7u8; 16][..]));
+    }
+
+    #[test]
+    fn program_without_data_reads_back_none() {
+        let mut a = array();
+        a.program_page(addr(0, 1), None).unwrap();
+        let (_, data) = a.read_page(addr(0, 1)).unwrap();
+        assert!(data.is_none());
+    }
+
+    #[test]
+    fn double_program_is_rejected() {
+        let mut a = array();
+        a.program_page(addr(0, 0), None).unwrap();
+        assert!(matches!(
+            a.program_page(addr(0, 0), None),
+            Err(NandError::ProgramOnUsedPage(_))
+        ));
+    }
+
+    #[test]
+    fn read_of_free_page_is_rejected() {
+        let mut a = array();
+        assert!(matches!(
+            a.read_page(addr(1, 3)),
+            Err(NandError::ReadOfFreePage(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut a = array();
+        let bad = PhysicalPageAddr {
+            channel: 9,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        assert!(matches!(a.program_page(bad, None), Err(NandError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn erase_frees_pages_and_counts_wear() {
+        let mut a = array();
+        for p in 0..8 {
+            a.program_page(addr(0, p), None).unwrap();
+        }
+        assert_eq!(a.valid_pages(), 8);
+        let blk = addr(0, 0).block_addr();
+        let t = a.erase_block(blk).unwrap();
+        assert!(t.as_millis() > 1.0);
+        assert_eq!(a.valid_pages(), 0);
+        assert_eq!(a.total_erases(), 1);
+        // Page can be programmed again after erase.
+        a.program_page(addr(0, 0), None).unwrap();
+    }
+
+    #[test]
+    fn invalidate_and_counts() {
+        let mut a = array();
+        a.program_page(addr(0, 0), None).unwrap();
+        a.program_page(addr(0, 1), None).unwrap();
+        a.invalidate_page(addr(0, 0)).unwrap();
+        assert_eq!(a.valid_pages(), 1);
+        assert_eq!(a.invalid_pages(), 1);
+        assert!(a.free_pages() > 0);
+    }
+
+    #[test]
+    fn read_disturb_counter_tracks_reads_and_resets_on_erase() {
+        let mut a = array();
+        a.program_page(addr(0, 0), None).unwrap();
+        let blk = addr(0, 0).block_addr();
+        for _ in 0..5 {
+            a.read_page(addr(0, 0)).unwrap();
+        }
+        assert_eq!(a.block_read_count(blk), 5);
+        a.erase_block(blk).unwrap();
+        assert_eq!(a.block_read_count(blk), 0);
+    }
+}

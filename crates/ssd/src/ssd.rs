@@ -1,0 +1,399 @@
+//! The assembled SSD device: flash array + FTL + internal DRAM + interface.
+//!
+//! [`Ssd`] exposes the access-timing primitives every higher-level model in
+//! the workspace is built on: sequential and random reads, internal (ISP-side)
+//! and external (host-side) transfers, and writes. It also provides a small
+//! named-object store used by functional tests and by the database placement
+//! logic.
+
+use std::collections::HashMap;
+
+use crate::config::SsdConfig;
+use crate::dram::InternalDram;
+use crate::ftl::{FtlError, Lpa, PageLevelFtl};
+use crate::interface::HostInterface;
+use crate::nand::FlashArray;
+use crate::timing::{ByteSize, SimDuration};
+
+/// Outcome of one modeled access: how many bytes moved and how long it took.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessSummary {
+    /// Bytes transferred.
+    pub bytes: ByteSize,
+    /// Time taken.
+    pub time: SimDuration,
+}
+
+impl AccessSummary {
+    /// Combines two accesses performed back to back.
+    pub fn then(self, other: AccessSummary) -> AccessSummary {
+        AccessSummary {
+            bytes: self.bytes + other.bytes,
+            time: self.time + other.time,
+        }
+    }
+
+    /// Combines two accesses performed concurrently (bytes add, time is the
+    /// maximum).
+    pub fn overlapped_with(self, other: AccessSummary) -> AccessSummary {
+        AccessSummary {
+            bytes: self.bytes + other.bytes,
+            time: self.time.max(other.time),
+        }
+    }
+
+    /// Effective throughput in bytes/s (zero for zero-duration accesses).
+    pub fn throughput(&self) -> f64 {
+        if self.time.is_zero() {
+            0.0
+        } else {
+            self.bytes.as_bytes() as f64 / self.time.as_secs()
+        }
+    }
+}
+
+/// A stored named object (e.g. a k-mer database) on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectHandle {
+    start_lpa: u64,
+    pages: u64,
+    bytes: u64,
+}
+
+impl ObjectHandle {
+    /// Size of the stored object.
+    pub fn size(&self) -> ByteSize {
+        ByteSize::from_bytes(self.bytes)
+    }
+
+    /// Number of flash pages the object occupies.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// First logical page address of the object.
+    pub fn start_lpa(&self) -> Lpa {
+        Lpa(self.start_lpa)
+    }
+}
+
+/// Conflict model for random accesses served from inside the SSD: random
+/// page reads collide on channels and dies, so only a fraction of the
+/// internal bandwidth is achievable (the reason R-Qry-style tools are a poor
+/// fit for ISP, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomAccessModel {
+    /// Fraction of internal bandwidth achievable under random access due to
+    /// channel/die conflicts.
+    pub conflict_efficiency: f64,
+}
+
+impl Default for RandomAccessModel {
+    fn default() -> Self {
+        RandomAccessModel {
+            conflict_efficiency: 0.4,
+        }
+    }
+}
+
+/// A simulated SSD device.
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    config: SsdConfig,
+    flash: FlashArray,
+    ftl: PageLevelFtl,
+    dram: InternalDram,
+    interface: HostInterface,
+    random_model: RandomAccessModel,
+    objects: HashMap<String, ObjectHandle>,
+    next_lpa: u64,
+    total_bytes_read_internal: u64,
+    total_bytes_transferred_external: u64,
+}
+
+impl Ssd {
+    /// Creates an SSD from a configuration.
+    pub fn new(config: SsdConfig) -> Ssd {
+        let interface = HostInterface::new(config.interface);
+        let flash = FlashArray::new(config.geometry, config.nand_timing);
+        let ftl = PageLevelFtl::new(config.geometry);
+        let dram = InternalDram::new(config.dram);
+        Ssd {
+            config,
+            flash,
+            ftl,
+            dram,
+            interface,
+            random_model: RandomAccessModel::default(),
+            objects: HashMap::new(),
+            next_lpa: 0,
+            total_bytes_read_internal: 0,
+            total_bytes_transferred_external: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// The host interface model.
+    pub fn interface(&self) -> &HostInterface {
+        &self.interface
+    }
+
+    /// The internal DRAM.
+    pub fn dram(&self) -> &InternalDram {
+        &self.dram
+    }
+
+    /// Mutable access to the internal DRAM (for ISP buffer reservations).
+    pub fn dram_mut(&mut self) -> &mut InternalDram {
+        &mut self.dram
+    }
+
+    /// The baseline page-level FTL.
+    pub fn ftl(&self) -> &PageLevelFtl {
+        &self.ftl
+    }
+
+    /// The functional flash array.
+    pub fn flash(&self) -> &FlashArray {
+        &self.flash
+    }
+
+    /// Overrides the random-access conflict model.
+    pub fn set_random_access_model(&mut self, model: RandomAccessModel) {
+        self.random_model = model;
+    }
+
+    /// Total bytes read from the flash array (internal side) so far.
+    pub fn bytes_read_internal(&self) -> ByteSize {
+        ByteSize::from_bytes(self.total_bytes_read_internal)
+    }
+
+    /// Total bytes moved over the host interface so far (both directions).
+    pub fn bytes_transferred_external(&self) -> ByteSize {
+        ByteSize::from_bytes(self.total_bytes_transferred_external)
+    }
+
+    // ----- timing primitives ------------------------------------------------
+
+    /// Sequential read of `size` bytes delivered to the host over the
+    /// external interface (bounded by the slower of interface and internal
+    /// bandwidth).
+    pub fn read_sequential_external(&mut self, size: ByteSize) -> AccessSummary {
+        let bw = self.config.external_read_bandwidth();
+        self.total_bytes_read_internal += size.as_bytes();
+        self.total_bytes_transferred_external += size.as_bytes();
+        AccessSummary {
+            bytes: size,
+            time: size.time_at(bw),
+        }
+    }
+
+    /// Sequential read of `size` bytes consumed *inside* the SSD (ISP): uses
+    /// the full internal bandwidth and never crosses the host interface.
+    pub fn read_sequential_internal(&mut self, size: ByteSize) -> AccessSummary {
+        let bw = self.config.internal_read_bandwidth();
+        self.total_bytes_read_internal += size.as_bytes();
+        AccessSummary {
+            bytes: size,
+            time: size.time_at(bw),
+        }
+    }
+
+    /// Random reads of `requests` × `request_size` delivered to the host.
+    pub fn read_random_external(&mut self, requests: u64, request_size: ByteSize) -> AccessSummary {
+        let time = self.interface.random_read_time(requests, request_size);
+        let bytes = ByteSize::from_bytes(requests * request_size.as_bytes());
+        // Each random request still reads a whole flash page internally.
+        self.total_bytes_read_internal += requests * self.config.geometry.page_size.as_bytes();
+        self.total_bytes_transferred_external += bytes.as_bytes();
+        AccessSummary { bytes, time }
+    }
+
+    /// Random reads of `requests` × `request_size` consumed inside the SSD.
+    ///
+    /// Each request reads a full flash page; channel/die conflicts limit the
+    /// achievable throughput to a fraction of the internal bandwidth.
+    pub fn read_random_internal(&mut self, requests: u64, request_size: ByteSize) -> AccessSummary {
+        let page = self.config.geometry.page_size;
+        let raw_bytes = requests * page.as_bytes();
+        let effective_bw =
+            self.config.internal_read_bandwidth() * self.random_model.conflict_efficiency;
+        self.total_bytes_read_internal += raw_bytes;
+        AccessSummary {
+            bytes: ByteSize::from_bytes(requests * request_size.as_bytes()),
+            time: ByteSize::from_bytes(raw_bytes).time_at(effective_bw),
+        }
+    }
+
+    /// Sequential write of `size` bytes arriving from the host.
+    pub fn write_sequential_external(&mut self, size: ByteSize) -> AccessSummary {
+        let bw = self.config.external_write_bandwidth();
+        self.total_bytes_transferred_external += size.as_bytes();
+        AccessSummary {
+            bytes: size,
+            time: size.time_at(bw),
+        }
+    }
+
+    /// Transfer of `size` bytes from the host into the SSD's internal DRAM
+    /// (not written to flash) — how MegIS receives query k-mer batches.
+    pub fn transfer_to_dram(&mut self, size: ByteSize) -> AccessSummary {
+        let bw = self
+            .config
+            .interface
+            .sequential_write_bandwidth()
+            .min(self.config.dram.bandwidth);
+        self.total_bytes_transferred_external += size.as_bytes();
+        AccessSummary {
+            bytes: size,
+            time: size.time_at(bw),
+        }
+    }
+
+    /// Transfer of `size` bytes of results from the SSD to the host.
+    pub fn transfer_to_host(&mut self, size: ByteSize) -> AccessSummary {
+        let bw = self.config.interface.sequential_read_bandwidth();
+        self.total_bytes_transferred_external += size.as_bytes();
+        AccessSummary {
+            bytes: size,
+            time: size.time_at(bw),
+        }
+    }
+
+    // ----- named object store ----------------------------------------------
+
+    /// Stores a named object of `size` bytes sequentially on the device
+    /// (allocating flash pages through the FTL) and returns the write timing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device does not have enough free pages.
+    pub fn store_object(&mut self, name: &str, size: ByteSize) -> Result<AccessSummary, FtlError> {
+        let pages = self.config.geometry.pages_for(size);
+        let start = self.next_lpa;
+        for i in 0..pages {
+            self.ftl.write(Lpa(start + i))?;
+        }
+        self.next_lpa += pages;
+        let handle = ObjectHandle {
+            start_lpa: start,
+            pages,
+            bytes: size.as_bytes(),
+        };
+        self.objects.insert(name.to_string(), handle);
+        Ok(self.write_sequential_external(size))
+    }
+
+    /// Looks up a stored object.
+    pub fn object(&self, name: &str) -> Option<ObjectHandle> {
+        self.objects.get(name).copied()
+    }
+
+    /// Reads a stored object sequentially for in-storage processing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object does not exist.
+    pub fn read_object_internal(&mut self, name: &str) -> AccessSummary {
+        let handle = self.objects[name];
+        self.read_sequential_internal(handle.size())
+    }
+
+    /// Reads a stored object sequentially out to the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object does not exist.
+    pub fn read_object_external(&mut self, name: &str) -> AccessSummary {
+        let handle = self.objects[name];
+        self.read_sequential_external(handle.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+
+    #[test]
+    fn internal_read_is_faster_than_external() {
+        let mut ssd = Ssd::new(SsdConfig::ssd_c());
+        let size = ByteSize::from_gb(100.0);
+        let internal = ssd.read_sequential_internal(size);
+        let external = ssd.read_sequential_external(size);
+        assert!(internal.time < external.time);
+        // SSD-C: 9.6 GB/s internal vs 0.56 GB/s external → ~17× gap.
+        assert!(external.time / internal.time > 15.0);
+    }
+
+    #[test]
+    fn ssd_p_narrows_but_keeps_the_gap() {
+        let mut ssd = Ssd::new(SsdConfig::ssd_p());
+        let size = ByteSize::from_gb(100.0);
+        let internal = ssd.read_sequential_internal(size);
+        let external = ssd.read_sequential_external(size);
+        let gap = external.time / internal.time;
+        assert!(gap > 2.0 && gap < 4.0, "expected ~2.7× gap, got {gap}");
+    }
+
+    #[test]
+    fn random_internal_pays_conflicts_and_page_amplification() {
+        let mut ssd = Ssd::new(SsdConfig::ssd_c());
+        let requests = 1_000_000;
+        let seq = ssd.read_sequential_internal(ByteSize::from_bytes(requests * 4096));
+        let rand = ssd.read_random_internal(requests, ByteSize::from_kib(4));
+        assert!(rand.time.as_secs() > 5.0 * seq.time.as_secs());
+    }
+
+    #[test]
+    fn throughput_reporting() {
+        let mut ssd = Ssd::new(SsdConfig::ssd_p());
+        let s = ssd.read_sequential_external(ByteSize::from_gb(7.0));
+        assert!((s.throughput() - 7e9).abs() < 1e7);
+    }
+
+    #[test]
+    fn access_summary_composition() {
+        let a = AccessSummary {
+            bytes: ByteSize::from_gb(1.0),
+            time: SimDuration::from_secs(1.0),
+        };
+        let b = AccessSummary {
+            bytes: ByteSize::from_gb(2.0),
+            time: SimDuration::from_secs(3.0),
+        };
+        assert_eq!(a.then(b).time.as_secs(), 4.0);
+        assert_eq!(a.overlapped_with(b).time.as_secs(), 3.0);
+        assert_eq!(a.then(b).bytes.as_gb(), 3.0);
+    }
+
+    #[test]
+    fn object_store_roundtrip_and_accounting() {
+        let mut ssd = Ssd::new(SsdConfig::ssd_c());
+        let size = ByteSize::from_gb(1.0);
+        ssd.store_object("db", size).unwrap();
+        let handle = ssd.object("db").unwrap();
+        assert_eq!(handle.size(), size);
+        assert_eq!(handle.pages(), size.div_ceil(ByteSize::from_kib(16)));
+        let internal = ssd.read_object_internal("db");
+        assert_eq!(internal.bytes, size);
+        assert!(ssd.bytes_read_internal().as_bytes() >= size.as_bytes());
+        let before = ssd.bytes_transferred_external();
+        ssd.read_object_external("db");
+        assert!(ssd.bytes_transferred_external() > before);
+    }
+
+    #[test]
+    fn dram_transfer_paths() {
+        let mut ssd = Ssd::new(SsdConfig::ssd_p());
+        let batch = ByteSize::from_mib(1);
+        let to_dram = ssd.transfer_to_dram(batch);
+        let to_host = ssd.transfer_to_host(batch);
+        assert!(to_dram.time.as_secs() > 0.0);
+        assert!(to_host.time.as_secs() > 0.0);
+    }
+}

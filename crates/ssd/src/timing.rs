@@ -1,0 +1,336 @@
+//! Simulation time and data-size value types.
+//!
+//! The performance models in this workspace compose durations and byte counts
+//! from many sources (flash array timing, channel bandwidth, interface
+//! bandwidth, host compute throughput). These newtypes keep units explicit.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time.
+///
+/// Internally a non-negative `f64` number of seconds; constructors exist for
+/// the units that appear in SSD datasheets (µs for flash reads, ms, s).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimDuration(f64);
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or NaN.
+    pub fn from_secs(secs: f64) -> SimDuration {
+        assert!(secs >= 0.0 && secs.is_finite(), "duration must be non-negative and finite");
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> SimDuration {
+        SimDuration::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(us: f64) -> SimDuration {
+        SimDuration::from_secs(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub fn from_nanos(ns: f64) -> SimDuration {
+        SimDuration::from_secs(ns * 1e-9)
+    }
+
+    /// The duration in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The duration in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The duration in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The larger of two durations (used when pipelined stages overlap and
+    /// the slower stage determines throughput).
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction (never goes below zero).
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration((self.0 - other.0).max(0.0))
+    }
+
+    /// Returns `true` if the duration is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use
+    /// [`SimDuration::saturating_sub`] when that is expected.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    /// Ratio of two durations (e.g. speedup computations).
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3} s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3} us", self.0 * 1e6)
+        }
+    }
+}
+
+/// A number of bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size from a raw byte count.
+    pub fn from_bytes(bytes: u64) -> ByteSize {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size from binary kibibytes.
+    pub fn from_kib(kib: u64) -> ByteSize {
+        ByteSize(kib * 1024)
+    }
+
+    /// Creates a size from binary mebibytes.
+    pub fn from_mib(mib: u64) -> ByteSize {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// Creates a size from binary gibibytes.
+    pub fn from_gib(gib: u64) -> ByteSize {
+        ByteSize(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Creates a size from decimal gigabytes (what SSD datasheets and the
+    /// paper's database sizes use).
+    pub fn from_gb(gb: f64) -> ByteSize {
+        assert!(gb >= 0.0 && gb.is_finite());
+        ByteSize((gb * 1e9) as u64)
+    }
+
+    /// Creates a size from decimal terabytes.
+    pub fn from_tb(tb: f64) -> ByteSize {
+        ByteSize::from_gb(tb * 1000.0)
+    }
+
+    /// The raw byte count.
+    pub fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size in decimal gigabytes.
+    pub fn as_gb(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The size in binary gibibytes.
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two sizes.
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.max(other.0))
+    }
+
+    /// The smaller of two sizes.
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.min(other.0))
+    }
+
+    /// Time to move this many bytes at `bytes_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not positive.
+    pub fn time_at(self, bytes_per_sec: f64) -> SimDuration {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        SimDuration::from_secs(self.0 as f64 / bytes_per_sec)
+    }
+
+    /// Number of whole `chunk`-sized pieces needed to hold this size.
+    pub fn div_ceil(self, chunk: ByteSize) -> u64 {
+        assert!(chunk.0 > 0);
+        self.0.div_ceil(chunk.0)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= 1e12 {
+            write!(f, "{:.2} TB", b / 1e12)
+        } else if b >= 1e9 {
+            write!(f, "{:.2} GB", b / 1e9)
+        } else if b >= 1e6 {
+            write!(f, "{:.2} MB", b / 1e6)
+        } else if b >= 1e3 {
+            write!(f, "{:.2} KB", b / 1e3)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_millis(1500.0).as_secs(), 1.5);
+        assert!((SimDuration::from_micros(52.5).as_secs() - 52.5e-6).abs() < 1e-12);
+        assert!((SimDuration::from_nanos(10.0).as_micros() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(2.0);
+        let b = SimDuration::from_secs(0.5);
+        assert_eq!((a + b).as_secs(), 2.5);
+        assert_eq!((a - b).as_secs(), 1.5);
+        assert_eq!((a * 3.0).as_secs(), 6.0);
+        assert_eq!((a / 4.0).as_secs(), 0.5);
+        assert_eq!(a / b, 4.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs(1.0) - SimDuration::from_secs(2.0);
+    }
+
+    #[test]
+    fn duration_sum_and_display() {
+        let total: SimDuration = [1.0, 2.0, 3.0].iter().map(|s| SimDuration::from_secs(*s)).sum();
+        assert_eq!(total.as_secs(), 6.0);
+        assert_eq!(format!("{}", SimDuration::from_micros(52.5)), "52.500 us");
+        assert_eq!(format!("{}", SimDuration::from_secs(2.0)), "2.000 s");
+    }
+
+    #[test]
+    fn bytesize_constructors() {
+        assert_eq!(ByteSize::from_kib(16).as_bytes(), 16384);
+        assert_eq!(ByteSize::from_gb(1.0).as_bytes(), 1_000_000_000);
+        assert_eq!(ByteSize::from_tb(4.0).as_gb(), 4000.0);
+        assert_eq!(ByteSize::from_gib(1).as_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn bytesize_time_at_bandwidth() {
+        let t = ByteSize::from_gb(7.0).time_at(7e9);
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytesize_div_ceil_and_display() {
+        assert_eq!(ByteSize::from_bytes(100).div_ceil(ByteSize::from_bytes(30)), 4);
+        assert_eq!(format!("{}", ByteSize::from_gb(293.0)), "293.00 GB");
+        assert_eq!(format!("{}", ByteSize::from_bytes(512)), "512 B");
+    }
+}

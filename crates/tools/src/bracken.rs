@@ -1,0 +1,123 @@
+//! Bracken-style species-level abundance re-estimation.
+//!
+//! Kraken-style classification assigns some reads to internal taxonomy nodes
+//! (e.g. a genus) when their k-mers are shared between sibling species.
+//! Bracken redistributes those higher-rank assignments down to species,
+//! proportionally to the species-level read counts already observed within
+//! each clade, producing the species-level abundance profile used by the
+//! P-Opt baseline's abundance-estimation pipeline (§5).
+
+use std::collections::HashMap;
+
+use megis_genomics::profile::AbundanceProfile;
+use megis_genomics::taxonomy::{Rank, TaxId, Taxonomy};
+
+/// Redistributes per-read taxon assignments to species-level counts.
+///
+/// Reads assigned directly to species keep their assignment. Reads assigned
+/// to an internal node are split across that node's descendant species in
+/// proportion to the species' direct counts (or evenly when no descendant has
+/// direct counts). Unclassified reads (`None`) are dropped.
+pub fn redistribute(
+    assignments: &[Option<TaxId>],
+    taxonomy: &Taxonomy,
+) -> AbundanceProfile {
+    let mut species_counts: HashMap<TaxId, f64> = HashMap::new();
+    let mut internal_counts: HashMap<TaxId, u64> = HashMap::new();
+
+    for assignment in assignments.iter().flatten() {
+        if taxonomy.rank(*assignment) == Some(Rank::Species) {
+            *species_counts.entry(*assignment).or_insert(0.0) += 1.0;
+        } else {
+            *internal_counts.entry(*assignment).or_insert(0) += 1;
+        }
+    }
+
+    // Redistribute internal-node counts to their descendant species.
+    let all_species = taxonomy.ids_at_rank(Rank::Species);
+    for (node, count) in internal_counts {
+        let descendants: Vec<TaxId> = all_species
+            .iter()
+            .copied()
+            .filter(|s| taxonomy.lineage(*s).contains(&node))
+            .collect();
+        if descendants.is_empty() {
+            continue;
+        }
+        let direct_total: f64 = descendants
+            .iter()
+            .map(|s| species_counts.get(s).copied().unwrap_or(0.0))
+            .sum();
+        for s in &descendants {
+            let share = if direct_total > 0.0 {
+                species_counts.get(s).copied().unwrap_or(0.0) / direct_total
+            } else {
+                1.0 / descendants.len() as f64
+            };
+            *species_counts.entry(*s).or_insert(0.0) += count as f64 * share;
+        }
+    }
+
+    AbundanceProfile::from_fractions(species_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taxonomy() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.add_node(TaxId(1), TaxId::ROOT, Rank::Domain, "D");
+        t.add_node(TaxId(10), TaxId(1), Rank::Genus, "G1");
+        t.add_node(TaxId(11), TaxId(10), Rank::Species, "S11");
+        t.add_node(TaxId(12), TaxId(10), Rank::Species, "S12");
+        t.add_node(TaxId(20), TaxId(1), Rank::Genus, "G2");
+        t.add_node(TaxId(21), TaxId(20), Rank::Species, "S21");
+        t
+    }
+
+    #[test]
+    fn species_assignments_pass_through() {
+        let t = taxonomy();
+        let assignments = vec![Some(TaxId(11)), Some(TaxId(11)), Some(TaxId(21)), None];
+        let profile = redistribute(&assignments, &t);
+        assert!((profile.abundance(TaxId(11)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((profile.abundance(TaxId(21)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn genus_reads_follow_species_proportions() {
+        let t = taxonomy();
+        // 3 reads at S11, 1 read at S12, 4 reads at genus G1.
+        let mut assignments = vec![Some(TaxId(11)); 3];
+        assignments.push(Some(TaxId(12)));
+        assignments.extend(vec![Some(TaxId(10)); 4]);
+        let profile = redistribute(&assignments, &t);
+        // S11 gets 3 + 4*(3/4) = 6, S12 gets 1 + 4*(1/4) = 2 → 0.75 / 0.25.
+        assert!((profile.abundance(TaxId(11)) - 0.75).abs() < 1e-12);
+        assert!((profile.abundance(TaxId(12)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn genus_reads_split_evenly_without_direct_counts() {
+        let t = taxonomy();
+        let assignments = vec![Some(TaxId(10)); 4];
+        let profile = redistribute(&assignments, &t);
+        assert!((profile.abundance(TaxId(11)) - 0.5).abs() < 1e-12);
+        assert!((profile.abundance(TaxId(12)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unclassified_reads_are_ignored() {
+        let t = taxonomy();
+        let profile = redistribute(&[None, None, Some(TaxId(11))], &t);
+        assert_eq!(profile.len(), 1);
+        assert!((profile.abundance(TaxId(11)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_profile() {
+        let t = taxonomy();
+        assert!(redistribute(&[], &t).is_empty());
+    }
+}

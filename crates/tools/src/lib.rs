@@ -1,0 +1,36 @@
+//! Baseline metagenomic analysis tools for the MegIS reproduction.
+//!
+//! The paper compares MegIS against three baselines (§5):
+//!
+//! * **P-Opt** — the performance-optimized, random-access (R-Qry) flow:
+//!   a Kraken2-style hash-table classifier plus Bracken-style abundance
+//!   re-estimation ([`kraken`], [`bracken`]),
+//! * **A-Opt** — the accuracy-optimized, streaming (S-Qry) flow: Metalign-style
+//!   analysis built from KMC-style k-mer counting, sorted-database
+//!   intersection, CMash-style ternary-search-tree sketch lookups, and
+//!   mapping-based abundance ([`metalign`], [`kmc`], [`ternary`]),
+//! * **PIM** — the Sieve-accelerated Kraken2 pipeline, which removes the
+//!   k-mer-matching compute bottleneck but still pays the database-load I/O
+//!   ([`pim`]).
+//!
+//! Each baseline has both a *functional* implementation (runs on real
+//! in-memory synthetic data; used for accuracy and correctness) and a *timed*
+//! model (paper-scale workloads on a [`workload::WorkloadSpec`]; used by the
+//! figure harness). The shared workload description and timing-breakdown
+//! types live in [`workload`] and [`timing`].
+
+pub mod bracken;
+pub mod kmc;
+pub mod kraken;
+pub mod metalign;
+pub mod pim;
+pub mod ternary;
+pub mod timing;
+pub mod workload;
+
+pub use kraken::{KrakenClassifier, KrakenTimingModel};
+pub use metalign::{MetalignClassifier, MetalignTimingModel, TaxIdRetrieval};
+pub use pim::PimAcceleratedKraken;
+pub use ternary::TernarySketchTree;
+pub use timing::Breakdown;
+pub use workload::WorkloadSpec;

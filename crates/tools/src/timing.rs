@@ -1,0 +1,149 @@
+//! Timing breakdowns shared by all timed models.
+//!
+//! Every timed analysis model in the workspace (the baselines in this crate
+//! and the MegIS configurations in the `megis` core crate) reports its result
+//! as a [`Breakdown`]: a list of named phases with durations, plus I/O
+//! accounting used by the energy model and the data-movement analysis (§6.5).
+
+use megis_ssd::timing::{ByteSize, SimDuration};
+
+/// One named phase of an analysis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name (e.g. "k-mer extraction", "intersection finding").
+    pub name: String,
+    /// Wall-clock duration of the phase (after any overlap has been applied).
+    pub duration: SimDuration,
+}
+
+/// A timing breakdown of one end-to-end analysis run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Breakdown {
+    /// Tool/configuration label.
+    pub label: String,
+    /// The phases, in execution order.
+    pub phases: Vec<Phase>,
+    /// Bytes moved over the host–SSD interface (external I/O).
+    pub external_io: ByteSize,
+    /// Bytes read from flash but consumed inside the SSD (ISP traffic).
+    pub internal_io: ByteSize,
+    /// Portion of the total during which the host CPU is busy.
+    pub host_busy: SimDuration,
+    /// Portion of the total during which the SSD (flash array or ISP logic)
+    /// is busy.
+    pub ssd_busy: SimDuration,
+    /// Portion of the total during which an attached accelerator (PIM,
+    /// sorting, or mapping accelerator) is busy.
+    pub accelerator_busy: SimDuration,
+}
+
+impl Breakdown {
+    /// Creates an empty breakdown with a label.
+    pub fn new(label: impl Into<String>) -> Breakdown {
+        Breakdown {
+            label: label.into(),
+            ..Breakdown::default()
+        }
+    }
+
+    /// Appends a phase.
+    pub fn push_phase(&mut self, name: impl Into<String>, duration: SimDuration) {
+        self.phases.push(Phase {
+            name: name.into(),
+            duration,
+        });
+    }
+
+    /// Total wall-clock time (sum of phases).
+    pub fn total(&self) -> SimDuration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Duration of a phase by name, if present.
+    pub fn phase(&self, name: &str) -> Option<SimDuration> {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.duration)
+    }
+
+    /// Throughput in queries (reads) per second for a sample of `reads` reads.
+    pub fn queries_per_sec(&self, reads: u64) -> f64 {
+        let t = self.total().as_secs();
+        if t == 0.0 {
+            0.0
+        } else {
+            reads as f64 / t
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` (baseline time / this time).
+    pub fn speedup_over(&self, baseline: &Breakdown) -> f64 {
+        baseline.total() / self.total()
+    }
+
+    /// Formats the breakdown as a fixed-width report table row set.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.label));
+        for p in &self.phases {
+            out.push_str(&format!("  {:<38} {:>12}\n", p.name, format!("{}", p.duration)));
+        }
+        out.push_str(&format!("  {:<38} {:>12}\n", "TOTAL", format!("{}", self.total())));
+        out
+    }
+}
+
+/// Geometric mean of a slice of positive values (used for the "GMean" columns
+/// of the paper's figures).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    assert!(values.iter().all(|v| *v > 0.0), "values must be positive");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_breakdown() -> Breakdown {
+        let mut b = Breakdown::new("test");
+        b.push_phase("load", SimDuration::from_secs(10.0));
+        b.push_phase("classify", SimDuration::from_secs(30.0));
+        b
+    }
+
+    #[test]
+    fn total_and_phase_lookup() {
+        let b = sample_breakdown();
+        assert_eq!(b.total().as_secs(), 40.0);
+        assert_eq!(b.phase("load").unwrap().as_secs(), 10.0);
+        assert!(b.phase("missing").is_none());
+    }
+
+    #[test]
+    fn throughput_and_speedup() {
+        let b = sample_breakdown();
+        assert_eq!(b.queries_per_sec(4000), 100.0);
+        let mut faster = Breakdown::new("faster");
+        faster.push_phase("all", SimDuration::from_secs(8.0));
+        assert_eq!(faster.speedup_over(&b), 5.0);
+    }
+
+    #[test]
+    fn table_contains_phases_and_total() {
+        let t = sample_breakdown().to_table();
+        assert!(t.contains("classify"));
+        assert!(t.contains("TOTAL"));
+    }
+
+    #[test]
+    fn geometric_mean_of_known_values() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geometric_mean_rejects_empty() {
+        geometric_mean(&[]);
+    }
+}

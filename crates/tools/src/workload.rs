@@ -1,0 +1,187 @@
+//! Paper-scale workload descriptions.
+//!
+//! A [`WorkloadSpec`] captures everything the timed models need to know about
+//! one evaluation workload: the query sample (CAMI-L/M/H, 100 M reads each),
+//! the database sizes each tool uses (§5: 293 GB for Kraken2, 701 GB k-mer
+//! database + 6.9 GB sketch tree for Metalign, 14 GB KSS tables for MegIS),
+//! and the derived k-mer set sizes of §4.2.
+
+use megis_genomics::sample::{Diversity, PaperScale};
+use megis_ssd::timing::ByteSize;
+
+/// Description of one paper-scale workload (sample + databases).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Human-readable label (e.g. "CAMI-M").
+    pub label: String,
+    /// Diversity preset the sample was drawn from.
+    pub diversity: Diversity,
+    /// Number of reads in the sample.
+    pub reads: u64,
+    /// Read length in bases.
+    pub read_len: u64,
+    /// k-mer size used by the R-Qry (Kraken2-style) tool.
+    pub kraken_k: u64,
+    /// k-mer size used by the S-Qry (Metalign-style) tool and MegIS.
+    pub metalign_k: u64,
+    /// R-Qry hash-table database size (293 GB at 1× scale).
+    pub kraken_db: ByteSize,
+    /// S-Qry sorted k-mer database size (701 GB at 1× scale).
+    pub metalign_db: ByteSize,
+    /// CMash-style ternary sketch tree size (6.9 GB at 1× scale).
+    pub sketch_tree: ByteSize,
+    /// MegIS K-mer Sketch Streaming table size (14 GB at 1× scale).
+    pub kss_tables: ByteSize,
+    /// Per-species reference index volume that Step 3 merges for the
+    /// candidate species of this sample.
+    pub candidate_reference_indexes: ByteSize,
+    /// Bytes of k-mers extracted from the sample before exclusion (~60 GB).
+    pub extracted_kmer_bytes: ByteSize,
+    /// Bytes of k-mers that proceed to intersection after exclusion (~6.5 GB).
+    pub selected_kmer_bytes: ByteSize,
+    /// Number of k-mers extracted before exclusion.
+    pub extracted_kmers: u64,
+    /// Number of k-mers sent to intersection after exclusion.
+    pub selected_kmers: u64,
+    /// Number of query k-mers that intersect the database (drives taxID
+    /// retrieval work; grows with sample diversity).
+    pub intersecting_kmers: u64,
+    /// Number of candidate species identified as present.
+    pub candidate_species: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's CAMI workload of the given diversity at 1× database scale.
+    pub fn cami(diversity: Diversity) -> WorkloadSpec {
+        let scale = PaperScale::for_diversity(diversity);
+        let metalign_k = 60;
+        let kmer_bytes = 2 * metalign_k / 8_u64; // 15 bytes per 60-mer
+        let extracted_kmers = scale.extracted_kmer_bytes / kmer_bytes;
+        let selected_kmers = scale.selected_kmer_bytes / kmer_bytes;
+        // The fraction of selected k-mers that hit the database grows with
+        // diversity (more distinct organisms → more genuine matches).
+        let hit_fraction = match diversity {
+            Diversity::Low => 0.55,
+            Diversity::Medium => 0.65,
+            Diversity::High => 0.75,
+        };
+        let species_in_db = 52_961.0;
+        let candidate_species = (species_in_db * diversity.species_fraction()) as u64;
+        WorkloadSpec {
+            label: diversity.label().to_string(),
+            diversity,
+            reads: scale.reads,
+            read_len: scale.read_len,
+            kraken_k: 35,
+            metalign_k,
+            kraken_db: ByteSize::from_gb(293.0),
+            metalign_db: ByteSize::from_gb(701.0),
+            sketch_tree: ByteSize::from_gb(6.9),
+            kss_tables: ByteSize::from_gb(14.0),
+            candidate_reference_indexes: ByteSize::from_gb(
+                candidate_species as f64 * 0.004, // ≈4 MB of index per species
+            ),
+            extracted_kmer_bytes: ByteSize::from_bytes(scale.extracted_kmer_bytes),
+            selected_kmer_bytes: ByteSize::from_bytes(scale.selected_kmer_bytes),
+            extracted_kmers,
+            selected_kmers,
+            intersecting_kmers: (selected_kmers as f64 * hit_fraction) as u64,
+            candidate_species,
+        }
+    }
+
+    /// All three CAMI workloads.
+    pub fn all_cami() -> Vec<WorkloadSpec> {
+        Diversity::ALL.iter().map(|d| WorkloadSpec::cami(*d)).collect()
+    }
+
+    /// Returns a copy with all database-side sizes scaled by `factor`
+    /// (the 1×/2×/3× database-size sweep of Fig. 14; the paper's headline
+    /// configuration corresponds to 3× of its 1× starting point, i.e. this
+    /// method is called on a spec whose sizes were divided accordingly).
+    pub fn with_database_scale(&self, factor: f64) -> WorkloadSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut w = self.clone();
+        w.label = format!("{} (db×{factor:.1})", self.label);
+        w.kraken_db = ByteSize::from_gb(self.kraken_db.as_gb() * factor);
+        w.metalign_db = ByteSize::from_gb(self.metalign_db.as_gb() * factor);
+        w.sketch_tree = ByteSize::from_gb(self.sketch_tree.as_gb() * factor);
+        w.kss_tables = ByteSize::from_gb(self.kss_tables.as_gb() * factor);
+        w.candidate_reference_indexes =
+            ByteSize::from_gb(self.candidate_reference_indexes.as_gb() * factor);
+        // A larger database also yields more intersecting k-mers and more
+        // candidate species (sub-linearly).
+        w.intersecting_kmers = (self.intersecting_kmers as f64 * factor.sqrt()) as u64;
+        w.candidate_species = (self.candidate_species as f64 * factor.sqrt()) as u64;
+        w
+    }
+
+    /// Number of k-mer lookups the R-Qry classifier performs for this sample
+    /// (one per read position at its k).
+    pub fn kraken_query_kmers(&self) -> u64 {
+        self.reads * (self.read_len - self.kraken_k + 1)
+    }
+
+    /// Total bases in the query sample.
+    pub fn total_bases(&self) -> u64 {
+        self.reads * self.read_len
+    }
+
+    /// Bytes of the intersecting k-mer set (2-bit encoded k_max-mers).
+    pub fn intersecting_kmer_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.intersecting_kmers * (2 * self.metalign_k / 8))
+    }
+
+    /// Bytes of taxID results sent back to the host at the end of Step 2.
+    pub fn taxid_result_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.intersecting_kmers * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cami_specs_match_paper_sizes() {
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        assert_eq!(w.reads, 100_000_000);
+        assert_eq!(w.kraken_db.as_gb(), 293.0);
+        assert_eq!(w.metalign_db.as_gb(), 701.0);
+        assert!((w.sketch_tree.as_gb() - 6.9).abs() < 1e-9);
+        assert_eq!(w.kss_tables.as_gb(), 14.0);
+        assert_eq!(w.extracted_kmer_bytes.as_gb(), 60.0);
+        assert!((w.selected_kmer_bytes.as_gb() - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diversity_increases_retrieval_work() {
+        let low = WorkloadSpec::cami(Diversity::Low);
+        let high = WorkloadSpec::cami(Diversity::High);
+        assert!(high.intersecting_kmers > low.intersecting_kmers);
+        assert!(high.candidate_species > low.candidate_species);
+    }
+
+    #[test]
+    fn database_scaling_scales_sizes() {
+        let w = WorkloadSpec::cami(Diversity::Medium);
+        let w2 = w.with_database_scale(2.0);
+        assert_eq!(w2.kraken_db.as_gb(), 586.0);
+        assert_eq!(w2.metalign_db.as_gb(), 1402.0);
+        assert!(w2.intersecting_kmers > w.intersecting_kmers);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let w = WorkloadSpec::cami(Diversity::Low);
+        assert_eq!(w.kraken_query_kmers(), 100_000_000 * (150 - 35 + 1));
+        assert_eq!(w.total_bases(), 15_000_000_000);
+        assert!(w.intersecting_kmer_bytes() < w.selected_kmer_bytes);
+        assert!(w.taxid_result_bytes().as_gb() < 2.0);
+    }
+
+    #[test]
+    fn all_cami_has_three_workloads() {
+        assert_eq!(WorkloadSpec::all_cami().len(), 3);
+    }
+}

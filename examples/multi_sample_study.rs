@@ -1,0 +1,90 @@
+//! Multi-sample cohort study: many read sets against one database (§4.7).
+//!
+//! Studies such as global antimicrobial-resistance tracing or gut-microbiome
+//! cohort analyses re-analyze many samples against the same reference
+//! database. MegIS buffers the k-mers of as many samples as fit in host DRAM
+//! and streams the database once per group, so the dominant cost is amortized
+//! across the cohort (Fig. 21).
+//!
+//! This example analyzes a small synthetic cohort functionally (per-sample
+//! profiles from one shared set of databases), then reports the paper-scale
+//! cohort turnaround for 1–16 samples.
+//!
+//! Run with: `cargo run -p megis-examples --bin multi_sample_study`
+
+use megis::config::MegisConfig;
+use megis::pipeline::{baseline_multi_sample, MegisTimingModel};
+use megis::MegisAnalyzer;
+use megis_examples::format_profile;
+use megis_genomics::sample::{CommunityConfig, Diversity};
+use megis_host::accelerators::SortingAccelerator;
+use megis_host::system::SystemConfig;
+use megis_ssd::config::SsdConfig;
+use megis_ssd::timing::ByteSize;
+use megis_tools::workload::WorkloadSpec;
+use megis_tools::{KrakenTimingModel, MetalignTimingModel};
+
+fn main() {
+    println!("Multi-sample cohort study");
+    println!("=========================\n");
+
+    // One shared reference collection and database; several patient samples
+    // drawn from it with different compositions (different seeds).
+    let cohort_seeds = [11u64, 22, 33, 44];
+    let reference_community = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(300)
+        .with_database_species(24)
+        .build(cohort_seeds[0]);
+    let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
+
+    println!("functional per-sample profiles (shared databases, {} species indexed):\n",
+             reference_community.references().species().len());
+    for (i, seed) in cohort_seeds.iter().enumerate() {
+        let sample_community = CommunityConfig::preset(Diversity::Medium)
+            .with_reads(300)
+            .with_database_species(24)
+            .build(*seed);
+        let result = analyzer.analyze(sample_community.sample());
+        println!(
+            "sample {} — {} species present, {} reads mapped",
+            i + 1,
+            result.presence.len(),
+            result.mapped_reads
+        );
+        println!(
+            "{}\n",
+            format_profile(&result.abundance, reference_community.references().taxonomy())
+        );
+    }
+
+    // Paper-scale cohort turnaround (Fig. 21 configuration).
+    println!("paper-scale cohort turnaround (SSD-C, 256 GB DRAM, sorting accelerator):\n");
+    let system = SystemConfig::reference(SsdConfig::ssd_c())
+        .with_dram_capacity(ByteSize::from_gb(256.0))
+        .with_sorting_accelerator(SortingAccelerator::default());
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let p_single = KrakenTimingModel.presence_breakdown(&system, &workload);
+    let a_single = MetalignTimingModel::a_opt().presence_breakdown(&system, &workload);
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "samples", "P-Opt (h)", "A-Opt (h)", "MegIS (h)", "vs P-Opt", "vs A-Opt"
+    );
+    for samples in [1usize, 4, 8, 16] {
+        let ms = MegisTimingModel::full().multi_sample_breakdown(&system, &workload, samples);
+        let p = baseline_multi_sample(&p_single, samples);
+        let a = baseline_multi_sample(&a_single, samples);
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>14.2} {:>11.1}x {:>11.1}x",
+            samples,
+            p.total().as_secs() / 3600.0,
+            a.total().as_secs() / 3600.0,
+            ms.total().as_secs() / 3600.0,
+            p.total() / ms.total(),
+            a.total() / ms.total()
+        );
+    }
+    println!("\nThe database is streamed once per buffered group of samples, so the cohort");
+    println!("cost approaches one database pass plus per-sample host work (paper: up to");
+    println!("37.2x / 100.2x speedup over P-Opt / A-Opt for 16 samples).");
+}

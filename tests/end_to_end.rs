@@ -1,0 +1,94 @@
+//! End-to-end integration tests: synthetic community → MegIS functional
+//! pipeline → presence/abundance, across diversity presets.
+
+use megis::config::MegisConfig;
+use megis::MegisAnalyzer;
+use megis_genomics::metrics::{AbundanceError, ClassificationMetrics};
+use megis_genomics::sample::{CommunityConfig, Diversity};
+
+fn run_preset(
+    diversity: Diversity,
+    seed: u64,
+) -> (megis_genomics::sample::Community, megis::MegisOutput) {
+    let community = CommunityConfig::preset(diversity)
+        .with_reads(400)
+        .with_database_species(24)
+        .build(seed);
+    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+    let output = analyzer.analyze(community.sample());
+    (community, output)
+}
+
+#[test]
+fn low_diversity_sample_is_recovered_accurately() {
+    let (community, output) = run_preset(Diversity::Low, 11);
+    let metrics = ClassificationMetrics::score(&output.presence, &community.truth_presence());
+    assert!(metrics.recall() > 0.9, "recall {}", metrics.recall());
+    assert!(metrics.f1() > 0.7, "f1 {}", metrics.f1());
+}
+
+#[test]
+fn medium_diversity_sample_is_recovered_accurately() {
+    let (community, output) = run_preset(Diversity::Medium, 12);
+    let metrics = ClassificationMetrics::score(&output.presence, &community.truth_presence());
+    assert!(metrics.recall() > 0.85, "recall {}", metrics.recall());
+    assert!(metrics.f1() > 0.65, "f1 {}", metrics.f1());
+}
+
+#[test]
+fn high_diversity_sample_is_recovered_accurately() {
+    let (community, output) = run_preset(Diversity::High, 13);
+    let metrics = ClassificationMetrics::score(&output.presence, &community.truth_presence());
+    assert!(metrics.recall() > 0.7, "recall {}", metrics.recall());
+    assert!(metrics.precision() > 0.5, "precision {}", metrics.precision());
+}
+
+#[test]
+fn abundance_profile_is_close_to_ground_truth() {
+    let (community, output) = run_preset(Diversity::Low, 21);
+    assert!(!output.abundance.is_empty());
+    let err = AbundanceError::score(&output.abundance, community.truth_profile());
+    assert!(err.l1_norm < 0.7, "L1 error {}", err.l1_norm);
+    // The dominant species must be ranked first in both profiles.
+    let truth_top = community
+        .truth_profile()
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    let predicted_top = output
+        .abundance
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(truth_top, predicted_top);
+}
+
+#[test]
+fn analysis_is_deterministic_for_a_given_community() {
+    let community = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(200)
+        .with_database_species(16)
+        .build(99);
+    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+    let a = analyzer.analyze(community.sample());
+    let b = analyzer.analyze(community.sample());
+    assert_eq!(a.presence, b.presence);
+    assert_eq!(a.intersecting_kmers, b.intersecting_kmers);
+    assert_eq!(a.abundance, b.abundance);
+}
+
+#[test]
+fn empty_sample_produces_empty_results() {
+    let community = CommunityConfig::preset(Diversity::Low)
+        .with_reads(1)
+        .with_database_species(8)
+        .build(5);
+    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+    let empty = megis_genomics::sample::Sample::default();
+    let output = analyzer.analyze(&empty);
+    assert!(output.presence.is_empty());
+    assert!(output.abundance.is_empty());
+    assert_eq!(output.intersecting_kmers, 0);
+}

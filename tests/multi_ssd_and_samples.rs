@@ -1,0 +1,157 @@
+//! Integration tests for database partitioning across SSDs (Fig. 15) and the
+//! multi-sample pipeline (§4.7 / Fig. 21), including energy ordering (§6.5).
+
+use megis::config::MegisConfig;
+use megis::energy::EnergyModel;
+use megis::pipeline::{baseline_multi_sample, MegisTimingModel};
+use megis::MegisAnalyzer;
+use megis_genomics::database::SortedKmerDatabase;
+use megis_genomics::sample::{CommunityConfig, Diversity};
+use megis_host::accelerators::{PimKmerMatcher, SortingAccelerator};
+use megis_host::system::SystemConfig;
+use megis_ssd::config::SsdConfig;
+use megis_ssd::timing::ByteSize;
+use megis_tools::kraken::KrakenTimingModel;
+use megis_tools::metalign::MetalignTimingModel;
+use megis_tools::pim::PimAcceleratedKraken;
+use megis_tools::workload::WorkloadSpec;
+
+#[test]
+fn database_partition_across_ssds_preserves_results() {
+    // Because the database is sorted, it can be split disjointly across SSDs;
+    // the union of per-shard intersections equals the single-device result.
+    let community = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(250)
+        .with_database_species(16)
+        .build(71);
+    let config = MegisConfig::small();
+    let analyzer = MegisAnalyzer::build(community.references(), config);
+    let database = analyzer.database();
+
+    let queries = {
+        let step1 = megis::step1::run(
+            community.sample().reads(),
+            &config,
+            megis_tools::kmc::ExclusionPolicy::default(),
+        );
+        step1.sorted_kmers()
+    };
+    let whole = database.intersect_sorted(&queries);
+
+    for shards in [2usize, 4, 8] {
+        let mut combined = Vec::new();
+        for shard in database.partition(shards) {
+            combined.extend(shard.intersect_sorted(&queries));
+        }
+        combined.sort();
+        combined.dedup();
+        assert_eq!(combined, whole, "{shards}-way partition changed the result");
+    }
+}
+
+#[test]
+fn partition_shards_are_usable_as_independent_databases() {
+    let refs = megis_genomics::reference::ReferenceCollection::synthetic(8, 600, 3);
+    let db = SortedKmerDatabase::build(&refs, 21);
+    let shards = db.partition(4);
+    let total: u64 = shards.iter().map(|s| s.encoded_bytes()).sum();
+    assert!(total >= db.encoded_bytes());
+    for shard in &shards {
+        assert!(shard.is_sorted());
+    }
+}
+
+#[test]
+fn multi_ssd_speedup_scales_then_saturates_on_sorting() {
+    // Fig. 15: speedup over P-Opt rises up to ~2 SSDs and stays high at 8,
+    // by which point host-side sorting limits MegIS.
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let speedup_at = |count: usize| {
+        let system = SystemConfig::reference(SsdConfig::ssd_c()).with_ssd_count(count);
+        let ms = MegisTimingModel::full().presence_breakdown(&system, &workload);
+        let p = KrakenTimingModel.presence_breakdown(&system, &workload);
+        ms.speedup_over(&p)
+    };
+    let s1 = speedup_at(1);
+    let s2 = speedup_at(2);
+    let s8 = speedup_at(8);
+    assert!(s2 >= s1 * 0.9, "two SSDs should not hurt ({s1} → {s2})");
+    assert!(s8 > 3.0, "speedup must stay large with eight SSDs, got {s8}");
+}
+
+#[test]
+fn multi_sample_use_case_reaches_large_speedups() {
+    // Fig. 21: with 256 GB of DRAM and a sorting accelerator, MegIS reaches
+    // tens-of-× speedups over the baselines for 16 samples.
+    let system = SystemConfig::reference(SsdConfig::ssd_c())
+        .with_dram_capacity(ByteSize::from_gb(256.0))
+        .with_sorting_accelerator(SortingAccelerator::default());
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+
+    let ms = MegisTimingModel::full().multi_sample_breakdown(&system, &workload, 16);
+    let p_single = KrakenTimingModel.presence_breakdown(&system, &workload);
+    let a_single = MetalignTimingModel::a_opt().presence_breakdown(&system, &workload);
+    let p_16 = baseline_multi_sample(&p_single, 16);
+    let a_16 = baseline_multi_sample(&a_single, 16);
+
+    let vs_p = p_16.total() / ms.total();
+    let vs_a = a_16.total() / ms.total();
+    assert!(vs_p > 8.0, "speedup over P-Opt for 16 samples: {vs_p}");
+    assert!(vs_a > 20.0, "speedup over A-Opt for 16 samples: {vs_a}");
+}
+
+#[test]
+fn energy_ordering_matches_section_6_5() {
+    // §6.5: MegIS reduces energy by 5.4× / 15.2× / 1.9× on average versus
+    // P-Opt, A-Opt, and the Sieve-accelerated P-Opt. MegIS must beat both
+    // software baselines on every system; versus the PIM baseline the
+    // advantage is an average (the PIM baseline is closest on SSD-P, where
+    // its database load is short).
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let mut pim_reductions = Vec::new();
+    for ssd in [SsdConfig::ssd_c(), SsdConfig::ssd_p()] {
+        let system = SystemConfig::reference(ssd).with_pim_matcher(PimKmerMatcher::default());
+
+        let ms_b = MegisTimingModel::full().presence_breakdown(&system, &workload);
+        let p_b = KrakenTimingModel.presence_breakdown(&system, &workload);
+        let a_b = MetalignTimingModel::a_opt().presence_breakdown(&system, &workload);
+        let pim_b = PimAcceleratedKraken.presence_breakdown(&system, &workload);
+
+        let ms = EnergyModel::megis().report(&ms_b, &system).total();
+        let p = EnergyModel::baseline().report(&p_b, &system).total();
+        let a = EnergyModel::baseline().report(&a_b, &system).total();
+        let pim = EnergyModel::baseline().report(&pim_b, &system).total();
+
+        assert!(ms < p && ms < a, "MegIS must beat both software baselines");
+        assert!(a > p, "the accuracy-optimized baseline costs the most energy");
+        let reduction_vs_p = p / ms;
+        let reduction_vs_a = a / ms;
+        assert!(reduction_vs_p > 2.0, "vs P-Opt: {reduction_vs_p}");
+        assert!(reduction_vs_a > 5.0, "vs A-Opt: {reduction_vs_a}");
+        pim_reductions.push(pim / ms);
+    }
+    let geomean = megis_tools::timing::geometric_mean(&pim_reductions);
+    assert!(
+        geomean > 1.3,
+        "average energy reduction vs the PIM baseline should be substantial, got {geomean}"
+    );
+    assert!(
+        pim_reductions[0] > 2.0,
+        "on SSD-C the PIM baseline's long database load must cost far more energy"
+    );
+}
+
+#[test]
+fn io_data_movement_reduction_is_large() {
+    // §6.5: MegIS moves ~72× less data over the host interface than A-Opt and
+    // ~30× less than P-Opt.
+    let system = SystemConfig::reference(SsdConfig::ssd_c());
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let ms = MegisTimingModel::full().presence_breakdown(&system, &workload);
+    let p = KrakenTimingModel.presence_breakdown(&system, &workload);
+    let a = MetalignTimingModel::a_opt().presence_breakdown(&system, &workload);
+    let vs_a = a.external_io.as_bytes() as f64 / ms.external_io.as_bytes() as f64;
+    let vs_p = p.external_io.as_bytes() as f64 / ms.external_io.as_bytes() as f64;
+    assert!(vs_a > 40.0, "I/O reduction vs A-Opt: {vs_a}");
+    assert!(vs_p > 15.0, "I/O reduction vs P-Opt: {vs_p}");
+}

@@ -1,0 +1,256 @@
+//! Integration tests on the paper-scale performance model: the orderings and
+//! trends every figure of the evaluation depends on must hold across systems
+//! and workloads.
+
+use megis::pipeline::{baseline_multi_sample, software_multi_sample, MegisTimingModel};
+use megis::MegisVariant;
+use megis_genomics::sample::Diversity;
+use megis_host::accelerators::{PimKmerMatcher, SortingAccelerator};
+use megis_host::system::SystemConfig;
+use megis_ssd::config::SsdConfig;
+use megis_ssd::timing::ByteSize;
+use megis_tools::kraken::KrakenTimingModel;
+use megis_tools::metalign::MetalignTimingModel;
+use megis_tools::pim::PimAcceleratedKraken;
+use megis_tools::workload::WorkloadSpec;
+
+fn systems() -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::reference(SsdConfig::ssd_c()),
+        SystemConfig::reference(SsdConfig::ssd_p()),
+    ]
+}
+
+#[test]
+fn fig12_ordering_holds_for_every_workload_and_ssd() {
+    for system in systems() {
+        for workload in WorkloadSpec::all_cami() {
+            let p_opt = KrakenTimingModel.presence_breakdown(&system, &workload).total();
+            let a_opt = MetalignTimingModel::a_opt()
+                .presence_breakdown(&system, &workload)
+                .total();
+            let a_opt_kss = MetalignTimingModel::a_opt_with_kss()
+                .presence_breakdown(&system, &workload)
+                .total();
+            let ext = MegisTimingModel::new(MegisVariant::OutsideSsd)
+                .presence_breakdown(&system, &workload)
+                .total();
+            let nol = MegisTimingModel::new(MegisVariant::NoOverlap)
+                .presence_breakdown(&system, &workload)
+                .total();
+            let cc = MegisTimingModel::new(MegisVariant::ControllerCores)
+                .presence_breakdown(&system, &workload)
+                .total();
+            let ms = MegisTimingModel::full()
+                .presence_breakdown(&system, &workload)
+                .total();
+
+            let ctx = format!("{} on {}", workload.label, system.name);
+            // A-Opt is the slowest software configuration; KSS improves it.
+            assert!(a_opt_kss < a_opt, "{ctx}: KSS must improve A-Opt");
+            // The full design is the fastest MegIS variant.
+            assert!(ms <= cc && ms < nol && ms < ext, "{ctx}: MS must be fastest");
+            // Every ISP variant beats the same accelerators outside the SSD.
+            assert!(cc < ext && nol < ext, "{ctx}: ISP must beat Ext-MS");
+            // MegIS beats both software baselines.
+            assert!(ms < p_opt && ms < a_opt, "{ctx}: MS must beat baselines");
+        }
+    }
+}
+
+#[test]
+fn fig12_speedups_are_in_the_papers_range() {
+    // Paper: MS is 5.3–6.4× (SSD-C) and 2.7–6.5× (SSD-P) faster than P-Opt,
+    // and 12.4–18.2× / 6.9–20.4× faster than A-Opt. The model should land in
+    // (a generously widened version of) those bands.
+    for system in systems() {
+        for workload in WorkloadSpec::all_cami() {
+            let ms = MegisTimingModel::full().presence_breakdown(&system, &workload);
+            let p = KrakenTimingModel.presence_breakdown(&system, &workload);
+            let a = MetalignTimingModel::a_opt().presence_breakdown(&system, &workload);
+            let vs_p = ms.speedup_over(&p);
+            let vs_a = ms.speedup_over(&a);
+            assert!(
+                (2.0..12.0).contains(&vs_p),
+                "{}: speedup vs P-Opt {vs_p}",
+                workload.label
+            );
+            assert!(
+                (5.0..25.0).contains(&vs_a),
+                "{}: speedup vs A-Opt {vs_a}",
+                workload.label
+            );
+        }
+    }
+}
+
+#[test]
+fn fig14_speedup_grows_with_database_size() {
+    let system = SystemConfig::reference(SsdConfig::ssd_c());
+    let base = WorkloadSpec::cami(Diversity::Medium).with_database_scale(1.0 / 3.0);
+    let mut previous = 0.0;
+    for scale in [1.0, 2.0, 3.0] {
+        let w = base.with_database_scale(scale);
+        let ms = MegisTimingModel::full().presence_breakdown(&system, &w);
+        let p = KrakenTimingModel.presence_breakdown(&system, &w);
+        let speedup = ms.speedup_over(&p);
+        assert!(
+            speedup > previous,
+            "speedup must grow with database size (scale {scale}: {speedup} vs {previous})"
+        );
+        previous = speedup;
+    }
+}
+
+#[test]
+fn fig16_small_dram_hurts_baselines_more_than_megis() {
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let capacities = [1000.0, 128.0, 64.0, 32.0];
+    let mut previous_speedup = 0.0;
+    for gb in capacities {
+        let system = SystemConfig::reference(SsdConfig::ssd_c())
+            .with_dram_capacity(ByteSize::from_gb(gb));
+        let ms = MegisTimingModel::full().presence_breakdown(&system, &workload);
+        let p = KrakenTimingModel.presence_breakdown(&system, &workload);
+        let speedup = ms.speedup_over(&p);
+        assert!(
+            speedup >= previous_speedup * 0.95,
+            "speedup should not shrink as DRAM shrinks ({gb} GB: {speedup})"
+        );
+        previous_speedup = previous_speedup.max(speedup);
+    }
+    // And the 32 GB point must be dramatically better than the 1 TB point.
+    let at = |gb: f64| {
+        let system = SystemConfig::reference(SsdConfig::ssd_c())
+            .with_dram_capacity(ByteSize::from_gb(gb));
+        MegisTimingModel::full()
+            .presence_breakdown(&system, &workload)
+            .speedup_over(&KrakenTimingModel.presence_breakdown(&system, &workload))
+    };
+    assert!(at(32.0) > 3.0 * at(1000.0));
+}
+
+#[test]
+fn fig17_more_channels_only_help_isp_configurations() {
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    for (base, channels) in [(SsdConfig::ssd_c(), [4u32, 8, 16]), (SsdConfig::ssd_p(), [8u32, 16, 32])] {
+        let mut previous_ms = f64::INFINITY;
+        for ch in channels {
+            let system = SystemConfig::reference(base.clone()).with_ssd_channels(ch);
+            let ms = MegisTimingModel::full()
+                .presence_breakdown(&system, &workload)
+                .total()
+                .as_secs();
+            let a_opt = MetalignTimingModel::a_opt()
+                .presence_breakdown(&system, &workload)
+                .total()
+                .as_secs();
+            assert!(ms <= previous_ms, "MS must not slow down with more channels");
+            previous_ms = ms;
+            // The external interface is unchanged, so the A-Opt baseline sees
+            // no benefit from extra internal bandwidth.
+            let reference_a_opt = MetalignTimingModel::a_opt()
+                .presence_breakdown(&SystemConfig::reference(base.clone()), &workload)
+                .total()
+                .as_secs();
+            assert!((a_opt - reference_a_opt).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn fig18_megis_on_cheap_system_beats_baselines_on_expensive_system() {
+    let cost_system = SystemConfig::cost_optimized();
+    let perf_system = SystemConfig::performance_optimized();
+    for workload in WorkloadSpec::all_cami() {
+        let ms_cheap = MegisTimingModel::full()
+            .presence_breakdown(&cost_system, &workload)
+            .total();
+        let p_expensive = KrakenTimingModel
+            .presence_breakdown(&perf_system, &workload)
+            .total();
+        let a_expensive = MetalignTimingModel::a_opt()
+            .presence_breakdown(&perf_system, &workload)
+            .total();
+        assert!(
+            ms_cheap < p_expensive && ms_cheap < a_expensive,
+            "{}: MegIS on the cost-optimized system must win",
+            workload.label
+        );
+    }
+}
+
+#[test]
+fn fig19_megis_beats_pim_accelerated_baseline() {
+    for ssd in [SsdConfig::ssd_c(), SsdConfig::ssd_p()] {
+        let system = SystemConfig::reference(ssd).with_pim_matcher(PimKmerMatcher::default());
+        for workload in WorkloadSpec::all_cami() {
+            let ms = MegisTimingModel::full().presence_breakdown(&system, &workload);
+            let pim = PimAcceleratedKraken.presence_breakdown(&system, &workload);
+            let speedup = ms.speedup_over(&pim);
+            assert!(
+                speedup > 1.15 && speedup < 10.0,
+                "{} on {}: speedup over PIM {speedup}",
+                workload.label,
+                system.primary_ssd().name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig20_abundance_orderings() {
+    for system in systems() {
+        for workload in WorkloadSpec::all_cami() {
+            let ms = MegisTimingModel::full().abundance_breakdown(&system, &workload);
+            let nidx = MegisTimingModel::without_in_storage_index()
+                .abundance_breakdown(&system, &workload);
+            let p = KrakenTimingModel.abundance_breakdown(&system, &workload);
+            let a = MetalignTimingModel::a_opt().abundance_breakdown(&system, &workload);
+            assert!(ms.total() < nidx.total());
+            assert!(ms.total() < p.total());
+            assert!(ms.total() < a.total());
+        }
+    }
+}
+
+#[test]
+fn fig21_multi_sample_speedup_grows_with_sample_count() {
+    let system = SystemConfig::reference(SsdConfig::ssd_c())
+        .with_dram_capacity(ByteSize::from_gb(256.0))
+        .with_sorting_accelerator(SortingAccelerator::default());
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let a_opt_single = MetalignTimingModel::a_opt().presence_breakdown(&system, &workload);
+    let mut previous = 0.0;
+    for samples in [1usize, 4, 8, 16] {
+        let ms = MegisTimingModel::full().multi_sample_breakdown(&system, &workload, samples);
+        let baseline = baseline_multi_sample(&a_opt_single, samples);
+        let speedup = baseline.total() / ms.total();
+        assert!(
+            speedup >= previous * 0.99,
+            "multi-sample speedup should grow ({samples} samples: {speedup})"
+        );
+        previous = previous.max(speedup);
+        // The software-pipelined variant sits between the baseline and MegIS.
+        let sw = software_multi_sample(&system, &workload, samples);
+        assert!(sw.total() < baseline.total() || samples == 1);
+        assert!(ms.total() <= sw.total());
+    }
+    assert!(previous > 5.0, "16-sample speedup over A-Opt should be large");
+}
+
+#[test]
+fn breakdown_phases_sum_to_total_everywhere() {
+    let system = SystemConfig::reference(SsdConfig::ssd_p());
+    let workload = WorkloadSpec::cami(Diversity::High);
+    for b in [
+        MegisTimingModel::full().presence_breakdown(&system, &workload),
+        MegisTimingModel::full().abundance_breakdown(&system, &workload),
+        KrakenTimingModel.presence_breakdown(&system, &workload),
+        MetalignTimingModel::a_opt().abundance_breakdown(&system, &workload),
+    ] {
+        let sum: f64 = b.phases.iter().map(|p| p.duration.as_secs()).sum();
+        assert!((sum - b.total().as_secs()).abs() < 1e-9, "{}", b.label);
+        assert!(b.queries_per_sec(workload.reads) > 0.0);
+    }
+}
