@@ -1,0 +1,6 @@
+//! Regenerates one experiment of the MegIS evaluation; see
+//! `megis_bench::experiments::fig21_batch_engine` for details.
+
+fn main() {
+    print!("{}", megis_bench::experiments::fig21_batch_engine());
+}

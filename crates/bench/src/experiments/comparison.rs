@@ -38,15 +38,16 @@ pub fn fig18_cost_efficiency() -> String {
     let workloads = WorkloadSpec::all_cami();
     let reference: Vec<f64> = workloads
         .iter()
-        .map(|w| KrakenTimingModel.presence_breakdown(&perf_system, w).total().as_secs())
+        .map(|w| {
+            KrakenTimingModel
+                .presence_breakdown(&perf_system, w)
+                .total()
+                .as_secs()
+        })
         .collect();
 
     let add_row = |name: &str, totals: Vec<f64>| {
-        let mut speedups: Vec<f64> = totals
-            .iter()
-            .zip(&reference)
-            .map(|(t, r)| r / t)
-            .collect();
+        let mut speedups: Vec<f64> = totals.iter().zip(&reference).map(|(t, r)| r / t).collect();
         speedups.push(geometric_mean(&speedups));
         // A local borrow of report is fine: add_row is called sequentially.
         (name.to_string(), speedups)
@@ -56,7 +57,12 @@ pub fn fig18_cost_efficiency() -> String {
             "P-Opt_P",
             workloads
                 .iter()
-                .map(|w| KrakenTimingModel.presence_breakdown(&perf_system, w).total().as_secs())
+                .map(|w| {
+                    KrakenTimingModel
+                        .presence_breakdown(&perf_system, w)
+                        .total()
+                        .as_secs()
+                })
                 .collect(),
         ),
         add_row(
@@ -75,7 +81,12 @@ pub fn fig18_cost_efficiency() -> String {
             "P-Opt_C",
             workloads
                 .iter()
-                .map(|w| KrakenTimingModel.presence_breakdown(&cost_system, w).total().as_secs())
+                .map(|w| {
+                    KrakenTimingModel
+                        .presence_breakdown(&cost_system, w)
+                        .total()
+                        .as_secs()
+                })
                 .collect(),
         ),
         add_row(
@@ -167,13 +178,17 @@ pub fn fig20_abundance() -> String {
                     .as_secs()
             })
             .collect();
-        let configs: Vec<(&str, Box<dyn Fn(&WorkloadSpec) -> f64>)> = vec![
+        type TimeFn = Box<dyn Fn(&WorkloadSpec) -> f64>;
+        let configs: Vec<(&str, TimeFn)> = vec![
             (
                 "P-Opt",
                 Box::new({
                     let system = system.clone();
                     move |w: &WorkloadSpec| {
-                        KrakenTimingModel.abundance_breakdown(&system, w).total().as_secs()
+                        KrakenTimingModel
+                            .abundance_breakdown(&system, w)
+                            .total()
+                            .as_secs()
                     }
                 }),
             ),

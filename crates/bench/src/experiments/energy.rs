@@ -26,7 +26,13 @@ pub fn energy_analysis() -> String {
         let system =
             SystemConfig::reference(base.clone()).with_pim_matcher(PimKmerMatcher::default());
         report.section(&format!("{} (presence/absence identification)", base.name));
-        report.table_header(&["config", "CAMI-L kJ", "CAMI-M kJ", "CAMI-H kJ", "ext. I/O GB"]);
+        report.table_header(&[
+            "config",
+            "CAMI-L kJ",
+            "CAMI-M kJ",
+            "CAMI-H kJ",
+            "ext. I/O GB",
+        ]);
 
         let workloads = WorkloadSpec::all_cami();
         let mut rows: Vec<(&str, Vec<f64>, f64)> = Vec::new();

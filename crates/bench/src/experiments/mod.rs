@@ -10,14 +10,18 @@
 mod accuracy;
 mod comparison;
 mod energy;
+mod engine;
 mod hardware;
 mod motivation;
 mod presence;
 mod scaling;
 
 pub use accuracy::accuracy_analysis;
-pub use comparison::{fig18_cost_efficiency, fig19_pim_comparison, fig20_abundance, fig21_multi_sample};
+pub use comparison::{
+    fig18_cost_efficiency, fig19_pim_comparison, fig20_abundance, fig21_multi_sample,
+};
 pub use energy::energy_analysis;
+pub use engine::{fig15_sharded_engine, fig21_batch_engine};
 pub use hardware::{kss_size_analysis, table1_ssd_configs, table2_area_power};
 pub use motivation::fig03_io_overhead;
 pub use presence::{fig12_presence_speedup, fig13_time_breakdown, fig14_database_size};
@@ -32,12 +36,14 @@ pub fn all() -> String {
         fig13_time_breakdown(),
         fig14_database_size(),
         fig15_multi_ssd(),
+        fig15_sharded_engine(),
         fig16_dram_capacity(),
         fig17_internal_bandwidth(),
         fig18_cost_efficiency(),
         fig19_pim_comparison(),
         fig20_abundance(),
         fig21_multi_sample(),
+        fig21_batch_engine(),
         table2_area_power(),
         kss_size_analysis(),
         energy_analysis(),
@@ -65,12 +71,14 @@ mod tests {
             ("fig13", super::fig13_time_breakdown()),
             ("fig14", super::fig14_database_size()),
             ("fig15", super::fig15_multi_ssd()),
+            ("fig15-engine", super::fig15_sharded_engine()),
             ("fig16", super::fig16_dram_capacity()),
             ("fig17", super::fig17_internal_bandwidth()),
             ("fig18", super::fig18_cost_efficiency()),
             ("fig19", super::fig19_pim_comparison()),
             ("fig20", super::fig20_abundance()),
             ("fig21", super::fig21_multi_sample()),
+            ("fig21-engine", super::fig21_batch_engine()),
             ("table2", super::table2_area_power()),
             ("kss", super::kss_size_analysis()),
             ("energy", super::energy_analysis()),

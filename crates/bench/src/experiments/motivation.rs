@@ -49,9 +49,8 @@ pub fn fig03_io_overhead() -> String {
             // merge compute and the sketch-tree load disappears.
             let db_entries = w.metalign_db.as_bytes() / 19;
             let merge_only = system.cpu.stream_merge_time(db_entries + w.selected_kmers);
-            let no_io = with_io
-                .saturating_sub(b.phase("intersection finding").unwrap())
-                + merge_only;
+            let no_io =
+                with_io.saturating_sub(b.phase("intersection finding").unwrap()) + merge_only;
             norm.push(no_io / with_io);
         }
         norm.push(1.0);
@@ -93,7 +92,11 @@ pub fn table1_ssd_configs() -> String {
     let c = SsdConfig::ssd_c();
     let p = SsdConfig::ssd_p();
     let rows: Vec<(&str, String, String)> = vec![
-        ("interface", c.interface.label().to_string(), p.interface.label().to_string()),
+        (
+            "interface",
+            c.interface.label().to_string(),
+            p.interface.label().to_string(),
+        ),
         (
             "seq-read BW",
             format!("{:.0} MB/s", c.external_read_bandwidth() / 1e6),
@@ -147,7 +150,11 @@ pub fn table1_ssd_configs() -> String {
             format!("{}", ByteSize::from_bytes(c.dram.capacity.as_bytes())),
             format!("{}", ByteSize::from_bytes(p.dram.capacity.as_bytes())),
         ),
-        ("ctrl cores", c.cores.count.to_string(), p.cores.count.to_string()),
+        (
+            "ctrl cores",
+            c.cores.count.to_string(),
+            p.cores.count.to_string(),
+        ),
     ];
     for (label, a, b) in rows {
         report.table_row_text(&[label, &a, &b]);

@@ -58,7 +58,12 @@ pub fn fig12_presence_speedup() -> String {
         let workloads = WorkloadSpec::all_cami();
         let p_opt_totals: Vec<f64> = workloads
             .iter()
-            .map(|w| KrakenTimingModel.presence_breakdown(&system, w).total().as_secs())
+            .map(|w| {
+                KrakenTimingModel
+                    .presence_breakdown(&system, w)
+                    .total()
+                    .as_secs()
+            })
             .collect();
         for config_index in 0..7 {
             let mut speedups = Vec::new();
@@ -87,9 +92,16 @@ pub fn fig13_time_breakdown() -> String {
     for system in crate::experiments::reference_systems() {
         report.section(&system.primary_ssd().name.clone());
         for (name, breakdown) in configurations(&system, &workload) {
-            report.line(&format!("{name}: total {:.0} s", breakdown.total().as_secs()));
+            report.line(&format!(
+                "{name}: total {:.0} s",
+                breakdown.total().as_secs()
+            ));
             for phase in &breakdown.phases {
-                report.line(&format!("    {:<45} {:>9.1} s", phase.name, phase.duration.as_secs()));
+                report.line(&format!(
+                    "    {:<45} {:>9.1} s",
+                    phase.name,
+                    phase.duration.as_secs()
+                ));
             }
         }
     }

@@ -14,12 +14,17 @@ use megis_tools::workload::WorkloadSpec;
 use crate::report::Report;
 
 fn speedups_over_p_opt(system: &SystemConfig, workload: &WorkloadSpec) -> Vec<(String, f64)> {
-    let p_total = KrakenTimingModel.presence_breakdown(system, workload).total();
+    let p_total = KrakenTimingModel
+        .presence_breakdown(system, workload)
+        .total();
     vec![
         ("P-Opt".to_string(), 1.0),
         (
             "A-Opt".to_string(),
-            p_total / MetalignTimingModel::a_opt().presence_breakdown(system, workload).total(),
+            p_total
+                / MetalignTimingModel::a_opt()
+                    .presence_breakdown(system, workload)
+                    .total(),
         ),
         (
             "A-Opt+KSS".to_string(),
@@ -37,7 +42,10 @@ fn speedups_over_p_opt(system: &SystemConfig, workload: &WorkloadSpec) -> Vec<(S
         ),
         (
             "MS".to_string(),
-            p_total / MegisTimingModel::full().presence_breakdown(system, workload).total(),
+            p_total
+                / MegisTimingModel::full()
+                    .presence_breakdown(system, workload)
+                    .total(),
         ),
     ]
 }
@@ -84,8 +92,8 @@ pub fn fig16_dram_capacity() -> String {
         report.table_header(&["config", "1TB", "128GB", "64GB", "32GB"]);
         let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
         for gb in capacities {
-            let system = SystemConfig::reference(base.clone())
-                .with_dram_capacity(ByteSize::from_gb(gb));
+            let system =
+                SystemConfig::reference(base.clone()).with_dram_capacity(ByteSize::from_gb(gb));
             for (name, speedup) in speedups_over_p_opt(&system, &workload) {
                 match rows.iter_mut().find(|(n, _)| *n == name) {
                     Some((_, values)) => values.push(speedup),
@@ -127,7 +135,10 @@ pub fn fig17_internal_bandwidth() -> String {
                 .presence_breakdown(&system, &workload)
                 .total();
             ms_row.push(
-                a_total / MegisTimingModel::full().presence_breakdown(&system, &workload).total(),
+                a_total
+                    / MegisTimingModel::full()
+                        .presence_breakdown(&system, &workload)
+                        .total(),
             );
             cc_row.push(
                 a_total

@@ -20,7 +20,7 @@ use crate::kss::KssTables;
 use crate::{step1, step2, step3};
 
 /// Result of one end-to-end functional analysis.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MegisOutput {
     /// Species reported present (Step 2).
     pub presence: PresenceResult,
@@ -87,21 +87,88 @@ impl MegisAnalyzer {
         &self.sketches
     }
 
+    /// The per-species read-mapping indexes (one per reference genome, in
+    /// reference-collection order).
+    pub fn reference_indexes(&self) -> &[ReferenceIndex] {
+        &self.reference_indexes
+    }
+
+    /// The k-mer exclusion policy applied in Step 1.
+    pub fn exclusion(&self) -> ExclusionPolicy {
+        self.exclusion
+    }
+
     /// Sets the k-mer exclusion policy applied in Step 1.
     pub fn set_exclusion(&mut self, exclusion: ExclusionPolicy) {
         self.exclusion = exclusion;
     }
 
-    /// Runs presence/absence identification only (Steps 1–2).
-    pub fn identify_presence(&self, sample: &Sample) -> MegisOutput {
-        let step1 = step1::run(sample.reads(), &self.config, self.exclusion);
-        let step2 = step2::run(
-            &step1,
+    // ----- step-level entry points -------------------------------------------
+    //
+    // The batch scheduler (`megis-sched`) runs the pipeline steps out of band:
+    // Step 1 of one sample on host worker threads while Steps 2–3 of another
+    // sample execute on the (simulated) SSDs, with intersection finding
+    // sharded across devices. These entry points expose each step with
+    // exactly the semantics `analyze` composes, so any such schedule produces
+    // byte-identical results.
+
+    /// Runs Step 1 (host-side query preparation) for one sample.
+    pub fn run_step1(&self, sample: &Sample) -> step1::Step1Output {
+        step1::run(sample.reads(), &self.config, self.exclusion)
+    }
+
+    /// Runs Step 2 (in-SSD candidate finding) over a Step 1 output, against
+    /// the analyzer's own (unsharded) database.
+    pub fn run_step2(&self, step1: &step1::Step1Output) -> step2::Step2Output {
+        step2::run(
+            step1,
             &self.database,
             &self.kss,
             &self.sketches,
             &self.config,
-        );
+        )
+    }
+
+    /// Completes Step 2 from an intersection computed out-of-band (e.g. the
+    /// shard-order merge of per-SSD intersections).
+    pub fn step2_from_intersection(
+        &self,
+        intersecting_kmers: Vec<megis_genomics::kmer::Kmer>,
+    ) -> step2::Step2Output {
+        step2::from_intersection(intersecting_kmers, &self.kss, &self.sketches, &self.config)
+    }
+
+    /// Runs Step 3 (unified index generation + read mapping) for the
+    /// candidate species reported present.
+    pub fn run_step3(&self, sample: &Sample, presence: &PresenceResult) -> step3::Step3Output {
+        let candidate_indexes: Vec<ReferenceIndex> = self
+            .reference_indexes
+            .iter()
+            .filter(|idx| presence.contains(idx.taxid()))
+            .cloned()
+            .collect();
+        step3::run(sample.reads(), &candidate_indexes, self.config.mapping_k)
+    }
+
+    /// Assembles the end-to-end output from per-step results.
+    pub fn assemble_output(
+        step1: &step1::Step1Output,
+        step2: &step2::Step2Output,
+        step3: step3::Step3Output,
+    ) -> MegisOutput {
+        MegisOutput {
+            presence: step2.presence.clone(),
+            abundance: step3.abundance,
+            intersecting_kmers: step2.intersection_size() as u64,
+            selected_kmers: step1.selected_kmers,
+            mapped_reads: step3.mapped_reads,
+        }
+    }
+
+    /// Runs presence/absence identification only (Steps 1–2).
+    pub fn identify_presence(&self, sample: &Sample) -> MegisOutput {
+        let step1 = self.run_step1(sample);
+        let step2 = self.run_step2(&step1);
         MegisOutput {
             presence: step2.presence.clone(),
             abundance: AbundanceProfile::new(),
@@ -114,28 +181,10 @@ impl MegisAnalyzer {
     /// Runs the full pipeline: presence identification followed by
     /// mapping-based abundance estimation (Steps 1–3).
     pub fn analyze(&self, sample: &Sample) -> MegisOutput {
-        let step1 = step1::run(sample.reads(), &self.config, self.exclusion);
-        let step2 = step2::run(
-            &step1,
-            &self.database,
-            &self.kss,
-            &self.sketches,
-            &self.config,
-        );
-        let candidate_indexes: Vec<ReferenceIndex> = self
-            .reference_indexes
-            .iter()
-            .filter(|idx| step2.presence.contains(idx.taxid()))
-            .cloned()
-            .collect();
-        let step3 = step3::run(sample.reads(), &candidate_indexes, self.config.mapping_k);
-        MegisOutput {
-            presence: step2.presence.clone(),
-            abundance: step3.abundance,
-            intersecting_kmers: step2.intersection_size() as u64,
-            selected_kmers: step1.selected_kmers,
-            mapped_reads: step3.mapped_reads,
-        }
+        let step1 = self.run_step1(sample);
+        let step2 = self.run_step2(&step1);
+        let step3 = self.run_step3(sample, &step2.presence);
+        MegisAnalyzer::assemble_output(&step1, &step2, step3)
     }
 }
 

@@ -234,13 +234,15 @@ mod tests {
             host_buffer: ByteSize::from_gb(1.0),
         })
         .unwrap();
-        dev.handle(MegisCommand::Step(HostStep::KmerExtraction)).unwrap();
+        dev.handle(MegisCommand::Step(HostStep::KmerExtraction))
+            .unwrap();
         assert_eq!(dev.active_steps(), &[HostStep::KmerExtraction]);
         // Writes (spilled buckets) are allowed during extraction.
         dev.handle(MegisCommand::Write { pages: 128 }).unwrap();
         assert_eq!(dev.pages_written(), 128);
         // Ending extraction flushes the regular L2P: no more writes.
-        dev.handle(MegisCommand::Step(HostStep::KmerExtraction)).unwrap();
+        dev.handle(MegisCommand::Step(HostStep::KmerExtraction))
+            .unwrap();
         assert!(dev.active_steps().is_empty());
         assert_eq!(dev.mode(), DeviceMode::AcceleratingReadOnly);
         assert_eq!(

@@ -84,8 +84,7 @@ impl EnergyModel {
 
         let ssd_active = breakdown.ssd_busy.min(total);
         let ssd_idle = total.saturating_sub(ssd_active);
-        let per_ssd =
-            self.ssd_power.read_energy(ssd_active) + self.ssd_power.idle_energy(ssd_idle);
+        let per_ssd = self.ssd_power.read_energy(ssd_active) + self.ssd_power.idle_energy(ssd_idle);
         let ssd: Energy = (0..system.ssd_count()).map(|_| per_ssd).sum();
 
         let accelerators = Energy::from_power(

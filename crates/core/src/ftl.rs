@@ -67,7 +67,10 @@ pub enum MegisFtlError {
 impl std::fmt::Display for MegisFtlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MegisFtlError::InsufficientSpace { requested, available } => write!(
+            MegisFtlError::InsufficientSpace {
+                requested,
+                available,
+            } => write!(
                 f,
                 "placement needs {requested} blocks but only {available} are free"
             ),
@@ -149,7 +152,10 @@ impl MegisFtl {
             .map(|used| self.blocks_per_channel_capacity() - used)
             .collect();
         let available: u64 = available_per_channel.iter().sum();
-        if available_per_channel.iter().any(|a| *a < blocks_per_channel) {
+        if available_per_channel
+            .iter()
+            .any(|a| *a < blocks_per_channel)
+        {
             return Err(MegisFtlError::InsufficientSpace {
                 requested: blocks_per_channel * channels,
                 available,
@@ -264,10 +270,14 @@ mod tests {
     #[test]
     fn placement_is_balanced_across_channels() {
         let mut f = ftl();
-        let p = f.place_database("kmer-db", ByteSize::from_gb(701.0)).unwrap();
+        let p = f
+            .place_database("kmer-db", ByteSize::from_gb(701.0))
+            .unwrap();
         assert!(p.is_balanced());
         assert_eq!(p.blocks_per_channel.len(), 8);
-        assert!(p.total_blocks() as u64 >= ByteSize::from_gb(701.0).as_bytes() / (12 * 1024 * 1024));
+        assert!(
+            p.total_blocks() as u64 >= ByteSize::from_gb(701.0).as_bytes() / (12 * 1024 * 1024)
+        );
     }
 
     #[test]
@@ -278,7 +288,10 @@ mod tests {
         f.place_database("db", ByteSize::from_tb(4.0)).unwrap();
         let l2p = f.l2p_metadata_bytes();
         let total = f.total_metadata_bytes();
-        assert!(l2p.as_bytes() > 1_000_000 && l2p.as_bytes() < 1_700_000, "{l2p}");
+        assert!(
+            l2p.as_bytes() > 1_000_000 && l2p.as_bytes() < 1_700_000,
+            "{l2p}"
+        );
         assert!(total.as_bytes() < 2_800_000, "{total}");
     }
 
@@ -330,10 +343,8 @@ mod tests {
         let mut f = ftl();
         f.place_database("a", ByteSize::from_gb(10.0)).unwrap();
         f.place_database("b", ByteSize::from_gb(10.0)).unwrap();
-        let a: std::collections::HashSet<_> =
-            f.sequential_read_order("a").into_iter().collect();
-        let b: std::collections::HashSet<_> =
-            f.sequential_read_order("b").into_iter().collect();
+        let a: std::collections::HashSet<_> = f.sequential_read_order("a").into_iter().collect();
+        let b: std::collections::HashSet<_> = f.sequential_read_order("b").into_iter().collect();
         assert!(a.is_disjoint(&b));
     }
 }

@@ -144,10 +144,7 @@ impl KssTables {
     /// MegIS's accuracy identical to the A-Opt baseline's.
     pub fn lookup(&self, query: Kmer) -> Vec<TaxId> {
         let mut taxa = Vec::new();
-        if let Ok(i) = self
-            .kmax_table
-            .binary_search_by(|(k, _)| k.cmp(&query))
-        {
+        if let Ok(i) = self.kmax_table.binary_search_by(|(k, _)| k.cmp(&query)) {
             taxa.extend_from_slice(&self.kmax_table[i].1);
         }
         for table in &self.prefix_tables {
@@ -163,7 +160,10 @@ impl KssTables {
                 // Together they reproduce exactly the taxa the baseline's
                 // sketch lookup returns for this prefix.
                 taxa.extend_from_slice(&table.entries[i].1);
-                taxa.extend(KssTables::taxa_of_kmax_with_prefix(&self.kmax_table, prefix));
+                taxa.extend(KssTables::taxa_of_kmax_with_prefix(
+                    &self.kmax_table,
+                    prefix,
+                ));
             }
         }
         taxa.sort();

@@ -49,6 +49,28 @@
 //! For the paper-scale performance results, see [`pipeline::MegisTimingModel`]
 //! and the `megis-bench` crate, which regenerates every figure and table of
 //! the paper's evaluation.
+//!
+//! # Batch analysis
+//!
+//! Analyzing one sample at a time leaves the system idle in alternation: the
+//! SSDs wait while the host prepares queries, and the host waits while the
+//! SSDs stream the database. For cohorts of samples sharing one database,
+//! the paper's multi-sample use case (§4.7, Fig. 21) overlaps host-side
+//! Step 1 of the next sample with the in-SSD Steps 2–3 of the current one,
+//! and Fig. 15 partitions the sorted k-mer database disjointly across
+//! several SSDs for near-linear in-SSD speedup.
+//!
+//! The `megis-sched` crate turns both ideas into a running engine: a
+//! `BatchEngine` accepts many samples (FIFO or priority admission), executes
+//! Step 1 on a pool of host worker threads, shards intersection finding
+//! across per-SSD workers, and completes Steps 2–3 through the step-level
+//! entry points on [`MegisAnalyzer`] ([`MegisAnalyzer::run_step1`],
+//! [`MegisAnalyzer::step2_from_intersection`],
+//! [`MegisAnalyzer::run_step3`]). Results are byte-identical to calling
+//! [`MegisAnalyzer::analyze`] per sample — at any worker or shard count —
+//! while the engine reports per-job latency percentiles, batch throughput,
+//! per-shard utilization, and a modeled-time account cross-checked against
+//! [`pipeline::MegisTimingModel::multi_sample_breakdown`].
 
 pub mod accel;
 pub mod analyzer;

@@ -183,11 +183,7 @@ impl MegisTimingModel {
     // ----- presence/absence ---------------------------------------------------
 
     /// Timing breakdown of presence/absence identification (Fig. 12/13).
-    pub fn presence_breakdown(
-        &self,
-        system: &SystemConfig,
-        workload: &WorkloadSpec,
-    ) -> Breakdown {
+    pub fn presence_breakdown(&self, system: &SystemConfig, workload: &WorkloadSpec) -> Breakdown {
         let mut b = Breakdown::new(self.label(workload));
         let extraction = self.extraction_time(system, workload);
         let sorting = self.sorting_time(system, workload);
@@ -204,7 +200,10 @@ impl MegisTimingModel {
             let isp_total = intersection + retrieval;
             let fill = sorting / 512.0;
             let exposed_sorting = sorting.saturating_sub(isp_total) + fill;
-            b.push_phase("sorting + k-mer exclusion + transfer (exposed)", exposed_sorting);
+            b.push_phase(
+                "sorting + k-mer exclusion + transfer (exposed)",
+                exposed_sorting,
+            );
             b.push_phase("intersection finding", intersection);
             b.push_phase("taxid retrieval", retrieval);
         } else {
@@ -230,11 +229,7 @@ impl MegisTimingModel {
 
     /// Timing breakdown of the full pipeline including abundance estimation
     /// (Fig. 20).
-    pub fn abundance_breakdown(
-        &self,
-        system: &SystemConfig,
-        workload: &WorkloadSpec,
-    ) -> Breakdown {
+    pub fn abundance_breakdown(&self, system: &SystemConfig, workload: &WorkloadSpec) -> Breakdown {
         let mut b = self.presence_breakdown(system, workload);
 
         let index_generation = match self.index_generation {
@@ -315,7 +310,8 @@ impl MegisTimingModel {
         b.push_phase("taxid retrieval (per sample)", retrieval);
 
         b.external_io = workload.selected_kmer_bytes * samples as u64;
-        b.internal_io = (workload.metalign_db * groups as u64) + (workload.kss_tables * samples as u64);
+        b.internal_io =
+            (workload.metalign_db * groups as u64) + (workload.kss_tables * samples as u64);
         b.host_busy = extraction + sorting;
         b.ssd_busy = intersection + retrieval;
         b
@@ -368,15 +364,16 @@ pub fn software_multi_sample(
     let db_io = workload
         .metalign_db
         .time_at(system.aggregate_external_read_bandwidth());
-    let merge = cpu.stream_merge_time(db_entries + workload.selected_kmers * samples_per_group as u64);
+    let merge =
+        cpu.stream_merge_time(db_entries + workload.selected_kmers * samples_per_group as u64);
     let intersection = db_io.max(merge) * groups as f64;
 
     let kss_io = workload
         .kss_tables
         .time_at(system.aggregate_external_read_bandwidth());
     let kss_entries = workload.kss_tables.as_bytes() / 16;
-    let retrieval =
-        kss_io.max(cpu.stream_merge_time(kss_entries + workload.intersecting_kmers)) * samples as f64;
+    let retrieval = kss_io.max(cpu.stream_merge_time(kss_entries + workload.intersecting_kmers))
+        * samples as f64;
 
     b.push_phase("k-mer extraction (all samples)", extraction);
     b.push_phase("sorting + k-mer exclusion", sorting);
@@ -414,8 +411,16 @@ mod tests {
                 let a_opt = MetalignTimingModel::a_opt().presence_breakdown(&system, &w);
                 let vs_p = ms.speedup_over(&p_opt);
                 let vs_a = ms.speedup_over(&a_opt);
-                assert!(vs_p > 2.0 && vs_p < 10.0, "{}: speedup vs P-Opt {vs_p}", w.label);
-                assert!(vs_a > 5.0 && vs_a < 25.0, "{}: speedup vs A-Opt {vs_a}", w.label);
+                assert!(
+                    vs_p > 2.0 && vs_p < 10.0,
+                    "{}: speedup vs P-Opt {vs_p}",
+                    w.label
+                );
+                assert!(
+                    vs_a > 5.0 && vs_a < 25.0,
+                    "{}: speedup vs A-Opt {vs_a}",
+                    w.label
+                );
             }
         }
     }
@@ -445,7 +450,9 @@ mod tests {
         let w = WorkloadSpec::cami(Diversity::Medium);
         let gap = |ssd: SsdConfig| {
             let system = reference(ssd);
-            let full = MegisTimingModel::full().presence_breakdown(&system, &w).total();
+            let full = MegisTimingModel::full()
+                .presence_breakdown(&system, &w)
+                .total();
             let cc = MegisTimingModel::new(MegisVariant::ControllerCores)
                 .presence_breakdown(&system, &w)
                 .total();
@@ -474,8 +481,7 @@ mod tests {
         // bucketing avoids page swaps, so the speedup grows substantially.
         let w = WorkloadSpec::cami(Diversity::Medium);
         let speedup_at = |gb: f64| {
-            let system =
-                reference(SsdConfig::ssd_c()).with_dram_capacity(ByteSize::from_gb(gb));
+            let system = reference(SsdConfig::ssd_c()).with_dram_capacity(ByteSize::from_gb(gb));
             let ms = MegisTimingModel::full().presence_breakdown(&system, &w);
             let p = KrakenTimingModel.presence_breakdown(&system, &w);
             ms.speedup_over(&p)
@@ -518,8 +524,8 @@ mod tests {
             let system = reference(ssd);
             let w = WorkloadSpec::cami(Diversity::Medium);
             let ms = MegisTimingModel::full().abundance_breakdown(&system, &w);
-            let nidx = MegisTimingModel::without_in_storage_index()
-                .abundance_breakdown(&system, &w);
+            let nidx =
+                MegisTimingModel::without_in_storage_index().abundance_breakdown(&system, &w);
             assert!(ms.total() < nidx.total());
         }
     }

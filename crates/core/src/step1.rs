@@ -50,12 +50,7 @@ impl Bucket {
 
     /// Size of the bucket in the 2-bit transfer encoding.
     pub fn encoded_bytes(&self) -> ByteSize {
-        ByteSize::from_bytes(
-            self.kmers
-                .iter()
-                .map(|k| k.encoded_bytes() as u64)
-                .sum(),
-        )
+        ByteSize::from_bytes(self.kmers.iter().map(|k| k.encoded_bytes() as u64).sum())
     }
 }
 
@@ -147,7 +142,11 @@ mod tests {
     #[test]
     fn extraction_counts_occurrences() {
         let c = sample();
-        let out = run(c.sample().reads(), &MegisConfig::small(), ExclusionPolicy::default());
+        let out = run(
+            c.sample().reads(),
+            &MegisConfig::small(),
+            ExclusionPolicy::default(),
+        );
         assert!(out.extracted_occurrences >= out.selected_kmers);
         assert!(out.extracted_occurrences > 0);
     }
@@ -183,8 +182,16 @@ mod tests {
     #[test]
     fn bucket_encoded_bytes_counts_payload() {
         let c = sample();
-        let out = run(c.sample().reads(), &MegisConfig::small(), ExclusionPolicy::default());
-        let bytes: u64 = out.buckets.iter().map(|b| b.encoded_bytes().as_bytes()).sum();
+        let out = run(
+            c.sample().reads(),
+            &MegisConfig::small(),
+            ExclusionPolicy::default(),
+        );
+        let bytes: u64 = out
+            .buckets
+            .iter()
+            .map(|b| b.encoded_bytes().as_bytes())
+            .sum();
         assert!(bytes >= out.selected_kmers * 6);
     }
 }

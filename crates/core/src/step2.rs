@@ -55,26 +55,40 @@ pub fn run(
     config: &MegisConfig,
 ) -> Step2Output {
     let mut intersecting = Vec::new();
-    let mut support: HashMap<TaxId, u32> = HashMap::new();
-
     for bucket in &step1.buckets {
         if bucket.is_empty() {
             continue;
         }
         // Intersection finding on this bucket's lexicographic range.
-        let bucket_intersection = database.intersect_sorted(bucket.kmers());
-        // TaxID retrieval through the KSS tables (streaming merge).
-        for (taxid, count) in kss.stream_retrieve(&bucket_intersection) {
-            *support.entry(taxid).or_insert(0) += count;
-        }
-        intersecting.extend(bucket_intersection);
+        intersecting.extend(database.intersect_sorted(bucket.kmers()));
     }
+    from_intersection(intersecting, kss, sketches, config)
+}
 
-    debug_assert!(intersecting.windows(2).all(|w| w[0] < w[1]));
+/// Completes Step 2 from a precomputed (sorted, deduplicated) intersection:
+/// taxID retrieval through the KSS tables followed by presence calling.
+///
+/// This is the entry point used when intersection finding ran out-of-band —
+/// e.g. per database shard across several SSDs, as the batch scheduler in
+/// `megis-sched` does. Because retrieval support counts are additive over
+/// disjoint sorted query subsets, the result is identical to [`run`] on the
+/// unsharded database.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `intersecting_kmers` is not strictly sorted.
+pub fn from_intersection(
+    intersecting_kmers: Vec<Kmer>,
+    kss: &KssTables,
+    sketches: &SketchDatabase,
+    config: &MegisConfig,
+) -> Step2Output {
+    debug_assert!(intersecting_kmers.windows(2).all(|w| w[0] < w[1]));
+    let support: HashMap<TaxId, u32> = kss.stream_retrieve(&intersecting_kmers);
     let presence =
         sketches.presence_from_support(&support, config.min_containment, config.min_support);
     Step2Output {
-        intersecting_kmers: intersecting,
+        intersecting_kmers,
         support,
         presence,
     }
@@ -179,7 +193,11 @@ mod tests {
         let out = run(&step1, &f.database, &f.kss, &f.sketches, &f.config);
         // The foreign genomes share no backbone with the fixture references,
         // so no species should be confidently reported.
-        assert!(out.presence.is_empty(), "unexpected species: {:?}", out.presence);
+        assert!(
+            out.presence.is_empty(),
+            "unexpected species: {:?}",
+            out.presence
+        );
         let _ = foreign_refs;
     }
 }

@@ -52,11 +52,7 @@ pub fn generate_unified_index(candidate_indexes: &[ReferenceIndex]) -> UnifiedRe
 }
 
 /// Runs Step 3: unified index generation followed by read mapping.
-pub fn run(
-    reads: &ReadSet,
-    candidate_indexes: &[ReferenceIndex],
-    mapping_k: usize,
-) -> Step3Output {
+pub fn run(reads: &ReadSet, candidate_indexes: &[ReferenceIndex], mapping_k: usize) -> Step3Output {
     let unified_index = generate_unified_index(candidate_indexes);
     let mut counts: HashMap<TaxId, u64> = HashMap::new();
     let mut mapped_reads = 0;

@@ -1,8 +1,14 @@
-//! Property-based tests for MegIS's core invariants: sorted-stream
+//! Property-style tests for MegIS's core invariants: sorted-stream
 //! intersection, KSS/ternary-tree/flat-sketch lookup equivalence, bucketing
 //! invariance, and FTL placement balance.
+//!
+//! Each test checks its invariant over many randomized inputs drawn from a
+//! seeded generator, so runs are deterministic while still covering a wide
+//! slice of the input space (the offline equivalent of the original
+//! proptest-based suite).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use megis::config::MegisConfig;
 use megis::ftl::MegisFtl;
@@ -15,22 +21,25 @@ use megis_ssd::config::SsdConfig;
 use megis_ssd::timing::ByteSize;
 use megis_tools::ternary::TernarySketchTree;
 
-fn kmer_strategy(k: usize) -> impl Strategy<Value = Kmer> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), k..=k)
-        .prop_map(|ascii| Kmer::from_ascii(&ascii).unwrap())
+fn random_kmer(rng: &mut StdRng, k: usize) -> Kmer {
+    let ascii: Vec<u8> = (0..k).map(|_| b"ACGT"[rng.gen_range(0..4usize)]).collect();
+    Kmer::from_ascii(&ascii).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_kmers(rng: &mut StdRng, max_n: usize, k: usize) -> Vec<Kmer> {
+    let n = rng.gen_range(0..max_n);
+    (0..n).map(|_| random_kmer(rng, k)).collect()
+}
 
-    #[test]
-    fn intersection_equals_set_intersection(
-        seed in 0u64..500,
-        queries in proptest::collection::vec(kmer_strategy(21), 0..200),
-    ) {
-        let refs = ReferenceCollection::synthetic(3, 300, seed);
+#[test]
+fn intersection_equals_set_intersection() {
+    let mut rng = StdRng::seed_from_u64(201);
+    for case in 0..24u64 {
+        let refs = ReferenceCollection::synthetic(3, 300, case);
         let db = SortedKmerDatabase::build(&refs, 21);
-        let mut sorted = queries.clone();
+        let mut sorted = random_kmers(&mut rng, 200, 21);
+        // Mix in genuine database k-mers so the intersection is non-trivial.
+        sorted.extend(db.kmers().step_by(7));
         sorted.sort();
         sorted.dedup();
         let via_stream = db.intersect_sorted(&sorted);
@@ -39,18 +48,19 @@ proptest! {
             .copied()
             .filter(|q| db.lookup(*q).is_some())
             .collect();
-        prop_assert_eq!(via_stream, via_lookup);
+        assert_eq!(via_stream, via_lookup);
     }
+}
 
-    #[test]
-    fn database_partition_preserves_intersections(
-        seed in 0u64..200,
-        parts in 1usize..7,
-        queries in proptest::collection::vec(kmer_strategy(21), 0..100),
-    ) {
-        let refs = ReferenceCollection::synthetic(4, 250, seed);
+#[test]
+fn database_partition_preserves_intersections() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for case in 0..16u64 {
+        let refs = ReferenceCollection::synthetic(4, 250, case);
         let db = SortedKmerDatabase::build(&refs, 21);
-        let mut sorted = queries;
+        let parts = rng.gen_range(1..7usize);
+        let mut sorted = random_kmers(&mut rng, 100, 21);
+        sorted.extend(db.kmers().step_by(5));
         sorted.sort();
         sorted.dedup();
         let whole = db.intersect_sorted(&sorted);
@@ -61,33 +71,40 @@ proptest! {
             .collect();
         merged.sort();
         merged.dedup();
-        prop_assert_eq!(merged, whole);
+        assert_eq!(merged, whole, "{parts}-way partition changed the result");
     }
+}
 
-    #[test]
-    fn kss_tree_and_flat_lookups_agree(seed in 0u64..200, query in kmer_strategy(31)) {
-        let refs = ReferenceCollection::synthetic(4, 400, seed);
+#[test]
+fn kss_tree_and_flat_lookups_agree() {
+    let mut rng = StdRng::seed_from_u64(203);
+    for case in 0..12u64 {
+        let refs = ReferenceCollection::synthetic(4, 400, case);
         let sketches = SketchDatabase::build(&refs, SketchConfig::small());
         let kss = KssTables::build(&sketches);
         let tree = TernarySketchTree::build(&sketches);
-        let flat = sketches.lookup_with_prefixes(query);
-        prop_assert_eq!(kss.lookup(query), flat.clone());
-        prop_assert_eq!(tree.lookup_with_prefixes(query), flat);
+        for _ in 0..8 {
+            let query = random_kmer(&mut rng, 31);
+            let flat = sketches.lookup_with_prefixes(query);
+            assert_eq!(kss.lookup(query), flat.clone());
+            assert_eq!(tree.lookup_with_prefixes(query), flat);
+        }
     }
+}
 
-    #[test]
-    fn bucket_count_never_changes_step1_output(
-        seed in 0u64..200,
-        buckets_a in 1usize..32,
-        buckets_b in 1usize..32,
-    ) {
-        use megis_genomics::sample::{CommunityConfig, Diversity};
-        use megis_tools::kmc::ExclusionPolicy;
+#[test]
+fn bucket_count_never_changes_step1_output() {
+    use megis_genomics::sample::{CommunityConfig, Diversity};
+    use megis_tools::kmc::ExclusionPolicy;
+    let mut rng = StdRng::seed_from_u64(204);
+    for case in 0..12u64 {
         let community = CommunityConfig::preset(Diversity::Low)
             .with_reads(60)
             .with_database_species(8)
-            .build(seed);
+            .build(case);
         let config = MegisConfig::small();
+        let buckets_a = rng.gen_range(1..32usize);
+        let buckets_b = rng.gen_range(1..32usize);
         let a = megis::step1::run(
             community.sample().reads(),
             &config.with_bucket_count(buckets_a),
@@ -98,21 +115,26 @@ proptest! {
             &config.with_bucket_count(buckets_b),
             ExclusionPolicy::default(),
         );
-        prop_assert_eq!(a.sorted_kmers(), b.sorted_kmers());
-        prop_assert!(a.ranges_are_ordered());
-        prop_assert!(b.ranges_are_ordered());
+        assert_eq!(a.sorted_kmers(), b.sorted_kmers());
+        assert!(a.ranges_are_ordered());
+        assert!(b.ranges_are_ordered());
     }
+}
 
-    #[test]
-    fn ftl_placement_is_always_balanced(size_gb in 1u64..2000) {
+#[test]
+fn ftl_placement_is_always_balanced() {
+    let mut rng = StdRng::seed_from_u64(205);
+    let mut sizes = vec![1u64, 2, 13, 64, 512, 1024, 1999];
+    sizes.extend((0..8).map(|_| rng.gen_range(1..2000u64)));
+    for size_gb in sizes {
         let mut ftl = MegisFtl::new(SsdConfig::ssd_c().geometry);
         let placement = ftl
             .place_database("db", ByteSize::from_gb(size_gb as f64))
             .unwrap()
             .clone();
-        prop_assert!(placement.is_balanced());
-        prop_assert!(placement.total_blocks() > 0);
+        assert!(placement.is_balanced(), "unbalanced at {size_gb} GB");
+        assert!(placement.total_blocks() > 0);
         // Metadata stays tiny regardless of database size.
-        prop_assert!(ftl.total_metadata_bytes().as_bytes() < 4_000_000);
+        assert!(ftl.total_metadata_bytes().as_bytes() < 4_000_000);
     }
 }

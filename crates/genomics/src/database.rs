@@ -465,7 +465,10 @@ mod tests {
         queries.sort();
         queries.dedup();
         let inter = db.intersect_sorted(&queries);
-        assert_eq!(inter.len(), queries.iter().filter(|q| db.lookup(**q).is_some()).count());
+        assert_eq!(
+            inter.len(),
+            queries.iter().filter(|q| db.lookup(**q).is_some()).count()
+        );
         assert!(inter.windows(2).all(|w| w[0] < w[1]));
         // All of this genome's k-mers are in the database, so the intersection
         // must cover every query.

@@ -203,7 +203,11 @@ impl PackedSequence {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn get(&self, index: usize) -> Base {
-        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds (len {})",
+            self.len
+        );
         let byte = self.data[index / 4];
         let bit_offset = (index % 4) * 2;
         Base::from_code((byte >> bit_offset) & 0b11)
@@ -331,7 +335,15 @@ mod tests {
     #[test]
     fn packed_sequence_push_and_get() {
         let mut seq = PackedSequence::new();
-        let bases = [Base::A, Base::C, Base::G, Base::T, Base::T, Base::G, Base::C];
+        let bases = [
+            Base::A,
+            Base::C,
+            Base::G,
+            Base::T,
+            Base::T,
+            Base::G,
+            Base::C,
+        ];
         for b in bases {
             seq.push(b);
         }

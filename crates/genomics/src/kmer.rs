@@ -317,7 +317,9 @@ impl ExactSizeIterator for CanonicalKmerExtractor<'_> {}
 /// (zero if the read is shorter than `k`).
 #[inline]
 pub fn kmers_per_read(read_len: usize, k: usize) -> usize {
-    read_len.saturating_sub(k).saturating_add(if read_len >= k { 1 } else { 0 })
+    read_len
+        .saturating_sub(k)
+        .saturating_add(if read_len >= k { 1 } else { 0 })
 }
 
 #[cfg(test)]

@@ -143,10 +143,7 @@ impl ReadSet {
     /// Size of the read set in the 2-bit encoding, in bytes (sequence payload
     /// only). Used by the performance model for host-side transfer estimates.
     pub fn encoded_bytes(&self) -> usize {
-        self.reads
-            .iter()
-            .map(|r| (2 * r.len()).div_ceil(8))
-            .sum()
+        self.reads.iter().map(|r| (2 * r.len()).div_ceil(8)).sum()
     }
 
     /// Parses a FASTA-formatted byte buffer into a read set.
@@ -274,7 +271,10 @@ mod tests {
 
     #[test]
     fn fasta_roundtrip() {
-        let rs = ReadSet::from_reads(vec![read("read/1", "ACGTACGTAC"), read("read/2", "TTTTGGGG")]);
+        let rs = ReadSet::from_reads(vec![
+            read("read/1", "ACGTACGTAC"),
+            read("read/2", "TTTTGGGG"),
+        ]);
         let fasta = rs.to_fasta();
         let parsed = ReadSet::from_fasta(fasta.as_bytes()).unwrap();
         assert_eq!(parsed.len(), 2);

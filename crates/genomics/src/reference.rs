@@ -220,13 +220,12 @@ mod tests {
         let rc = ReferenceCollection::synthetic(8, 1000, 5);
         let a = rc.genomes()[0].sequence();
         let b = rc.genomes()[1].sequence();
-        let matches = a
-            .iter()
-            .zip(b.iter())
-            .filter(|(x, y)| x == y)
-            .count();
+        let matches = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
         // ~90% of positions should match (two independent 5% mutation passes).
-        assert!(matches > 820, "expected shared backbone, got {matches}/1000");
+        assert!(
+            matches > 820,
+            "expected shared backbone, got {matches}/1000"
+        );
     }
 
     #[test]

@@ -181,9 +181,18 @@ impl CommunityConfig {
     /// Builds the community (reference collection + ground-truth profile +
     /// simulated reads) deterministically from `seed`.
     pub fn build(&self, seed: u64) -> Community {
+        self.build_cohort_sample(seed, seed)
+    }
+
+    /// Builds a community whose references are determined by `seed` but whose
+    /// sample is simulated from an independent `read_seed`. Communities built
+    /// with the same `seed` share identical reference genomes, so many
+    /// distinct samples can be drawn against one shared database — the
+    /// multi-sample use case of §4.7.
+    pub fn build_cohort_sample(&self, seed: u64, read_seed: u64) -> Community {
         let db_species = self.database_species.max(self.species);
         let references = ReferenceCollection::synthetic(db_species, self.genome_len, seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5a4d);
+        let mut rng = StdRng::seed_from_u64(read_seed ^ 0x5eed_5a4d);
 
         // Choose which species are present and their abundances (power-law
         // with the preset's skew).
@@ -197,9 +206,8 @@ impl CommunityConfig {
         let weights: Vec<f64> = (0..chosen.len())
             .map(|i| 1.0 / ((i + 1) as f64).powf(skew))
             .collect();
-        let truth_profile = AbundanceProfile::from_fractions(
-            chosen.iter().copied().zip(weights.iter().copied()),
-        );
+        let truth_profile =
+            AbundanceProfile::from_fractions(chosen.iter().copied().zip(weights.iter().copied()));
 
         // Simulate reads proportional to abundance.
         let mut reads = ReadSet::new();
@@ -363,8 +371,34 @@ mod tests {
         let cfg = CommunityConfig::preset(Diversity::Low).with_reads(50);
         let a = cfg.build(9);
         let b = cfg.build(9);
-        assert_eq!(a.sample().reads().reads()[0].sequence(),
-                   b.sample().reads().reads()[0].sequence());
+        assert_eq!(
+            a.sample().reads().reads()[0].sequence(),
+            b.sample().reads().reads()[0].sequence()
+        );
+    }
+
+    #[test]
+    fn cohort_samples_share_references_but_differ_in_reads() {
+        let cfg = CommunityConfig::preset(Diversity::Low).with_reads(50);
+        let a = cfg.build_cohort_sample(9, 1);
+        let b = cfg.build_cohort_sample(9, 2);
+        assert_eq!(
+            a.references().genomes()[0].sequence().to_ascii(),
+            b.references().genomes()[0].sequence().to_ascii(),
+            "same seed must give identical references"
+        );
+        assert_ne!(
+            a.sample().reads().reads()[0].sequence(),
+            b.sample().reads().reads()[0].sequence(),
+            "different read seeds must give different samples"
+        );
+        // build(seed) is the read_seed == seed special case.
+        let c = cfg.build_cohort_sample(9, 9);
+        let d = cfg.build(9);
+        assert_eq!(
+            c.sample().reads().reads()[0].sequence(),
+            d.sample().reads().reads()[0].sequence()
+        );
     }
 
     #[test]
@@ -417,6 +451,10 @@ mod tests {
         let c = cfg.build(23);
         let empirical = c.sample().truth_from_reads();
         let err = crate::metrics::AbundanceError::score(&empirical, c.truth_profile());
-        assert!(err.l1_norm < 0.15, "empirical profile too far from truth: {}", err.l1_norm);
+        assert!(
+            err.l1_norm < 0.15,
+            "empirical profile too far from truth: {}",
+            err.l1_norm
+        );
     }
 }

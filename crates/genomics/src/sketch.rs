@@ -91,12 +91,15 @@ pub fn sketch_hash(kmer: Kmer) -> u64 {
     mix64((bits as u64) ^ mix64((bits >> 64) as u64) ^ (kmer.k() as u64).wrapping_mul(0x9e37_79b9))
 }
 
+/// One sorted sketch table: kmer → sorted taxa.
+type SketchTable = Vec<(Kmer, Vec<TaxId>)>;
+
 /// The sketch database in its flat-table (Fig. 7(a)) representation.
 #[derive(Debug, Clone, Default)]
 pub struct SketchDatabase {
     config: Option<SketchConfig>,
-    /// One sorted table per k size (largest k first): kmer → sorted taxa.
-    tables: Vec<(usize, Vec<(Kmer, Vec<TaxId>)>)>,
+    /// One sorted table per k size (largest k first).
+    tables: Vec<(usize, SketchTable)>,
 }
 
 impl SketchDatabase {

@@ -1,119 +1,178 @@
-//! Property-based tests for the genomics substrate's core invariants.
+//! Property-style tests for the genomics substrate's core invariants.
+//!
+//! Each test checks an invariant over many randomized inputs drawn from a
+//! seeded generator, so runs are deterministic while still covering a wide
+//! slice of the input space (the offline equivalent of the original
+//! proptest-based suite).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use megis_genomics::dna::{Base, PackedSequence};
 use megis_genomics::kmer::{CanonicalKmerExtractor, Kmer, KmerExtractor};
 use megis_genomics::profile::AbundanceProfile;
 use megis_genomics::taxonomy::{Rank, TaxId, Taxonomy};
 
-fn dna_string(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max_len)
+const CASES: usize = 48;
+
+fn dna_string(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| b"ACGT"[rng.gen_range(0..4usize)])
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn packed_sequence_roundtrips_ascii(ascii in dna_string(200)) {
-        let seq = PackedSequence::from_ascii(&ascii).unwrap();
-        prop_assert_eq!(seq.len(), ascii.len());
-        prop_assert_eq!(seq.to_ascii(), ascii);
-    }
+fn random_len_dna(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    dna_string(rng, len)
+}
 
-    #[test]
-    fn reverse_complement_is_an_involution(ascii in dna_string(200)) {
+#[test]
+fn packed_sequence_roundtrips_ascii() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let ascii = random_len_dna(&mut rng, 200);
         let seq = PackedSequence::from_ascii(&ascii).unwrap();
-        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+        assert_eq!(seq.len(), ascii.len());
+        assert_eq!(seq.to_ascii(), ascii);
     }
+}
 
-    #[test]
-    fn reverse_complement_preserves_base_complements(ascii in dna_string(100)) {
+#[test]
+fn reverse_complement_is_an_involution() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let ascii = random_len_dna(&mut rng, 200);
+        let seq = PackedSequence::from_ascii(&ascii).unwrap();
+        assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+}
+
+#[test]
+fn reverse_complement_preserves_base_complements() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let ascii = random_len_dna(&mut rng, 100);
         let seq = PackedSequence::from_ascii(&ascii).unwrap();
         let rc = seq.reverse_complement();
         for i in 0..seq.len() {
-            prop_assert_eq!(rc.get(seq.len() - 1 - i), seq.get(i).complement());
+            assert_eq!(rc.get(seq.len() - 1 - i), seq.get(i).complement());
         }
     }
+}
 
-    #[test]
-    fn kmer_extraction_yields_expected_count(ascii in dna_string(300), k in 1usize..32) {
+#[test]
+fn kmer_extraction_yields_expected_count() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let ascii = random_len_dna(&mut rng, 300);
+        let k = rng.gen_range(1..32usize);
         let seq = PackedSequence::from_ascii(&ascii).unwrap();
         let expected = if seq.len() >= k { seq.len() - k + 1 } else { 0 };
-        prop_assert_eq!(KmerExtractor::new(&seq, k).count(), expected);
+        assert_eq!(KmerExtractor::new(&seq, k).count(), expected);
     }
+}
 
-    #[test]
-    fn extracted_kmers_match_subsequences(ascii in dna_string(120), k in 1usize..24) {
+#[test]
+fn extracted_kmers_match_subsequences() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let ascii = random_len_dna(&mut rng, 120);
+        let k = rng.gen_range(1..24usize);
         let seq = PackedSequence::from_ascii(&ascii).unwrap();
         for (i, kmer) in KmerExtractor::new(&seq, k).enumerate() {
-            prop_assert_eq!(kmer.to_sequence(), seq.subsequence(i, k));
+            assert_eq!(kmer.to_sequence(), seq.subsequence(i, k));
         }
     }
+}
 
-    #[test]
-    fn kmer_order_matches_string_order(a in dna_string(40), b in dna_string(40)) {
-        prop_assume!(!a.is_empty() && !b.is_empty());
+#[test]
+fn kmer_order_matches_string_order() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let la = rng.gen_range(1..40usize);
+        let lb = rng.gen_range(1..40usize);
+        let a = dna_string(&mut rng, la);
+        let b = dna_string(&mut rng, lb);
         let (ka, kb) = (Kmer::from_ascii(&a).unwrap(), Kmer::from_ascii(&b).unwrap());
-        let string_order = a.cmp(&b);
-        prop_assert_eq!(ka.cmp(&kb), string_order);
+        assert_eq!(ka.cmp(&kb), a.cmp(&b));
     }
+}
 
-    #[test]
-    fn canonical_kmers_are_strand_invariant(ascii in dna_string(150), k in 5usize..32) {
+#[test]
+fn canonical_kmers_are_strand_invariant() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let k = rng.gen_range(5..32usize);
+        let extra = rng.gen_range(0..120usize);
+        let ascii = dna_string(&mut rng, k + extra);
         let seq = PackedSequence::from_ascii(&ascii).unwrap();
-        prop_assume!(seq.len() >= k);
         let rc = seq.reverse_complement();
         let mut fwd: Vec<Kmer> = CanonicalKmerExtractor::new(&seq, k).collect();
         let mut rev: Vec<Kmer> = CanonicalKmerExtractor::new(&rc, k).collect();
         fwd.sort();
         rev.sort();
-        prop_assert_eq!(fwd, rev);
+        assert_eq!(fwd, rev);
     }
+}
 
-    #[test]
-    fn kmer_prefix_is_a_prefix(ascii in dna_string(60), j in 1usize..60) {
-        prop_assume!(!ascii.is_empty());
+#[test]
+fn kmer_prefix_is_a_prefix() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..60usize);
+        let ascii = dna_string(&mut rng, len);
         let kmer = Kmer::from_ascii(&ascii).unwrap();
-        let j = j.min(kmer.k());
+        let j = rng.gen_range(1..60usize).min(kmer.k());
         let prefix = kmer.prefix(j);
-        prop_assert_eq!(prefix.k(), j);
+        assert_eq!(prefix.k(), j);
         for i in 0..j {
-            prop_assert_eq!(prefix.base(i), kmer.base(i));
+            assert_eq!(prefix.base(i), kmer.base(i));
         }
     }
+}
 
-    #[test]
-    fn abundance_profiles_are_normalized(counts in proptest::collection::vec(0u64..1000, 1..20)) {
+#[test]
+fn abundance_profiles_are_normalized() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
+        let counts: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000u64)).collect();
         let profile = AbundanceProfile::from_counts(
-            counts.iter().enumerate().map(|(i, c)| (TaxId(i as u32 + 1), *c)),
+            counts
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (TaxId(i as u32 + 1), *c)),
         );
         if counts.iter().any(|c| *c > 0) {
-            prop_assert!((profile.total() - 1.0).abs() < 1e-9);
+            assert!((profile.total() - 1.0).abs() < 1e-9);
         } else {
-            prop_assert!(profile.is_empty());
+            assert!(profile.is_empty());
         }
     }
+}
 
-    #[test]
-    fn lca_is_commutative_and_on_both_lineages(
-        genera in 1usize..5,
-        species in 1usize..6,
-        a_idx in 0usize..30,
-        b_idx in 0usize..30,
-    ) {
+#[test]
+fn lca_is_commutative_and_on_both_lineages() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for _ in 0..CASES {
+        let genera = rng.gen_range(1..5usize);
+        let species = rng.gen_range(1..6usize);
         let tax = Taxonomy::synthetic(genera, species);
         let all = tax.ids_at_rank(Rank::Species);
-        let a = all[a_idx % all.len()];
-        let b = all[b_idx % all.len()];
+        let a = all[rng.gen_range(0..30usize) % all.len()];
+        let b = all[rng.gen_range(0..30usize) % all.len()];
         let lca = tax.lca(a, b);
-        prop_assert_eq!(lca, tax.lca(b, a));
-        prop_assert!(tax.lineage(a).contains(&lca));
-        prop_assert!(tax.lineage(b).contains(&lca));
+        assert_eq!(lca, tax.lca(b, a));
+        assert!(tax.lineage(a).contains(&lca));
+        assert!(tax.lineage(b).contains(&lca));
     }
+}
 
-    #[test]
-    fn base_ascii_roundtrip(code in 0u8..4) {
+#[test]
+fn base_ascii_roundtrip() {
+    for code in 0u8..4 {
         let base = Base::from_code(code);
-        prop_assert_eq!(Base::from_ascii(base.to_ascii()), Some(base));
-        prop_assert_eq!(base.code(), code);
+        assert_eq!(Base::from_ascii(base.to_ascii()), Some(base));
+        assert_eq!(base.code(), code);
     }
 }

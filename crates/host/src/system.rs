@@ -83,7 +83,11 @@ impl SystemConfig {
     /// Panics if the configuration has no SSD or `count` is zero.
     pub fn with_ssd_count(mut self, count: usize) -> SystemConfig {
         assert!(count > 0, "at least one SSD is required");
-        let template = self.ssds.first().expect("existing SSD to replicate").clone();
+        let template = self
+            .ssds
+            .first()
+            .expect("existing SSD to replicate")
+            .clone();
         self.ssds = vec![template; count];
         self.name = format!("{} [{} SSDs]", self.name, count);
         self
@@ -91,7 +95,11 @@ impl SystemConfig {
 
     /// Returns a copy whose SSDs have `channels` channels each (Fig. 17 sweep).
     pub fn with_ssd_channels(mut self, channels: u32) -> SystemConfig {
-        self.ssds = self.ssds.iter().map(|s| s.with_channels(channels)).collect();
+        self.ssds = self
+            .ssds
+            .iter()
+            .map(|s| s.with_channels(channels))
+            .collect();
         self
     }
 
@@ -105,6 +113,23 @@ impl SystemConfig {
     pub fn with_pim_matcher(mut self, pim: PimKmerMatcher) -> SystemConfig {
         self.pim_matcher = Some(pim);
         self
+    }
+
+    /// Splits a multi-SSD system into per-device single-SSD views, one per
+    /// database shard (the shard-local system a disjoint partition of the
+    /// sorted k-mer database lives on, §6.1 "Effect of the Number of SSDs").
+    /// The batch scheduler uses these views to model per-shard service times.
+    pub fn shard_systems(&self) -> Vec<SystemConfig> {
+        self.ssds
+            .iter()
+            .enumerate()
+            .map(|(i, ssd)| {
+                let mut shard = self.clone();
+                shard.ssds = vec![ssd.clone()];
+                shard.name = format!("{} [shard {i}]", self.name);
+                shard
+            })
+            .collect()
     }
 
     /// The first (or only) SSD.
@@ -123,12 +148,18 @@ impl SystemConfig {
 
     /// Aggregate external sequential-read bandwidth across all SSDs.
     pub fn aggregate_external_read_bandwidth(&self) -> f64 {
-        self.ssds.iter().map(SsdConfig::external_read_bandwidth).sum()
+        self.ssds
+            .iter()
+            .map(SsdConfig::external_read_bandwidth)
+            .sum()
     }
 
     /// Aggregate internal read bandwidth across all SSDs.
     pub fn aggregate_internal_read_bandwidth(&self) -> f64 {
-        self.ssds.iter().map(SsdConfig::internal_read_bandwidth).sum()
+        self.ssds
+            .iter()
+            .map(SsdConfig::internal_read_bandwidth)
+            .sum()
     }
 
     /// Aggregate random-read bandwidth (4-KiB requests) across all SSDs.
@@ -167,8 +198,8 @@ mod tests {
         let one = SystemConfig::reference(SsdConfig::ssd_c());
         let four = one.clone().with_ssd_count(4);
         assert_eq!(four.ssd_count(), 4);
-        let ratio = four.aggregate_internal_read_bandwidth()
-            / one.aggregate_internal_read_bandwidth();
+        let ratio =
+            four.aggregate_internal_read_bandwidth() / one.aggregate_internal_read_bandwidth();
         assert!((ratio - 4.0).abs() < 1e-9);
     }
 
@@ -192,6 +223,21 @@ mod tests {
         let small = base.clone().with_dram_capacity(ByteSize::from_gb(32.0));
         assert_eq!(small.memory.capacity.as_gb(), 32.0);
         assert_eq!(small.cpu.cores, base.cpu.cores);
+    }
+
+    #[test]
+    fn shard_systems_split_one_device_each() {
+        let sys = SystemConfig::reference(SsdConfig::ssd_c()).with_ssd_count(4);
+        let shards = sys.shard_systems();
+        assert_eq!(shards.len(), 4);
+        for shard in &shards {
+            assert_eq!(shard.ssd_count(), 1);
+            assert_eq!(
+                shard.aggregate_internal_read_bandwidth(),
+                sys.aggregate_internal_read_bandwidth() / 4.0
+            );
+            assert_eq!(shard.cpu.cores, sys.cpu.cores);
+        }
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! The batch engine: admission → host Step 1 workers → sharded in-SSD stage.
+//!
+//! Execution follows the paper's inter-sample pipeline (§4.7): a pool of
+//! host worker threads runs Step 1 (k-mer extraction, bucketed sorting,
+//! exclusion) on upcoming samples while the in-SSD stage — one intersect
+//! worker per database shard plus a coordinator for taxID retrieval and
+//! Step 3 — processes the current one. Within the in-SSD stage, the sorted
+//! query k-mers fan out to every shard concurrently and the per-shard
+//! intersections merge back in shard order (Fig. 15's disjoint multi-SSD
+//! partitioning), so the merged intersection is identical to streaming the
+//! unsharded database.
+//!
+//! Every per-job computation routes through the step-level entry points of
+//! [`MegisAnalyzer`], which makes the engine's output byte-identical to
+//! calling [`MegisAnalyzer::analyze`] per sample — for any worker count,
+//! shard count, or admission policy. Scheduling changes only *when* work
+//! happens, never *what* is computed.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use megis::step1::Step1Output;
+use megis::MegisAnalyzer;
+use megis_genomics::kmer::Kmer;
+use megis_genomics::sample::{Diversity, Sample};
+use megis_host::accelerators::SortingAccelerator;
+use megis_host::system::SystemConfig;
+use megis_ssd::config::SsdConfig;
+use megis_ssd::timing::ByteSize;
+use megis_tools::workload::WorkloadSpec;
+
+use crate::job::{JobId, JobResult, JobSpec, Priority};
+use crate::metrics::{BatchReport, LatencyStats, ShardStats};
+use crate::model::ModeledAccount;
+use crate::queue::{AdmissionError, JobQueue, QueuedJob, SchedPolicy};
+use crate::shard::ShardSet;
+
+/// Configuration of a [`BatchEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Host-side Step 1 worker threads.
+    pub workers: usize,
+    /// Simulated SSDs the database is sharded across.
+    pub shards: usize,
+    /// Admission/service-order policy.
+    pub policy: SchedPolicy,
+    /// Maximum jobs waiting for service before admission rejects.
+    pub queue_capacity: usize,
+    /// Base system for the modeled-time account: the pipelining comparison
+    /// runs on it as given, and the shard-scaling series replicates its
+    /// first SSD over `1..=shards` devices.
+    pub system: SystemConfig,
+    /// Paper-scale workload the modeled-time account is evaluated on.
+    pub workload: WorkloadSpec,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            shards: 2,
+            policy: SchedPolicy::Fifo,
+            queue_capacity: 1024,
+            // The paper's multi-sample configuration (Fig. 21): without the
+            // sorting accelerator, host-side sorting dominates and hides the
+            // in-SSD work entirely, which would make the modeled pipelining
+            // gain degenerate to zero.
+            system: SystemConfig::reference(SsdConfig::ssd_c())
+                .with_dram_capacity(ByteSize::from_gb(256.0))
+                .with_sorting_accelerator(SortingAccelerator::default()),
+            workload: WorkloadSpec::cami(Diversity::Medium),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration (2 workers, 2 shards, FIFO).
+    pub fn new() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// Sets the Step 1 worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(mut self, workers: usize) -> EngineConfig {
+        assert!(workers > 0, "at least one worker is required");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the shard (simulated SSD) count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> EngineConfig {
+        assert!(shards > 0, "at least one shard is required");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> EngineConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the admission queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> EngineConfig {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the modeled system template (its first SSD is replicated per
+    /// shard).
+    pub fn with_system(mut self, system: SystemConfig) -> EngineConfig {
+        self.system = system;
+        self
+    }
+
+    /// Sets the modeled workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> EngineConfig {
+        self.workload = workload;
+        self
+    }
+}
+
+/// Error from [`BatchEngine::submit_all`]: a submission was rejected after
+/// some jobs had already been admitted. The admitted jobs remain queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialAdmission {
+    /// Jobs admitted before the rejection, in submission order.
+    pub admitted: Vec<JobId>,
+    /// The rejection that stopped the batch.
+    pub error: AdmissionError,
+}
+
+impl std::fmt::Display for PartialAdmission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} after {} jobs were admitted",
+            self.error,
+            self.admitted.len()
+        )
+    }
+}
+
+impl std::error::Error for PartialAdmission {}
+
+/// A Step 1 output in flight between the host stage and the in-SSD stage.
+struct PreparedJob {
+    id: JobId,
+    label: String,
+    priority: Priority,
+    start_position: usize,
+    sample: Sample,
+    submitted_at: Instant,
+    queue_wait: Duration,
+    step1_time: Duration,
+    step1: Step1Output,
+}
+
+/// The multi-sample batch engine.
+#[derive(Debug)]
+pub struct BatchEngine {
+    analyzer: Arc<MegisAnalyzer>,
+    shards: ShardSet,
+    queue: JobQueue,
+    config: EngineConfig,
+}
+
+impl BatchEngine {
+    /// Builds an engine around an analyzer, sharding its database across the
+    /// configured number of simulated SSDs.
+    pub fn new(analyzer: MegisAnalyzer, config: EngineConfig) -> BatchEngine {
+        assert!(config.workers > 0, "at least one worker is required");
+        assert!(config.shards > 0, "at least one shard is required");
+        let shards = ShardSet::build(analyzer.database(), config.shards);
+        BatchEngine {
+            analyzer: Arc::new(analyzer),
+            shards,
+            queue: JobQueue::new(config.policy, config.queue_capacity),
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The sharded database layout.
+    pub fn shards(&self) -> &ShardSet {
+        &self.shards
+    }
+
+    /// Number of jobs waiting for service.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits one job for the next batch run.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, AdmissionError> {
+        self.queue.submit(spec)
+    }
+
+    /// Submits many jobs; stops at the first admission rejection.
+    ///
+    /// On rejection the error carries the ids of the jobs admitted before
+    /// it — those jobs stay queued and will run, so callers must not treat
+    /// the error as "nothing was submitted".
+    pub fn submit_all<I: IntoIterator<Item = JobSpec>>(
+        &mut self,
+        specs: I,
+    ) -> Result<Vec<JobId>, PartialAdmission> {
+        let mut admitted = Vec::new();
+        for spec in specs {
+            match self.submit(spec) {
+                Ok(id) => admitted.push(id),
+                Err(error) => return Err(PartialAdmission { admitted, error }),
+            }
+        }
+        Ok(admitted)
+    }
+
+    /// Runs every queued job through the pipelined executor and reports.
+    ///
+    /// Returns an empty report (zero throughput, no results) if nothing is
+    /// queued.
+    pub fn run(&mut self) -> BatchReport {
+        let jobs = self.queue.drain_ordered();
+        let sample_count = jobs.len();
+        let shard_count = self.shards.shard_count();
+        if jobs.is_empty() {
+            return BatchReport {
+                results: Vec::new(),
+                wall_time: Duration::ZERO,
+                latency: LatencyStats::default(),
+                throughput: 0.0,
+                shard_stats: (0..shard_count)
+                    .map(|shard| ShardStats {
+                        shard,
+                        ..ShardStats::default()
+                    })
+                    .collect(),
+                modeled: None,
+            };
+        }
+        let modeled = ModeledAccount::compute(
+            &self.config.system,
+            &self.config.workload,
+            sample_count,
+            shard_count,
+        );
+
+        let batch_start = Instant::now();
+        let (results, shard_stats) = self.execute(jobs);
+        let wall_time = batch_start.elapsed();
+
+        let latencies: Vec<Duration> = results.iter().map(|r| r.latency).collect();
+        BatchReport {
+            latency: LatencyStats::from_latencies(&latencies),
+            throughput: sample_count as f64 / wall_time.as_secs_f64().max(1e-9),
+            results,
+            wall_time,
+            shard_stats,
+            modeled: Some(modeled),
+        }
+    }
+
+    /// The pipelined executor: Step 1 worker pool feeding the in-SSD stage.
+    fn execute(&self, jobs: Vec<QueuedJob>) -> (Vec<JobResult>, Vec<ShardStats>) {
+        let shard_count = self.shards.shard_count();
+        let analyzer = &self.analyzer;
+        // Jobs are already in service order; workers pop from the front, so
+        // the order in which jobs *enter* Step 1 follows the policy exactly
+        // even with many workers. The service-position counter is read in the
+        // same critical section as the pop, so the recorded order cannot
+        // drift from the actual pop order.
+        let feed: Mutex<(VecDeque<QueuedJob>, usize)> = Mutex::new((jobs.into(), 0));
+
+        // Bounded hand-off between the stages: workers prepare at most one
+        // sample ahead each before blocking, so peak memory stays
+        // O(workers) prepared samples instead of O(batch) while still
+        // keeping the in-SSD stage fed (the §4.7 lookahead).
+        let (s1_tx, s1_rx) = mpsc::sync_channel::<PreparedJob>(self.config.workers + 1);
+        let (stats_tx, stats_rx) = mpsc::channel::<ShardStats>();
+        let (resp_tx, resp_rx) = mpsc::channel::<(usize, Vec<Kmer>)>();
+
+        let mut results: Vec<JobResult> = Vec::new();
+
+        thread::scope(|scope| {
+            // In-SSD stage, part 1: one intersect worker per database shard.
+            let mut shard_txs = Vec::with_capacity(shard_count);
+            for (index, shard) in self.shards.shards().iter().enumerate() {
+                let (tx, rx) = mpsc::channel::<Arc<Vec<Kmer>>>();
+                shard_txs.push(tx);
+                let shard = Arc::clone(shard);
+                let resp_tx = resp_tx.clone();
+                let stats_tx = stats_tx.clone();
+                scope.spawn(move || {
+                    let mut busy = Duration::ZERO;
+                    let mut served = 0u64;
+                    for queries in rx {
+                        let t0 = Instant::now();
+                        let intersection = shard.intersect_sorted(&queries);
+                        busy += t0.elapsed();
+                        served += 1;
+                        if resp_tx.send((index, intersection)).is_err() {
+                            break;
+                        }
+                    }
+                    let _ = stats_tx.send(ShardStats {
+                        shard: index,
+                        busy,
+                        jobs: served,
+                    });
+                });
+            }
+            drop(resp_tx);
+            drop(stats_tx);
+
+            // Host stage: Step 1 worker pool.
+            for _ in 0..self.config.workers {
+                let feed = &feed;
+                let s1_tx = s1_tx.clone();
+                scope.spawn(move || loop {
+                    let (job, start_position) = {
+                        let mut guard = feed.lock().unwrap();
+                        let Some(job) = guard.0.pop_front() else {
+                            break;
+                        };
+                        let position = guard.1;
+                        guard.1 += 1;
+                        (job, position)
+                    };
+                    let started = Instant::now();
+                    let step1 = analyzer.run_step1(&job.spec.sample);
+                    let prepared = PreparedJob {
+                        id: job.id,
+                        label: job.spec.label,
+                        priority: job.spec.priority,
+                        start_position,
+                        sample: job.spec.sample,
+                        submitted_at: job.submitted_at,
+                        queue_wait: started.duration_since(job.submitted_at),
+                        step1_time: started.elapsed(),
+                        step1,
+                    };
+                    if s1_tx.send(prepared).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(s1_tx);
+
+            // In-SSD stage, part 2 (this thread): fan each prepared sample
+            // out to every shard, merge in shard order, then taxID retrieval
+            // and Step 3. Step 1 workers keep preparing upcoming samples in
+            // parallel — the §4.7 inter-sample overlap.
+            for prepared in s1_rx {
+                let isp_start = Instant::now();
+                let queries = Arc::new(prepared.step1.sorted_kmers());
+                for tx in &shard_txs {
+                    tx.send(Arc::clone(&queries))
+                        .expect("shard worker alive while requests pend");
+                }
+                let mut parts: Vec<Vec<Kmer>> = vec![Vec::new(); shard_count];
+                for _ in 0..shard_count {
+                    let (index, intersection) = resp_rx.recv().expect("one response per shard");
+                    parts[index] = intersection;
+                }
+                let merged: Vec<Kmer> = parts.into_iter().flatten().collect();
+                let step2 = analyzer.step2_from_intersection(merged);
+                let step3 = analyzer.run_step3(&prepared.sample, &step2.presence);
+                let output = MegisAnalyzer::assemble_output(&prepared.step1, &step2, step3);
+                results.push(JobResult {
+                    id: prepared.id,
+                    label: prepared.label,
+                    priority: prepared.priority,
+                    start_position: prepared.start_position,
+                    output,
+                    queue_wait: prepared.queue_wait,
+                    step1_time: prepared.step1_time,
+                    isp_time: isp_start.elapsed(),
+                    latency: prepared.submitted_at.elapsed(),
+                });
+            }
+            drop(shard_txs);
+        });
+
+        let mut shard_stats: Vec<ShardStats> = stats_rx.iter().collect();
+        shard_stats.sort_by_key(|s| s.shard);
+        results.sort_by_key(|r| r.id);
+        (results, shard_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis::config::MegisConfig;
+    use megis_genomics::sample::CommunityConfig;
+
+    fn community() -> megis_genomics::sample::Community {
+        CommunityConfig::preset(Diversity::Medium)
+            .with_reads(120)
+            .with_database_species(12)
+            .build(91)
+    }
+
+    fn analyzer(c: &megis_genomics::sample::Community) -> MegisAnalyzer {
+        MegisAnalyzer::build(c.references(), MegisConfig::small())
+    }
+
+    fn specs(c: &megis_genomics::sample::Community, n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec::new(format!("sample-{i}"), c.sample().clone()))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_sequential_analyzer() {
+        let c = community();
+        let a = analyzer(&c);
+        let expected = a.analyze(c.sample());
+        let mut engine = BatchEngine::new(a, EngineConfig::new().with_workers(2).with_shards(3));
+        engine.submit_all(specs(&c, 4)).unwrap();
+        let report = engine.run();
+        assert_eq!(report.results.len(), 4);
+        for r in &report.results {
+            assert_eq!(r.output, expected, "{} diverged", r.label);
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_nothing() {
+        let c = community();
+        let mut engine = BatchEngine::new(analyzer(&c), EngineConfig::new());
+        let report = engine.run();
+        assert!(report.results.is_empty());
+        assert_eq!(report.throughput, 0.0);
+        assert_eq!(report.shard_stats.len(), 2);
+        assert!(
+            report.modeled.is_none(),
+            "empty batch has no modeled account"
+        );
+    }
+
+    #[test]
+    fn results_are_sorted_by_job_id() {
+        let c = community();
+        let mut engine = BatchEngine::new(
+            analyzer(&c),
+            EngineConfig::new().with_workers(4).with_shards(2),
+        );
+        engine.submit_all(specs(&c, 8)).unwrap();
+        let report = engine.run();
+        let ids: Vec<u64> = report.results.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn priority_jobs_start_first() {
+        let c = community();
+        let mut engine = BatchEngine::new(
+            analyzer(&c),
+            EngineConfig::new()
+                .with_workers(1)
+                .with_policy(SchedPolicy::Priority),
+        );
+        let mut jobs = specs(&c, 6);
+        jobs[4] = jobs[4].clone().with_priority(Priority::High);
+        jobs[1] = jobs[1].clone().with_priority(Priority::Low);
+        engine.submit_all(jobs).unwrap();
+        let report = engine.run();
+        let by_id = |id: u64| {
+            report
+                .results
+                .iter()
+                .find(|r| r.id.0 == id)
+                .unwrap()
+                .start_position
+        };
+        assert_eq!(by_id(4), 0, "high priority enters service first");
+        assert_eq!(by_id(1), 5, "low priority enters service last");
+    }
+
+    #[test]
+    fn shard_workers_all_serve_every_job() {
+        let c = community();
+        let mut engine = BatchEngine::new(analyzer(&c), EngineConfig::new().with_shards(4));
+        engine.submit_all(specs(&c, 3)).unwrap();
+        let report = engine.run();
+        assert_eq!(report.shard_stats.len(), 4);
+        for s in &report.shard_stats {
+            assert_eq!(s.jobs, 3);
+        }
+        assert_eq!(report.shard_utilization().len(), 4);
+    }
+
+    #[test]
+    fn modeled_account_is_attached_and_consistent() {
+        let c = community();
+        let mut engine = BatchEngine::new(analyzer(&c), EngineConfig::new().with_shards(4));
+        engine.submit_all(specs(&c, 8)).unwrap();
+        let report = engine.run();
+        let modeled = report
+            .modeled
+            .as_ref()
+            .expect("non-empty batch has an account");
+        assert_eq!(modeled.samples, 8);
+        assert_eq!(modeled.shards, 4);
+        assert!(modeled.is_consistent(0.9));
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn admission_limit_is_enforced() {
+        let c = community();
+        let mut engine = BatchEngine::new(analyzer(&c), EngineConfig::new().with_queue_capacity(2));
+        let err = engine.submit_all(specs(&c, 3)).unwrap_err();
+        assert_eq!(err.error, AdmissionError::QueueFull { capacity: 2 });
+        assert_eq!(
+            err.admitted,
+            vec![JobId(0), JobId(1)],
+            "rejection reports the jobs that did get in"
+        );
+        assert_eq!(engine.pending(), 2);
+        // The admitted jobs still run.
+        let report = engine.run();
+        assert_eq!(report.results.len(), 2);
+    }
+}

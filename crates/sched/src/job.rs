@@ -1,0 +1,124 @@
+//! Jobs: what clients submit to the batch engine and what they get back.
+
+use std::time::Duration;
+
+use megis::MegisOutput;
+use megis_genomics::sample::Sample;
+
+/// Identifier of one submitted job (its admission sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Scheduling priority of a job. Under the priority policy, higher
+/// priorities start Step 1 first; ties are broken by submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work (e.g. re-analysis sweeps).
+    Low,
+    /// Default for cohort samples.
+    #[default]
+    Normal,
+    /// Time-critical samples (e.g. clinical pathogen identification).
+    High,
+}
+
+impl Priority {
+    /// All priorities, lowest first.
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// One sample submitted for analysis.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Client-facing label (e.g. the sample accession).
+    pub label: String,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// The sample to analyze.
+    pub sample: Sample,
+}
+
+impl JobSpec {
+    /// Creates a normal-priority job.
+    pub fn new(label: impl Into<String>, sample: Sample) -> JobSpec {
+        JobSpec {
+            label: label.into(),
+            priority: Priority::Normal,
+            sample,
+        }
+    }
+
+    /// Returns the job with a different priority.
+    pub fn with_priority(mut self, priority: Priority) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Completed job: the analysis output plus per-job operational metrics.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's identifier.
+    pub id: JobId,
+    /// The job's label.
+    pub label: String,
+    /// The job's priority.
+    pub priority: Priority,
+    /// Position at which the job entered service (Step 1 start): 0 for the
+    /// first job dispatched. Under FIFO this equals submission order; under
+    /// the priority policy, higher priorities get smaller positions.
+    pub start_position: usize,
+    /// End-to-end analysis output — byte-identical to
+    /// `MegisAnalyzer::analyze` on the same sample.
+    pub output: MegisOutput,
+    /// Time spent queued before Step 1 started.
+    pub queue_wait: Duration,
+    /// Wall-clock time of host-side Step 1.
+    pub step1_time: Duration,
+    /// Wall-clock time of the in-SSD stage (sharded intersection, taxID
+    /// retrieval, Step 3).
+    pub isp_time: Duration,
+    /// Total latency from submission to completion.
+    pub latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::read::ReadSet;
+
+    #[test]
+    fn priority_ordering_is_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn job_spec_builder() {
+        let sample = Sample::from_reads(ReadSet::new());
+        let spec = JobSpec::new("s1", sample).with_priority(Priority::High);
+        assert_eq!(spec.label, "s1");
+        assert_eq!(spec.priority, Priority::High);
+    }
+
+    #[test]
+    fn job_id_displays_compactly() {
+        assert_eq!(JobId(7).to_string(), "job#7");
+    }
+}

@@ -1,0 +1,75 @@
+//! `megis-sched`: a multi-sample batch scheduler with sharded multi-SSD
+//! execution for the MegIS reproduction.
+//!
+//! The MegIS paper gets its largest end-to-end wins from two scheduling
+//! ideas: overlapping host-side Step 1 of sample *i + 1* with the in-SSD
+//! Steps 2–3 of sample *i* (§4.7, Fig. 21), and partitioning the sorted
+//! k-mer database disjointly across several SSDs (Fig. 15). This crate turns
+//! both from analytic models into a running batch-analysis engine:
+//!
+//! * [`job`] — what clients submit ([`JobSpec`] with a [`Priority`]) and get
+//!   back ([`JobResult`]: the analysis output plus per-job wait/latency
+//!   accounting),
+//! * [`queue`] — bounded admission and deterministic service order
+//!   ([`SchedPolicy::Fifo`] or [`SchedPolicy::Priority`]),
+//! * [`shard`] — the database partitioned into contiguous sorted ranges,
+//!   one per simulated SSD ([`ShardSet`]),
+//! * [`engine`] — the pipelined executor ([`BatchEngine`]): a pool of host
+//!   Step 1 worker threads feeding an in-SSD stage with one intersect worker
+//!   per shard, built on std threads and channels,
+//! * [`metrics`] — batch-level operational metrics ([`BatchReport`]:
+//!   latency p50/p99, throughput in samples/sec, per-shard utilization),
+//! * [`model`] — the paper-scale modeled-time account ([`ModeledAccount`]),
+//!   cross-checking the executed batch shape against
+//!   `MegisTimingModel::multi_sample_breakdown` and the Fig. 15 shard
+//!   scaling series.
+//!
+//! **Determinism contract:** scheduling decides only *when* work happens,
+//! never *what* is computed. Every job's output is byte-identical to
+//! `MegisAnalyzer::analyze` on the same sample, for any worker count, shard
+//! count, or admission policy (enforced by the workspace integration
+//! tests).
+//!
+//! # Example
+//!
+//! ```
+//! use megis::config::MegisConfig;
+//! use megis::MegisAnalyzer;
+//! use megis_genomics::sample::{CommunityConfig, Diversity};
+//! use megis_sched::{BatchEngine, EngineConfig, JobSpec};
+//!
+//! let community = CommunityConfig::preset(Diversity::Low)
+//!     .with_reads(80)
+//!     .with_database_species(8)
+//!     .build(7);
+//! let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+//! let expected = analyzer.analyze(community.sample());
+//!
+//! let mut engine = BatchEngine::new(
+//!     analyzer,
+//!     EngineConfig::new().with_workers(2).with_shards(2),
+//! );
+//! for i in 0..4 {
+//!     engine
+//!         .submit(JobSpec::new(format!("sample-{i}"), community.sample().clone()))
+//!         .unwrap();
+//! }
+//! let report = engine.run();
+//! assert_eq!(report.results.len(), 4);
+//! assert!(report.results.iter().all(|r| r.output == expected));
+//! assert!(report.modeled.unwrap().pipelining_speedup() > 1.0);
+//! ```
+
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod model;
+pub mod queue;
+pub mod shard;
+
+pub use engine::{BatchEngine, EngineConfig, PartialAdmission};
+pub use job::{JobId, JobResult, JobSpec, Priority};
+pub use metrics::{BatchReport, LatencyStats, ShardStats};
+pub use model::ModeledAccount;
+pub use queue::{AdmissionError, JobQueue, SchedPolicy};
+pub use shard::ShardSet;

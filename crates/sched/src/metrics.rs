@@ -1,0 +1,188 @@
+//! Operational metrics: latency percentiles, throughput, and per-shard
+//! utilization for one batch run.
+
+use std::time::Duration;
+
+use crate::job::JobResult;
+use crate::model::ModeledAccount;
+
+/// Latency distribution over the completed jobs of a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples the statistics cover.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: Duration,
+    /// 99th percentile (nearest-rank).
+    pub p99: Duration,
+    /// Maximum observed latency.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Computes the statistics from unordered latencies.
+    pub fn from_latencies(latencies: &[Duration]) -> LatencyStats {
+        if latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        LatencyStats {
+            count: sorted.len(),
+            mean: total / sorted.len() as u32,
+            p50: percentile(&sorted, 50.0),
+            p99: percentile(&sorted, 99.0),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct` is outside `(0, 100]`.
+pub fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Busy-time accounting for one shard (simulated SSD) worker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Shard index (lexicographic range order).
+    pub shard: usize,
+    /// Total time the shard's intersect worker spent computing.
+    pub busy: Duration,
+    /// Number of intersection requests served (one per job).
+    pub jobs: u64,
+}
+
+/// Everything a batch run reports.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job results, sorted by [`crate::job::JobId`].
+    pub results: Vec<JobResult>,
+    /// Wall-clock time of the whole batch (first dispatch to last
+    /// completion).
+    pub wall_time: Duration,
+    /// Latency distribution (submission to completion).
+    pub latency: LatencyStats,
+    /// Completed samples per wall-clock second.
+    pub throughput: f64,
+    /// Per-shard busy accounting.
+    pub shard_stats: Vec<ShardStats>,
+    /// Modeled-time account at paper scale for this batch shape
+    /// (cross-checks `MegisTimingModel::multi_sample_breakdown`); `None`
+    /// when the batch was empty and there is no shape to model.
+    pub modeled: Option<ModeledAccount>,
+}
+
+impl BatchReport {
+    /// Fraction of the batch wall time each shard's intersect worker was
+    /// busy, in shard order.
+    pub fn shard_utilization(&self) -> Vec<f64> {
+        let wall = self.wall_time.as_secs_f64();
+        self.shard_stats
+            .iter()
+            .map(|s| {
+                if wall > 0.0 {
+                    s.busy.as_secs_f64() / wall
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Renders a compact plain-text summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "batch: {} jobs in {:.3} s ({:.2} samples/s)",
+            self.results.len(),
+            self.wall_time.as_secs_f64(),
+            self.throughput,
+        );
+        let _ = writeln!(
+            out,
+            "latency: mean {:.1} ms, p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+            self.latency.mean.as_secs_f64() * 1e3,
+            self.latency.p50.as_secs_f64() * 1e3,
+            self.latency.p99.as_secs_f64() * 1e3,
+            self.latency.max.as_secs_f64() * 1e3,
+        );
+        let utils: Vec<String> = self
+            .shard_utilization()
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect();
+        let _ = writeln!(out, "shard utilization: [{}]", utils.join(", "));
+        match &self.modeled {
+            Some(modeled) => {
+                let _ = writeln!(
+                    out,
+                    "modeled ({} samples, {} shards): independent {:.1} s, pipelined {:.1} s \
+                     ({:.2}x); per-shard db stream {:.1} s",
+                    modeled.samples,
+                    modeled.shards,
+                    modeled.independent_total().as_secs(),
+                    modeled.pipelined_total().as_secs(),
+                    modeled.pipelining_speedup(),
+                    modeled.shard_stream_time.as_secs(),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "modeled: n/a (empty batch)");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(50));
+        assert_eq!(percentile(&sorted, 99.0), ms(99));
+        assert_eq!(percentile(&sorted, 100.0), ms(100));
+        assert_eq!(percentile(&[ms(7)], 50.0), ms(7));
+    }
+
+    #[test]
+    fn latency_stats_from_unordered_input() {
+        let stats = LatencyStats::from_latencies(&[ms(30), ms(10), ms(20)]);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.mean, ms(20));
+        assert_eq!(stats.p50, ms(20));
+        assert_eq!(stats.max, ms(30));
+    }
+
+    #[test]
+    fn empty_latencies_give_zeroes() {
+        let stats = LatencyStats::from_latencies(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.max, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Modeled-time account: what the batch the engine just executed would cost
+//! at paper scale, cross-checked against the analytic models.
+//!
+//! The engine runs functionally on synthetic in-memory data, so its wall
+//! clock says nothing about terabyte-scale behavior. This module evaluates
+//! the same batch shape (sample count, shard count, scheduling overlap)
+//! through [`MegisTimingModel`], reporting:
+//!
+//! * the *independent-runs baseline* — every sample analyzed back-to-back
+//!   ([`baseline_multi_sample`], the `1 sample` bars of Fig. 21),
+//! * the *pipelined* plan — Step 1 of sample `i+1` overlapped with the
+//!   in-SSD Steps 2–3 of sample `i`, with k-mer buffering across samples
+//!   ([`MegisTimingModel::multi_sample_breakdown`], §4.7), and
+//! * the *shard scaling* series — the in-SSD intersection phase as the
+//!   database is partitioned across 1..N SSDs (Fig. 15).
+
+use megis::pipeline::{baseline_multi_sample, MegisTimingModel};
+use megis_host::system::SystemConfig;
+use megis_ssd::timing::SimDuration;
+use megis_tools::timing::Breakdown;
+use megis_tools::workload::WorkloadSpec;
+
+/// Paper-scale account of one batch shape.
+#[derive(Debug, Clone)]
+pub struct ModeledAccount {
+    /// Number of samples in the batch.
+    pub samples: usize,
+    /// Number of SSDs the database is sharded across.
+    pub shards: usize,
+    /// Every sample analyzed independently, back to back.
+    pub independent: Breakdown,
+    /// The §4.7 pipelined multi-sample plan.
+    pub pipelined: Breakdown,
+    /// `(ssd_count, speedup)` of the in-SSD intersection phase relative to
+    /// one SSD, for each count in `1..=shards` (Fig. 15 scaling).
+    pub shard_speedups: Vec<(usize, f64)>,
+    /// Modeled time for one shard's device to stream its disjoint database
+    /// partition at internal bandwidth — the per-device Step 2 cost that the
+    /// Fig. 15 partitioning divides across SSDs.
+    pub shard_stream_time: SimDuration,
+}
+
+impl ModeledAccount {
+    /// Evaluates the account for a batch of `samples` on the base (typically
+    /// single-SSD) `system`.
+    ///
+    /// The two series are the paper's two separate axes: the
+    /// pipelined-vs-independent comparison is evaluated on `system` as given
+    /// (Fig. 21 compares scheduling plans on one machine), while the shard
+    /// series replicates `system`'s first SSD over `1..=shards` devices
+    /// (Fig. 15 sweeps the device count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` or `shards` is zero.
+    pub fn compute(
+        system: &SystemConfig,
+        workload: &WorkloadSpec,
+        samples: usize,
+        shards: usize,
+    ) -> ModeledAccount {
+        assert!(samples > 0, "at least one sample is required");
+        assert!(shards > 0, "at least one shard is required");
+        let model = MegisTimingModel::full();
+        let single = model.presence_breakdown(system, workload);
+        let independent = baseline_multi_sample(&single, samples);
+        let pipelined = model.multi_sample_breakdown(system, workload, samples);
+
+        let intersection_at = |count: usize| -> SimDuration {
+            let sys = system.clone().with_ssd_count(count);
+            model
+                .presence_breakdown(&sys, workload)
+                .phase("intersection finding")
+                .expect("model reports an intersection phase")
+        };
+        let base = intersection_at(1);
+        let shard_speedups = (1..=shards)
+            .map(|count| (count, base / intersection_at(count)))
+            .collect();
+
+        // Per-shard service time: each device's single-SSD view streams an
+        // even split of the database.
+        let shard_view = system
+            .clone()
+            .with_ssd_count(shards)
+            .shard_systems()
+            .into_iter()
+            .next()
+            .expect("sharded system has at least one device");
+        let shard_stream_time = (workload.metalign_db / shards as u64)
+            .time_at(shard_view.aggregate_internal_read_bandwidth());
+
+        ModeledAccount {
+            samples,
+            shards,
+            independent,
+            pipelined,
+            shard_speedups,
+            shard_stream_time,
+        }
+    }
+
+    /// Total modeled time of the independent-runs baseline.
+    pub fn independent_total(&self) -> SimDuration {
+        self.independent.total()
+    }
+
+    /// Total modeled time of the pipelined plan.
+    pub fn pipelined_total(&self) -> SimDuration {
+        self.pipelined.total()
+    }
+
+    /// Speedup of the pipelined plan over independent runs (> 1 whenever
+    /// batching amortizes anything).
+    pub fn pipelining_speedup(&self) -> f64 {
+        self.independent_total() / self.pipelined_total()
+    }
+
+    /// Modeled intersection-phase speedup at the account's shard count,
+    /// relative to one SSD.
+    pub fn shard_speedup(&self) -> f64 {
+        self.shard_speedups.last().map(|(_, s)| *s).unwrap_or(1.0)
+    }
+
+    /// Returns `true` if the account satisfies the paper's qualitative
+    /// claims: pipelined strictly below independent for multi-sample
+    /// batches, and intersection scaling within `tolerance` of linear in the
+    /// shard count (e.g. `0.9` accepts ≥ 90% of linear).
+    pub fn is_consistent(&self, tolerance: f64) -> bool {
+        let pipelining_ok = self.samples == 1 || self.pipelined_total() < self.independent_total();
+        let scaling_ok = self
+            .shard_speedups
+            .iter()
+            .all(|(count, speedup)| *speedup >= tolerance * *count as f64);
+        pipelining_ok && scaling_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::sample::Diversity;
+    use megis_ssd::config::SsdConfig;
+
+    fn account(samples: usize, shards: usize) -> ModeledAccount {
+        let system = SystemConfig::reference(SsdConfig::ssd_c());
+        let workload = WorkloadSpec::cami(Diversity::Medium);
+        ModeledAccount::compute(&system, &workload, samples, shards)
+    }
+
+    #[test]
+    fn pipelined_beats_independent_for_batches() {
+        let acct = account(16, 1);
+        assert!(acct.pipelined_total() < acct.independent_total());
+        assert!(acct.pipelining_speedup() > 1.0);
+        assert!(acct.is_consistent(0.9));
+    }
+
+    #[test]
+    fn shard_scaling_is_near_linear_to_eight() {
+        let acct = account(4, 8);
+        assert_eq!(acct.shard_speedups.len(), 8);
+        for (count, speedup) in &acct.shard_speedups {
+            assert!(
+                *speedup >= 0.9 * *count as f64,
+                "{count} shards give only {speedup:.2}x"
+            );
+        }
+        assert!(acct.shard_speedup() >= 7.0);
+    }
+
+    #[test]
+    fn shard_stream_time_divides_with_shard_count() {
+        let one = account(4, 1).shard_stream_time;
+        let four = account(4, 4).shard_stream_time;
+        let ratio = one / four;
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "4-way split should quarter the per-shard stream, got {ratio:.3}x"
+        );
+    }
+
+    #[test]
+    fn single_sample_account_is_consistent() {
+        // No pipelining gain exists for one sample; consistency must not
+        // demand one.
+        let acct = account(1, 2);
+        assert!(acct.is_consistent(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        account(0, 1);
+    }
+}

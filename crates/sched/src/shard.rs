@@ -1,0 +1,122 @@
+//! Sharded database layout: one disjoint partition of the sorted k-mer
+//! database per simulated SSD.
+//!
+//! Because the database is lexicographically sorted, splitting it into
+//! contiguous ranges keeps every shard independently streamable, and the
+//! shard-order concatenation of per-shard intersections equals the unsharded
+//! intersection (Fig. 15 setup; also validated by the seed's partition
+//! tests). Each shard is wrapped in an [`std::sync::Arc`] so per-shard worker
+//! threads can hold the data without copying it.
+
+use std::sync::Arc;
+
+use megis_genomics::database::SortedKmerDatabase;
+use megis_genomics::kmer::Kmer;
+
+/// The database partitioned across `N` simulated SSDs.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    shards: Vec<Arc<SortedKmerDatabase>>,
+}
+
+impl ShardSet {
+    /// Partitions `database` into `shards` contiguous ranges of near-equal
+    /// entry counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn build(database: &SortedKmerDatabase, shards: usize) -> ShardSet {
+        assert!(shards > 0, "at least one shard is required");
+        ShardSet {
+            shards: database
+                .partition(shards)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
+        }
+    }
+
+    /// Number of shards (simulated SSDs).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in lexicographic range order.
+    pub fn shards(&self) -> &[Arc<SortedKmerDatabase>] {
+        &self.shards
+    }
+
+    /// Total number of database entries across shards.
+    pub fn total_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Database bytes resident on each shard (the quantity each simulated
+    /// SSD streams during Step 2).
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.encoded_bytes()).collect()
+    }
+
+    /// Serial reference intersection: every shard against the same sorted
+    /// query list, merged in shard order. Identical to intersecting the
+    /// unsharded database; the engine runs the same computation with one
+    /// worker thread per shard.
+    pub fn intersect(&self, sorted_queries: &[Kmer]) -> Vec<Kmer> {
+        let mut merged = Vec::new();
+        for shard in &self.shards {
+            merged.extend(shard.intersect_sorted(sorted_queries));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megis_genomics::reference::ReferenceCollection;
+
+    fn db() -> SortedKmerDatabase {
+        let refs = ReferenceCollection::synthetic(6, 500, 17);
+        SortedKmerDatabase::build(&refs, 21)
+    }
+
+    #[test]
+    fn sharded_intersection_matches_unsharded() {
+        let database = db();
+        let queries: Vec<Kmer> = database.kmers().step_by(3).collect();
+        let whole = database.intersect_sorted(&queries);
+        for shards in [1usize, 2, 4, 8] {
+            let set = ShardSet::build(&database, shards);
+            assert_eq!(set.shard_count(), shards);
+            assert_eq!(set.intersect(&queries), whole, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn shards_cover_all_entries() {
+        let database = db();
+        let set = ShardSet::build(&database, 5);
+        assert_eq!(set.total_entries(), database.len());
+        let bytes: u64 = set.shard_bytes().iter().sum();
+        assert_eq!(bytes, database.encoded_bytes());
+    }
+
+    #[test]
+    fn shard_sizes_are_balanced() {
+        let database = db();
+        let set = ShardSet::build(&database, 4);
+        let sizes: Vec<usize> = set.shards().iter().map(|s| s.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        // Ceiling-sized contiguous chunks: only the last shard may run
+        // short, by at most parts - 1 entries.
+        assert!(max - min < 4, "unbalanced shards: {sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardSet::build(&db(), 0);
+    }
+}

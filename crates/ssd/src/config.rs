@@ -232,8 +232,8 @@ impl SsdConfig {
         let page = self.geometry.page_size.as_bytes() as f64;
         let per_die_rate =
             page * self.geometry.planes_per_die as f64 / self.nand_timing.t_prog.as_secs();
-        let per_channel = (per_die_rate * self.geometry.dies_per_channel as f64)
-            .min(self.channel_io_rate);
+        let per_channel =
+            (per_die_rate * self.geometry.dies_per_channel as f64).min(self.channel_io_rate);
         per_channel * self.geometry.channels as f64
     }
 

@@ -26,7 +26,10 @@ pub enum DramError {
 impl std::fmt::Display for DramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DramError::OutOfCapacity { requested, available } => write!(
+            DramError::OutOfCapacity {
+                requested,
+                available,
+            } => write!(
                 f,
                 "internal DRAM allocation of {requested} exceeds available {available}"
             ),

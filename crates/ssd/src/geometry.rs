@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(g.pages_for(ByteSize::from_kib(16)), 1);
         assert_eq!(g.pages_for(ByteSize::from_kib(17)), 2);
         assert_eq!(g.blocks_for(g.block_size()), 1);
-        assert_eq!(g.blocks_for(ByteSize::from_bytes(g.block_size().as_bytes() + 1)), 2);
+        assert_eq!(
+            g.blocks_for(ByteSize::from_bytes(g.block_size().as_bytes() + 1)),
+            2
+        );
     }
 
     #[test]

@@ -74,8 +74,14 @@ mod tests {
         let db = ByteSize::from_gb(293.0);
         let t_sata = sata.sequential_read_time(db).as_secs();
         let t_nvme = nvme.sequential_read_time(db).as_secs();
-        assert!((t_sata - 523.2).abs() < 1.0, "SATA load ≈ 523 s, got {t_sata}");
-        assert!((t_nvme - 41.9).abs() < 0.5, "NVMe load ≈ 42 s, got {t_nvme}");
+        assert!(
+            (t_sata - 523.2).abs() < 1.0,
+            "SATA load ≈ 523 s, got {t_sata}"
+        );
+        assert!(
+            (t_nvme - 41.9).abs() < 0.5,
+            "NVMe load ≈ 42 s, got {t_nvme}"
+        );
         assert!(t_sata / t_nvme > 10.0, "order-of-magnitude gap per §3.2");
     }
 

@@ -301,7 +301,10 @@ mod tests {
             block: 0,
             page: 0,
         };
-        assert!(matches!(a.program_page(bad, None), Err(NandError::OutOfRange(_))));
+        assert!(matches!(
+            a.program_page(bad, None),
+            Err(NandError::OutOfRange(_))
+        ));
     }
 
     #[test]

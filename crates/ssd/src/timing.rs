@@ -25,7 +25,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or NaN.
     pub fn from_secs(secs: f64) -> SimDuration {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be non-negative and finite");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be non-negative and finite"
+        );
         SimDuration(secs)
     }
 
@@ -252,6 +255,20 @@ impl Mul<u64> for ByteSize {
     }
 }
 
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    /// Even split into `rhs` parts, rounded up so `parts × (size / parts)`
+    /// always covers `size` (used when a database is sharded across SSDs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> ByteSize {
+        assert!(rhs > 0, "cannot split into zero parts");
+        ByteSize(self.0.div_ceil(rhs))
+    }
+}
+
 impl Sum for ByteSize {
     fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
         iter.fold(ByteSize::ZERO, Add::add)
@@ -287,6 +304,22 @@ mod tests {
     }
 
     #[test]
+    fn byte_size_even_split_covers_whole() {
+        let db = ByteSize::from_bytes(1001);
+        for parts in [1u64, 2, 3, 7, 8] {
+            let per_shard = db / parts;
+            assert!(per_shard * parts >= db, "{parts} shards lose bytes");
+            assert!((per_shard * parts).as_bytes() < db.as_bytes() + parts);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn byte_size_zero_split_rejected() {
+        let _ = ByteSize::from_bytes(10) / 0;
+    }
+
+    #[test]
     fn duration_arithmetic() {
         let a = SimDuration::from_secs(2.0);
         let b = SimDuration::from_secs(0.5);
@@ -307,7 +340,10 @@ mod tests {
 
     #[test]
     fn duration_sum_and_display() {
-        let total: SimDuration = [1.0, 2.0, 3.0].iter().map(|s| SimDuration::from_secs(*s)).sum();
+        let total: SimDuration = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|s| SimDuration::from_secs(*s))
+            .sum();
         assert_eq!(total.as_secs(), 6.0);
         assert_eq!(format!("{}", SimDuration::from_micros(52.5)), "52.500 us");
         assert_eq!(format!("{}", SimDuration::from_secs(2.0)), "2.000 s");
@@ -329,7 +365,10 @@ mod tests {
 
     #[test]
     fn bytesize_div_ceil_and_display() {
-        assert_eq!(ByteSize::from_bytes(100).div_ceil(ByteSize::from_bytes(30)), 4);
+        assert_eq!(
+            ByteSize::from_bytes(100).div_ceil(ByteSize::from_bytes(30)),
+            4
+        );
         assert_eq!(format!("{}", ByteSize::from_gb(293.0)), "293.00 GB");
         assert_eq!(format!("{}", ByteSize::from_bytes(512)), "512 B");
     }

@@ -18,10 +18,7 @@ use megis_genomics::taxonomy::{Rank, TaxId, Taxonomy};
 /// to an internal node are split across that node's descendant species in
 /// proportion to the species' direct counts (or evenly when no descendant has
 /// direct counts). Unclassified reads (`None`) are dropped.
-pub fn redistribute(
-    assignments: &[Option<TaxId>],
-    taxonomy: &Taxonomy,
-) -> AbundanceProfile {
+pub fn redistribute(assignments: &[Option<TaxId>], taxonomy: &Taxonomy) -> AbundanceProfile {
     let mut species_counts: HashMap<TaxId, f64> = HashMap::new();
     let mut internal_counts: HashMap<TaxId, u64> = HashMap::new();
 

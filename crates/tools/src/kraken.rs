@@ -134,8 +134,7 @@ impl KrakenClassifier {
 
     /// Classifies a whole sample.
     pub fn classify(&self, reads: &ReadSet) -> KrakenOutput {
-        let assignments: Vec<Option<TaxId>> =
-            reads.iter().map(|r| self.classify_read(r)).collect();
+        let assignments: Vec<Option<TaxId>> = reads.iter().map(|r| self.classify_read(r)).collect();
         let mut counts: HashMap<TaxId, u64> = HashMap::new();
         for a in assignments.iter().flatten() {
             *counts.entry(*a).or_insert(0) += 1;
@@ -175,11 +174,7 @@ impl KrakenTimingModel {
     /// does not fit in host DRAM, it is processed in chunks (the optimization
     /// of §6.1 "Effect of Main Memory Capacity"): the load I/O is unchanged
     /// but the query set is re-classified against every chunk.
-    pub fn presence_breakdown(
-        &self,
-        system: &SystemConfig,
-        workload: &WorkloadSpec,
-    ) -> Breakdown {
+    pub fn presence_breakdown(&self, system: &SystemConfig, workload: &WorkloadSpec) -> Breakdown {
         let mut b = Breakdown::new(format!("P-Opt ({})", workload.label));
         let db = workload.kraken_db;
         let load_time = db.time_at(system.aggregate_external_read_bandwidth());
@@ -189,10 +184,8 @@ impl KrakenTimingModel {
         // classification cost grows with database size (normalized to the
         // default 293 GB database).
         let db_scale_factor = 0.4 + 0.6 * (db.as_gb() / 293.0);
-        let classify_once = system
-            .cpu
-            .hash_classify_time(workload.kraken_query_kmers())
-            * db_scale_factor;
+        let classify_once =
+            system.cpu.hash_classify_time(workload.kraken_query_kmers()) * db_scale_factor;
         let classify = classify_once * chunks as f64;
         b.push_phase("database load (I/O)", load_time);
         b.push_phase("k-mer lookup + classification", classify);
@@ -206,11 +199,7 @@ impl KrakenTimingModel {
     /// Timing breakdown of the full pipeline including Bracken-style
     /// abundance re-estimation (a cheap statistical pass over the per-read
     /// assignments).
-    pub fn abundance_breakdown(
-        &self,
-        system: &SystemConfig,
-        workload: &WorkloadSpec,
-    ) -> Breakdown {
+    pub fn abundance_breakdown(&self, system: &SystemConfig, workload: &WorkloadSpec) -> Breakdown {
         let mut b = self.presence_breakdown(system, workload);
         b.label = format!("P-Opt+Bracken ({})", workload.label);
         // Bracken redistributes per-read assignments: one linear pass.
@@ -280,7 +269,10 @@ mod tests {
         let clf = KrakenClassifier::build(c.references(), 21);
         // A read from a completely different random collection.
         let foreign = ReferenceCollection::synthetic(1, 300, 424_242);
-        let read = Read::new("foreign", foreign.genomes()[0].sequence().subsequence(0, 100));
+        let read = Read::new(
+            "foreign",
+            foreign.genomes()[0].sequence().subsequence(0, 100),
+        );
         // It may share a stray k-mer, but typically returns None.
         let _ = clf.classify_read(&read); // must not panic
     }
@@ -309,8 +301,8 @@ mod tests {
         let model = KrakenTimingModel;
         let w = WorkloadSpec::cami(Diversity::Medium);
         let big = SystemConfig::reference(SsdConfig::ssd_c());
-        let small = SystemConfig::reference(SsdConfig::ssd_c())
-            .with_dram_capacity(ByteSize::from_gb(64.0));
+        let small =
+            SystemConfig::reference(SsdConfig::ssd_c()).with_dram_capacity(ByteSize::from_gb(64.0));
         let b_big = model.presence_breakdown(&big, &w);
         let b_small = model.presence_breakdown(&small, &w);
         assert!(b_small.total() > b_big.total() * 2.0);

@@ -202,11 +202,7 @@ impl MetalignTimingModel {
     }
 
     /// Timing breakdown of presence/absence identification.
-    pub fn presence_breakdown(
-        &self,
-        system: &SystemConfig,
-        workload: &WorkloadSpec,
-    ) -> Breakdown {
+    pub fn presence_breakdown(&self, system: &SystemConfig, workload: &WorkloadSpec) -> Breakdown {
         let cpu = &system.cpu;
         let mut b = Breakdown::new(self.label(workload));
 
@@ -272,11 +268,7 @@ impl MetalignTimingModel {
     /// Timing breakdown of the full pipeline including mapping-based
     /// abundance estimation (unified index built in software with the host
     /// CPU, mapping on the mapping accelerator as in §5).
-    pub fn abundance_breakdown(
-        &self,
-        system: &SystemConfig,
-        workload: &WorkloadSpec,
-    ) -> Breakdown {
+    pub fn abundance_breakdown(&self, system: &SystemConfig, workload: &WorkloadSpec) -> Breakdown {
         let mut b = self.presence_breakdown(system, workload);
         let cpu = &system.cpu;
         // Unified index generation in software: read the candidate species'
@@ -322,7 +314,11 @@ mod tests {
         let clf = MetalignClassifier::build(c.references(), SketchConfig::small());
         let out = clf.identify_presence(c.sample().reads());
         let metrics = ClassificationMetrics::score(&out.presence, &c.truth_presence());
-        assert!(metrics.recall() > 0.9, "recall too low: {}", metrics.recall());
+        assert!(
+            metrics.recall() > 0.9,
+            "recall too low: {}",
+            metrics.recall()
+        );
         assert!(metrics.f1() > 0.6, "F1 too low: {}", metrics.f1());
     }
 

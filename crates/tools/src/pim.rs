@@ -22,11 +22,7 @@ impl PimAcceleratedKraken {
     /// Phases: database load into the PIM-enabled memory, k-mer matching on
     /// the PIM accelerator, and the remaining host-side classification work
     /// (per-read taxon resolution), which Sieve does not accelerate.
-    pub fn presence_breakdown(
-        &self,
-        system: &SystemConfig,
-        workload: &WorkloadSpec,
-    ) -> Breakdown {
+    pub fn presence_breakdown(&self, system: &SystemConfig, workload: &WorkloadSpec) -> Breakdown {
         let matcher = system.pim_matcher.unwrap_or_default();
         let mut b = Breakdown::new(format!("PIM-accelerated P-Opt ({})", workload.label));
 
@@ -69,10 +65,10 @@ impl PimAcceleratedKraken {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kraken::KrakenTimingModel;
     use megis_genomics::sample::Diversity;
     use megis_host::accelerators::PimKmerMatcher;
     use megis_ssd::config::SsdConfig;
-    use crate::kraken::KrakenTimingModel;
 
     fn system(ssd: SsdConfig) -> SystemConfig {
         SystemConfig::reference(ssd).with_pim_matcher(PimKmerMatcher::default())

@@ -242,7 +242,10 @@ mod tests {
         let db = sketches();
         let tree = TernarySketchTree::build(&db);
         let query = Kmer::from_ascii(&vec![b'A'; db.k_max().unwrap()]).unwrap();
-        assert_eq!(tree.lookup_with_prefixes(query), db.lookup_with_prefixes(query));
+        assert_eq!(
+            tree.lookup_with_prefixes(query),
+            db.lookup_with_prefixes(query)
+        );
     }
 
     #[test]
@@ -255,7 +258,10 @@ mod tests {
             tree.lookup_with_prefixes(*kmer);
         }
         let chased = tree.pointer_chases() - before;
-        assert!(chased as usize >= 10 * kmax, "each lookup chases ≥ k pointers");
+        assert!(
+            chased as usize >= 10 * kmax,
+            "each lookup chases ≥ k pointers"
+        );
     }
 
     #[test]

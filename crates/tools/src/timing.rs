@@ -61,7 +61,10 @@ impl Breakdown {
 
     /// Duration of a phase by name, if present.
     pub fn phase(&self, name: &str) -> Option<SimDuration> {
-        self.phases.iter().find(|p| p.name == name).map(|p| p.duration)
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.duration)
     }
 
     /// Throughput in queries (reads) per second for a sample of `reads` reads.
@@ -84,9 +87,17 @@ impl Breakdown {
         let mut out = String::new();
         out.push_str(&format!("{}\n", self.label));
         for p in &self.phases {
-            out.push_str(&format!("  {:<38} {:>12}\n", p.name, format!("{}", p.duration)));
+            out.push_str(&format!(
+                "  {:<38} {:>12}\n",
+                p.name,
+                format!("{}", p.duration)
+            ));
         }
-        out.push_str(&format!("  {:<38} {:>12}\n", "TOTAL", format!("{}", self.total())));
+        out.push_str(&format!(
+            "  {:<38} {:>12}\n",
+            "TOTAL",
+            format!("{}", self.total())
+        ));
         out
     }
 }

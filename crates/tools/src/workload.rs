@@ -92,7 +92,10 @@ impl WorkloadSpec {
 
     /// All three CAMI workloads.
     pub fn all_cami() -> Vec<WorkloadSpec> {
-        Diversity::ALL.iter().map(|d| WorkloadSpec::cami(*d)).collect()
+        Diversity::ALL
+            .iter()
+            .map(|d| WorkloadSpec::cami(*d))
+            .collect()
     }
 
     /// Returns a copy with all database-side sizes scaled by `factor`

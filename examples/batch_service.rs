@@ -1,0 +1,103 @@
+//! A many-client batch analysis service built on `megis-sched`.
+//!
+//! Simulates a sequencing facility where many clients — routine cohort
+//! studies and time-critical clinical cases — submit samples against one
+//! shared reference database. The batch engine admits jobs under a priority
+//! policy, runs host-side Step 1 on a worker pool, shards intersection
+//! finding across four simulated SSDs, and overlaps the stages exactly as
+//! §4.7 of the paper prescribes. Every result is byte-identical to running
+//! `MegisAnalyzer::analyze` per sample.
+//!
+//! Run with: `cargo run -p megis-examples --bin batch_service`
+
+use megis::config::MegisConfig;
+use megis::MegisAnalyzer;
+use megis_genomics::sample::{CommunityConfig, Diversity};
+use megis_sched::{BatchEngine, EngineConfig, JobSpec, Priority, SchedPolicy};
+
+fn main() {
+    println!("MegIS batch analysis service");
+    println!("============================\n");
+
+    // One shared reference database for the whole service.
+    let base = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(150)
+        .with_database_species(16);
+    let reference_community = base.build(7);
+    let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
+
+    let mut engine = BatchEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(4)
+            .with_shards(4)
+            .with_policy(SchedPolicy::Priority)
+            .with_queue_capacity(64),
+    );
+    println!(
+        "engine: {} step-1 workers, {} database shards ({} entries total), {} policy\n",
+        engine.config().workers,
+        engine.shards().shard_count(),
+        engine.shards().total_entries(),
+        engine.config().policy.label(),
+    );
+
+    // Many clients submit: 20 cohort samples, 3 stat clinical cases, and a
+    // background re-analysis sweep.
+    for i in 0..20 {
+        let sample = base.build_cohort_sample(7, 1000 + i).sample().clone();
+        engine
+            .submit(JobSpec::new(format!("cohort/{i:02}"), sample))
+            .expect("admission");
+    }
+    for i in 0..3 {
+        let sample = base.build_cohort_sample(7, 2000 + i).sample().clone();
+        engine
+            .submit(
+                JobSpec::new(format!("clinical/STAT-{i}"), sample).with_priority(Priority::High),
+            )
+            .expect("admission");
+    }
+    let sweep = base.build_cohort_sample(7, 3000).sample().clone();
+    engine
+        .submit(JobSpec::new("background/resweep", sweep).with_priority(Priority::Low))
+        .expect("admission");
+
+    println!(
+        "submitted {} jobs; running the batch...\n",
+        engine.pending()
+    );
+    let report = engine.run();
+
+    println!(
+        "{:<22} {:>8} {:>7} {:>10} {:>10} {:>8}",
+        "job", "priority", "order", "wait ms", "lat ms", "species"
+    );
+    let mut by_start: Vec<_> = report.results.iter().collect();
+    by_start.sort_by_key(|r| r.start_position);
+    for r in by_start {
+        println!(
+            "{:<22} {:>8} {:>7} {:>10.1} {:>10.1} {:>8}",
+            r.label,
+            r.priority.label(),
+            r.start_position,
+            r.queue_wait.as_secs_f64() * 1e3,
+            r.latency.as_secs_f64() * 1e3,
+            r.output.presence.len(),
+        );
+    }
+
+    println!("\n{}", report.summary());
+    let modeled = report
+        .modeled
+        .as_ref()
+        .expect("non-empty batch has an account");
+    let speedups: Vec<String> = modeled
+        .shard_speedups
+        .iter()
+        .map(|(n, s)| format!("{n} SSD: {s:.2}x"))
+        .collect();
+    println!("modeled intersection scaling: {}", speedups.join(", "));
+    println!("\nHigh-priority clinical samples entered service first; all outputs are");
+    println!("byte-identical to per-sample sequential analysis.");
+}

@@ -27,22 +27,14 @@ fn main() {
     let designs: Vec<(&str, SystemConfig)> = vec![
         (
             "SSD-C + 64 GB",
-            SystemConfig::reference(SsdConfig::ssd_c())
-                .with_dram_capacity(ByteSize::from_gb(64.0)),
+            SystemConfig::reference(SsdConfig::ssd_c()).with_dram_capacity(ByteSize::from_gb(64.0)),
         ),
-        (
-            "SSD-C + 1 TB",
-            SystemConfig::reference(SsdConfig::ssd_c()),
-        ),
+        ("SSD-C + 1 TB", SystemConfig::reference(SsdConfig::ssd_c())),
         (
             "SSD-P + 64 GB",
-            SystemConfig::reference(SsdConfig::ssd_p())
-                .with_dram_capacity(ByteSize::from_gb(64.0)),
+            SystemConfig::reference(SsdConfig::ssd_p()).with_dram_capacity(ByteSize::from_gb(64.0)),
         ),
-        (
-            "SSD-P + 1 TB",
-            SystemConfig::reference(SsdConfig::ssd_p()),
-        ),
+        ("SSD-P + 1 TB", SystemConfig::reference(SsdConfig::ssd_p())),
         (
             "2x SSD-C + 64 GB",
             SystemConfig::reference(SsdConfig::ssd_c())
@@ -77,9 +69,7 @@ fn main() {
             .total()
             .as_secs();
         let efficiency = cost_efficiency(price, ms);
-        println!(
-            "{name:<20} {price:>10.0} {p:>12.0} {a:>12.0} {ms:>12.0} {efficiency:>16.3}"
-        );
+        println!("{name:<20} {price:>10.0} {p:>12.0} {a:>12.0} {ms:>12.0} {efficiency:>16.3}");
         if best.as_ref().map(|(_, e)| efficiency > *e).unwrap_or(true) {
             best = Some((name.to_string(), efficiency));
         }

@@ -9,7 +9,10 @@
 //! * `multi_sample_study` — a multi-sample cohort study sharing one database
 //!   (the use case of §4.7 / Fig. 21),
 //! * `cost_efficiency_sweep` — system-design exploration across SSD types,
-//!   DRAM sizes, and SSD counts (Figs. 15–18).
+//!   DRAM sizes, and SSD counts (Figs. 15–18),
+//! * `batch_service` — a many-client batch service on the `megis-sched`
+//!   engine: priority admission, sharded multi-SSD execution, and the §4.7
+//!   inter-sample pipeline.
 
 use megis_genomics::profile::AbundanceProfile;
 use megis_genomics::taxonomy::Taxonomy;

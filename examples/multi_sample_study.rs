@@ -37,8 +37,10 @@ fn main() {
         .build(cohort_seeds[0]);
     let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
 
-    println!("functional per-sample profiles (shared databases, {} species indexed):\n",
-             reference_community.references().species().len());
+    println!(
+        "functional per-sample profiles (shared databases, {} species indexed):\n",
+        reference_community.references().species().len()
+    );
     for (i, seed) in cohort_seeds.iter().enumerate() {
         let sample_community = CommunityConfig::preset(Diversity::Medium)
             .with_reads(300)
@@ -53,7 +55,10 @@ fn main() {
         );
         println!(
             "{}\n",
-            format_profile(&result.abundance, reference_community.references().taxonomy())
+            format_profile(
+                &result.abundance,
+                reference_community.references().taxonomy()
+            )
         );
     }
 

@@ -106,8 +106,10 @@ fn accuracy_optimized_abundance_has_lower_l1_error() {
 
     let truth = community.truth_profile();
     let megis_err = AbundanceError::score(&megis.analyze(community.sample()).abundance, truth);
-    let kraken_err =
-        AbundanceError::score(&kraken.classify(community.sample().reads()).abundance, truth);
+    let kraken_err = AbundanceError::score(
+        &kraken.classify(community.sample().reads()).abundance,
+        truth,
+    );
     assert!(
         megis_err.l1_norm < kraken_err.l1_norm,
         "MegIS L1 {} must be below sampled P-Opt L1 {}",

@@ -1,0 +1,188 @@
+//! Integration tests for the `megis-sched` batch engine: determinism across
+//! worker/shard counts, scheduling-policy ordering, and agreement of the
+//! modeled-time account with the analytic multi-sample models.
+
+use megis::config::MegisConfig;
+use megis::pipeline::{baseline_multi_sample, MegisTimingModel};
+use megis::{MegisAnalyzer, MegisOutput};
+use megis_genomics::sample::{CommunityConfig, Diversity, Sample};
+use megis_host::system::SystemConfig;
+use megis_sched::{BatchEngine, EngineConfig, JobSpec, ModeledAccount, Priority, SchedPolicy};
+use megis_ssd::config::SsdConfig;
+use megis_tools::workload::WorkloadSpec;
+
+fn cohort(n: usize) -> (MegisAnalyzer, Vec<Sample>) {
+    let base = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(100)
+        .with_database_species(12);
+    let reference_community = base.build(512);
+    let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
+    // Same references (seed 512), independent read streams per sample.
+    let samples = (0..n)
+        .map(|i| {
+            base.build_cohort_sample(512, 7000 + i as u64)
+                .sample()
+                .clone()
+        })
+        .collect();
+    (analyzer, samples)
+}
+
+fn specs(samples: &[Sample]) -> Vec<JobSpec> {
+    samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| JobSpec::new(format!("s{i}"), s.clone()))
+        .collect()
+}
+
+#[test]
+fn batch_results_identical_to_sequential_at_any_worker_and_shard_count() {
+    // The headline determinism contract: a 16-sample batch yields
+    // byte-identical presence/abundance results to sequential
+    // `MegisAnalyzer::analyze` for every sample, at every worker/shard
+    // combination exercised here.
+    let (analyzer, samples) = cohort(16);
+    let expected: Vec<MegisOutput> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+
+    for (workers, shards) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (1, 8), (8, 1)] {
+        let mut engine = BatchEngine::new(
+            analyzer.clone(),
+            EngineConfig::new()
+                .with_workers(workers)
+                .with_shards(shards),
+        );
+        engine.submit_all(specs(&samples)).unwrap();
+        let report = engine.run();
+        assert_eq!(report.results.len(), 16);
+        for (result, expected) in report.results.iter().zip(&expected) {
+            assert_eq!(
+                result.output, *expected,
+                "{} diverged with {workers} workers / {shards} shards",
+                result.label
+            );
+            assert_eq!(result.output.presence, expected.presence);
+            assert_eq!(result.output.abundance, expected.abundance);
+        }
+        // The modeled account for the batch shape upholds the paper's
+        // claims: pipelined strictly below independent runs, and
+        // intersection scaling within 90% of linear in the shard count.
+        let modeled = report
+            .modeled
+            .as_ref()
+            .expect("non-empty batch has an account");
+        assert!(
+            modeled.pipelined_total() < modeled.independent_total(),
+            "pipelined model must beat independent runs"
+        );
+        assert!(modeled.is_consistent(0.9));
+    }
+}
+
+#[test]
+fn fifo_and_priority_policies_order_service_differently() {
+    let (analyzer, samples) = cohort(6);
+    let build_jobs = || {
+        let mut jobs = specs(&samples);
+        jobs[3] = jobs[3].clone().with_priority(Priority::High);
+        jobs[5] = jobs[5].clone().with_priority(Priority::High);
+        jobs[0] = jobs[0].clone().with_priority(Priority::Low);
+        jobs
+    };
+
+    let mut fifo = BatchEngine::new(
+        analyzer.clone(),
+        EngineConfig::new()
+            .with_workers(1)
+            .with_policy(SchedPolicy::Fifo),
+    );
+    fifo.submit_all(build_jobs()).unwrap();
+    let fifo_run = fifo.run();
+    let fifo_order: Vec<usize> = fifo_run.results.iter().map(|r| r.start_position).collect();
+    assert_eq!(
+        fifo_order,
+        [0, 1, 2, 3, 4, 5],
+        "FIFO serves submission order"
+    );
+
+    let mut prio = BatchEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(1)
+            .with_policy(SchedPolicy::Priority),
+    );
+    prio.submit_all(build_jobs()).unwrap();
+    let prio_run = prio.run();
+    let pos = |id: u64| {
+        prio_run
+            .results
+            .iter()
+            .find(|r| r.id.0 == id)
+            .unwrap()
+            .start_position
+    };
+    // High before normal before low; ties by submission order.
+    assert_eq!(pos(3), 0);
+    assert_eq!(pos(5), 1);
+    assert_eq!(pos(1), 2);
+    assert_eq!(pos(0), 5, "low priority runs last");
+    // Policies change order only — outputs stay identical.
+    for (a, b) in fifo_run.results.iter().zip(&prio_run.results) {
+        assert_eq!(a.output, b.output);
+    }
+}
+
+#[test]
+fn modeled_account_tracks_analytic_multi_sample_models() {
+    // The engine's modeled account must agree with the pipeline module's
+    // analytic models evaluated directly.
+    let system = SystemConfig::reference(SsdConfig::ssd_c());
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let acct = ModeledAccount::compute(&system, &workload, 16, 1);
+
+    let single = MegisTimingModel::full().presence_breakdown(&system, &workload);
+    let independent = baseline_multi_sample(&single, 16);
+    let pipelined = MegisTimingModel::full().multi_sample_breakdown(&system, &workload, 16);
+    assert_eq!(
+        acct.independent_total().as_secs(),
+        independent.total().as_secs()
+    );
+    assert_eq!(
+        acct.pipelined_total().as_secs(),
+        pipelined.total().as_secs()
+    );
+    assert!(acct.pipelining_speedup() > 1.0);
+}
+
+#[test]
+fn modeled_shard_scaling_is_near_linear_to_eight() {
+    let system = SystemConfig::reference(SsdConfig::ssd_c()).with_ssd_count(8);
+    let workload = WorkloadSpec::cami(Diversity::Medium);
+    let acct = ModeledAccount::compute(&system, &workload, 4, 8);
+    for (count, speedup) in &acct.shard_speedups {
+        assert!(
+            *speedup >= 0.9 * *count as f64,
+            "{count} shards reach only {speedup:.2}x"
+        );
+    }
+}
+
+#[test]
+fn per_job_metrics_are_populated() {
+    let (analyzer, samples) = cohort(4);
+    let mut engine = BatchEngine::new(analyzer, EngineConfig::new().with_workers(2).with_shards(2));
+    engine.submit_all(specs(&samples)).unwrap();
+    let report = engine.run();
+    assert!(report.wall_time.as_nanos() > 0);
+    assert!(report.throughput > 0.0);
+    assert_eq!(report.latency.count, 4);
+    assert!(report.latency.p99 >= report.latency.p50);
+    for result in &report.results {
+        assert!(result.latency >= result.step1_time);
+        assert!(result.latency >= result.isp_time);
+        assert!(result.output.selected_kmers > 0);
+    }
+    for stats in &report.shard_stats {
+        assert_eq!(stats.jobs, 4, "every shard serves every job");
+    }
+}

@@ -40,7 +40,11 @@ fn high_diversity_sample_is_recovered_accurately() {
     let (community, output) = run_preset(Diversity::High, 13);
     let metrics = ClassificationMetrics::score(&output.presence, &community.truth_presence());
     assert!(metrics.recall() > 0.7, "recall {}", metrics.recall());
-    assert!(metrics.precision() > 0.5, "precision {}", metrics.precision());
+    assert!(
+        metrics.precision() > 0.5,
+        "precision {}",
+        metrics.precision()
+    );
 }
 
 #[test]

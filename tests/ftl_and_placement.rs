@@ -24,7 +24,8 @@ fn megis_ftl_frees_almost_all_internal_dram() {
     assert!(page_level.as_bytes() as f64 > 0.9 * dram.capacity().as_bytes() as f64);
 
     let mut ftl = MegisFtl::new(config.geometry);
-    ftl.place_database("kmer-db", ByteSize::from_tb(4.0)).unwrap();
+    ftl.place_database("kmer-db", ByteSize::from_tb(4.0))
+        .unwrap();
     dram.allocate(ftl.total_metadata_bytes()).unwrap();
     assert!(
         dram.available().as_bytes() as f64 > 0.99 * dram.capacity().as_bytes() as f64,
@@ -61,7 +62,10 @@ fn page_level_ftl_also_stripes_but_needs_page_granular_metadata() {
         page_ftl.write(Lpa(i)).unwrap();
     }
     let dist = page_ftl.pages_per_channel_distribution();
-    assert!(dist.iter().all(|c| *c == dist[0]), "striping should be even");
+    assert!(
+        dist.iter().all(|c| *c == dist[0]),
+        "striping should be even"
+    );
 
     // Metadata cost comparison for the same amount of stored data.
     let stored = ByteSize::from_bytes(4096 * config.geometry.page_size.as_bytes());
@@ -73,8 +77,10 @@ fn page_level_ftl_also_stripes_but_needs_page_granular_metadata() {
 #[test]
 fn ssd_object_store_and_isp_read_path() {
     let mut ssd = Ssd::new(SsdConfig::ssd_c());
-    ssd.store_object("sketch-db", ByteSize::from_gb(14.0)).unwrap();
-    ssd.store_object("kmer-db", ByteSize::from_gb(701.0)).unwrap();
+    ssd.store_object("sketch-db", ByteSize::from_gb(14.0))
+        .unwrap();
+    ssd.store_object("kmer-db", ByteSize::from_gb(701.0))
+        .unwrap();
 
     let internal = ssd.read_object_internal("kmer-db");
     let external = ssd.read_object_external("kmer-db");
@@ -94,14 +100,22 @@ fn command_sequence_of_one_analysis_session() {
         })
         .unwrap();
     // Step 1a: k-mer extraction (spilled buckets may be written).
-    device.handle(MegisCommand::Step(HostStep::KmerExtraction)).unwrap();
+    device
+        .handle(MegisCommand::Step(HostStep::KmerExtraction))
+        .unwrap();
     device.handle(MegisCommand::Write { pages: 1024 }).unwrap();
-    device.handle(MegisCommand::Step(HostStep::KmerExtraction)).unwrap();
+    device
+        .handle(MegisCommand::Step(HostStep::KmerExtraction))
+        .unwrap();
     assert_eq!(device.mode(), DeviceMode::AcceleratingReadOnly);
     // Step 1b: per-bucket sorting boundaries toggle while ISP runs.
     for _ in 0..4 {
-        device.handle(MegisCommand::Step(HostStep::Sorting)).unwrap();
-        device.handle(MegisCommand::Step(HostStep::Sorting)).unwrap();
+        device
+            .handle(MegisCommand::Step(HostStep::Sorting))
+            .unwrap();
+        device
+            .handle(MegisCommand::Step(HostStep::Sorting))
+            .unwrap();
     }
     assert!(device.active_steps().is_empty());
     device.finish();

@@ -76,7 +76,10 @@ fn multi_ssd_speedup_scales_then_saturates_on_sorting() {
     let s2 = speedup_at(2);
     let s8 = speedup_at(8);
     assert!(s2 >= s1 * 0.9, "two SSDs should not hurt ({s1} → {s2})");
-    assert!(s8 > 3.0, "speedup must stay large with eight SSDs, got {s8}");
+    assert!(
+        s8 > 3.0,
+        "speedup must stay large with eight SSDs, got {s8}"
+    );
 }
 
 #[test]
@@ -123,7 +126,10 @@ fn energy_ordering_matches_section_6_5() {
         let pim = EnergyModel::baseline().report(&pim_b, &system).total();
 
         assert!(ms < p && ms < a, "MegIS must beat both software baselines");
-        assert!(a > p, "the accuracy-optimized baseline costs the most energy");
+        assert!(
+            a > p,
+            "the accuracy-optimized baseline costs the most energy"
+        );
         let reduction_vs_p = p / ms;
         let reduction_vs_a = a / ms;
         assert!(reduction_vs_p > 2.0, "vs P-Opt: {reduction_vs_p}");

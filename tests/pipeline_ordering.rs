@@ -25,7 +25,9 @@ fn systems() -> Vec<SystemConfig> {
 fn fig12_ordering_holds_for_every_workload_and_ssd() {
     for system in systems() {
         for workload in WorkloadSpec::all_cami() {
-            let p_opt = KrakenTimingModel.presence_breakdown(&system, &workload).total();
+            let p_opt = KrakenTimingModel
+                .presence_breakdown(&system, &workload)
+                .total();
             let a_opt = MetalignTimingModel::a_opt()
                 .presence_breakdown(&system, &workload)
                 .total();
@@ -49,7 +51,10 @@ fn fig12_ordering_holds_for_every_workload_and_ssd() {
             // A-Opt is the slowest software configuration; KSS improves it.
             assert!(a_opt_kss < a_opt, "{ctx}: KSS must improve A-Opt");
             // The full design is the fastest MegIS variant.
-            assert!(ms <= cc && ms < nol && ms < ext, "{ctx}: MS must be fastest");
+            assert!(
+                ms <= cc && ms < nol && ms < ext,
+                "{ctx}: MS must be fastest"
+            );
             // Every ISP variant beats the same accelerators outside the SSD.
             assert!(cc < ext && nol < ext, "{ctx}: ISP must beat Ext-MS");
             // MegIS beats both software baselines.
@@ -108,8 +113,8 @@ fn fig16_small_dram_hurts_baselines_more_than_megis() {
     let capacities = [1000.0, 128.0, 64.0, 32.0];
     let mut previous_speedup = 0.0;
     for gb in capacities {
-        let system = SystemConfig::reference(SsdConfig::ssd_c())
-            .with_dram_capacity(ByteSize::from_gb(gb));
+        let system =
+            SystemConfig::reference(SsdConfig::ssd_c()).with_dram_capacity(ByteSize::from_gb(gb));
         let ms = MegisTimingModel::full().presence_breakdown(&system, &workload);
         let p = KrakenTimingModel.presence_breakdown(&system, &workload);
         let speedup = ms.speedup_over(&p);
@@ -121,8 +126,8 @@ fn fig16_small_dram_hurts_baselines_more_than_megis() {
     }
     // And the 32 GB point must be dramatically better than the 1 TB point.
     let at = |gb: f64| {
-        let system = SystemConfig::reference(SsdConfig::ssd_c())
-            .with_dram_capacity(ByteSize::from_gb(gb));
+        let system =
+            SystemConfig::reference(SsdConfig::ssd_c()).with_dram_capacity(ByteSize::from_gb(gb));
         MegisTimingModel::full()
             .presence_breakdown(&system, &workload)
             .speedup_over(&KrakenTimingModel.presence_breakdown(&system, &workload))
@@ -133,7 +138,10 @@ fn fig16_small_dram_hurts_baselines_more_than_megis() {
 #[test]
 fn fig17_more_channels_only_help_isp_configurations() {
     let workload = WorkloadSpec::cami(Diversity::Medium);
-    for (base, channels) in [(SsdConfig::ssd_c(), [4u32, 8, 16]), (SsdConfig::ssd_p(), [8u32, 16, 32])] {
+    for (base, channels) in [
+        (SsdConfig::ssd_c(), [4u32, 8, 16]),
+        (SsdConfig::ssd_p(), [8u32, 16, 32]),
+    ] {
         let mut previous_ms = f64::INFINITY;
         for ch in channels {
             let system = SystemConfig::reference(base.clone()).with_ssd_channels(ch);
@@ -145,7 +153,10 @@ fn fig17_more_channels_only_help_isp_configurations() {
                 .presence_breakdown(&system, &workload)
                 .total()
                 .as_secs();
-            assert!(ms <= previous_ms, "MS must not slow down with more channels");
+            assert!(
+                ms <= previous_ms,
+                "MS must not slow down with more channels"
+            );
             previous_ms = ms;
             // The external interface is unchanged, so the A-Opt baseline sees
             // no benefit from extra internal bandwidth.
@@ -236,7 +247,10 @@ fn fig21_multi_sample_speedup_grows_with_sample_count() {
         assert!(sw.total() < baseline.total() || samples == 1);
         assert!(ms.total() <= sw.total());
     }
-    assert!(previous > 5.0, "16-sample speedup over A-Opt should be large");
+    assert!(
+        previous > 5.0,
+        "16-sample speedup over A-Opt should be large"
+    );
 }
 
 #[test]
