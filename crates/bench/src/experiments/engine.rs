@@ -1,18 +1,23 @@
 //! Engine-driven counterparts of the scaling figures: Fig. 15 (multi-SSD
 //! sharding) and Fig. 21 (multi-sample batching) executed by the real
-//! `megis-sched` batch engine instead of the analytic models alone.
+//! `megis-sched` batch engine instead of the analytic models alone, plus a
+//! service-mode analysis sweeping offered load against latency.
 //!
 //! Each experiment runs a functional batch on synthetic data — checking that
 //! the engine's results stay byte-identical to the sequential analyzer — and
 //! pairs the measured operational metrics with the paper-scale modeled-time
 //! account for the same batch shape.
 
+use std::time::{Duration, Instant};
+
 use megis::config::MegisConfig;
 use megis::MegisAnalyzer;
 use megis_genomics::sample::{CommunityConfig, Diversity, Sample};
 use megis_host::accelerators::SortingAccelerator;
 use megis_host::system::SystemConfig;
-use megis_sched::{BatchEngine, EngineConfig, JobSpec, ModeledAccount, SchedPolicy};
+use megis_sched::{
+    BatchEngine, EngineConfig, JobSpec, ModeledAccount, SchedPolicy, StreamingEngine,
+};
 use megis_ssd::config::SsdConfig;
 use megis_ssd::timing::ByteSize;
 use megis_tools::workload::WorkloadSpec;
@@ -157,6 +162,77 @@ pub fn fig21_batch_engine() -> String {
     report.finish()
 }
 
+/// Streaming-load analysis (service mode): the `megis-sched` streaming
+/// engine under paced open-loop arrivals. The sweep calibrates the mean
+/// per-sample service time, then offers load at a fraction/multiple of the
+/// single-worker service capacity and reports the rolling-window latency
+/// distribution. Below saturation the p99 tracks the service time; at and
+/// above it, queueing delay dominates the tail — the capacity-planning view
+/// a front end needs before putting the engine behind a network service.
+pub fn streaming_load_analysis() -> String {
+    let mut report = Report::new();
+    report.title("Streaming-load analysis: offered load vs. latency (megis-sched service mode)");
+    let (analyzer, samples) = cohort(8);
+
+    // Calibrate: mean sequential service time per sample on this host.
+    let t0 = Instant::now();
+    for sample in &samples {
+        let _ = analyzer.analyze(sample);
+    }
+    let service_time = t0.elapsed() / samples.len() as u32;
+    report.line(&format!(
+        "calibrated mean service time: {:.2} ms/sample (single worker)",
+        service_time.as_secs_f64() * 1e3,
+    ));
+    report.line("");
+
+    report.table_header(&["offered", "p50 ms", "p99 ms", "max ms", "samples/s"]);
+    // Offered load relative to one worker's capacity: inter-arrival gap =
+    // service_time / load. 2.0x overloads the service, so latency must grow
+    // with queue depth; 0.5x leaves headroom, so latency stays near the
+    // bare service time.
+    for load in [0.5f64, 1.0, 2.0] {
+        let engine = StreamingEngine::new(
+            analyzer.clone(),
+            EngineConfig::new()
+                .with_workers(1)
+                .with_shards(2)
+                .with_metrics_window(64),
+        );
+        let gap = Duration::from_secs_f64(service_time.as_secs_f64() / load);
+        let handles: Vec<_> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, sample)| {
+                let handle = engine
+                    .submit(JobSpec::new(format!("s{i}"), sample.clone()))
+                    .expect("admission");
+                std::thread::sleep(gap);
+                handle
+            })
+            .collect();
+        engine.drain();
+        let snapshot = engine.snapshot();
+        report.table_row(
+            &format!("{load:.2}x"),
+            &[
+                snapshot.window.p50.as_secs_f64() * 1e3,
+                snapshot.window.p99.as_secs_f64() * 1e3,
+                snapshot.window.max.as_secs_f64() * 1e3,
+                snapshot.window_throughput,
+            ],
+        );
+        let served = engine.shutdown().completed;
+        assert_eq!(served, handles.len() as u64);
+        drop(handles);
+    }
+    report.line("");
+    report.line("offered = arrival rate relative to one worker's service capacity. Above");
+    report.line("1.0x the queue grows for the whole run, so tail latency reflects queueing");
+    report.line("delay rather than service time (completions served in policy order).");
+    report.finish()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -164,6 +240,15 @@ mod tests {
         for report in [super::fig15_sharded_engine(), super::fig21_batch_engine()] {
             assert!(report.contains("parity with sequential analyzer: identical"));
             assert!(!report.contains("DIVERGED"));
+        }
+    }
+
+    #[test]
+    fn streaming_load_report_covers_the_sweep() {
+        let report = super::streaming_load_analysis();
+        assert!(report.contains("calibrated mean service time"));
+        for load in ["0.50x", "1.00x", "2.00x"] {
+            assert!(report.contains(load), "missing load point {load}");
         }
     }
 }

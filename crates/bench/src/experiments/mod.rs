@@ -21,7 +21,7 @@ pub use comparison::{
     fig18_cost_efficiency, fig19_pim_comparison, fig20_abundance, fig21_multi_sample,
 };
 pub use energy::energy_analysis;
-pub use engine::{fig15_sharded_engine, fig21_batch_engine};
+pub use engine::{fig15_sharded_engine, fig21_batch_engine, streaming_load_analysis};
 pub use hardware::{kss_size_analysis, table1_ssd_configs, table2_area_power};
 pub use motivation::fig03_io_overhead;
 pub use presence::{fig12_presence_speedup, fig13_time_breakdown, fig14_database_size};
@@ -44,6 +44,7 @@ pub fn all() -> String {
         fig20_abundance(),
         fig21_multi_sample(),
         fig21_batch_engine(),
+        streaming_load_analysis(),
         table2_area_power(),
         kss_size_analysis(),
         energy_analysis(),
@@ -79,6 +80,7 @@ mod tests {
             ("fig20", super::fig20_abundance()),
             ("fig21", super::fig21_multi_sample()),
             ("fig21-engine", super::fig21_batch_engine()),
+            ("streaming-load", super::streaming_load_analysis()),
             ("table2", super::table2_area_power()),
             ("kss", super::kss_size_analysis()),
             ("energy", super::energy_analysis()),

@@ -8,7 +8,7 @@
 //! * k-mer extraction and canonicalization ([`kmer`]),
 //! * sequencing reads and read sets ([`read`]),
 //! * a taxonomy tree with lowest-common-ancestor queries ([`taxonomy`]),
-//! * reference genomes and reference collections ([`reference`]),
+//! * reference genomes and reference collections ([`mod@reference`]),
 //! * synthetic metagenomic communities and read simulation, with presets that
 //!   mirror the CAMI low/medium/high-diversity query sets used in the paper
 //!   ([`sample`]),

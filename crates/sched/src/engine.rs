@@ -10,31 +10,36 @@
 //! partitioning), so the merged intersection is identical to streaming the
 //! unsharded database.
 //!
+//! [`BatchEngine::run`] is a thin wrapper over the service-mode executor in
+//! [`crate::service`]: it hands the closed batch to a fresh
+//! [`StreamingEngine`], drains it, and assembles the [`BatchReport`]. Batch
+//! mode therefore inherits the executor's guarantees by construction — live
+//! policy-order dispatch, and the in-SSD stage serving samples in dispatch
+//! order even when many Step 1 workers complete out of order (the reorder
+//! buffer described in the [service docs](crate::service)).
+//!
 //! Every per-job computation routes through the step-level entry points of
 //! [`MegisAnalyzer`], which makes the engine's output byte-identical to
 //! calling [`MegisAnalyzer::analyze`] per sample — for any worker count,
 //! shard count, or admission policy. Scheduling changes only *when* work
 //! happens, never *what* is computed.
 
-use std::collections::VecDeque;
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use megis::step1::Step1Output;
 use megis::MegisAnalyzer;
-use megis_genomics::kmer::Kmer;
-use megis_genomics::sample::{Diversity, Sample};
+use megis_genomics::sample::Diversity;
 use megis_host::accelerators::SortingAccelerator;
 use megis_host::system::SystemConfig;
 use megis_ssd::config::SsdConfig;
 use megis_ssd::timing::ByteSize;
 use megis_tools::workload::WorkloadSpec;
 
-use crate::job::{JobId, JobResult, JobSpec, Priority};
+use crate::job::{JobId, JobResult, JobSpec};
 use crate::metrics::{BatchReport, LatencyStats, ShardStats};
 use crate::model::ModeledAccount;
-use crate::queue::{AdmissionError, JobQueue, QueuedJob, SchedPolicy};
+use crate::queue::{AdmissionError, JobQueue, SchedPolicy};
+use crate::service::{JobHandle, StreamingEngine};
 use crate::shard::ShardSet;
 
 /// Configuration of a [`BatchEngine`].
@@ -48,6 +53,8 @@ pub struct EngineConfig {
     pub policy: SchedPolicy,
     /// Maximum jobs waiting for service before admission rejects.
     pub queue_capacity: usize,
+    /// Completions covered by the service-mode rolling metrics window.
+    pub metrics_window: usize,
     /// Base system for the modeled-time account: the pipelining comparison
     /// runs on it as given, and the shard-scaling series replicates its
     /// first SSD over `1..=shards` devices.
@@ -63,6 +70,7 @@ impl Default for EngineConfig {
             shards: 2,
             policy: SchedPolicy::Fifo,
             queue_capacity: 1024,
+            metrics_window: 256,
             // The paper's multi-sample configuration (Fig. 21): without the
             // sorting accelerator, host-side sorting dominates and hides the
             // in-SSD work entirely, which would make the modeled pipelining
@@ -120,6 +128,18 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the number of completions the service-mode rolling metrics
+    /// window covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_metrics_window(mut self, window: usize) -> EngineConfig {
+        assert!(window > 0, "metrics window must be positive");
+        self.metrics_window = window;
+        self
+    }
+
     /// Sets the modeled system template (its first SSD is replicated per
     /// shard).
     pub fn with_system(mut self, system: SystemConfig) -> EngineConfig {
@@ -156,19 +176,6 @@ impl std::fmt::Display for PartialAdmission {
 }
 
 impl std::error::Error for PartialAdmission {}
-
-/// A Step 1 output in flight between the host stage and the in-SSD stage.
-struct PreparedJob {
-    id: JobId,
-    label: String,
-    priority: Priority,
-    start_position: usize,
-    sample: Sample,
-    submitted_at: Instant,
-    queue_wait: Duration,
-    step1_time: Duration,
-    step1: Step1Output,
-}
 
 /// The multi-sample batch engine.
 #[derive(Debug)]
@@ -235,6 +242,15 @@ impl BatchEngine {
 
     /// Runs every queued job through the pipelined executor and reports.
     ///
+    /// This is a thin batch-mode wrapper over [`StreamingEngine`]: the
+    /// already-admitted jobs are handed to a fresh service executor in
+    /// service order (ids and submission times preserved), the service is
+    /// drained and shut down, and the per-job results are collected from
+    /// their handles. Because jobs enter the executor's queue in policy
+    /// order before any dispatch race can matter, the assigned service
+    /// positions follow the policy exactly, and the executor's reorder
+    /// buffer guarantees the in-SSD stage serves them in that same order.
+    ///
     /// Returns an empty report (zero throughput, no results) if nothing is
     /// queued.
     pub fn run(&mut self) -> BatchReport {
@@ -264,151 +280,37 @@ impl BatchEngine {
         );
 
         let batch_start = Instant::now();
-        let (results, shard_stats) = self.execute(jobs);
+        let service = StreamingEngine::from_parts(
+            Arc::clone(&self.analyzer),
+            self.shards.clone(),
+            self.config.clone(),
+        );
+        let handles: Vec<JobHandle> = jobs
+            .into_iter()
+            .map(|job| service.dispatch_admitted(job))
+            .collect();
+        // shutdown() performs the graceful drain itself.
+        let service_report = service.shutdown();
         let wall_time = batch_start.elapsed();
 
+        let mut results: Vec<JobResult> = handles.into_iter().filter_map(JobHandle::wait).collect();
+        results.sort_by_key(|r| r.id);
         let latencies: Vec<Duration> = results.iter().map(|r| r.latency).collect();
         BatchReport {
             latency: LatencyStats::from_latencies(&latencies),
             throughput: sample_count as f64 / wall_time.as_secs_f64().max(1e-9),
             results,
             wall_time,
-            shard_stats,
+            shard_stats: service_report.shard_stats,
             modeled: Some(modeled),
         }
-    }
-
-    /// The pipelined executor: Step 1 worker pool feeding the in-SSD stage.
-    fn execute(&self, jobs: Vec<QueuedJob>) -> (Vec<JobResult>, Vec<ShardStats>) {
-        let shard_count = self.shards.shard_count();
-        let analyzer = &self.analyzer;
-        // Jobs are already in service order; workers pop from the front, so
-        // the order in which jobs *enter* Step 1 follows the policy exactly
-        // even with many workers. The service-position counter is read in the
-        // same critical section as the pop, so the recorded order cannot
-        // drift from the actual pop order.
-        let feed: Mutex<(VecDeque<QueuedJob>, usize)> = Mutex::new((jobs.into(), 0));
-
-        // Bounded hand-off between the stages: workers prepare at most one
-        // sample ahead each before blocking, so peak memory stays
-        // O(workers) prepared samples instead of O(batch) while still
-        // keeping the in-SSD stage fed (the §4.7 lookahead).
-        let (s1_tx, s1_rx) = mpsc::sync_channel::<PreparedJob>(self.config.workers + 1);
-        let (stats_tx, stats_rx) = mpsc::channel::<ShardStats>();
-        let (resp_tx, resp_rx) = mpsc::channel::<(usize, Vec<Kmer>)>();
-
-        let mut results: Vec<JobResult> = Vec::new();
-
-        thread::scope(|scope| {
-            // In-SSD stage, part 1: one intersect worker per database shard.
-            let mut shard_txs = Vec::with_capacity(shard_count);
-            for (index, shard) in self.shards.shards().iter().enumerate() {
-                let (tx, rx) = mpsc::channel::<Arc<Vec<Kmer>>>();
-                shard_txs.push(tx);
-                let shard = Arc::clone(shard);
-                let resp_tx = resp_tx.clone();
-                let stats_tx = stats_tx.clone();
-                scope.spawn(move || {
-                    let mut busy = Duration::ZERO;
-                    let mut served = 0u64;
-                    for queries in rx {
-                        let t0 = Instant::now();
-                        let intersection = shard.intersect_sorted(&queries);
-                        busy += t0.elapsed();
-                        served += 1;
-                        if resp_tx.send((index, intersection)).is_err() {
-                            break;
-                        }
-                    }
-                    let _ = stats_tx.send(ShardStats {
-                        shard: index,
-                        busy,
-                        jobs: served,
-                    });
-                });
-            }
-            drop(resp_tx);
-            drop(stats_tx);
-
-            // Host stage: Step 1 worker pool.
-            for _ in 0..self.config.workers {
-                let feed = &feed;
-                let s1_tx = s1_tx.clone();
-                scope.spawn(move || loop {
-                    let (job, start_position) = {
-                        let mut guard = feed.lock().unwrap();
-                        let Some(job) = guard.0.pop_front() else {
-                            break;
-                        };
-                        let position = guard.1;
-                        guard.1 += 1;
-                        (job, position)
-                    };
-                    let started = Instant::now();
-                    let step1 = analyzer.run_step1(&job.spec.sample);
-                    let prepared = PreparedJob {
-                        id: job.id,
-                        label: job.spec.label,
-                        priority: job.spec.priority,
-                        start_position,
-                        sample: job.spec.sample,
-                        submitted_at: job.submitted_at,
-                        queue_wait: started.duration_since(job.submitted_at),
-                        step1_time: started.elapsed(),
-                        step1,
-                    };
-                    if s1_tx.send(prepared).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(s1_tx);
-
-            // In-SSD stage, part 2 (this thread): fan each prepared sample
-            // out to every shard, merge in shard order, then taxID retrieval
-            // and Step 3. Step 1 workers keep preparing upcoming samples in
-            // parallel — the §4.7 inter-sample overlap.
-            for prepared in s1_rx {
-                let isp_start = Instant::now();
-                let queries = Arc::new(prepared.step1.sorted_kmers());
-                for tx in &shard_txs {
-                    tx.send(Arc::clone(&queries))
-                        .expect("shard worker alive while requests pend");
-                }
-                let mut parts: Vec<Vec<Kmer>> = vec![Vec::new(); shard_count];
-                for _ in 0..shard_count {
-                    let (index, intersection) = resp_rx.recv().expect("one response per shard");
-                    parts[index] = intersection;
-                }
-                let merged: Vec<Kmer> = parts.into_iter().flatten().collect();
-                let step2 = analyzer.step2_from_intersection(merged);
-                let step3 = analyzer.run_step3(&prepared.sample, &step2.presence);
-                let output = MegisAnalyzer::assemble_output(&prepared.step1, &step2, step3);
-                results.push(JobResult {
-                    id: prepared.id,
-                    label: prepared.label,
-                    priority: prepared.priority,
-                    start_position: prepared.start_position,
-                    output,
-                    queue_wait: prepared.queue_wait,
-                    step1_time: prepared.step1_time,
-                    isp_time: isp_start.elapsed(),
-                    latency: prepared.submitted_at.elapsed(),
-                });
-            }
-            drop(shard_txs);
-        });
-
-        let mut shard_stats: Vec<ShardStats> = stats_rx.iter().collect();
-        shard_stats.sort_by_key(|s| s.shard);
-        results.sort_by_key(|r| r.id);
-        (results, shard_stats)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::Priority;
     use megis::config::MegisConfig;
     use megis_genomics::sample::CommunityConfig;
 
@@ -494,6 +396,54 @@ mod tests {
         };
         assert_eq!(by_id(4), 0, "high priority enters service first");
         assert_eq!(by_id(1), 5, "low priority enters service last");
+    }
+
+    #[test]
+    fn isp_service_order_matches_policy_order_with_many_workers() {
+        // Regression: with several Step 1 workers, prepared jobs used to
+        // reach the in-SSD stage in Step 1 *completion* order, letting a
+        // low-priority job be served Steps 2–3 ahead of a high-priority one.
+        // The reorder buffer must keep in-SSD service in dispatch (= policy)
+        // order for every worker count.
+        let c = community();
+        let mut engine = BatchEngine::new(
+            analyzer(&c),
+            EngineConfig::new()
+                .with_workers(4)
+                .with_shards(2)
+                .with_policy(SchedPolicy::Priority),
+        );
+        let mut jobs = specs(&c, 10);
+        for i in [2usize, 7, 9] {
+            jobs[i] = jobs[i].clone().with_priority(Priority::High);
+        }
+        for i in [0usize, 5] {
+            jobs[i] = jobs[i].clone().with_priority(Priority::Low);
+        }
+        let expected_priority = |id: u64| match id {
+            2 | 7 | 9 => Priority::High,
+            0 | 5 => Priority::Low,
+            _ => Priority::Normal,
+        };
+        engine.submit_all(jobs).unwrap();
+        let report = engine.run();
+
+        for r in &report.results {
+            assert_eq!(
+                r.isp_position, r.start_position,
+                "{}: in-SSD service must follow dispatch order",
+                r.label
+            );
+        }
+        let mut served: Vec<&JobResult> = report.results.iter().collect();
+        served.sort_by_key(|r| r.isp_position);
+        let served_ids: Vec<u64> = served.iter().map(|r| r.id.0).collect();
+        let mut policy_order: Vec<u64> = (0..10).collect();
+        policy_order.sort_by_key(|id| (std::cmp::Reverse(expected_priority(*id)), *id));
+        assert_eq!(
+            served_ids, policy_order,
+            "in-SSD service order must be (priority desc, submission asc)"
+        );
     }
 
     #[test]

@@ -83,6 +83,12 @@ pub struct JobResult {
     /// first job dispatched. Under FIFO this equals submission order; under
     /// the priority policy, higher priorities get smaller positions.
     pub start_position: usize,
+    /// Position at which the in-SSD stage (Steps 2–3) served the job. The
+    /// engine reorders Step 1 completions before the in-SSD hand-off, so
+    /// this always equals [`JobResult::start_position`] — the in-SSD stage
+    /// follows policy order even when many Step 1 workers finish out of
+    /// order (asserted by the regression tests).
+    pub isp_position: usize,
     /// End-to-end analysis output — byte-identical to
     /// `MegisAnalyzer::analyze` on the same sample.
     pub output: MegisOutput,

@@ -1,11 +1,12 @@
-//! `megis-sched`: a multi-sample batch scheduler with sharded multi-SSD
-//! execution for the MegIS reproduction.
+//! `megis-sched`: a multi-sample scheduler with sharded multi-SSD execution
+//! for the MegIS reproduction — closed batches or a continuously scheduled
+//! streaming service.
 //!
 //! The MegIS paper gets its largest end-to-end wins from two scheduling
 //! ideas: overlapping host-side Step 1 of sample *i + 1* with the in-SSD
 //! Steps 2–3 of sample *i* (§4.7, Fig. 21), and partitioning the sorted
 //! k-mer database disjointly across several SSDs (Fig. 15). This crate turns
-//! both from analytic models into a running batch-analysis engine:
+//! both from analytic models into a running analysis engine:
 //!
 //! * [`job`] — what clients submit ([`JobSpec`] with a [`Priority`]) and get
 //!   back ([`JobResult`]: the analysis output plus per-job wait/latency
@@ -14,21 +15,50 @@
 //!   ([`SchedPolicy::Fifo`] or [`SchedPolicy::Priority`]),
 //! * [`shard`] — the database partitioned into contiguous sorted ranges,
 //!   one per simulated SSD ([`ShardSet`]),
-//! * [`engine`] — the pipelined executor ([`BatchEngine`]): a pool of host
-//!   Step 1 worker threads feeding an in-SSD stage with one intersect worker
-//!   per shard, built on std threads and channels,
-//! * [`metrics`] — batch-level operational metrics ([`BatchReport`]:
-//!   latency p50/p99, throughput in samples/sec, per-shard utilization),
+//! * [`service`] — the streaming executor ([`StreamingEngine`]): a pool of
+//!   host Step 1 worker threads live-popping a shared queue and feeding an
+//!   in-SSD stage with one intersect worker per shard, built on std threads
+//!   and channels,
+//! * [`engine`] — the closed-batch front end ([`BatchEngine`]), a thin
+//!   wrapper that hands each batch to the same executor,
+//! * [`metrics`] — operational metrics ([`BatchReport`]: latency p50/p99,
+//!   throughput in samples/sec, per-shard utilization; [`RollingWindow`]
+//!   for live service-mode metrics),
 //! * [`model`] — the paper-scale modeled-time account ([`ModeledAccount`]),
 //!   cross-checking the executed batch shape against
 //!   `MegisTimingModel::multi_sample_breakdown` and the Fig. 15 shard
 //!   scaling series.
 //!
+//! # Batch mode vs. service mode
+//!
+//! [`BatchEngine`] is the drain-once front end: submit a closed set of
+//! jobs, call [`BatchEngine::run`], get a [`BatchReport`]. Use it for
+//! cohort studies and experiments where the workload is known up front.
+//!
+//! [`StreamingEngine`] is the long-running service: `submit` from any
+//! thread **while it runs** (it takes `&self`; share it behind an `Arc`),
+//! get a [`JobHandle`] that delivers the result the moment the job
+//! completes, watch live behavior through [`ServiceSnapshot`]'s rolling
+//! window, and stop with a graceful [`StreamingEngine::drain`] /
+//! [`StreamingEngine::shutdown`]. Scheduling decisions happen at dispatch
+//! time with a live `pop_next` on the shared queue, so a high-priority job
+//! submitted mid-stream overtakes everything still queued. Both modes run
+//! the exact same executor: `BatchEngine::run` is submit-all + drain over a
+//! fresh [`StreamingEngine`].
+//!
+//! **Ordering guarantee:** the in-SSD stage serves samples in dispatch
+//! order — which is policy order over the queue at each dispatch instant —
+//! regardless of the Step 1 worker count. Step 1 completions are reordered
+//! through a buffer keyed on service position before the in-SSD hand-off,
+//! so a low-priority sample can never have its Steps 2–3 served ahead of a
+//! high-priority sample that entered service first ([`JobResult`] records
+//! both positions; `isp_position == start_position` always).
+//!
 //! **Determinism contract:** scheduling decides only *when* work happens,
 //! never *what* is computed. Every job's output is byte-identical to
 //! `MegisAnalyzer::analyze` on the same sample, for any worker count, shard
-//! count, or admission policy (enforced by the workspace integration
-//! tests).
+//! count, admission policy, or submission concurrency (enforced by the
+//! workspace integration tests).
 //!
 //! # Example
 //!
@@ -65,11 +95,13 @@ pub mod job;
 pub mod metrics;
 pub mod model;
 pub mod queue;
+pub mod service;
 pub mod shard;
 
 pub use engine::{BatchEngine, EngineConfig, PartialAdmission};
 pub use job::{JobId, JobResult, JobSpec, Priority};
-pub use metrics::{BatchReport, LatencyStats, ShardStats};
+pub use metrics::{BatchReport, LatencyStats, RollingWindow, ShardStats};
 pub use model::ModeledAccount;
 pub use queue::{AdmissionError, JobQueue, SchedPolicy};
+pub use service::{JobHandle, ServiceReport, ServiceSnapshot, StreamingEngine};
 pub use shard::ShardSet;

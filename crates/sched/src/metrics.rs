@@ -1,7 +1,9 @@
 //! Operational metrics: latency percentiles, throughput, and per-shard
-//! utilization for one batch run.
+//! utilization for one batch run, plus the rolling window the streaming
+//! service reports while it is live.
 
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use crate::job::JobResult;
 use crate::model::ModeledAccount;
@@ -29,10 +31,13 @@ impl LatencyStats {
         }
         let mut sorted = latencies.to_vec();
         sorted.sort();
+        // Mean via integer nanoseconds: `Duration / u32` would truncate the
+        // count (and divide by zero) for batches beyond u32::MAX samples.
         let total: Duration = sorted.iter().sum();
+        let mean = Duration::from_nanos((total.as_nanos() / sorted.len() as u128) as u64);
         LatencyStats {
             count: sorted.len(),
-            mean: total / sorted.len() as u32,
+            mean,
             p50: percentile(&sorted, 50.0),
             p99: percentile(&sorted, 99.0),
             max: *sorted.last().unwrap(),
@@ -50,6 +55,86 @@ pub fn percentile(sorted: &[Duration], pct: f64) -> Duration {
     assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Rolling window over the most recent job completions, for live metrics
+/// while the streaming service runs.
+///
+/// The window keeps the last `capacity` completions (latency plus completion
+/// instant); [`RollingWindow::stats`] and [`RollingWindow::throughput`]
+/// describe only that window, so a long-running service reports its *recent*
+/// behavior rather than an all-time average that a morning burst would skew
+/// forever.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    capacity: usize,
+    entries: VecDeque<(Instant, Duration)>,
+    total: u64,
+}
+
+impl RollingWindow {
+    /// Creates a window covering the last `capacity` completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RollingWindow {
+        assert!(capacity > 0, "window capacity must be positive");
+        RollingWindow {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Records one completion (now) with the given end-to-end latency,
+    /// evicting the oldest entry once the window is full.
+    pub fn record(&mut self, latency: Duration) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((Instant::now(), latency));
+        self.total += 1;
+    }
+
+    /// Number of completions currently inside the window.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Completions recorded over the window's whole lifetime (not just the
+    /// entries still inside it).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Latency distribution of the completions inside the window.
+    pub fn stats(&self) -> LatencyStats {
+        let latencies: Vec<Duration> = self.entries.iter().map(|(_, l)| *l).collect();
+        LatencyStats::from_latencies(&latencies)
+    }
+
+    /// Recent throughput: the unbiased inter-completion rate over the
+    /// window — `len - 1` intervals divided by the span from the oldest to
+    /// the newest windowed completion. (Dividing `len` events by the span
+    /// would overestimate by `len / (len - 1)`.) Zero until the window
+    /// holds at least two completions.
+    pub fn throughput(&self) -> f64 {
+        let (Some((oldest, _)), Some((newest, _))) = (self.entries.front(), self.entries.back())
+        else {
+            return 0.0;
+        };
+        if self.entries.len() < 2 {
+            return 0.0;
+        }
+        let span = newest.duration_since(*oldest).as_secs_f64();
+        (self.entries.len() - 1) as f64 / span.max(1e-9)
+    }
 }
 
 /// Busy-time accounting for one shard (simulated SSD) worker.
@@ -171,6 +256,44 @@ mod tests {
         assert_eq!(stats.mean, ms(20));
         assert_eq!(stats.p50, ms(20));
         assert_eq!(stats.max, ms(30));
+    }
+
+    #[test]
+    fn mean_is_exact_for_non_dividing_sums() {
+        // 1ms + 2ms over 2 samples: the mean is 1.5ms exactly, computed in
+        // integer nanoseconds rather than `Duration / u32`.
+        let stats = LatencyStats::from_latencies(&[ms(1), ms(2)]);
+        assert_eq!(stats.mean, Duration::from_micros(1500));
+        // 7ns over 3 samples floors to 2ns — no panic, no precision loss
+        // beyond the final integer nanosecond.
+        let ns = |v: u64| Duration::from_nanos(v);
+        let stats = LatencyStats::from_latencies(&[ns(1), ns(2), ns(4)]);
+        assert_eq!(stats.mean, ns(2));
+    }
+
+    #[test]
+    fn rolling_window_evicts_oldest_and_counts_lifetime() {
+        let mut w = RollingWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.throughput(), 0.0);
+        w.record(ms(10));
+        assert_eq!(w.throughput(), 0.0, "one completion spans no interval");
+        for v in [20, 30, 40] {
+            w.record(ms(v));
+        }
+        assert_eq!(w.len(), 3, "window holds only the newest 3");
+        assert_eq!(w.total_recorded(), 4);
+        let stats = w.stats();
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.max, ms(40), "oldest entry was evicted");
+        assert_eq!(stats.p50, ms(30));
+        assert!(w.throughput() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_window_rejected() {
+        RollingWindow::new(0);
     }
 
     #[test]

@@ -78,8 +78,10 @@ impl ModeledAccount {
             .map(|count| (count, base / intersection_at(count)))
             .collect();
 
-        // Per-shard service time: each device's single-SSD view streams an
-        // even split of the database.
+        // Per-shard service time: each device's single-SSD view streams its
+        // partition. `ShardSet` builds ceiling-sized contiguous chunks, so
+        // the critical-path shard holds ceil(db / shards) bytes — a floor
+        // split would under-model it whenever the size doesn't divide evenly.
         let shard_view = system
             .clone()
             .with_ssd_count(shards)
@@ -87,7 +89,7 @@ impl ModeledAccount {
             .into_iter()
             .next()
             .expect("sharded system has at least one device");
-        let shard_stream_time = (workload.metalign_db / shards as u64)
+        let shard_stream_time = per_shard_bytes(workload.metalign_db, shards)
             .time_at(shard_view.aggregate_internal_read_bandwidth());
 
         ModeledAccount {
@@ -136,11 +138,22 @@ impl ModeledAccount {
     }
 }
 
+/// Bytes held by the critical-path shard of an `shards`-way split: the
+/// ceiling division matching `ShardSet::build`'s chunking, so that
+/// `shards * per_shard_bytes(db, shards)` always covers the whole database.
+fn per_shard_bytes(
+    database: megis_ssd::timing::ByteSize,
+    shards: usize,
+) -> megis_ssd::timing::ByteSize {
+    megis_ssd::timing::ByteSize::from_bytes(database.as_bytes().div_ceil(shards as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use megis_genomics::sample::Diversity;
     use megis_ssd::config::SsdConfig;
+    use megis_ssd::timing::ByteSize;
 
     fn account(samples: usize, shards: usize) -> ModeledAccount {
         let system = SystemConfig::reference(SsdConfig::ssd_c());
@@ -177,6 +190,45 @@ mod tests {
         assert!(
             (ratio - 4.0).abs() < 0.01,
             "4-way split should quarter the per-shard stream, got {ratio:.3}x"
+        );
+    }
+
+    #[test]
+    fn per_shard_split_uses_ceiling_like_shard_set() {
+        // 10 bytes over 4 shards: the biggest chunk holds 3 bytes, and four
+        // such chunks cover the database. A floor split (2 bytes) would
+        // leave 2 bytes unaccounted on the critical path.
+        assert_eq!(per_shard_bytes(ByteSize::from_bytes(10), 4).as_bytes(), 3);
+        assert_eq!(per_shard_bytes(ByteSize::from_bytes(12), 4).as_bytes(), 3);
+        assert_eq!(per_shard_bytes(ByteSize::from_bytes(701), 8).as_bytes(), 88);
+        for (bytes, shards) in [(10u64, 3usize), (701, 8), (1, 5), (1024, 7)] {
+            let per = per_shard_bytes(ByteSize::from_bytes(bytes), shards).as_bytes();
+            assert!(
+                per * shards as u64 >= bytes,
+                "{shards} shards x {per} B fail to cover {bytes} B"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_stream_time_models_critical_path_at_non_dividing_counts() {
+        // 701 GB over 3 shards does not divide evenly; the account must
+        // price the ceiling-sized shard that `ShardSet` actually builds.
+        let system = SystemConfig::reference(SsdConfig::ssd_c());
+        let workload = WorkloadSpec::cami(Diversity::Medium);
+        let acct = ModeledAccount::compute(&system, &workload, 4, 3);
+        let shard_view = system
+            .clone()
+            .with_ssd_count(3)
+            .shard_systems()
+            .into_iter()
+            .next()
+            .unwrap();
+        let expected = per_shard_bytes(workload.metalign_db, 3)
+            .time_at(shard_view.aggregate_internal_read_bandwidth());
+        assert!(
+            (acct.shard_stream_time / expected - 1.0).abs() < 1e-12,
+            "stream time must price the ceiling-sized shard"
         );
     }
 

@@ -6,7 +6,8 @@
 //! Ordering is deterministic: FIFO follows submission order; the priority
 //! policy orders by (priority desc, submission order asc).
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
 use std::time::Instant;
 
 use crate::job::{JobId, JobSpec};
@@ -39,6 +40,8 @@ pub enum AdmissionError {
         /// The configured capacity that was exceeded.
         capacity: usize,
     },
+    /// The service has begun a graceful shutdown and no longer accepts jobs.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -46,6 +49,9 @@ impl std::fmt::Display for AdmissionError {
         match self {
             AdmissionError::QueueFull { capacity } => {
                 write!(f, "admission queue full (capacity {capacity})")
+            }
+            AdmissionError::ShuttingDown => {
+                write!(f, "service is shutting down; submissions are closed")
             }
         }
     }
@@ -61,13 +67,68 @@ pub(crate) struct QueuedJob {
     pub submitted_at: Instant,
 }
 
+/// Max-heap entry for the priority policy: higher [`crate::job::Priority`]
+/// wins; ties go to the earlier submission (smaller id).
+#[derive(Debug)]
+struct PriorityEntry(QueuedJob);
+
+impl Ord for PriorityEntry {
+    fn cmp(&self, other: &PriorityEntry) -> Ordering {
+        self.0
+            .spec
+            .priority
+            .cmp(&other.0.spec.priority)
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+impl PartialOrd for PriorityEntry {
+    fn partial_cmp(&self, other: &PriorityEntry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for PriorityEntry {
+    fn eq(&self, other: &PriorityEntry) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for PriorityEntry {}
+
+/// Policy-specific backing store: a deque for FIFO (O(1) pops), a binary
+/// heap for the priority policy (O(log n) pops). `pop_next` is the service
+/// executor's per-dispatch hot path and runs under the global service lock,
+/// so a linear scan there would serialize submitters behind every dispatch.
+#[derive(Debug)]
+enum Pending {
+    Fifo(VecDeque<QueuedJob>),
+    Priority(BinaryHeap<PriorityEntry>),
+}
+
+impl Pending {
+    fn len(&self) -> usize {
+        match self {
+            Pending::Fifo(queue) => queue.len(),
+            Pending::Priority(heap) => heap.len(),
+        }
+    }
+
+    fn push(&mut self, job: QueuedJob) {
+        match self {
+            Pending::Fifo(queue) => queue.push_back(job),
+            Pending::Priority(heap) => heap.push(PriorityEntry(job)),
+        }
+    }
+}
+
 /// The admission queue.
 #[derive(Debug)]
 pub struct JobQueue {
     policy: SchedPolicy,
     capacity: usize,
     next_id: u64,
-    pending: VecDeque<QueuedJob>,
+    pending: Pending,
 }
 
 impl JobQueue {
@@ -82,7 +143,10 @@ impl JobQueue {
             policy,
             capacity,
             next_id: 0,
-            pending: VecDeque::new(),
+            pending: match policy {
+                SchedPolicy::Fifo => Pending::Fifo(VecDeque::new()),
+                SchedPolicy::Priority => Pending::Priority(BinaryHeap::new()),
+            },
         }
     }
 
@@ -98,7 +162,7 @@ impl JobQueue {
 
     /// Returns `true` if no jobs are waiting.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.pending.len() == 0
     }
 
     /// Admits a job, or rejects it if the queue is full.
@@ -110,7 +174,7 @@ impl JobQueue {
         }
         let id = JobId(self.next_id);
         self.next_id += 1;
-        self.pending.push_back(QueuedJob {
+        self.pending.push(QueuedJob {
             id,
             spec,
             submitted_at: Instant::now(),
@@ -118,39 +182,43 @@ impl JobQueue {
         Ok(id)
     }
 
+    /// Re-enqueues a job that was already admitted elsewhere (its id and
+    /// submission time are preserved), bypassing the capacity check. Used by
+    /// the batch wrapper to hand admitted jobs to the service executor.
+    pub(crate) fn enqueue_admitted(&mut self, job: QueuedJob) {
+        self.next_id = self.next_id.max(job.id.0 + 1);
+        self.pending.push(job);
+    }
+
     /// Removes and returns the next job to serve under the policy.
     ///
-    /// Reference implementation of the service order; [`JobQueue::drain_ordered`]
-    /// must produce the same sequence (asserted by the unit tests).
-    #[cfg(test)]
+    /// This is the live dispatch path of the service executor: the decision
+    /// is taken at pop time over whatever is queued *now*, so jobs submitted
+    /// while the engine runs compete under the policy immediately. O(1) for
+    /// FIFO, O(log n) under the priority policy.
+    /// [`JobQueue::drain_ordered`] must produce the same sequence for a
+    /// closed queue (asserted by the unit tests).
     pub(crate) fn pop_next(&mut self) -> Option<QueuedJob> {
-        let idx = match self.policy {
-            SchedPolicy::Fifo => 0,
-            SchedPolicy::Priority => {
-                // Highest priority; ties broken by smallest id (stable since
-                // the deque holds jobs in submission order).
-                let mut best = 0;
-                for i in 1..self.pending.len() {
-                    if self.pending[i].spec.priority > self.pending[best].spec.priority {
-                        best = i;
-                    }
-                }
-                best
-            }
-        };
-        self.pending.remove(idx)
+        match &mut self.pending {
+            Pending::Fifo(queue) => queue.pop_front(),
+            Pending::Priority(heap) => heap.pop().map(|entry| entry.0),
+        }
     }
 
     /// Removes all waiting jobs in service order. Equivalent to repeated
-    /// [`JobQueue::pop_next`] calls, but O(n log n) under the priority
-    /// policy (the stable sort preserves submission order within each
-    /// priority, matching pop_next's tie-breaking).
+    /// [`JobQueue::pop_next`] calls (the heap's explicit id tie-break keeps
+    /// submission order within each priority).
     pub(crate) fn drain_ordered(&mut self) -> Vec<QueuedJob> {
-        let mut out: Vec<QueuedJob> = std::mem::take(&mut self.pending).into();
-        if self.policy == SchedPolicy::Priority {
-            out.sort_by_key(|job| std::cmp::Reverse(job.spec.priority));
+        match &mut self.pending {
+            Pending::Fifo(queue) => std::mem::take(queue).into(),
+            Pending::Priority(heap) => {
+                // `into_sorted_vec` is ascending under `Ord` (service order
+                // reversed); flip it to get highest priority first.
+                let mut entries = std::mem::take(heap).into_sorted_vec();
+                entries.reverse();
+                entries.into_iter().map(|entry| entry.0).collect()
+            }
         }
-        out
     }
 }
 

@@ -1,0 +1,867 @@
+//! Service mode: the continuously scheduled streaming executor.
+//!
+//! [`StreamingEngine`] keeps the whole pipeline of the batch engine — a pool
+//! of host Step 1 workers feeding a sharded in-SSD stage (§4.7 of the paper)
+//! — running as a long-lived service. Jobs can be submitted from any thread
+//! *while the engine runs*: admission goes through the shared [`JobQueue`],
+//! and each Step 1 worker picks its next job with a live `pop_next` at
+//! dispatch time, so a high-priority sample submitted mid-stream competes
+//! under the policy immediately instead of waiting for a batch boundary.
+//! MetaStore and GenStore frame in-storage genomics accelerators the same
+//! way: continuously fed, not drained once.
+//!
+//! **Ordering guarantee.** Dispatch order (the `start_position` assigned in
+//! the same critical section as the pop) *is* policy order at dispatch time.
+//! Step 1 workers may finish out of that order, so the in-SSD coordinator
+//! holds early arrivals in a reorder buffer keyed on `start_position` and
+//! serves strictly in dispatch order — Steps 2–3 can never serve a
+//! low-priority sample ahead of a high-priority one that entered service
+//! first. A dispatch lookahead gate keeps workers from running more than
+//! `2 * workers + 2` positions ahead of the in-SSD stage, so the reorder
+//! buffer — and peak prepared-sample memory — stays O(workers) even when
+//! one sample's Step 1 is far slower than the rest.
+//!
+//! **Failure.** If a pipeline thread panics (a dispatched position that
+//! would otherwise never complete), the service is *poisoned*:
+//! [`StreamingEngine::drain`] and [`StreamingEngine::shutdown`] propagate
+//! the failure as a panic instead of blocking forever, and outstanding
+//! [`JobHandle`]s yield `None`.
+//!
+//! **Delivery.** Each submission returns a [`JobHandle`]; the result is sent
+//! on the handle's channel the moment the job completes, so clients consume
+//! results incrementally instead of waiting for a closed batch. A rolling
+//! window ([`crate::metrics::RollingWindow`]) over recent completions backs
+//! the live [`ServiceSnapshot`].
+//!
+//! **Shutdown.** [`StreamingEngine::drain`] blocks until the service is
+//! quiescent; [`StreamingEngine::shutdown`] closes admission, drains, joins
+//! every thread, and reports. Dropping the engine performs the same graceful
+//! shutdown.
+//!
+//! [`crate::BatchEngine::run`] is a thin wrapper over this executor
+//! (dispatch the closed batch, drain, shut down), so batch mode inherits the
+//! ordering fix and the byte-identical-to-`analyze` contract by
+//! construction.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use megis::step1::Step1Output;
+use megis::MegisAnalyzer;
+use megis_genomics::kmer::Kmer;
+use megis_genomics::sample::Sample;
+
+use crate::engine::EngineConfig;
+use crate::job::{JobId, JobResult, JobSpec, Priority};
+use crate::metrics::{LatencyStats, RollingWindow, ShardStats};
+use crate::queue::{AdmissionError, JobQueue, QueuedJob};
+use crate::shard::ShardSet;
+
+/// A Step 1 output in flight between the host stage and the in-SSD stage.
+struct PreparedJob {
+    id: JobId,
+    label: String,
+    priority: Priority,
+    start_position: usize,
+    sample: Sample,
+    submitted_at: Instant,
+    queue_wait: Duration,
+    step1_time: Duration,
+    step1: Step1Output,
+}
+
+/// State shared by submitters, Step 1 workers, and the in-SSD coordinator.
+#[derive(Debug)]
+struct ServiceState {
+    /// The live admission queue; workers `pop_next` it at dispatch time.
+    queue: JobQueue,
+    /// Per-job result channels, removed at delivery.
+    senders: HashMap<u64, mpsc::Sender<JobResult>>,
+    /// Next service position to assign (same critical section as the pop).
+    next_position: usize,
+    /// Jobs popped but not yet completed by the in-SSD stage.
+    in_flight: usize,
+    /// Positions fully served by the in-SSD stage (the coordinator's
+    /// `next_to_serve`, mirrored here for the dispatch lookahead gate).
+    isp_served: usize,
+    /// Maximum positions workers may dispatch ahead of the in-SSD stage;
+    /// bounds the reorder buffer and prepared-sample memory at O(workers).
+    lookahead: usize,
+    /// Set when a pipeline thread panics; drain/shutdown propagate it as a
+    /// panic instead of waiting forever on work that can never complete.
+    poisoned: bool,
+    /// Cleared when a graceful shutdown begins; submissions then reject.
+    accepting: bool,
+    /// Set after the final drain; idle workers exit instead of waiting.
+    stopping: bool,
+    /// Jobs completed over the service lifetime.
+    completed: u64,
+    /// Rolling latency/throughput window over recent completions.
+    window: RollingWindow,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<ServiceState>,
+    /// Signaled on submission (workers wait here when the queue is empty).
+    job_ready: Condvar,
+    /// Signaled on completion (drain waits here for quiescence).
+    idle: Condvar,
+}
+
+impl Shared {
+    /// Locks the state, recovering from std mutex poisoning: the engine's
+    /// own `poisoned` flag (set by [`PanicGuard`]) is the real failure
+    /// signal, and teardown must keep working while a panic unwinds —
+    /// a `lock().unwrap()` during unwind would panic-within-panic and
+    /// abort the process.
+    fn lock(&self) -> MutexGuard<'_, ServiceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Live snapshot of a running service.
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Jobs admitted but not yet dispatched to Step 1.
+    pub pending: usize,
+    /// Jobs dispatched but not yet completed.
+    pub in_flight: usize,
+    /// Jobs completed since the service started.
+    pub completed: u64,
+    /// Whether submissions are currently accepted.
+    pub accepting: bool,
+    /// Latency distribution over the rolling completion window.
+    pub window: LatencyStats,
+    /// Completions per second over the rolling window.
+    pub window_throughput: f64,
+}
+
+/// Final accounting returned by [`StreamingEngine::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Jobs completed over the service lifetime.
+    pub completed: u64,
+    /// Wall-clock time from service start to shutdown.
+    pub uptime: Duration,
+    /// Per-shard busy accounting over the service lifetime.
+    pub shard_stats: Vec<ShardStats>,
+    /// Latency distribution over the final rolling window.
+    pub window: LatencyStats,
+}
+
+/// Claim on one submitted job's result.
+///
+/// The result is sent the moment the job completes; [`JobHandle::wait`]
+/// blocks until then. If the engine is dropped before the job is served
+/// (which only happens on teardown without a drain), waiting yields `None`.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: JobId,
+    rx: Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// The admitted job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Blocks until the job completes and returns its result, or `None` if
+    /// the engine stopped without serving it.
+    pub fn wait(self) -> Option<JobResult> {
+        self.rx.recv().ok()
+    }
+
+    /// Returns the result if the job has already completed, without
+    /// blocking.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the result.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// The long-running streaming engine (service mode).
+///
+/// See the [module docs](self) for the execution model. Methods take
+/// `&self`, so the engine can be shared across submitter threads behind an
+/// [`Arc`].
+#[derive(Debug)]
+pub struct StreamingEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    isp: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    // Mutex-wrapped only so the engine is `Sync` (shareable behind an
+    // `Arc`); the receiver is drained once, at shutdown.
+    stats_rx: Mutex<Receiver<ShardStats>>,
+    shards: ShardSet,
+    config: EngineConfig,
+    started_at: Instant,
+}
+
+impl StreamingEngine {
+    /// Builds and starts a service around an analyzer, sharding its database
+    /// across the configured number of simulated SSDs. Worker, shard, and
+    /// coordinator threads are running when this returns.
+    pub fn new(analyzer: MegisAnalyzer, config: EngineConfig) -> StreamingEngine {
+        let shards = ShardSet::build(analyzer.database(), config.shards);
+        StreamingEngine::from_parts(Arc::new(analyzer), shards, config)
+    }
+
+    pub(crate) fn from_parts(
+        analyzer: Arc<MegisAnalyzer>,
+        shards: ShardSet,
+        config: EngineConfig,
+    ) -> StreamingEngine {
+        assert!(config.workers > 0, "at least one worker is required");
+        assert!(config.shards > 0, "at least one shard is required");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ServiceState {
+                queue: JobQueue::new(config.policy, config.queue_capacity),
+                senders: HashMap::new(),
+                next_position: 0,
+                in_flight: 0,
+                isp_served: 0,
+                lookahead: 2 * config.workers + 2,
+                poisoned: false,
+                accepting: true,
+                stopping: false,
+                completed: 0,
+                window: RollingWindow::new(config.metrics_window),
+            }),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
+        });
+
+        // In-SSD stage, part 1: one intersect worker per database shard.
+        let shard_count = shards.shard_count();
+        let (stats_tx, stats_rx) = mpsc::channel::<ShardStats>();
+        let (resp_tx, resp_rx) = mpsc::channel::<(usize, Vec<Kmer>)>();
+        let mut shard_txs = Vec::with_capacity(shard_count);
+        let mut shard_handles = Vec::with_capacity(shard_count);
+        for (index, shard) in shards.shards().iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<Arc<Vec<Kmer>>>();
+            shard_txs.push(tx);
+            let shard = Arc::clone(shard);
+            let resp_tx = resp_tx.clone();
+            let stats_tx = stats_tx.clone();
+            let shared = Arc::clone(&shared);
+            shard_handles.push(thread::spawn(move || {
+                let _guard = PanicGuard(&shared);
+                let mut busy = Duration::ZERO;
+                let mut served = 0u64;
+                for queries in rx {
+                    let t0 = Instant::now();
+                    let intersection = shard.intersect_sorted(&queries);
+                    busy += t0.elapsed();
+                    served += 1;
+                    if resp_tx.send((index, intersection)).is_err() {
+                        break;
+                    }
+                }
+                let _ = stats_tx.send(ShardStats {
+                    shard: index,
+                    busy,
+                    jobs: served,
+                });
+            }));
+        }
+        drop(resp_tx);
+        drop(stats_tx);
+
+        // Bounded hand-off between the stages (§4.7 lookahead): together
+        // with the dispatch lookahead gate in `step1_worker`, at most
+        // `2 * workers + 2` prepared samples exist at once — in workers'
+        // hands, in this channel, or in the coordinator's reorder buffer —
+        // so peak memory stays O(workers) while the in-SSD stage stays fed.
+        let (s1_tx, s1_rx) = mpsc::sync_channel::<PreparedJob>(config.workers + 1);
+
+        // Host stage: Step 1 worker pool. Only the workers hold senders, so
+        // the coordinator's receiver closes exactly when the last worker
+        // exits.
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let analyzer = Arc::clone(&analyzer);
+            let s1_tx = s1_tx.clone();
+            workers.push(thread::spawn(move || {
+                step1_worker(&shared, &analyzer, &s1_tx);
+            }));
+        }
+        drop(s1_tx);
+
+        // In-SSD stage, part 2: the coordinator serving prepared samples in
+        // dispatch order.
+        let isp = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                isp_coordinator(&shared, &analyzer, s1_rx, shard_txs, &resp_rx, shard_count);
+            })
+        };
+
+        StreamingEngine {
+            shared,
+            workers,
+            isp: Some(isp),
+            shard_handles,
+            stats_rx: Mutex::new(stats_rx),
+            shards,
+            config,
+            started_at: Instant::now(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The sharded database layout.
+    pub fn shards(&self) -> &ShardSet {
+        &self.shards
+    }
+
+    /// Jobs admitted but not yet dispatched to Step 1.
+    pub fn pending(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Submits one job to the running service, from any thread.
+    ///
+    /// Admission is bounded by the configured queue capacity and closes once
+    /// a graceful shutdown begins. On success the returned [`JobHandle`]
+    /// delivers the result as soon as the job completes.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
+        let (id, rx) = {
+            let mut state = self.shared.lock();
+            if !state.accepting {
+                return Err(AdmissionError::ShuttingDown);
+            }
+            let id = state.queue.submit(spec)?;
+            let (tx, rx) = mpsc::channel();
+            state.senders.insert(id.0, tx);
+            (id, rx)
+        };
+        self.shared.job_ready.notify_one();
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Hands an already-admitted job (id and submission time preserved) to
+    /// the executor, bypassing the capacity check. Batch-mode entry point.
+    pub(crate) fn dispatch_admitted(&self, job: QueuedJob) -> JobHandle {
+        let id = job.id;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.lock();
+            state.senders.insert(id.0, tx);
+            state.queue.enqueue_admitted(job);
+        }
+        self.shared.job_ready.notify_one();
+        JobHandle { id, rx }
+    }
+
+    /// Blocks until the service is quiescent: no job queued and none in
+    /// flight. Admission stays open, so jobs submitted by other threads
+    /// while draining extend the wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pipeline thread has panicked (the service is poisoned):
+    /// a dispatched job that can never complete would otherwise block the
+    /// drain forever.
+    pub fn drain(&self) {
+        let mut state = self.shared.lock();
+        loop {
+            if state.poisoned {
+                // Release the lock before unwinding so teardown (which must
+                // re-lock) proceeds cleanly.
+                drop(state);
+                panic!("streaming engine poisoned: a pipeline thread panicked");
+            }
+            if state.queue.is_empty() && state.in_flight == 0 {
+                return;
+            }
+            state = self
+                .shared
+                .idle
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A live snapshot: queue depths, lifetime completions, and the rolling
+    /// latency/throughput window.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let state = self.shared.lock();
+        ServiceSnapshot {
+            pending: state.queue.len(),
+            in_flight: state.in_flight,
+            completed: state.completed,
+            accepting: state.accepting,
+            window: state.window.stats(),
+            window_throughput: state.window.throughput(),
+        }
+    }
+
+    /// Graceful shutdown: closes admission, drains every queued and
+    /// in-flight job, joins all threads, and reports.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.stop_and_join()
+    }
+
+    fn stop_and_join(&mut self) -> ServiceReport {
+        self.shared.lock().accepting = false;
+        // When already unwinding (Drop during a panic — including the drop
+        // of `self` after drain() below propagated a poisoned pipeline),
+        // skip the drain: asserting again would panic-within-panic and
+        // abort. Workers still exit (poison flag or stopping + empty
+        // queue), so the joins below complete.
+        if !thread::panicking() {
+            self.drain();
+        }
+        self.shared.lock().stopping = true;
+        self.shared.job_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(isp) = self.isp.take() {
+            let _ = isp.join();
+        }
+        for handle in self.shard_handles.drain(..) {
+            let _ = handle.join();
+        }
+        let mut shard_stats: Vec<ShardStats> = self.stats_rx.lock().unwrap().try_iter().collect();
+        shard_stats.sort_by_key(|s| s.shard);
+        let state = self.shared.lock();
+        ServiceReport {
+            completed: state.completed,
+            uptime: self.started_at.elapsed(),
+            shard_stats,
+            window: state.window.stats(),
+        }
+    }
+}
+
+impl Drop for StreamingEngine {
+    fn drop(&mut self) {
+        // Dropping without an explicit shutdown still tears down gracefully
+        // (drain, then join), so no thread outlives the engine.
+        if !self.workers.is_empty() || self.isp.is_some() {
+            let _ = self.stop_and_join();
+        }
+    }
+}
+
+/// Sets the shared poison flag if its thread unwinds: a dispatched position
+/// that will never complete must turn `drain`/`shutdown` into a propagated
+/// panic rather than a deadlock.
+struct PanicGuard<'a>(&'a Shared);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            let mut state = self.0.lock();
+            state.poisoned = true;
+            drop(state);
+            self.0.job_ready.notify_all();
+            self.0.idle.notify_all();
+        }
+    }
+}
+
+/// One Step 1 worker: live-pops the shared queue, runs Step 1, and hands the
+/// prepared sample to the in-SSD coordinator.
+fn step1_worker(shared: &Shared, analyzer: &MegisAnalyzer, s1_tx: &SyncSender<PreparedJob>) {
+    let _guard = PanicGuard(shared);
+    loop {
+        // The policy decision and the service-position assignment happen in
+        // one critical section, so dispatch order is exactly policy order
+        // over the jobs queued at this instant. The lookahead gate refuses
+        // to dispatch more than `lookahead` positions ahead of the in-SSD
+        // stage, bounding the coordinator's reorder buffer even when one
+        // sample's Step 1 is far slower than the rest.
+        let (job, start_position) = {
+            let mut state = shared.lock();
+            loop {
+                if state.poisoned {
+                    return;
+                }
+                if state.next_position < state.isp_served + state.lookahead {
+                    if let Some(job) = state.queue.pop_next() {
+                        let position = state.next_position;
+                        state.next_position += 1;
+                        state.in_flight += 1;
+                        break (job, position);
+                    }
+                }
+                if state.stopping && state.queue.is_empty() {
+                    return;
+                }
+                // Woken by a submission, by the coordinator advancing the
+                // gate, or by shutdown/poison.
+                state = shared
+                    .job_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let started = Instant::now();
+        let step1 = analyzer.run_step1(&job.spec.sample);
+        let prepared = PreparedJob {
+            id: job.id,
+            label: job.spec.label,
+            priority: job.spec.priority,
+            start_position,
+            sample: job.spec.sample,
+            submitted_at: job.submitted_at,
+            queue_wait: started.duration_since(job.submitted_at),
+            step1_time: started.elapsed(),
+            step1,
+        };
+        if s1_tx.send(prepared).is_err() {
+            return;
+        }
+    }
+}
+
+/// The in-SSD coordinator: reorders Step 1 completions back into dispatch
+/// order, then fans each sample out to the shard workers, merges, and runs
+/// taxID retrieval plus Step 3.
+fn isp_coordinator(
+    shared: &Shared,
+    analyzer: &MegisAnalyzer,
+    s1_rx: Receiver<PreparedJob>,
+    shard_txs: Vec<mpsc::Sender<Arc<Vec<Kmer>>>>,
+    resp_rx: &Receiver<(usize, Vec<Kmer>)>,
+    shard_count: usize,
+) {
+    let _guard = PanicGuard(shared);
+    // The reorder buffer behind the ordering guarantee: positions are dense
+    // (assigned at pop time), so serving strictly ascending positions makes
+    // in-SSD service order equal dispatch order — i.e. policy order — no
+    // matter how Step 1 completions interleave across the worker pool.
+    let mut next_to_serve = 0usize;
+    let mut reorder: BTreeMap<usize, PreparedJob> = BTreeMap::new();
+    // Counts actual hand-offs to the in-SSD stage, independently of the
+    // positions used for reordering: the stamp recorded as `isp_position`.
+    // With the reorder buffer it always equals `start_position`; without it
+    // the stamp would record arrival rank, so the ordering regression tests
+    // genuinely fail if the buffer is ever bypassed.
+    let mut served = 0usize;
+    for prepared in s1_rx {
+        reorder.insert(prepared.start_position, prepared);
+        while let Some(prepared) = reorder.remove(&next_to_serve) {
+            next_to_serve += 1;
+            serve(
+                shared,
+                analyzer,
+                &shard_txs,
+                resp_rx,
+                shard_count,
+                prepared,
+                served,
+            );
+            served += 1;
+        }
+    }
+    // On a clean shutdown every dispatched position was served and the
+    // buffer is empty; if a Step 1 worker panicked, its position never
+    // arrives and later arrivals stay buffered here — the poison flag, not
+    // this loop, reports that failure.
+    //
+    // Dropping shard_txs here ends the shard workers, which then report
+    // their lifetime stats.
+}
+
+/// Serves one prepared sample through the in-SSD stage and delivers the
+/// result. `isp_position` is the coordinator's observed hand-off rank —
+/// stamped independently of `start_position` so ordering tests compare the
+/// actual service order against the dispatch order.
+fn serve(
+    shared: &Shared,
+    analyzer: &MegisAnalyzer,
+    shard_txs: &[mpsc::Sender<Arc<Vec<Kmer>>>],
+    resp_rx: &Receiver<(usize, Vec<Kmer>)>,
+    shard_count: usize,
+    prepared: PreparedJob,
+    isp_position: usize,
+) {
+    let isp_start = Instant::now();
+    let queries = Arc::new(prepared.step1.sorted_kmers());
+    for tx in shard_txs {
+        tx.send(Arc::clone(&queries))
+            .expect("shard worker alive while requests pend");
+    }
+    let mut parts: Vec<Vec<Kmer>> = vec![Vec::new(); shard_count];
+    for _ in 0..shard_count {
+        // A panicked shard worker can never respond (its siblings keep the
+        // channel open), so poll the poison flag while waiting: the
+        // coordinator then panics — poisoning teardown cleanly — instead of
+        // blocking on the missing response forever.
+        let (index, intersection) = loop {
+            match resp_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(response) => break response,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !shared.lock().poisoned,
+                        "shard worker panicked while a request was pending"
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("shard workers exited while a request was pending")
+                }
+            }
+        };
+        parts[index] = intersection;
+    }
+    let merged: Vec<Kmer> = parts.into_iter().flatten().collect();
+    let step2 = analyzer.step2_from_intersection(merged);
+    let step3 = analyzer.run_step3(&prepared.sample, &step2.presence);
+    let output = MegisAnalyzer::assemble_output(&prepared.step1, &step2, step3);
+    let result = JobResult {
+        id: prepared.id,
+        label: prepared.label,
+        priority: prepared.priority,
+        start_position: prepared.start_position,
+        isp_position,
+        output,
+        queue_wait: prepared.queue_wait,
+        step1_time: prepared.step1_time,
+        isp_time: isp_start.elapsed(),
+        latency: prepared.submitted_at.elapsed(),
+    };
+    // Deliver before signaling idle, all under the lock: a drain() returning
+    // quiescent must imply every result has already reached its handle.
+    let mut state = shared.lock();
+    state.window.record(result.latency);
+    state.completed += 1;
+    state.in_flight -= 1;
+    state.isp_served += 1;
+    if let Some(tx) = state.senders.remove(&result.id.0) {
+        let _ = tx.send(result);
+    }
+    drop(state);
+    shared.idle.notify_all();
+    // Advancing isp_served reopens the dispatch lookahead gate.
+    shared.job_ready.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::SchedPolicy;
+    use megis::config::MegisConfig;
+    use megis_genomics::sample::{CommunityConfig, Diversity};
+
+    fn community() -> megis_genomics::sample::Community {
+        CommunityConfig::preset(Diversity::Medium)
+            .with_reads(100)
+            .with_database_species(10)
+            .build(23)
+    }
+
+    fn analyzer(c: &megis_genomics::sample::Community) -> MegisAnalyzer {
+        MegisAnalyzer::build(c.references(), MegisConfig::small())
+    }
+
+    #[test]
+    fn results_are_delivered_incrementally() {
+        let c = community();
+        let a = analyzer(&c);
+        let expected = a.analyze(c.sample());
+        let engine = StreamingEngine::new(a, EngineConfig::new().with_workers(2).with_shards(2));
+        for i in 0..3 {
+            let handle = engine
+                .submit(JobSpec::new(format!("s{i}"), c.sample().clone()))
+                .unwrap();
+            // Each result arrives without any drain or batch boundary.
+            let result = handle.wait().expect("job served while engine runs");
+            assert_eq!(result.output, expected);
+            assert_eq!(result.isp_position, result.start_position);
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.completed, 3);
+        assert!(snap.accepting);
+        assert_eq!(snap.window.count, 3);
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.shard_stats.len(), 2);
+        for s in &report.shard_stats {
+            assert_eq!(s.jobs, 3);
+        }
+    }
+
+    #[test]
+    fn drain_waits_for_quiescence() {
+        let c = community();
+        let engine = StreamingEngine::new(
+            analyzer(&c),
+            EngineConfig::new().with_workers(2).with_shards(2),
+        );
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|i| {
+                engine
+                    .submit(JobSpec::new(format!("s{i}"), c.sample().clone()))
+                    .unwrap()
+            })
+            .collect();
+        engine.drain();
+        // After a drain every result must already be deliverable without
+        // blocking.
+        for handle in handles {
+            assert!(handle.try_wait().is_some(), "drain implies delivery");
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.pending, 0);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.completed, 6);
+    }
+
+    #[test]
+    fn admission_rejects_when_full_then_recovers() {
+        let c = community();
+        // One worker and a tiny queue: fill it faster than it drains.
+        let engine = StreamingEngine::new(
+            analyzer(&c),
+            EngineConfig::new().with_workers(1).with_queue_capacity(1),
+        );
+        let mut rejected = false;
+        let mut handles = Vec::new();
+        for i in 0..64 {
+            match engine.submit(JobSpec::new(format!("s{i}"), c.sample().clone())) {
+                Ok(h) => handles.push(h),
+                Err(AdmissionError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(rejected, "a 1-deep queue must reject a fast submitter");
+        engine.drain();
+        // Rejection is transient: capacity frees up as jobs dispatch.
+        let handle = engine
+            .submit(JobSpec::new("late", c.sample().clone()))
+            .unwrap();
+        assert!(handle.wait().is_some());
+        for handle in handles {
+            assert!(handle.wait().is_some(), "admitted jobs all complete");
+        }
+    }
+
+    #[test]
+    fn in_flight_never_exceeds_the_dispatch_lookahead() {
+        // The lookahead gate bounds dispatched-but-unserved positions (and
+        // with them the reorder buffer) at 2 * workers + 2, keeping peak
+        // prepared-sample memory O(workers) instead of O(backlog).
+        let c = community();
+        let engine = StreamingEngine::new(
+            analyzer(&c),
+            EngineConfig::new().with_workers(2).with_shards(2),
+        );
+        let handles: Vec<JobHandle> = (0..24)
+            .map(|i| {
+                engine
+                    .submit(JobSpec::new(format!("s{i}"), c.sample().clone()))
+                    .unwrap()
+            })
+            .collect();
+        let bound = 2 * 2 + 2;
+        loop {
+            let snap = engine.snapshot();
+            assert!(
+                snap.in_flight <= bound,
+                "{} jobs in flight exceeds the lookahead bound {bound}",
+                snap.in_flight
+            );
+            if snap.completed == 24 {
+                break;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+        for handle in handles {
+            assert!(handle.wait().is_some());
+        }
+    }
+
+    #[test]
+    fn dropping_the_engine_serves_queued_jobs() {
+        let c = community();
+        let a = analyzer(&c);
+        let expected = a.analyze(c.sample());
+        let handles: Vec<JobHandle> = {
+            let engine =
+                StreamingEngine::new(a, EngineConfig::new().with_workers(2).with_shards(3));
+            (0..4)
+                .map(|i| {
+                    engine
+                        .submit(JobSpec::new(format!("s{i}"), c.sample().clone()))
+                        .unwrap()
+                })
+                .collect()
+            // Engine dropped here: drop performs a graceful drain + join.
+        };
+        for handle in handles {
+            let result = handle.wait().expect("drop drains queued jobs");
+            assert_eq!(result.output, expected);
+        }
+    }
+
+    #[test]
+    fn priority_submitted_mid_stream_overtakes_queued_normals() {
+        let c = community();
+        // One worker so the queue actually builds up behind the head job.
+        let engine = StreamingEngine::new(
+            analyzer(&c),
+            EngineConfig::new()
+                .with_workers(1)
+                .with_policy(SchedPolicy::Priority),
+        );
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            handles.push(
+                engine
+                    .submit(JobSpec::new(format!("normal-{i}"), c.sample().clone()))
+                    .unwrap(),
+            );
+        }
+        // Submitted last, while earlier normals are still queued: the live
+        // pop must pick it next among whatever is waiting.
+        let stat = engine
+            .submit(JobSpec::new("stat", c.sample().clone()).with_priority(Priority::High))
+            .unwrap();
+        engine.drain();
+        let stat_result = stat.try_wait().unwrap();
+        let normal_positions: Vec<usize> = handles
+            .into_iter()
+            .map(|h| h.try_wait().unwrap().start_position)
+            .collect();
+        // Some head-of-line normals may already have been dispatched before
+        // the high submission arrived (the lookahead gate allows up to
+        // 2*1+2 = 4 positions ahead), but the live pop must schedule the
+        // stat job before whatever is still queued. Requiring at least one
+        // overtake keeps the assertion meaningful without racing the OS
+        // scheduler: it can only fail if the submitting thread stalls for
+        // several full service times mid-loop.
+        let overtaken = normal_positions
+            .iter()
+            .filter(|p| **p > stat_result.start_position)
+            .count();
+        assert!(
+            overtaken >= 1,
+            "high priority must overtake the queued normals: stat at {}, normals {:?}",
+            stat_result.start_position,
+            normal_positions
+        );
+        assert_eq!(stat_result.isp_position, stat_result.start_position);
+    }
+}

@@ -12,7 +12,11 @@
 //!   DRAM sizes, and SSD counts (Figs. 15–18),
 //! * `batch_service` — a many-client batch service on the `megis-sched`
 //!   engine: priority admission, sharded multi-SSD execution, and the §4.7
-//!   inter-sample pipeline.
+//!   inter-sample pipeline,
+//! * `streaming_service` — the same engine in service mode: clients submit
+//!   from several threads while it runs, clinical cases overtake queued
+//!   work mid-stream, results stream back incrementally, and the service
+//!   drains gracefully.
 
 use megis_genomics::profile::AbundanceProfile;
 use megis_genomics::taxonomy::Taxonomy;

@@ -1,0 +1,160 @@
+//! A long-running streaming analysis service built on `megis-sched`.
+//!
+//! Where `batch_service` drains one closed batch, this example runs the
+//! engine in service mode: four client threads submit samples *while the
+//! engine is running* — routine cohort work, a background re-analysis
+//! sweep, and a burst of time-critical clinical cases arriving mid-stream.
+//! The live `pop_next` dispatch lets the clinical samples overtake
+//! everything still queued, the reorder buffer keeps the in-SSD stage in
+//! policy order, results are delivered incrementally on per-job handles,
+//! and the rolling metrics window reports recent p50/p99 while the service
+//! is up. The run ends with a graceful drain and shutdown.
+//!
+//! Run with: `cargo run -p megis-examples --bin streaming_service`
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use megis::config::MegisConfig;
+use megis::MegisAnalyzer;
+use megis_genomics::sample::{CommunityConfig, Diversity};
+use megis_sched::{EngineConfig, JobHandle, JobSpec, Priority, SchedPolicy, StreamingEngine};
+
+fn main() {
+    println!("MegIS streaming analysis service");
+    println!("================================\n");
+
+    // One shared reference database for the whole service.
+    let base = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(150)
+        .with_database_species(16);
+    let reference_community = base.build(7);
+    let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
+
+    let engine = Arc::new(StreamingEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(4)
+            .with_shards(4)
+            .with_policy(SchedPolicy::Priority)
+            .with_queue_capacity(64)
+            .with_metrics_window(16),
+    ));
+    println!(
+        "service up: {} step-1 workers, {} database shards ({} entries), {} policy\n",
+        engine.config().workers,
+        engine.shards().shard_count(),
+        engine.shards().total_entries(),
+        engine.config().policy.label(),
+    );
+
+    // Client threads submit while the engine runs; handles flow back to the
+    // main thread, which consumes results as they complete.
+    let (handle_tx, handle_rx) = mpsc::channel::<(String, JobHandle)>();
+    thread::scope(|scope| {
+        // Two cohort clients.
+        for client in 0..2u64 {
+            let engine = Arc::clone(&engine);
+            let handle_tx = handle_tx.clone();
+            let base = base.clone();
+            scope.spawn(move || {
+                for i in 0..6u64 {
+                    let label = format!("cohort-{client}/{i:02}");
+                    let sample = base.build_cohort_sample(7, 1000 + client * 100 + i);
+                    let handle = engine
+                        .submit(JobSpec::new(label.clone(), sample.sample().clone()))
+                        .expect("admission");
+                    handle_tx.send((label, handle)).unwrap();
+                    thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        // A background sweep at low priority.
+        {
+            let engine = Arc::clone(&engine);
+            let handle_tx = handle_tx.clone();
+            let base = base.clone();
+            scope.spawn(move || {
+                for i in 0..3u64 {
+                    let label = format!("background/resweep-{i}");
+                    let sample = base.build_cohort_sample(7, 3000 + i);
+                    let handle = engine
+                        .submit(
+                            JobSpec::new(label.clone(), sample.sample().clone())
+                                .with_priority(Priority::Low),
+                        )
+                        .expect("admission");
+                    handle_tx.send((label, handle)).unwrap();
+                }
+            });
+        }
+        // A clinical client whose stat cases arrive mid-stream.
+        {
+            let engine = Arc::clone(&engine);
+            let handle_tx = handle_tx.clone();
+            let base = base.clone();
+            scope.spawn(move || {
+                thread::sleep(Duration::from_millis(5));
+                for i in 0..3u64 {
+                    let label = format!("clinical/STAT-{i}");
+                    let sample = base.build_cohort_sample(7, 2000 + i);
+                    let handle = engine
+                        .submit(
+                            JobSpec::new(label.clone(), sample.sample().clone())
+                                .with_priority(Priority::High),
+                        )
+                        .expect("admission");
+                    handle_tx.send((label, handle)).unwrap();
+                }
+            });
+        }
+        drop(handle_tx);
+
+        // Consume results incrementally, in submission-arrival order.
+        println!(
+            "{:<24} {:>8} {:>6} {:>6} {:>10} {:>8}",
+            "job", "priority", "disp", "isp", "lat ms", "species"
+        );
+        for (label, handle) in handle_rx {
+            let result = handle.wait().expect("job served");
+            println!(
+                "{:<24} {:>8} {:>6} {:>6} {:>10.1} {:>8}",
+                label,
+                result.priority.label(),
+                result.start_position,
+                result.isp_position,
+                result.latency.as_secs_f64() * 1e3,
+                result.output.presence.len(),
+            );
+        }
+    });
+
+    let snap = engine.snapshot();
+    println!(
+        "\nlive snapshot: {} completed; rolling window of {} — p50 {:.1} ms, p99 {:.1} ms, {:.1} samples/s",
+        snap.completed,
+        snap.window.count,
+        snap.window.p50.as_secs_f64() * 1e3,
+        snap.window.p99.as_secs_f64() * 1e3,
+        snap.window_throughput,
+    );
+
+    let engine = Arc::try_unwrap(engine).expect("all clients finished");
+    let report = engine.shutdown();
+    println!(
+        "graceful shutdown after {:.3} s: {} jobs served",
+        report.uptime.as_secs_f64(),
+        report.completed,
+    );
+    let jobs: Vec<String> = report
+        .shard_stats
+        .iter()
+        .map(|s| format!("shard {}: {}", s.shard, s.jobs))
+        .collect();
+    println!("per-shard service counts: [{}]", jobs.join(", "));
+    println!("\nClinical samples submitted mid-stream overtook the queued cohort work");
+    println!("(disp = dispatch position), and the in-SSD stage served samples exactly");
+    println!("in dispatch order (isp = disp), even with 4 racing Step 1 workers.");
+}

@@ -7,7 +7,9 @@ use megis::pipeline::{baseline_multi_sample, MegisTimingModel};
 use megis::{MegisAnalyzer, MegisOutput};
 use megis_genomics::sample::{CommunityConfig, Diversity, Sample};
 use megis_host::system::SystemConfig;
-use megis_sched::{BatchEngine, EngineConfig, JobSpec, ModeledAccount, Priority, SchedPolicy};
+use megis_sched::{
+    AdmissionError, BatchEngine, EngineConfig, JobSpec, ModeledAccount, Priority, SchedPolicy,
+};
 use megis_ssd::config::SsdConfig;
 use megis_tools::workload::WorkloadSpec;
 
@@ -165,6 +167,43 @@ fn modeled_shard_scaling_is_near_linear_to_eight() {
             "{count} shards reach only {speedup:.2}x"
         );
     }
+}
+
+#[test]
+fn admitted_jobs_still_run_after_mid_batch_rejection() {
+    // PartialAdmission is not "nothing was submitted": the jobs admitted
+    // before the rejection stay queued, run to completion, and their
+    // results stay byte-identical to the sequential analyzer.
+    let (analyzer, samples) = cohort(6);
+    let expected: Vec<MegisOutput> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+    let mut engine = BatchEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(2)
+            .with_shards(2)
+            .with_queue_capacity(4),
+    );
+    let err = engine.submit_all(specs(&samples)).unwrap_err();
+    assert_eq!(err.error, AdmissionError::QueueFull { capacity: 4 });
+    assert_eq!(err.admitted.len(), 4, "four jobs got in before the wall");
+    assert_eq!(engine.pending(), 4);
+
+    let report = engine.run();
+    assert_eq!(report.results.len(), 4);
+    for (result, expected) in report.results.iter().zip(&expected) {
+        assert_eq!(
+            result.output, *expected,
+            "{} diverged after partial admission",
+            result.label
+        );
+    }
+    // The rejection was transient: the drained queue admits again.
+    engine
+        .submit(JobSpec::new("retry", samples[4].clone()))
+        .expect("capacity freed by the run");
+    let retry = engine.run();
+    assert_eq!(retry.results.len(), 1);
+    assert_eq!(retry.results[0].output, expected[4]);
 }
 
 #[test]

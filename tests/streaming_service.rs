@@ -1,0 +1,214 @@
+//! Integration tests for `megis-sched` service mode: submissions from many
+//! concurrent threads while the engine runs, graceful drain, byte-identical
+//! results versus the sequential analyzer, and the in-SSD ordering
+//! guarantee.
+
+use std::sync::Arc;
+use std::thread;
+
+use megis::config::MegisConfig;
+use megis::{MegisAnalyzer, MegisOutput};
+use megis_genomics::sample::{CommunityConfig, Diversity, Sample};
+use megis_sched::{
+    BatchEngine, EngineConfig, JobHandle, JobResult, JobSpec, Priority, SchedPolicy,
+    StreamingEngine,
+};
+
+fn cohort(n: usize) -> (MegisAnalyzer, Vec<Sample>) {
+    let base = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(100)
+        .with_database_species(12);
+    let reference_community = base.build(512);
+    let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
+    // Same references (seed 512), independent read streams per sample.
+    let samples = (0..n)
+        .map(|i| {
+            base.build_cohort_sample(512, 9000 + i as u64)
+                .sample()
+                .clone()
+        })
+        .collect();
+    (analyzer, samples)
+}
+
+#[test]
+fn concurrent_submitters_get_results_identical_to_sequential_analyze() {
+    // The acceptance scenario: jobs arrive from 4 submitter threads while
+    // the engine is running, the service drains gracefully, and every
+    // result is byte-identical to per-sample `MegisAnalyzer::analyze`.
+    const SAMPLES: usize = 16;
+    const SUBMITTERS: usize = 4;
+    let (analyzer, samples) = cohort(SAMPLES);
+    let expected: Vec<MegisOutput> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+
+    let engine = Arc::new(StreamingEngine::new(
+        analyzer,
+        EngineConfig::new().with_workers(4).with_shards(3),
+    ));
+    let handles: Vec<(usize, JobHandle)> = thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for submitter in 0..SUBMITTERS {
+            let engine = Arc::clone(&engine);
+            let samples = &samples;
+            joins.push(scope.spawn(move || {
+                (submitter..SAMPLES)
+                    .step_by(SUBMITTERS)
+                    .map(|i| {
+                        let handle = engine
+                            .submit(JobSpec::new(format!("s{i}"), samples[i].clone()))
+                            .expect("admission while running");
+                        (i, handle)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("submitter thread"))
+            .collect()
+    });
+    assert_eq!(handles.len(), SAMPLES);
+
+    engine.drain();
+    let mut positions = Vec::new();
+    for (i, handle) in handles {
+        let result = handle.try_wait().expect("drained job already delivered");
+        assert_eq!(
+            result.output, expected[i],
+            "{} diverged from sequential analyze",
+            result.label
+        );
+        assert_eq!(
+            result.isp_position, result.start_position,
+            "in-SSD stage must serve dispatch order"
+        );
+        positions.push(result.start_position);
+    }
+    positions.sort_unstable();
+    assert_eq!(
+        positions,
+        (0..SAMPLES).collect::<Vec<_>>(),
+        "service positions are dense"
+    );
+
+    let engine = Arc::try_unwrap(engine).expect("all submitters done");
+    let report = engine.shutdown();
+    assert_eq!(report.completed, SAMPLES as u64);
+    for stats in &report.shard_stats {
+        assert_eq!(stats.jobs, SAMPLES as u64, "every shard serves every job");
+    }
+}
+
+#[test]
+fn streaming_and_batch_results_are_identical() {
+    // The two modes share one executor; the outputs must match bit for bit.
+    let (analyzer, samples) = cohort(6);
+    let mut batch = BatchEngine::new(
+        analyzer.clone(),
+        EngineConfig::new().with_workers(2).with_shards(2),
+    );
+    for (i, sample) in samples.iter().enumerate() {
+        batch
+            .submit(JobSpec::new(format!("s{i}"), sample.clone()))
+            .unwrap();
+    }
+    let batch_report = batch.run();
+
+    let service =
+        StreamingEngine::new(analyzer, EngineConfig::new().with_workers(2).with_shards(2));
+    let handles: Vec<JobHandle> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, sample)| {
+            service
+                .submit(JobSpec::new(format!("s{i}"), sample.clone()))
+                .unwrap()
+        })
+        .collect();
+    for (handle, batch_result) in handles.into_iter().zip(&batch_report.results) {
+        let streamed = handle.wait().expect("job served");
+        assert_eq!(streamed.id, batch_result.id);
+        assert_eq!(streamed.output, batch_result.output);
+    }
+}
+
+#[test]
+fn isp_service_order_follows_priority_policy_with_four_workers() {
+    // Acceptance: with `SchedPolicy::Priority` and `workers = 4`, in-SSD
+    // service order follows (priority desc, submission asc) exactly. The
+    // batch is closed before dispatch so the policy order is fully
+    // determined; four workers race Step 1 completion, and the reorder
+    // buffer must still hand samples to the in-SSD stage in policy order.
+    let (analyzer, samples) = cohort(12);
+    let mut engine = BatchEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(4)
+            .with_shards(2)
+            .with_policy(SchedPolicy::Priority),
+    );
+    let priority_of = |id: u64| match id {
+        1 | 6 | 10 => Priority::High,
+        0 | 4 | 8 => Priority::Low,
+        _ => Priority::Normal,
+    };
+    for (i, sample) in samples.iter().enumerate() {
+        engine
+            .submit(
+                JobSpec::new(format!("s{i}"), sample.clone()).with_priority(priority_of(i as u64)),
+            )
+            .unwrap();
+    }
+    let report = engine.run();
+
+    let mut served: Vec<&JobResult> = report.results.iter().collect();
+    served.sort_by_key(|r| r.isp_position);
+    let served_ids: Vec<u64> = served.iter().map(|r| r.id.0).collect();
+    let mut expected: Vec<u64> = (0..12).collect();
+    expected.sort_by_key(|id| (std::cmp::Reverse(priority_of(*id)), *id));
+    assert_eq!(
+        served_ids, expected,
+        "in-SSD service order must be (priority desc, submission asc)"
+    );
+    for r in &report.results {
+        assert_eq!(r.isp_position, r.start_position);
+    }
+}
+
+#[test]
+fn snapshot_tracks_rolling_window_and_lifecycle() {
+    let (analyzer, samples) = cohort(8);
+    let engine = StreamingEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(2)
+            .with_shards(2)
+            .with_metrics_window(4),
+    );
+    let handles: Vec<JobHandle> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            engine
+                .submit(JobSpec::new(format!("s{i}"), s.clone()))
+                .unwrap()
+        })
+        .collect();
+    engine.drain();
+    let snap = engine.snapshot();
+    assert!(snap.accepting);
+    assert_eq!(snap.pending, 0);
+    assert_eq!(snap.in_flight, 0);
+    assert_eq!(snap.completed, 8);
+    assert_eq!(
+        snap.window.count, 4,
+        "rolling window keeps only the newest completions"
+    );
+    assert!(snap.window.p99 >= snap.window.p50);
+    assert!(snap.window_throughput > 0.0);
+    drop(handles);
+    let report = engine.shutdown();
+    assert_eq!(report.completed, 8);
+    assert!(report.uptime.as_nanos() > 0);
+    assert_eq!(report.window.count, 4);
+}
