@@ -1,0 +1,6 @@
+//! Regenerates one experiment of the MegIS evaluation; see
+//! `megis_bench::experiments::queue_depth_sweep` for details.
+
+fn main() {
+    print!("{}", megis_bench::experiments::queue_depth_sweep());
+}

@@ -14,6 +14,7 @@ mod engine;
 mod hardware;
 mod motivation;
 mod presence;
+mod queue;
 mod scaling;
 
 pub use accuracy::accuracy_analysis;
@@ -25,6 +26,7 @@ pub use engine::{fig15_sharded_engine, fig21_batch_engine, streaming_load_analys
 pub use hardware::{kss_size_analysis, table1_ssd_configs, table2_area_power};
 pub use motivation::fig03_io_overhead;
 pub use presence::{fig12_presence_speedup, fig13_time_breakdown, fig14_database_size};
+pub use queue::queue_depth_sweep;
 pub use scaling::{fig15_multi_ssd, fig16_dram_capacity, fig17_internal_bandwidth};
 
 /// Runs every experiment and concatenates the reports in paper order.
@@ -45,6 +47,7 @@ pub fn all() -> String {
         fig21_multi_sample(),
         fig21_batch_engine(),
         streaming_load_analysis(),
+        queue_depth_sweep(),
         table2_area_power(),
         kss_size_analysis(),
         energy_analysis(),

@@ -1,0 +1,223 @@
+//! Queue-depth sweep: the NVMe-style per-shard command queues of the
+//! `megis-sched` in-SSD stage, swept from depth 1 to 8.
+//!
+//! The engine tags every per-shard intersection command `(sequence, shard)`
+//! and allows up to `queue_depth` commands outstanding per simulated SSD, so
+//! several samples' intersections are in flight per device (§4.7's inter-
+//! and intra-sample overlap, Fig. 15's multi-SSD setup). This experiment
+//! makes the depth knob *visible in wall-clock terms*: it configures nonzero
+//! simulated submission/completion latencies (the host round trip a deeper
+//! queue hides) on a device-bound workload — a large sharded database with
+//! light per-sample read sets, so the per-command intersection dominates the
+//! host work — and measures throughput and tail latency per depth against
+//! the analytic [`megis_sched::QueueModel`] curve.
+
+use std::time::Duration;
+
+use megis::config::MegisConfig;
+use megis::MegisAnalyzer;
+use megis_genomics::sample::{CommunityConfig, Diversity, Sample};
+use megis_sched::{BatchEngine, EngineConfig, JobSpec, QueueModel};
+use megis_ssd::timing::SimDuration;
+
+use crate::report::Report;
+
+/// Samples per batch: enough for steady-state pipelining without making the
+/// sweep slow in CI.
+const SAMPLES: usize = 16;
+/// Database shards (simulated SSDs).
+const SHARDS: usize = 4;
+/// Trials per depth; the best trial is reported, which suppresses scheduler
+/// noise while keeping the structural (deterministic) depth effect.
+const TRIALS: usize = 3;
+/// Simulated host-side submission cost per command.
+const SUBMISSION: Duration = Duration::from_micros(500);
+/// Simulated host-side completion-reaping cost per command.
+const COMPLETION: Duration = Duration::from_micros(500);
+/// Simulated per-command device service time (the shard streaming its
+/// database partition — multi-millisecond at paper scale, and deliberately
+/// larger than the host round trip here so the sweep runs device-bound).
+const DEVICE: Duration = Duration::from_millis(3);
+
+fn device_bound_cohort() -> (MegisAnalyzer, Vec<Sample>) {
+    // A device microbenchmark for the stage queue depth actually governs:
+    // the in-SSD intersection. Device service is simulated (`DEVICE` slept
+    // per command), so the four shards genuinely overlap each other and the
+    // host even on a single-core runner, while the samples are drawn from a
+    // *different* community — their query k-mers mostly miss the database,
+    // so Step 2's taxID retrieval and Step 3's read mapping (which the
+    // completer serializes per job, like the paper's coordinator) stay
+    // trivial. Queue depth, not host compute, then decides whether the
+    // devices stay busy.
+    let base = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(60)
+        .with_database_species(12);
+    let reference_community = base.build(77);
+    let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
+    let samples = (0..SAMPLES)
+        .map(|i| {
+            // Seed 5151 builds foreign references: reads that miss the
+            // analyzer's database (the paper's "reads from organisms absent
+            // from the database" regime).
+            base.build_cohort_sample(5151, 400 + i as u64)
+                .sample()
+                .clone()
+        })
+        .collect();
+    (analyzer, samples)
+}
+
+/// Queue-depth sweep (engine path): depth 1 → 8 on one multi-sample batch,
+/// measured throughput/p99/peak-queue-occupancy against the modeled
+/// utilization curve for the same round trip and service time.
+pub fn queue_depth_sweep() -> String {
+    let mut report = Report::new();
+    report.title("Queue-depth sweep: per-shard NVMe-style command queues via megis-sched");
+    let (analyzer, samples) = device_bound_cohort();
+    let expected: Vec<_> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+    report.line(&format!(
+        "{SAMPLES} samples, {SHARDS} shards, 2 step-1 workers; simulated device service {} ms, \
+         submission {} us + completion {} us per command; best of {TRIALS} trials per depth",
+        DEVICE.as_millis(),
+        SUBMISSION.as_micros(),
+        COMPLETION.as_micros(),
+    ));
+    report.line("");
+
+    // Per-command device service time, measured from a calibration run:
+    // what the modeled curve prices the depth sweep against.
+    let mut service = SimDuration::from_secs(0.0);
+    // One latency configuration prices every depth (the model's evaluation
+    // methods take the depth to price as an argument).
+    let queue_model = QueueModel {
+        depth: 8,
+        submission_latency: SimDuration::from_secs(SUBMISSION.as_secs_f64()),
+        completion_latency: SimDuration::from_secs(COMPLETION.as_secs_f64()),
+    };
+
+    report.table_header(&[
+        "depth",
+        "samples/s",
+        "p99 ms",
+        "peak QD",
+        "util avg",
+        "modeled x",
+    ]);
+    let mut throughputs = Vec::new();
+    let mut all_parity = true;
+    for depth in [1usize, 2, 4, 8] {
+        let mut best: Option<megis_sched::BatchReport> = None;
+        for _ in 0..TRIALS {
+            let mut engine = BatchEngine::new(
+                analyzer.clone(),
+                EngineConfig::new()
+                    .with_workers(2)
+                    .with_shards(SHARDS)
+                    .with_queue_depth(depth)
+                    .with_command_latencies(SUBMISSION, COMPLETION)
+                    .with_device_latency(DEVICE),
+            );
+            engine
+                .submit_all(
+                    samples
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| JobSpec::new(format!("sample-{i}"), s.clone())),
+                )
+                .expect("admission");
+            let run = engine.run();
+            all_parity &= run
+                .results
+                .iter()
+                .zip(&expected)
+                .all(|(r, e)| r.output == *e);
+            if best
+                .as_ref()
+                .map(|b| run.throughput > b.throughput)
+                .unwrap_or(true)
+            {
+                best = Some(run);
+            }
+        }
+        let run = best.expect("at least one trial ran");
+        if depth == 1 {
+            // Calibrate the modeled service time on the depth-1 run: mean
+            // measured compute per command across all shards.
+            let (busy, jobs) = run
+                .shard_stats
+                .iter()
+                .fold((Duration::ZERO, 0u64), |(b, j), s| (b + s.busy, j + s.jobs));
+            service = SimDuration::from_secs(busy.as_secs_f64() / jobs.max(1) as f64);
+        }
+        let peak = run
+            .shard_stats
+            .iter()
+            .map(|s| s.peak_inflight)
+            .max()
+            .unwrap_or(0);
+        let util = run.shard_utilization();
+        let util_avg = util.iter().sum::<f64>() / util.len() as f64;
+        report.table_row(
+            &depth.to_string(),
+            &[
+                run.throughput,
+                run.latency.p99.as_secs_f64() * 1e3,
+                peak as f64,
+                util_avg,
+                queue_model.throughput_multiplier(depth, service),
+            ],
+        );
+        throughputs.push((depth, run.throughput));
+    }
+
+    let baseline = throughputs[0].1;
+    let scaling_confirmed = throughputs[1..].iter().all(|(_, t)| *t > baseline);
+    report.line("");
+    report.line(&format!(
+        "parity with sequential analyzer: {}",
+        if all_parity { "identical" } else { "DIVERGED" }
+    ));
+    report.line(&format!(
+        "depth scaling: {} (depth-2+ throughput vs depth-1 at {:.1} samples/s)",
+        if scaling_confirmed {
+            "confirmed"
+        } else {
+            "NOT OBSERVED"
+        },
+        baseline,
+    ));
+    report.line(&format!(
+        "calibrated per-command service time: {:.0} us; modeled saturation depth: \
+         1 + round-trip/service = {:.1}",
+        service.as_micros(),
+        1.0 + queue_model.round_trip() / service.max(SimDuration::from_nanos(1.0)),
+    ));
+    report.line("");
+    report.line("At depth 1 every command's host round trip (submission + completion reaping)");
+    report.line("serializes against the device, leaving the shard idle between samples; depth 2+");
+    report.line("keeps commands queued on every device so several samples' intersections stay in");
+    report.line("flight per shard (peak QD > 1) — the paper's inter-sample in-SSD overlap. The");
+    report.line("modeled column prices the same round trip with QueueModel; at paper scale the");
+    report.line("database stream dominates and the modeled curve flattens toward 1x.");
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn queue_depth_sweep_confirms_scaling_and_parity() {
+        let report = super::queue_depth_sweep();
+        assert!(report.contains("parity with sequential analyzer: identical"));
+        assert!(!report.contains("DIVERGED"));
+        // The wall-clock scaling verdict only holds when the simulated
+        // latencies dominate the functional compute, i.e. in release
+        // builds; debug-profile host work swamps the 1 ms round trip. The
+        // release-mode CI smoke step runs the bin and greps the verdict, so
+        // the property stays enforced where it is meaningful.
+        #[cfg(not(debug_assertions))]
+        assert!(
+            report.contains("depth scaling: confirmed"),
+            "depth >= 2 must beat depth 1:\n{report}"
+        );
+    }
+}

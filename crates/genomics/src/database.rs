@@ -116,6 +116,41 @@ impl SortedKmerDatabase {
         self.entries.windows(2).all(|w| w[0].kmer < w[1].kmer)
     }
 
+    /// The smallest indexed k-mer (the database's lower key bound), if any.
+    pub fn first_kmer(&self) -> Option<Kmer> {
+        self.entries.first().map(|e| e.kmer)
+    }
+
+    /// The largest indexed k-mer (the database's upper key bound), if any.
+    pub fn last_kmer(&self) -> Option<Kmer> {
+        self.entries.last().map(|e| e.kmer)
+    }
+
+    /// The sub-range of a sorted query list that can possibly intersect this
+    /// database: queries below [`SortedKmerDatabase::first_kmer`] or above
+    /// [`SortedKmerDatabase::last_kmer`] cannot match any entry, so a caller
+    /// holding a disjoint key-range partition (one contiguous slice of a
+    /// larger sorted database per device) only needs to ship this sub-slice
+    /// to the device — the binary search that makes per-device query-side
+    /// work proportional to the overlapping slice instead of the whole list.
+    ///
+    /// `intersect_sorted(&queries[range])` equals
+    /// `intersect_sorted(queries)` for the returned `range` (asserted by the
+    /// unit tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `sorted_queries` is not sorted.
+    pub fn overlapping_query_range(&self, sorted_queries: &[Kmer]) -> std::ops::Range<usize> {
+        debug_assert!(sorted_queries.windows(2).all(|w| w[0] <= w[1]));
+        let (Some(lo), Some(hi)) = (self.first_kmer(), self.last_kmer()) else {
+            return 0..0;
+        };
+        let start = sorted_queries.partition_point(|q| *q < lo);
+        let end = start + sorted_queries[start..].partition_point(|q| *q <= hi);
+        start..end
+    }
+
     /// Looks up a single k-mer (binary search).
     pub fn lookup(&self, kmer: Kmer) -> Option<&KmerEntry> {
         self.entries
@@ -487,6 +522,61 @@ mod tests {
         queries.dedup();
         let inter = db.intersect_sorted(&queries);
         assert!(inter.len() < queries.len());
+    }
+
+    #[test]
+    fn overlapping_query_range_bounds_the_merge() {
+        let r = refs();
+        let db = SortedKmerDatabase::build(&r, 21);
+        // Queries drawn from the whole key space, including values outside
+        // the database's bounds on both sides.
+        let mut queries: Vec<Kmer> = db.kmers().step_by(5).collect();
+        let foreign = ReferenceCollection::synthetic(2, 400, 777);
+        queries
+            .extend(KmerExtractor::new(foreign.genomes()[0].sequence(), 21).map(|k| k.canonical()));
+        queries.sort();
+        queries.dedup();
+
+        // Splitting the database and querying each part through its
+        // overlapping range must reproduce the whole-list intersection.
+        for parts in [1usize, 3, 4] {
+            let shards = db.partition(parts);
+            let mut merged = Vec::new();
+            let mut scanned = 0usize;
+            for shard in &shards {
+                let range = shard.overlapping_query_range(&queries);
+                scanned += range.len();
+                merged.extend(shard.intersect_sorted(&queries[range]));
+            }
+            assert_eq!(merged, db.intersect_sorted(&queries), "{parts} parts");
+            assert!(
+                scanned <= queries.len(),
+                "disjoint shard ranges must not re-scan queries: {scanned} > {}",
+                queries.len()
+            );
+        }
+        // An empty database overlaps nothing.
+        assert_eq!(
+            SortedKmerDatabase::default().overlapping_query_range(&queries),
+            0..0
+        );
+        // Bounds are inclusive: a single-entry database overlaps exactly the
+        // run of queries equal to that entry.
+        let single = SortedKmerDatabase::from_sorted_entries(21, vec![db.entries()[3].clone()]);
+        let range = single.overlapping_query_range(&queries);
+        for q in &queries[range] {
+            assert_eq!(*q, db.entries()[3].kmer);
+        }
+    }
+
+    #[test]
+    fn first_and_last_kmer_are_the_key_bounds() {
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        assert_eq!(db.first_kmer(), db.kmers().next());
+        assert_eq!(db.last_kmer(), db.kmers().last());
+        assert!(db.first_kmer() < db.last_kmer());
+        assert_eq!(SortedKmerDatabase::default().first_kmer(), None);
+        assert_eq!(SortedKmerDatabase::default().last_kmer(), None);
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //! Execution follows the paper's inter-sample pipeline (§4.7): a pool of
 //! host worker threads runs Step 1 (k-mer extraction, bucketed sorting,
 //! exclusion) on upcoming samples while the in-SSD stage — one intersect
-//! worker per database shard plus a coordinator for taxID retrieval and
-//! Step 3 — processes the current one. Within the in-SSD stage, the sorted
-//! query k-mers fan out to every shard concurrently and the per-shard
-//! intersections merge back in shard order (Fig. 15's disjoint multi-SSD
-//! partitioning), so the merged intersection is identical to streaming the
-//! unsharded database.
+//! worker per database shard behind an NVMe-style bounded command queue,
+//! plus a dispatcher/completer pair for slicing, merge accounting, taxID
+//! retrieval, and Step 3 — processes the current ones (plural: with
+//! [`EngineConfig::queue_depth`] ≥ 2, several samples' intersections are in
+//! flight per device at once). Each shard sees only the sub-range of the
+//! sorted query list overlapping its disjoint key range
+//! ([`ShardSet::slice_queries`]), and the per-shard intersections merge back
+//! in shard order (Fig. 15's disjoint multi-SSD partitioning), so the
+//! merged intersection is identical to streaming the unsharded database
+//! while per-shard query-side work stays O(|Q|/N) on average instead of the
+//! O(|Q|) a broadcast would cost every device.
 //!
 //! [`BatchEngine::run`] is a thin wrapper over the service-mode executor in
 //! [`crate::service`]: it hands the closed batch to a fresh
@@ -32,12 +37,12 @@ use megis_genomics::sample::Diversity;
 use megis_host::accelerators::SortingAccelerator;
 use megis_host::system::SystemConfig;
 use megis_ssd::config::SsdConfig;
-use megis_ssd::timing::ByteSize;
+use megis_ssd::timing::{ByteSize, SimDuration};
 use megis_tools::workload::WorkloadSpec;
 
 use crate::job::{JobId, JobResult, JobSpec};
 use crate::metrics::{BatchReport, LatencyStats, ShardStats};
-use crate::model::ModeledAccount;
+use crate::model::{ModeledAccount, QueueModel};
 use crate::queue::{AdmissionError, JobQueue, SchedPolicy};
 use crate::service::{JobHandle, StreamingEngine};
 use crate::shard::ShardSet;
@@ -51,8 +56,29 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Admission/service-order policy.
     pub policy: SchedPolicy,
-    /// Maximum jobs waiting for service before admission rejects.
+    /// Maximum jobs waiting for service before admission rejects. In
+    /// service mode the bound counts queued *plus* in-flight jobs.
     pub queue_capacity: usize,
+    /// NVMe-style command-queue depth per shard: how many intersection
+    /// commands may be outstanding on one simulated SSD (submitted by the
+    /// dispatcher, completion not yet reaped). Depth ≥ 2 lets several
+    /// samples' intersections be in flight per device — the inter-sample
+    /// overlap of §4.7 — while depth 1 serializes each device against the
+    /// host round trip.
+    pub queue_depth: usize,
+    /// Simulated host-side cost of issuing one command (doorbell write,
+    /// command build); zero by default so functional tests pay nothing.
+    pub submission_latency: Duration,
+    /// Simulated host-side cost of reaping one completion (interrupt +
+    /// completion-queue processing); zero by default.
+    pub completion_latency: Duration,
+    /// Simulated per-command device service time (the shard streaming its
+    /// database partition for one sample, which at paper scale dwarfs the
+    /// in-memory merge the functional shard worker actually computes); zero
+    /// by default. The shard worker sleeps this long per command, so the
+    /// simulated devices genuinely overlap each other — and overlap the
+    /// host — even on a single-core host.
+    pub device_latency: Duration,
     /// Completions covered by the service-mode rolling metrics window.
     pub metrics_window: usize,
     /// Base system for the modeled-time account: the pipelining comparison
@@ -70,6 +96,10 @@ impl Default for EngineConfig {
             shards: 2,
             policy: SchedPolicy::Fifo,
             queue_capacity: 1024,
+            queue_depth: 4,
+            submission_latency: Duration::ZERO,
+            completion_latency: Duration::ZERO,
+            device_latency: Duration::ZERO,
             metrics_window: 256,
             // The paper's multi-sample configuration (Fig. 21): without the
             // sorting accelerator, host-side sorting dominates and hides the
@@ -128,6 +158,41 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the per-shard NVMe-style command-queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_queue_depth(mut self, depth: usize) -> EngineConfig {
+        assert!(depth > 0, "queue depth must be positive");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the simulated host-side submission and completion-reaping
+    /// latencies (both default to zero). Nonzero values make queue depth
+    /// matter in wall-clock terms: they are the round trip a deeper queue
+    /// hides (see [`crate::model::QueueModel`]).
+    pub fn with_command_latencies(
+        mut self,
+        submission: Duration,
+        completion: Duration,
+    ) -> EngineConfig {
+        self.submission_latency = submission;
+        self.completion_latency = completion;
+        self
+    }
+
+    /// Sets the simulated per-command device service time (defaults to
+    /// zero). The shard workers sleep it per command, modeling the partition
+    /// stream that dominates real device service; it is the `service` term
+    /// the depth curve of [`crate::model::QueueModel`] divides the round
+    /// trip by.
+    pub fn with_device_latency(mut self, device: Duration) -> EngineConfig {
+        self.device_latency = device;
+        self
+    }
+
     /// Sets the number of completions the service-mode rolling metrics
     /// window covers.
     ///
@@ -151,6 +216,17 @@ impl EngineConfig {
     pub fn with_workload(mut self, workload: WorkloadSpec) -> EngineConfig {
         self.workload = workload;
         self
+    }
+
+    /// The [`QueueModel`] matching this configuration's queue depth and
+    /// simulated command latencies (what the engine hands to
+    /// [`ModeledAccount::compute_with_queue`]).
+    pub fn queue_model(&self) -> QueueModel {
+        QueueModel {
+            depth: self.queue_depth,
+            submission_latency: SimDuration::from_secs(self.submission_latency.as_secs_f64()),
+            completion_latency: SimDuration::from_secs(self.completion_latency.as_secs_f64()),
+        }
     }
 }
 
@@ -272,11 +348,12 @@ impl BatchEngine {
                 modeled: None,
             };
         }
-        let modeled = ModeledAccount::compute(
+        let modeled = ModeledAccount::compute_with_queue(
             &self.config.system,
             &self.config.workload,
             sample_count,
             shard_count,
+            self.config.queue_model(),
         );
 
         let batch_start = Instant::now();

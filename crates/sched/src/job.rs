@@ -84,10 +84,12 @@ pub struct JobResult {
     /// the priority policy, higher priorities get smaller positions.
     pub start_position: usize,
     /// Position at which the in-SSD stage (Steps 2–3) served the job. The
-    /// engine reorders Step 1 completions before the in-SSD hand-off, so
-    /// this always equals [`JobResult::start_position`] — the in-SSD stage
-    /// follows policy order even when many Step 1 workers finish out of
-    /// order (asserted by the regression tests).
+    /// engine reorders Step 1 completions before issuing the per-shard
+    /// commands, and the completer delivers results in dispatch order even
+    /// though per-shard completions arrive out of order, so this always
+    /// equals [`JobResult::start_position`] — the in-SSD stage follows
+    /// policy order for any Step 1 worker count and command-queue depth
+    /// (asserted by the regression tests).
     pub isp_position: usize,
     /// End-to-end analysis output — byte-identical to
     /// `MegisAnalyzer::analyze` on the same sample.

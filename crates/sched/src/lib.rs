@@ -14,11 +14,15 @@
 //! * [`queue`] — bounded admission and deterministic service order
 //!   ([`SchedPolicy::Fifo`] or [`SchedPolicy::Priority`]),
 //! * [`shard`] — the database partitioned into contiguous sorted ranges,
-//!   one per simulated SSD ([`ShardSet`]),
+//!   one per simulated SSD ([`ShardSet`]), plus the range-partitioned query
+//!   dispatch ([`ShardSet::slice_queries`]): each device only ever sees the
+//!   sub-slice of a sample's sorted query list overlapping its key range,
 //! * [`service`] — the streaming executor ([`StreamingEngine`]): a pool of
 //!   host Step 1 worker threads live-popping a shared queue and feeding an
-//!   in-SSD stage with one intersect worker per shard, built on std threads
-//!   and channels,
+//!   in-SSD stage of NVMe-style bounded per-shard command queues (tagged
+//!   commands, configurable [`EngineConfig::queue_depth`], out-of-order
+//!   completion with in-dispatch-order delivery), built on std threads and
+//!   channels,
 //! * [`engine`] — the closed-batch front end ([`BatchEngine`]), a thin
 //!   wrapper that hands each batch to the same executor,
 //! * [`metrics`] — operational metrics ([`BatchReport`]: latency p50/p99,
@@ -27,7 +31,8 @@
 //! * [`model`] — the paper-scale modeled-time account ([`ModeledAccount`]),
 //!   cross-checking the executed batch shape against
 //!   `MegisTimingModel::multi_sample_breakdown` and the Fig. 15 shard
-//!   scaling series.
+//!   scaling series, plus the command-queue model ([`QueueModel`]): how much
+//!   of the host submission/completion round trip a given queue depth hides.
 //!
 //! # Batch mode vs. service mode
 //!
@@ -101,7 +106,7 @@ pub mod shard;
 pub use engine::{BatchEngine, EngineConfig, PartialAdmission};
 pub use job::{JobId, JobResult, JobSpec, Priority};
 pub use metrics::{BatchReport, LatencyStats, RollingWindow, ShardStats};
-pub use model::ModeledAccount;
+pub use model::{ModeledAccount, QueueModel};
 pub use queue::{AdmissionError, JobQueue, SchedPolicy};
 pub use service::{JobHandle, ServiceReport, ServiceSnapshot, StreamingEngine};
 pub use shard::ShardSet;

@@ -144,8 +144,20 @@ pub struct ShardStats {
     pub shard: usize,
     /// Total time the shard's intersect worker spent computing.
     pub busy: Duration,
-    /// Number of intersection requests served (one per job).
+    /// Number of intersection commands served (one per job whose query
+    /// slice was dispatched to this shard; zero for empty padding shards,
+    /// which are never commanded).
     pub jobs: u64,
+    /// Total query k-mers this shard scanned across all commands. With
+    /// range-partitioned dispatch the per-job sum across shards equals the
+    /// job's query count |Q| — not the N·|Q| a broadcast would cost.
+    pub query_items: u64,
+    /// High-water mark of commands concurrently outstanding on this shard's
+    /// NVMe-style queue (submitted, completion not yet reaped); bounded by
+    /// [`crate::EngineConfig::queue_depth`]. A value ≥ 2 means several
+    /// samples' intersections were genuinely in flight on the device at
+    /// once.
+    pub peak_inflight: usize,
 }
 
 /// Everything a batch run reports.
@@ -210,6 +222,16 @@ impl BatchReport {
             .map(|u| format!("{:.0}%", u * 100.0))
             .collect();
         let _ = writeln!(out, "shard utilization: [{}]", utils.join(", "));
+        let peaks: Vec<String> = self
+            .shard_stats
+            .iter()
+            .map(|s| s.peak_inflight.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "peak commands in flight per shard: [{}]",
+            peaks.join(", ")
+        );
         match &self.modeled {
             Some(modeled) => {
                 let _ = writeln!(

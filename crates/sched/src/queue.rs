@@ -155,6 +155,16 @@ impl JobQueue {
         self.policy
     }
 
+    /// The configured admission capacity.
+    ///
+    /// A standalone queue bounds only *queued* jobs; the streaming service
+    /// additionally counts in-flight work against this capacity (see
+    /// [`crate::StreamingEngine::submit`]), so a job occupies its slot from
+    /// admission to delivery.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of jobs waiting.
     pub fn len(&self) -> usize {
         self.pending.len()

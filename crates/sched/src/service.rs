@@ -10,16 +10,57 @@
 //! MetaStore and GenStore frame in-storage genomics accelerators the same
 //! way: continuously fed, not drained once.
 //!
+//! **The in-SSD stage: tagged command queues with bounded depth.** The stage
+//! runs as two threads around one intersect worker per database shard:
+//!
+//! * The *dispatcher* serves prepared samples strictly in dispatch order
+//!   (reorder buffer, below). For each sample it slices the sorted query
+//!   list into per-shard sub-ranges with [`ShardSet::slice_queries`] —
+//!   binary search on the shard key bounds, so each simulated SSD only ever
+//!   sees the slice of the query list overlapping its disjoint database
+//!   range, and total query-side work stays O(|Q|) across shards instead of
+//!   the O(N·|Q|) a broadcast would cost. Each sub-range becomes one command
+//!   tagged `(sequence, shard)` on that shard's command queue. Queues are
+//!   NVMe-style bounded: at most [`crate::EngineConfig::queue_depth`]
+//!   commands may be outstanding per shard (submitted but not yet reaped by
+//!   the completer), so several samples' intersections are in flight on
+//!   every device at once while backpressure still bounds memory.
+//! * The *completer* reaps per-shard completions **out of order** — shard A
+//!   may finish sample 3 before shard B finishes sample 1 — and keeps
+//!   per-job merge accounting (which shards have reported, per sequence
+//!   number). A job whose parts are all in is merged in shard order, runs
+//!   taxID retrieval plus Step 3, and is *delivered in dispatch order*: a
+//!   completed sample waits for every earlier sequence number, so delivery
+//!   order equals dispatch order equals policy order no matter how
+//!   completions interleave.
+//!
+//! Commands are only issued to shards whose query slice is non-empty: a
+//! device whose key range no query of this sample falls into — an empty
+//! padding shard in particular, but also a populated shard the sample
+//! happens to miss — is simply skipped for that sample rather than shipped
+//! no-op work that would burn a queue slot and simulated device time.
+//!
 //! **Ordering guarantee.** Dispatch order (the `start_position` assigned in
 //! the same critical section as the pop) *is* policy order at dispatch time.
-//! Step 1 workers may finish out of that order, so the in-SSD coordinator
-//! holds early arrivals in a reorder buffer keyed on `start_position` and
-//! serves strictly in dispatch order — Steps 2–3 can never serve a
-//! low-priority sample ahead of a high-priority one that entered service
-//! first. A dispatch lookahead gate keeps workers from running more than
-//! `2 * workers + 2` positions ahead of the in-SSD stage, so the reorder
-//! buffer — and peak prepared-sample memory — stays O(workers) even when
-//! one sample's Step 1 is far slower than the rest.
+//! Step 1 workers may finish out of that order, so the dispatcher holds
+//! early arrivals in a reorder buffer keyed on `start_position` and issues
+//! commands strictly in dispatch order — and the completer's in-order
+//! delivery extends the guarantee through Steps 2–3. A dispatch lookahead
+//! gate keeps workers from running more than
+//! `max(2 * workers + 2, queue_depth + workers)` positions ahead of in-SSD
+//! delivery, so the reorder buffer, the per-job merge table, and peak
+//! prepared-sample memory all stay O(workers + depth) even when one
+//! sample's Step 1 is far slower than the rest — while still admitting
+//! enough samples into the stage to actually fill a deep queue.
+//!
+//! **Modeled latencies.** [`crate::EngineConfig::submission_latency`] and
+//! [`crate::EngineConfig::completion_latency`] (both zero by default)
+//! simulate the host-side cost of issuing a command and of reaping a
+//! completion. They are what make queue depth *matter* in wall-clock terms:
+//! at depth 1 every command's round trip serializes against the device,
+//! while depth `d` lets the device keep computing through `d - 1` queued
+//! commands — the behavior [`crate::model::QueueModel`] prices analytically
+//! and the `queue_depth_sweep` experiment measures.
 //!
 //! **Failure.** If a pipeline thread panics (a dispatched position that
 //! would otherwise never complete), the service is *poisoned*:
@@ -43,8 +84,10 @@
 //! ordering fix and the byte-identical-to-`analyze` contract by
 //! construction.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -73,7 +116,51 @@ struct PreparedJob {
     step1: Step1Output,
 }
 
-/// State shared by submitters, Step 1 workers, and the in-SSD coordinator.
+/// One NVMe-style command on a shard's queue: intersect this job's query
+/// sub-range against the shard's database slice.
+struct ShardCommand {
+    /// Dense in-SSD dispatch sequence number the command belongs to.
+    seq: usize,
+    /// The job's full sorted query list (shared, not copied, across shards).
+    queries: Arc<Vec<Kmer>>,
+    /// The sub-range of `queries` overlapping this shard's key range.
+    range: Range<usize>,
+}
+
+/// One completion reaped from a shard, tagged with its origin.
+struct ShardCompletion {
+    shard: usize,
+    seq: usize,
+    intersection: Vec<Kmer>,
+}
+
+/// Dispatcher → completer record for one sample entering the in-SSD stage;
+/// sent *before* any of the sample's commands, so the completer always knows
+/// a sequence number before its first completion can arrive.
+struct IspMeta {
+    seq: usize,
+    /// Observed hand-off rank, stamped independently of `start_position` so
+    /// the ordering regression tests genuinely fail if the reorder buffer is
+    /// ever bypassed.
+    isp_position: usize,
+    /// Number of per-shard commands the dispatcher will issue for this job.
+    expected: usize,
+    isp_start: Instant,
+    prepared: PreparedJob,
+}
+
+/// Per-job merge accounting at the completer: which shards have reported.
+struct MergeState {
+    meta: IspMeta,
+    /// Per-shard intersections, indexed by shard, in shard (= key range)
+    /// order; `None` until that shard's completion is reaped (and forever
+    /// for shards that were never commanded).
+    parts: Vec<Option<Vec<Kmer>>>,
+    /// Completions still outstanding.
+    remaining: usize,
+}
+
+/// State shared by submitters, Step 1 workers, and the in-SSD stage.
 #[derive(Debug)]
 struct ServiceState {
     /// The live admission queue; workers `pop_next` it at dispatch time.
@@ -84,12 +171,20 @@ struct ServiceState {
     next_position: usize,
     /// Jobs popped but not yet completed by the in-SSD stage.
     in_flight: usize,
-    /// Positions fully served by the in-SSD stage (the coordinator's
-    /// `next_to_serve`, mirrored here for the dispatch lookahead gate).
+    /// Positions fully served by the in-SSD stage (the completer's
+    /// `next_to_deliver`, mirrored here for the dispatch lookahead gate).
     isp_served: usize,
     /// Maximum positions workers may dispatch ahead of the in-SSD stage;
-    /// bounds the reorder buffer and prepared-sample memory at O(workers).
+    /// bounds the reorder buffer and prepared-sample memory at
+    /// O(workers + queue depth).
     lookahead: usize,
+    /// Commands outstanding per shard: submitted by the dispatcher, not yet
+    /// reaped by the completer. The dispatcher blocks while a shard sits at
+    /// [`EngineConfig::queue_depth`] — the NVMe queue-depth bound.
+    shard_inflight: Vec<usize>,
+    /// High-water mark of `shard_inflight`, per shard, over the service
+    /// lifetime; reported as [`ShardStats::peak_inflight`].
+    shard_inflight_peak: Vec<usize>,
     /// Set when a pipeline thread panics; drain/shutdown propagate it as a
     /// panic instead of waiting forever on work that can never complete.
     poisoned: bool,
@@ -110,6 +205,9 @@ struct Shared {
     job_ready: Condvar,
     /// Signaled on completion (drain waits here for quiescence).
     idle: Condvar,
+    /// Signaled when a shard queue slot frees up (the dispatcher waits here
+    /// when a shard is at its configured queue depth).
+    queue_space: Condvar,
 }
 
 impl Shared {
@@ -134,6 +232,9 @@ pub struct ServiceSnapshot {
     pub completed: u64,
     /// Whether submissions are currently accepted.
     pub accepting: bool,
+    /// Commands currently outstanding per shard (submitted, completion not
+    /// yet reaped) — the live NVMe-style queue occupancy.
+    pub shard_inflight: Vec<usize>,
     /// Latency distribution over the rolling completion window.
     pub window: LatencyStats,
     /// Completions per second over the rolling window.
@@ -197,7 +298,8 @@ impl JobHandle {
 pub struct StreamingEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    isp: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    completer: Option<JoinHandle<()>>,
     shard_handles: Vec<JoinHandle<()>>,
     // Mutex-wrapped only so the engine is `Sync` (shareable behind an
     // `Arc`); the receiver is drained once, at shutdown.
@@ -210,7 +312,7 @@ pub struct StreamingEngine {
 impl StreamingEngine {
     /// Builds and starts a service around an analyzer, sharding its database
     /// across the configured number of simulated SSDs. Worker, shard, and
-    /// coordinator threads are running when this returns.
+    /// in-SSD stage threads are running when this returns.
     pub fn new(analyzer: MegisAnalyzer, config: EngineConfig) -> StreamingEngine {
         let shards = ShardSet::build(analyzer.database(), config.shards);
         StreamingEngine::from_parts(Arc::new(analyzer), shards, config)
@@ -223,6 +325,8 @@ impl StreamingEngine {
     ) -> StreamingEngine {
         assert!(config.workers > 0, "at least one worker is required");
         assert!(config.shards > 0, "at least one shard is required");
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        let shard_count = shards.shard_count();
         let shared = Arc::new(Shared {
             state: Mutex::new(ServiceState {
                 queue: JobQueue::new(config.policy, config.queue_capacity),
@@ -230,7 +334,17 @@ impl StreamingEngine {
                 next_position: 0,
                 in_flight: 0,
                 isp_served: 0,
-                lookahead: 2 * config.workers + 2,
+                // Memory bound and depth headroom: each in-flight sample
+                // contributes at most one outstanding command per shard, so
+                // reaching `queue_depth` outstanding commands needs at least
+                // `queue_depth` samples inside the in-SSD stage (plus the
+                // workers' hands). With the default depth the second term is
+                // never larger, so the classic `2 * workers + 2` bound is
+                // unchanged; deep queues widen the gate instead of being
+                // silently capped below the configured depth.
+                lookahead: (2 * config.workers + 2).max(config.queue_depth + config.workers),
+                shard_inflight: vec![0; shard_count],
+                shard_inflight_peak: vec![0; shard_count],
                 poisoned: false,
                 accepting: true,
                 stopping: false,
@@ -239,31 +353,54 @@ impl StreamingEngine {
             }),
             job_ready: Condvar::new(),
             idle: Condvar::new(),
+            queue_space: Condvar::new(),
         });
 
-        // In-SSD stage, part 1: one intersect worker per database shard.
-        let shard_count = shards.shard_count();
+        // In-SSD stage, part 1: one intersect worker per database shard,
+        // each consuming its own tagged command queue and reporting
+        // completions out of order on the shared completion channel.
         let (stats_tx, stats_rx) = mpsc::channel::<ShardStats>();
-        let (resp_tx, resp_rx) = mpsc::channel::<(usize, Vec<Kmer>)>();
+        let (resp_tx, resp_rx) = mpsc::channel::<ShardCompletion>();
         let mut shard_txs = Vec::with_capacity(shard_count);
         let mut shard_handles = Vec::with_capacity(shard_count);
         for (index, shard) in shards.shards().iter().enumerate() {
-            let (tx, rx) = mpsc::channel::<Arc<Vec<Kmer>>>();
+            let (tx, rx) = mpsc::channel::<ShardCommand>();
             shard_txs.push(tx);
             let shard = Arc::clone(shard);
             let resp_tx = resp_tx.clone();
             let stats_tx = stats_tx.clone();
             let shared = Arc::clone(&shared);
+            let device_latency = config.device_latency;
             shard_handles.push(thread::spawn(move || {
                 let _guard = PanicGuard(&shared);
                 let mut busy = Duration::ZERO;
                 let mut served = 0u64;
-                for queries in rx {
+                let mut query_items = 0u64;
+                for command in rx {
                     let t0 = Instant::now();
-                    let intersection = shard.intersect_sorted(&queries);
+                    // Simulated device service (the partition stream); the
+                    // sleep counts as busy time, so utilization and the
+                    // measured per-command service both reflect it.
+                    if !device_latency.is_zero() {
+                        thread::sleep(device_latency);
+                    }
+                    let slice = &command.queries[command.range.clone()];
+                    // Device-side bound check: the dispatcher's partition
+                    // charges gap queries (values between shard key ranges)
+                    // to the preceding shard, but nothing below this
+                    // shard's first key or above its last can match, so
+                    // the merge runs only over the overlapping sub-range.
+                    let overlap = &slice[shard.overlapping_query_range(slice)];
+                    let intersection = shard.intersect_sorted(overlap);
                     busy += t0.elapsed();
                     served += 1;
-                    if resp_tx.send((index, intersection)).is_err() {
+                    query_items += command.range.len() as u64;
+                    let completion = ShardCompletion {
+                        shard: index,
+                        seq: command.seq,
+                        intersection,
+                    };
+                    if resp_tx.send(completion).is_err() {
                         break;
                     }
                 }
@@ -271,6 +408,8 @@ impl StreamingEngine {
                     shard: index,
                     busy,
                     jobs: served,
+                    query_items,
+                    peak_inflight: 0,
                 });
             }));
         }
@@ -279,13 +418,14 @@ impl StreamingEngine {
 
         // Bounded hand-off between the stages (§4.7 lookahead): together
         // with the dispatch lookahead gate in `step1_worker`, at most
-        // `2 * workers + 2` prepared samples exist at once — in workers'
-        // hands, in this channel, or in the coordinator's reorder buffer —
-        // so peak memory stays O(workers) while the in-SSD stage stays fed.
+        // `lookahead` prepared samples exist at once — in workers' hands,
+        // in this channel, in the dispatcher's reorder buffer, or in the
+        // completer's merge table — so peak memory stays O(workers + depth)
+        // while the in-SSD stage stays fed.
         let (s1_tx, s1_rx) = mpsc::sync_channel::<PreparedJob>(config.workers + 1);
 
         // Host stage: Step 1 worker pool. Only the workers hold senders, so
-        // the coordinator's receiver closes exactly when the last worker
+        // the dispatcher's receiver closes exactly when the last worker
         // exits.
         let mut workers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
@@ -298,19 +438,47 @@ impl StreamingEngine {
         }
         drop(s1_tx);
 
-        // In-SSD stage, part 2: the coordinator serving prepared samples in
-        // dispatch order.
-        let isp = {
+        // In-SSD stage, part 2: dispatcher (reorder + slice + bounded-depth
+        // command submission) and completer (out-of-order reaping, per-job
+        // merge accounting, in-dispatch-order delivery).
+        let (meta_tx, meta_rx) = mpsc::channel::<IspMeta>();
+        let dispatcher = {
             let shared = Arc::clone(&shared);
+            let shard_set = shards.clone();
+            let queue_depth = config.queue_depth;
+            let submission_latency = config.submission_latency;
             thread::spawn(move || {
-                isp_coordinator(&shared, &analyzer, s1_rx, shard_txs, &resp_rx, shard_count);
+                isp_dispatcher(
+                    &shared,
+                    &shard_set,
+                    s1_rx,
+                    shard_txs,
+                    meta_tx,
+                    queue_depth,
+                    submission_latency,
+                );
+            })
+        };
+        let completer = {
+            let shared = Arc::clone(&shared);
+            let completion_latency = config.completion_latency;
+            thread::spawn(move || {
+                isp_completer(
+                    &shared,
+                    &analyzer,
+                    meta_rx,
+                    resp_rx,
+                    shard_count,
+                    completion_latency,
+                );
             })
         };
 
         StreamingEngine {
             shared,
             workers,
-            isp: Some(isp),
+            dispatcher: Some(dispatcher),
+            completer: Some(completer),
             shard_handles,
             stats_rx: Mutex::new(stats_rx),
             shards,
@@ -336,14 +504,22 @@ impl StreamingEngine {
 
     /// Submits one job to the running service, from any thread.
     ///
-    /// Admission is bounded by the configured queue capacity and closes once
-    /// a graceful shutdown begins. On success the returned [`JobHandle`]
-    /// delivers the result as soon as the job completes.
+    /// Admission is bounded by the configured queue capacity **counting
+    /// in-flight work**: a job occupies its slot from admission until its
+    /// result is delivered, so a drained-but-busy service cannot admit past
+    /// the documented bound (at most `queue_capacity` jobs are ever inside
+    /// the service). Admission closes once a graceful shutdown begins. On
+    /// success the returned [`JobHandle`] delivers the result as soon as the
+    /// job completes.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmissionError> {
         let (id, rx) = {
             let mut state = self.shared.lock();
             if !state.accepting {
                 return Err(AdmissionError::ShuttingDown);
+            }
+            let capacity = state.queue.capacity();
+            if state.queue.len() + state.in_flight >= capacity {
+                return Err(AdmissionError::QueueFull { capacity });
             }
             let id = state.queue.submit(spec)?;
             let (tx, rx) = mpsc::channel();
@@ -397,8 +573,8 @@ impl StreamingEngine {
         }
     }
 
-    /// A live snapshot: queue depths, lifetime completions, and the rolling
-    /// latency/throughput window.
+    /// A live snapshot: queue depths, lifetime completions, per-shard
+    /// command-queue occupancy, and the rolling latency/throughput window.
     pub fn snapshot(&self) -> ServiceSnapshot {
         let state = self.shared.lock();
         ServiceSnapshot {
@@ -406,6 +582,7 @@ impl StreamingEngine {
             in_flight: state.in_flight,
             completed: state.completed,
             accepting: state.accepting,
+            shard_inflight: state.shard_inflight.clone(),
             window: state.window.stats(),
             window_throughput: state.window.throughput(),
         }
@@ -432,15 +609,21 @@ impl StreamingEngine {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        if let Some(isp) = self.isp.take() {
-            let _ = isp.join();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
         }
         for handle in self.shard_handles.drain(..) {
             let _ = handle.join();
         }
+        if let Some(completer) = self.completer.take() {
+            let _ = completer.join();
+        }
         let mut shard_stats: Vec<ShardStats> = self.stats_rx.lock().unwrap().try_iter().collect();
         shard_stats.sort_by_key(|s| s.shard);
         let state = self.shared.lock();
+        for stats in &mut shard_stats {
+            stats.peak_inflight = state.shard_inflight_peak[stats.shard];
+        }
         ServiceReport {
             completed: state.completed,
             uptime: self.started_at.elapsed(),
@@ -454,7 +637,7 @@ impl Drop for StreamingEngine {
     fn drop(&mut self) {
         // Dropping without an explicit shutdown still tears down gracefully
         // (drain, then join), so no thread outlives the engine.
-        if !self.workers.is_empty() || self.isp.is_some() {
+        if !self.workers.is_empty() || self.dispatcher.is_some() {
             let _ = self.stop_and_join();
         }
     }
@@ -473,12 +656,13 @@ impl Drop for PanicGuard<'_> {
             drop(state);
             self.0.job_ready.notify_all();
             self.0.idle.notify_all();
+            self.0.queue_space.notify_all();
         }
     }
 }
 
 /// One Step 1 worker: live-pops the shared queue, runs Step 1, and hands the
-/// prepared sample to the in-SSD coordinator.
+/// prepared sample to the in-SSD dispatcher.
 fn step1_worker(shared: &Shared, analyzer: &MegisAnalyzer, s1_tx: &SyncSender<PreparedJob>) {
     let _guard = PanicGuard(shared);
     loop {
@@ -486,7 +670,7 @@ fn step1_worker(shared: &Shared, analyzer: &MegisAnalyzer, s1_tx: &SyncSender<Pr
         // one critical section, so dispatch order is exactly policy order
         // over the jobs queued at this instant. The lookahead gate refuses
         // to dispatch more than `lookahead` positions ahead of the in-SSD
-        // stage, bounding the coordinator's reorder buffer even when one
+        // stage, bounding the dispatcher's reorder buffer even when one
         // sample's Step 1 is far slower than the rest.
         let (job, start_position) = {
             let mut state = shared.lock();
@@ -505,7 +689,7 @@ fn step1_worker(shared: &Shared, analyzer: &MegisAnalyzer, s1_tx: &SyncSender<Pr
                 if state.stopping && state.queue.is_empty() {
                     return;
                 }
-                // Woken by a submission, by the coordinator advancing the
+                // Woken by a submission, by the completer advancing the
                 // gate, or by shutdown/poison.
                 state = shared
                     .job_ready
@@ -532,111 +716,256 @@ fn step1_worker(shared: &Shared, analyzer: &MegisAnalyzer, s1_tx: &SyncSender<Pr
     }
 }
 
-/// The in-SSD coordinator: reorders Step 1 completions back into dispatch
-/// order, then fans each sample out to the shard workers, merges, and runs
-/// taxID retrieval plus Step 3.
-fn isp_coordinator(
+/// The in-SSD dispatcher: reorders Step 1 completions back into dispatch
+/// order, slices each sample's sorted query list into per-shard sub-ranges,
+/// and issues tagged commands onto the bounded per-shard queues.
+fn isp_dispatcher(
     shared: &Shared,
-    analyzer: &MegisAnalyzer,
+    shards: &ShardSet,
     s1_rx: Receiver<PreparedJob>,
-    shard_txs: Vec<mpsc::Sender<Arc<Vec<Kmer>>>>,
-    resp_rx: &Receiver<(usize, Vec<Kmer>)>,
-    shard_count: usize,
+    shard_txs: Vec<Sender<ShardCommand>>,
+    meta_tx: Sender<IspMeta>,
+    queue_depth: usize,
+    submission_latency: Duration,
 ) {
     let _guard = PanicGuard(shared);
     // The reorder buffer behind the ordering guarantee: positions are dense
-    // (assigned at pop time), so serving strictly ascending positions makes
-    // in-SSD service order equal dispatch order — i.e. policy order — no
-    // matter how Step 1 completions interleave across the worker pool.
-    let mut next_to_serve = 0usize;
+    // (assigned at pop time), so dispatching strictly ascending positions
+    // makes in-SSD dispatch order equal policy order no matter how Step 1
+    // completions interleave across the worker pool.
+    let mut next_to_dispatch = 0usize;
     let mut reorder: BTreeMap<usize, PreparedJob> = BTreeMap::new();
     // Counts actual hand-offs to the in-SSD stage, independently of the
     // positions used for reordering: the stamp recorded as `isp_position`.
     // With the reorder buffer it always equals `start_position`; without it
     // the stamp would record arrival rank, so the ordering regression tests
     // genuinely fail if the buffer is ever bypassed.
-    let mut served = 0usize;
+    let mut dispatched = 0usize;
     for prepared in s1_rx {
         reorder.insert(prepared.start_position, prepared);
-        while let Some(prepared) = reorder.remove(&next_to_serve) {
-            next_to_serve += 1;
-            serve(
+        while let Some(prepared) = reorder.remove(&next_to_dispatch) {
+            next_to_dispatch += 1;
+            if !dispatch_one(
                 shared,
-                analyzer,
+                shards,
                 &shard_txs,
-                resp_rx,
-                shard_count,
+                &meta_tx,
                 prepared,
-                served,
-            );
-            served += 1;
+                dispatched,
+                queue_depth,
+                submission_latency,
+            ) {
+                return;
+            }
+            dispatched += 1;
         }
     }
-    // On a clean shutdown every dispatched position was served and the
+    // On a clean shutdown every dispatched position was issued and the
     // buffer is empty; if a Step 1 worker panicked, its position never
     // arrives and later arrivals stay buffered here — the poison flag, not
     // this loop, reports that failure.
     //
-    // Dropping shard_txs here ends the shard workers, which then report
-    // their lifetime stats.
+    // Dropping shard_txs here ends the shard workers (once their queues
+    // drain), which then report their lifetime stats; the completer exits
+    // after the last completion.
 }
 
-/// Serves one prepared sample through the in-SSD stage and delivers the
-/// result. `isp_position` is the coordinator's observed hand-off rank —
-/// stamped independently of `start_position` so ordering tests compare the
-/// actual service order against the dispatch order.
-fn serve(
+/// Issues one prepared sample's per-shard commands; returns `false` if the
+/// service is tearing down (poisoned or receivers gone).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_one(
     shared: &Shared,
-    analyzer: &MegisAnalyzer,
-    shard_txs: &[mpsc::Sender<Arc<Vec<Kmer>>>],
-    resp_rx: &Receiver<(usize, Vec<Kmer>)>,
-    shard_count: usize,
+    shards: &ShardSet,
+    shard_txs: &[Sender<ShardCommand>],
+    meta_tx: &Sender<IspMeta>,
     prepared: PreparedJob,
     isp_position: usize,
-) {
+    queue_depth: usize,
+    submission_latency: Duration,
+) -> bool {
     let isp_start = Instant::now();
+    let seq = prepared.start_position;
     let queries = Arc::new(prepared.step1.sorted_kmers());
-    for tx in shard_txs {
-        tx.send(Arc::clone(&queries))
-            .expect("shard worker alive while requests pend");
+    // Range-partitioned dispatch: each shard sees only the sub-slice of the
+    // sorted query list overlapping its key range, so per-device query-side
+    // work is proportional to the slice, not the whole list. A shard whose
+    // slice is empty — every padding shard, and any populated shard this
+    // sample's queries miss entirely — is skipped: an empty slice can only
+    // intersect to nothing, and a no-op command would waste a queue-depth
+    // slot plus the simulated device service time.
+    let slices = shards.slice_queries(&queries);
+    let targets: Vec<(usize, Range<usize>)> = slices
+        .into_iter()
+        .enumerate()
+        .filter(|(_, range)| !range.is_empty())
+        .collect();
+    let meta = IspMeta {
+        seq,
+        isp_position,
+        expected: targets.len(),
+        isp_start,
+        prepared,
+    };
+    if meta_tx.send(meta).is_err() {
+        return false;
     }
-    let mut parts: Vec<Vec<Kmer>> = vec![Vec::new(); shard_count];
-    for _ in 0..shard_count {
+    for (shard, range) in targets {
+        // Host-side submission cost (doorbell write, command build). Modeled
+        // *outside* the lock: it occupies the dispatcher, not the service.
+        if !submission_latency.is_zero() {
+            thread::sleep(submission_latency);
+        }
+        // NVMe queue-depth gate: at most `queue_depth` commands outstanding
+        // per shard (submitted, completion not yet reaped). Blocking here is
+        // the backpressure that bounds per-device memory; the completer
+        // frees slots as it reaps.
+        {
+            let mut state = shared.lock();
+            loop {
+                if state.poisoned {
+                    return false;
+                }
+                if state.shard_inflight[shard] < queue_depth {
+                    break;
+                }
+                state = shared
+                    .queue_space
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            state.shard_inflight[shard] += 1;
+            if state.shard_inflight[shard] > state.shard_inflight_peak[shard] {
+                state.shard_inflight_peak[shard] = state.shard_inflight[shard];
+            }
+        }
+        let command = ShardCommand {
+            seq,
+            queries: Arc::clone(&queries),
+            range,
+        };
+        if shard_txs[shard].send(command).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The in-SSD completer: reaps per-shard completions out of order, keeps
+/// per-job merge accounting, and once a job's parts are all in — and every
+/// earlier sequence number has been delivered — merges in shard order, runs
+/// taxID retrieval plus Step 3, and delivers the result.
+fn isp_completer(
+    shared: &Shared,
+    analyzer: &MegisAnalyzer,
+    meta_rx: Receiver<IspMeta>,
+    resp_rx: Receiver<ShardCompletion>,
+    shard_count: usize,
+    completion_latency: Duration,
+) {
+    let _guard = PanicGuard(shared);
+    let mut next_to_deliver = 0usize;
+    let mut pending: BTreeMap<usize, MergeState> = BTreeMap::new();
+    let absorb = |pending: &mut BTreeMap<usize, MergeState>, meta_rx: &Receiver<IspMeta>| {
+        while let Ok(meta) = meta_rx.try_recv() {
+            pending.insert(
+                meta.seq,
+                MergeState {
+                    remaining: meta.expected,
+                    parts: (0..shard_count).map(|_| None).collect(),
+                    meta,
+                },
+            );
+        }
+    };
+    loop {
+        absorb(&mut pending, &meta_rx);
+        deliver_ready(shared, analyzer, &mut pending, &mut next_to_deliver);
         // A panicked shard worker can never respond (its siblings keep the
-        // channel open), so poll the poison flag while waiting: the
-        // coordinator then panics — poisoning teardown cleanly — instead of
-        // blocking on the missing response forever.
-        let (index, intersection) = loop {
-            match resp_rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(response) => break response,
-                Err(mpsc::RecvTimeoutError::Timeout) => {
+        // channel open), so poll the poison flag while completions are
+        // outstanding: the completer then panics — poisoning teardown
+        // cleanly — instead of blocking on the missing response forever.
+        match resp_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(completion) => {
+                // Host-side completion handling cost (interrupt + reap).
+                if !completion_latency.is_zero() {
+                    thread::sleep(completion_latency);
+                }
+                // The meta was sent before any of the job's commands, so
+                // after absorbing the meta channel it must be known.
+                absorb(&mut pending, &meta_rx);
+                {
+                    let mut state = shared.lock();
+                    state.shard_inflight[completion.shard] -= 1;
+                }
+                // Reaping freed a slot in the shard's command queue.
+                shared.queue_space.notify_all();
+                let job = pending
+                    .get_mut(&completion.seq)
+                    .expect("completion for a dispatched job");
+                debug_assert!(job.parts[completion.shard].is_none());
+                job.parts[completion.shard] = Some(completion.intersection);
+                job.remaining -= 1;
+                deliver_ready(shared, analyzer, &mut pending, &mut next_to_deliver);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if pending.values().any(|j| j.remaining > 0) {
                     assert!(
                         !shared.lock().poisoned,
-                        "shard worker panicked while a request was pending"
+                        "shard worker panicked while commands were outstanding"
                     );
                 }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    panic!("shard workers exited while a request was pending")
-                }
             }
-        };
-        parts[index] = intersection;
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Shard workers exited, which implies the dispatcher exited
+                // first, which implies every meta was already sent.
+                absorb(&mut pending, &meta_rx);
+                deliver_ready(shared, analyzer, &mut pending, &mut next_to_deliver);
+                return;
+            }
+        }
     }
-    let merged: Vec<Kmer> = parts.into_iter().flatten().collect();
+}
+
+/// Delivers every fully merged job at the head of the sequence: completions
+/// are collected out of order, but results leave in dispatch order.
+fn deliver_ready(
+    shared: &Shared,
+    analyzer: &MegisAnalyzer,
+    pending: &mut BTreeMap<usize, MergeState>,
+    next_to_deliver: &mut usize,
+) {
+    loop {
+        match pending.get(next_to_deliver) {
+            Some(job) if job.remaining == 0 => {}
+            _ => return,
+        }
+        let job = pending.remove(next_to_deliver).expect("checked above");
+        *next_to_deliver += 1;
+        finalize(shared, analyzer, job);
+    }
+}
+
+/// Merges one job's per-shard intersections in shard order, runs taxID
+/// retrieval plus Step 3, and delivers the result.
+fn finalize(shared: &Shared, analyzer: &MegisAnalyzer, job: MergeState) {
+    let MergeState { meta, parts, .. } = job;
+    // Shard order is key-range order, so the concatenation equals the
+    // unsharded intersection of the full query list.
+    let merged: Vec<Kmer> = parts.into_iter().flatten().flatten().collect();
     let step2 = analyzer.step2_from_intersection(merged);
-    let step3 = analyzer.run_step3(&prepared.sample, &step2.presence);
-    let output = MegisAnalyzer::assemble_output(&prepared.step1, &step2, step3);
+    let step3 = analyzer.run_step3(&meta.prepared.sample, &step2.presence);
+    let output = MegisAnalyzer::assemble_output(&meta.prepared.step1, &step2, step3);
     let result = JobResult {
-        id: prepared.id,
-        label: prepared.label,
-        priority: prepared.priority,
-        start_position: prepared.start_position,
-        isp_position,
+        id: meta.prepared.id,
+        label: meta.prepared.label,
+        priority: meta.prepared.priority,
+        start_position: meta.prepared.start_position,
+        isp_position: meta.isp_position,
         output,
-        queue_wait: prepared.queue_wait,
-        step1_time: prepared.step1_time,
-        isp_time: isp_start.elapsed(),
-        latency: prepared.submitted_at.elapsed(),
+        queue_wait: meta.prepared.queue_wait,
+        step1_time: meta.prepared.step1_time,
+        isp_time: meta.isp_start.elapsed(),
+        latency: meta.prepared.submitted_at.elapsed(),
     };
     // Deliver before signaling idle, all under the lock: a drain() returning
     // quiescent must imply every result has already reached its handle.
@@ -691,6 +1020,7 @@ mod tests {
         assert_eq!(snap.completed, 3);
         assert!(snap.accepting);
         assert_eq!(snap.window.count, 3);
+        assert_eq!(snap.shard_inflight, vec![0, 0], "quiescent queues");
         let report = engine.shutdown();
         assert_eq!(report.completed, 3);
         assert_eq!(report.shard_stats.len(), 2);
@@ -748,7 +1078,7 @@ mod tests {
         }
         assert!(rejected, "a 1-deep queue must reject a fast submitter");
         engine.drain();
-        // Rejection is transient: capacity frees up as jobs dispatch.
+        // Rejection is transient: capacity frees up as jobs complete.
         let handle = engine
             .submit(JobSpec::new("late", c.sample().clone()))
             .unwrap();
@@ -756,6 +1086,56 @@ mod tests {
         for handle in handles {
             assert!(handle.wait().is_some(), "admitted jobs all complete");
         }
+    }
+
+    #[test]
+    fn admission_bound_counts_in_flight_work() {
+        // Regression (satellite): `JobQueue::submit` alone rejects only on
+        // *queued* >= capacity, so a drained-but-busy service used to admit
+        // past its documented bound. The service-level check must count
+        // in-flight work: with capacity 1, a job that has been popped (queue
+        // empty) but not delivered still occupies the only slot.
+        let c = community();
+        let engine = StreamingEngine::new(
+            analyzer(&c),
+            EngineConfig::new()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                // Slow completion reaping keeps the job in flight long
+                // enough to observe the drained-but-busy window.
+                .with_command_latencies(Duration::ZERO, Duration::from_millis(25)),
+        );
+        let first = engine
+            .submit(JobSpec::new("first", c.sample().clone()))
+            .unwrap();
+        // Wait for the worker to pop the job: the queue is empty, the
+        // service is busy.
+        let mut observed_busy = false;
+        for _ in 0..2000 {
+            let snap = engine.snapshot();
+            if snap.completed == 1 {
+                break;
+            }
+            if snap.pending == 0 && snap.in_flight == 1 {
+                observed_busy = true;
+                assert_eq!(
+                    engine
+                        .submit(JobSpec::new("second", c.sample().clone()))
+                        .unwrap_err(),
+                    AdmissionError::QueueFull { capacity: 1 },
+                    "a drained-but-busy service must not admit past capacity"
+                );
+                break;
+            }
+            thread::sleep(Duration::from_micros(100));
+        }
+        assert!(observed_busy, "never observed the drained-but-busy window");
+        assert!(first.wait().is_some());
+        // The slot frees once the result is delivered.
+        let late = engine
+            .submit(JobSpec::new("late", c.sample().clone()))
+            .unwrap();
+        assert!(late.wait().is_some());
     }
 
     #[test]
@@ -787,6 +1167,49 @@ mod tests {
                 break;
             }
             thread::sleep(Duration::from_micros(200));
+        }
+        for handle in handles {
+            assert!(handle.wait().is_some());
+        }
+    }
+
+    #[test]
+    fn shard_inflight_respects_the_configured_queue_depth() {
+        let c = community();
+        let depth = 2;
+        let engine = StreamingEngine::new(
+            analyzer(&c),
+            EngineConfig::new()
+                .with_workers(2)
+                .with_shards(2)
+                .with_queue_depth(depth)
+                // Slow reaping so the dispatcher actually hits the gate.
+                .with_command_latencies(Duration::ZERO, Duration::from_millis(2)),
+        );
+        let handles: Vec<JobHandle> = (0..12)
+            .map(|i| {
+                engine
+                    .submit(JobSpec::new(format!("s{i}"), c.sample().clone()))
+                    .unwrap()
+            })
+            .collect();
+        loop {
+            let snap = engine.snapshot();
+            for (shard, inflight) in snap.shard_inflight.iter().enumerate() {
+                assert!(
+                    *inflight <= depth,
+                    "shard {shard} holds {inflight} commands, depth bound is {depth}"
+                );
+            }
+            if snap.completed == 12 {
+                break;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
+        let report = engine.shutdown();
+        for stats in &report.shard_stats {
+            assert!(stats.peak_inflight <= depth);
+            assert!(stats.peak_inflight >= 1, "some command was outstanding");
         }
         for handle in handles {
             assert!(handle.wait().is_some());

@@ -1,5 +1,6 @@
 //! Sharded database layout: one disjoint partition of the sorted k-mer
-//! database per simulated SSD.
+//! database per simulated SSD, plus the range-partitioned query dispatch
+//! that goes with it.
 //!
 //! Because the database is lexicographically sorted, splitting it into
 //! contiguous ranges keeps every shard independently streamable, and the
@@ -7,7 +8,17 @@
 //! intersection (Fig. 15 setup; also validated by the seed's partition
 //! tests). Each shard is wrapped in an [`std::sync::Arc`] so per-shard worker
 //! threads can hold the data without copying it.
+//!
+//! The same sortedness cuts the *query* side: a shard holding keys in
+//! `[lo, hi]` can only match the sub-slice of a sorted query list that
+//! overlaps `[lo, hi]`, so [`ShardSet::slice_queries`] binary-searches the
+//! per-shard cut points once per sample and each device sees only its slice.
+//! The slices are disjoint and concatenate to the full query list, which
+//! keeps total query-side work at O(|Q|) across all shards — broadcasting
+//! the whole list instead would make it O(N·|Q|) and flatten the Fig. 15
+//! scaling whenever queries dominate the merge.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use megis_genomics::database::SortedKmerDatabase;
@@ -58,14 +69,60 @@ impl ShardSet {
         self.shards.iter().map(|s| s.encoded_bytes()).collect()
     }
 
-    /// Serial reference intersection: every shard against the same sorted
-    /// query list, merged in shard order. Identical to intersecting the
-    /// unsharded database; the engine runs the same computation with one
-    /// worker thread per shard.
+    /// Per-shard key-range bounds `(first, last)` in shard order; `None` for
+    /// empty shards (the trailing padding [`SortedKmerDatabase::partition`]
+    /// emits when there are more shards than entries).
+    pub fn bounds(&self) -> Vec<Option<(Kmer, Kmer)>> {
+        self.shards
+            .iter()
+            .map(|s| Some((s.first_kmer()?, s.last_kmer()?)))
+            .collect()
+    }
+
+    /// Splits a sorted query list into one sub-range per shard: the slice a
+    /// device actually needs to see, found by binary search on the shard key
+    /// bounds.
+    ///
+    /// The returned ranges are disjoint, ascending, and concatenate to
+    /// `0..sorted_queries.len()` — every query belongs to exactly one shard,
+    /// so total query-side work across shards is O(|Q|), not O(N·|Q|). The
+    /// cut between shard `i` and shard `i + 1` sits at the first query `>=`
+    /// shard `i + 1`'s smallest key; queries falling in the gap between two
+    /// shard ranges (or below the first shard's range) match nothing and are
+    /// charged to the earlier shard. Empty trailing shards get empty ranges.
+    ///
+    /// `shard.intersect_sorted(&queries[range])`, concatenated in shard
+    /// order, is byte-identical to intersecting the unsharded database with
+    /// the full query list (asserted by the seeded property tests below).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `sorted_queries` is not sorted.
+    pub fn slice_queries(&self, sorted_queries: &[Kmer]) -> Vec<Range<usize>> {
+        debug_assert!(sorted_queries.windows(2).all(|w| w[0] <= w[1]));
+        let bounds = self.bounds();
+        let n = bounds.len();
+        // cuts[i] = first query index belonging to shard i. Walk backward so
+        // empty shards inherit the next shard's cut (an empty range).
+        let mut cuts = vec![0usize; n + 1];
+        cuts[n] = sorted_queries.len();
+        for i in (1..n).rev() {
+            cuts[i] = match bounds[i] {
+                Some((lo, _)) => sorted_queries.partition_point(|q| *q < lo).min(cuts[i + 1]),
+                None => cuts[i + 1],
+            };
+        }
+        (0..n).map(|i| cuts[i]..cuts[i + 1]).collect()
+    }
+
+    /// Serial reference intersection: every shard against its own query
+    /// sub-slice (the same range-partitioned dispatch the engine performs),
+    /// merged in shard order. Identical to intersecting the unsharded
+    /// database with the full query list.
     pub fn intersect(&self, sorted_queries: &[Kmer]) -> Vec<Kmer> {
         let mut merged = Vec::new();
-        for shard in &self.shards {
-            merged.extend(shard.intersect_sorted(sorted_queries));
+        for (shard, range) in self.shards.iter().zip(self.slice_queries(sorted_queries)) {
+            merged.extend(shard.intersect_sorted(&sorted_queries[range]));
         }
         merged
     }
@@ -75,6 +132,8 @@ impl ShardSet {
 mod tests {
     use super::*;
     use megis_genomics::reference::ReferenceCollection;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn db() -> SortedKmerDatabase {
         let refs = ReferenceCollection::synthetic(6, 500, 17);
@@ -90,6 +149,109 @@ mod tests {
             let set = ShardSet::build(&database, shards);
             assert_eq!(set.shard_count(), shards);
             assert_eq!(set.intersect(&queries), whole, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn query_slices_partition_the_list_and_preserve_the_intersection() {
+        // Property-style seeded sweep (the offline stand-in for a proptest
+        // suite): for random query mixtures — database hits, foreign misses,
+        // neither, both — and shard counts {1, 2, 4, 8}, the per-shard query
+        // slices are disjoint, concatenate to the full sorted list, scan
+        // each query exactly once in total (O(|Q|), not O(N·|Q|)), and the
+        // sliced sharded intersection is byte-identical to the unsharded
+        // merge.
+        let database = db();
+        let db_kmers: Vec<Kmer> = database.kmers().collect();
+        let foreign = ReferenceCollection::synthetic(3, 500, 4040);
+        let foreign_db = SortedKmerDatabase::build(&foreign, 21);
+        let foreign_kmers: Vec<Kmer> = foreign_db.kmers().collect();
+
+        let mut rng = StdRng::seed_from_u64(2718);
+        for case in 0..24 {
+            let mut queries: Vec<Kmer> = Vec::new();
+            let hits = rng.gen_range(0..db_kmers.len());
+            let misses = rng.gen_range(0..foreign_kmers.len());
+            for _ in 0..hits {
+                queries.push(db_kmers[rng.gen_range(0..db_kmers.len())]);
+            }
+            for _ in 0..misses {
+                queries.push(foreign_kmers[rng.gen_range(0..foreign_kmers.len())]);
+            }
+            queries.sort();
+            queries.dedup();
+            let whole = database.intersect_sorted(&queries);
+
+            for shards in [1usize, 2, 4, 8] {
+                let set = ShardSet::build(&database, shards);
+                let slices = set.slice_queries(&queries);
+                assert_eq!(slices.len(), shards);
+                // Disjoint, ascending, and covering: consecutive ranges abut.
+                assert_eq!(slices[0].start, 0, "case {case}, {shards} shards");
+                assert_eq!(slices[shards - 1].end, queries.len());
+                for w in slices.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "case {case}, {shards} shards");
+                }
+                // Work accounting: every query is scanned exactly once.
+                let scanned: usize = slices.iter().map(|r| r.len()).sum();
+                assert_eq!(scanned, queries.len(), "case {case}, {shards} shards");
+                // Byte-identical sliced intersection.
+                let mut merged = Vec::new();
+                for (shard, range) in set.shards().iter().zip(&slices) {
+                    merged.extend(shard.intersect_sorted(&queries[range.clone()]));
+                }
+                assert_eq!(merged, whole, "case {case}, {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn slices_assign_every_query_even_outside_all_bounds() {
+        // Queries entirely below the first shard's range and above the last
+        // shard's range still land in a slice (and match nothing).
+        let database = db();
+        let set = ShardSet::build(&database, 4);
+        let queries: Vec<Kmer> = database.kmers().collect();
+        let slices = set.slice_queries(&queries);
+        let scanned: usize = slices.iter().map(|r| r.len()).sum();
+        assert_eq!(scanned, queries.len());
+        // An empty query list yields empty slices for every shard.
+        for range in set.slice_queries(&[]) {
+            assert!(range.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_trailing_shards_get_empty_slices() {
+        let database = db();
+        // Far more shards than entries would be slow to build here; instead
+        // partition a tiny sub-database so trailing shards are empty.
+        let tiny =
+            SortedKmerDatabase::from_sorted_entries(database.k(), database.entries()[..3].to_vec());
+        let set = ShardSet::build(&tiny, 8);
+        assert_eq!(set.shard_count(), 8);
+        let bounds = set.bounds();
+        assert!(bounds[..3].iter().all(Option::is_some));
+        assert!(bounds[3..].iter().all(Option::is_none));
+        let queries: Vec<Kmer> = database.kmers().collect();
+        let slices = set.slice_queries(&queries);
+        for (i, range) in slices.iter().enumerate().skip(3) {
+            assert!(range.is_empty(), "empty shard {i} must see no queries");
+        }
+        let scanned: usize = slices.iter().map(|r| r.len()).sum();
+        assert_eq!(scanned, queries.len());
+        assert_eq!(set.intersect(&queries), tiny.intersect_sorted(&queries));
+    }
+
+    #[test]
+    fn bounds_are_disjoint_and_ascending() {
+        let set = ShardSet::build(&db(), 5);
+        let bounds: Vec<(Kmer, Kmer)> = set.bounds().into_iter().flatten().collect();
+        for (lo, hi) in &bounds {
+            assert!(lo <= hi);
+        }
+        for w in bounds.windows(2) {
+            assert!(w[0].1 < w[1].0, "shard ranges must be disjoint and sorted");
         }
     }
 

@@ -82,6 +82,106 @@ fn batch_results_identical_to_sequential_at_any_worker_and_shard_count() {
 }
 
 #[test]
+fn batch_results_identical_across_queue_depths() {
+    // Queue depth changes only how many commands dwell on each simulated
+    // SSD, never what is computed: every worker/shard/depth combination
+    // must reproduce the sequential analyzer byte for byte, including a
+    // configuration with simulated command latencies.
+    let (analyzer, samples) = cohort(8);
+    let expected: Vec<MegisOutput> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+
+    for (workers, shards, depth) in [
+        (1usize, 1usize, 1usize),
+        (2, 2, 1),
+        (2, 4, 2),
+        (4, 2, 4),
+        (2, 3, 8),
+    ] {
+        let mut engine = BatchEngine::new(
+            analyzer.clone(),
+            EngineConfig::new()
+                .with_workers(workers)
+                .with_shards(shards)
+                .with_queue_depth(depth)
+                .with_command_latencies(
+                    std::time::Duration::from_micros(50),
+                    std::time::Duration::from_micros(50),
+                ),
+        );
+        engine.submit_all(specs(&samples)).unwrap();
+        let report = engine.run();
+        assert_eq!(report.results.len(), 8);
+        for (result, expected) in report.results.iter().zip(&expected) {
+            assert_eq!(
+                result.output, *expected,
+                "{} diverged at {workers} workers / {shards} shards / depth {depth}",
+                result.label
+            );
+        }
+        for stats in &report.shard_stats {
+            assert!(
+                stats.peak_inflight <= depth,
+                "shard {} exceeded depth {depth}: {}",
+                stats.shard,
+                stats.peak_inflight
+            );
+        }
+    }
+}
+
+#[test]
+fn more_shards_than_database_entries_stays_correct() {
+    // `SortedKmerDatabase::partition` pads with empty trailing shards when
+    // parts > len; those dead shards must never be commanded (0 jobs), must
+    // not corrupt results, and must not turn utilization reporting into
+    // NaN/Inf nonsense.
+    let base = CommunityConfig::preset(Diversity::Low)
+        .with_species(2)
+        .with_database_species(2)
+        .with_reads(30)
+        .with_genome_len(40);
+    let community = base.build(99);
+    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+    let entries = analyzer.database().len();
+    let shards = entries + 8;
+    assert!(entries > 0, "tiny community still indexes something");
+
+    let expected = analyzer.analyze(community.sample());
+    let mut engine = BatchEngine::new(
+        analyzer,
+        EngineConfig::new().with_workers(2).with_shards(shards),
+    );
+    engine
+        .submit_all((0..3).map(|i| JobSpec::new(format!("s{i}"), community.sample().clone())))
+        .unwrap();
+    let report = engine.run();
+    assert_eq!(report.results.len(), 3);
+    for result in &report.results {
+        assert_eq!(result.output, expected, "{} diverged", result.label);
+    }
+    assert_eq!(report.shard_stats.len(), shards);
+    // Entry-holding shards serve every job; dead padding shards serve none.
+    for stats in &report.shard_stats {
+        if stats.shard < entries {
+            assert_eq!(stats.jobs, 3, "shard {} holds entries", stats.shard);
+        } else {
+            assert_eq!(stats.jobs, 0, "shard {} is padding", stats.shard);
+            assert_eq!(stats.query_items, 0);
+            assert_eq!(stats.busy, std::time::Duration::ZERO);
+        }
+    }
+    let utilization = report.shard_utilization();
+    assert_eq!(utilization.len(), shards);
+    for (shard, util) in utilization.iter().enumerate() {
+        assert!(
+            util.is_finite() && *util >= 0.0,
+            "shard {shard} utilization is nonsense: {util}"
+        );
+    }
+    assert!(!report.summary().is_empty());
+}
+
+#[test]
 fn fifo_and_priority_policies_order_service_differently() {
     let (analyzer, samples) = cohort(6);
     let build_jobs = || {

@@ -176,6 +176,101 @@ fn isp_service_order_follows_priority_policy_with_four_workers() {
 }
 
 #[test]
+fn several_samples_intersections_are_in_flight_per_shard() {
+    // Acceptance: with per-shard query slicing and queue depth >= 2, at
+    // least two samples' intersection commands are concurrently in flight
+    // on one shard (peak queue occupancy >= 2), while delivery still
+    // respects dispatch order and every result stays byte-identical to the
+    // sequential analyzer. The simulated device latency makes the overlap
+    // deterministic: commands dwell on the device long enough for the
+    // dispatcher to queue the next sample's command behind them.
+    use std::time::Duration;
+    let (analyzer, samples) = cohort(10);
+    let expected: Vec<MegisOutput> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+    let engine = StreamingEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(2)
+            .with_shards(2)
+            .with_queue_depth(4)
+            .with_device_latency(Duration::from_millis(2)),
+    );
+    let handles: Vec<JobHandle> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            engine
+                .submit(JobSpec::new(format!("s{i}"), s.clone()))
+                .unwrap()
+        })
+        .collect();
+    engine.drain();
+    for (handle, expected) in handles.into_iter().zip(&expected) {
+        let result = handle.try_wait().expect("drained job delivered");
+        assert_eq!(result.output, *expected, "{} diverged", result.label);
+        assert_eq!(
+            result.isp_position, result.start_position,
+            "delivery must respect dispatch order"
+        );
+    }
+    let report = engine.shutdown();
+    let peak = report
+        .shard_stats
+        .iter()
+        .map(|s| s.peak_inflight)
+        .max()
+        .unwrap();
+    assert!(
+        peak >= 2,
+        "with depth 4 and dwelling commands, some shard must hold >= 2 \
+         samples' intersections at once (observed peak {peak})"
+    );
+    for stats in &report.shard_stats {
+        assert!(
+            stats.peak_inflight <= 4,
+            "shard {} exceeded the configured depth: {}",
+            stats.shard,
+            stats.peak_inflight
+        );
+    }
+}
+
+#[test]
+fn per_shard_query_work_sums_to_the_query_count() {
+    // Work accounting for the range-partitioned dispatch: across all
+    // shards, the query items scanned must equal the batch's total selected
+    // k-mers |Q| (each query slice visits exactly one shard) — not the
+    // N·|Q| the old broadcast dispatch cost.
+    let (analyzer, samples) = cohort(6);
+    for shards in [1usize, 2, 4, 8] {
+        let engine = StreamingEngine::new(
+            analyzer.clone(),
+            EngineConfig::new().with_workers(2).with_shards(shards),
+        );
+        let handles: Vec<JobHandle> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                engine
+                    .submit(JobSpec::new(format!("s{i}"), s.clone()))
+                    .unwrap()
+            })
+            .collect();
+        engine.drain();
+        let total_queries: u64 = handles
+            .into_iter()
+            .map(|h| h.try_wait().expect("drained").output.selected_kmers)
+            .sum();
+        let report = engine.shutdown();
+        let scanned: u64 = report.shard_stats.iter().map(|s| s.query_items).sum();
+        assert_eq!(
+            scanned, total_queries,
+            "{shards} shards must scan each query exactly once"
+        );
+    }
+}
+
+#[test]
 fn snapshot_tracks_rolling_window_and_lifecycle() {
     let (analyzer, samples) = cohort(8);
     let engine = StreamingEngine::new(
