@@ -1,0 +1,496 @@
+//! Hot-path microbenchmarks: the flattened data path of the functional
+//! reproduction, measured against its pre-refactor pointer-chasing
+//! baselines.
+//!
+//! MegIS's premise is that Steps 2–3 run at flash-streaming bandwidth on
+//! sorted flat data (§4.3.1); the host-side reproduction must not give that
+//! back in its innermost loops. This experiment measures the three hot
+//! kernels after the columnar refactor:
+//!
+//! * **intersection** — the galloping merge of
+//!   [`SortedKmerDatabase::intersect_sorted`] against the retained
+//!   two-pointer reference, on a skewed workload (`|DB| = 64 · |Q|`, the
+//!   realistic per-shard regime where galloping wins),
+//! * **KMC counting** — `collect → sort_unstable → run-length group`
+//!   against the old per-occurrence `BTreeMap` insertion,
+//! * **database build** — the columnar pair-sort build against the old
+//!   `BTreeMap<Kmer, Vec<TaxId>>` + `contains` build,
+//!
+//! plus **shard residency**: [`ShardSet::resident_bytes`] across 1–8 shards
+//! must stay exactly one copy of the columnar storage (zero-copy views),
+//! where the old deep-copy partition held a second full copy.
+//!
+//! The `hotpath` binary prints this report and writes the numbers to
+//! `BENCH_hotpath.json` — the repo's performance trajectory. CI runs it in
+//! release mode, greps the verdict lines, and uploads the JSON, so a future
+//! PR that regresses the hot path below the 2× galloping threshold (or
+//! reintroduces a database copy) fails the smoke test.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use megis_genomics::database::SortedKmerDatabase;
+use megis_genomics::kmer::{Kmer, KmerExtractor};
+use megis_genomics::read::ReadSet;
+use megis_genomics::reference::ReferenceCollection;
+use megis_genomics::sample::{CommunityConfig, Diversity};
+use megis_genomics::taxonomy::TaxId;
+use megis_sched::ShardSet;
+use megis_tools::kmc::KmerCounts;
+
+use crate::report::Report;
+
+/// Reference genomes in the intersection-fixture database. The database
+/// must be far larger than the last-level cache for the measurement to be
+/// honest: a cache-resident k-mer column makes the two-pointer scan nearly
+/// free and hides the galloping win that exists at paper scale, where the
+/// database always streams from memory (or flash).
+const INTERSECT_GENOMES: usize = 64;
+/// Bases per intersection-fixture genome (~2M database entries, ~64 MB of
+/// k-mer column).
+const INTERSECT_GENOME_LEN: usize = 32_000;
+/// Reference genomes in the (smaller) build-throughput fixture.
+const BUILD_GENOMES: usize = 16;
+/// Bases per build-fixture genome.
+const BUILD_GENOME_LEN: usize = 8_000;
+/// k-mer length of the database and queries.
+const K: usize = 31;
+/// Query skew: one query per this many database entries (`|DB| = SKEW·|Q|`).
+const SKEW: usize = 64;
+/// Reads in the counting fixture.
+const READS: usize = 400;
+/// Trials per kernel; the best trial is reported (suppresses scheduler
+/// noise, keeps the structural effect).
+const TRIALS: usize = 3;
+/// Minimum measured span per trial; kernels faster than this are iterated.
+const MIN_MEASURE: Duration = Duration::from_millis(10);
+/// The CI verdict threshold: galloping must beat two-pointer by at least
+/// this factor on the skewed workload.
+const GALLOP_THRESHOLD: f64 = 2.0;
+
+/// Best-of-[`TRIALS`] seconds per invocation of `f`, each trial iterating
+/// until at least [`MIN_MEASURE`] has elapsed.
+fn best_seconds<R>(mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let mut iters = 0u32;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() >= MIN_MEASURE {
+                break;
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+/// The pre-refactor database build (per-entry `BTreeMap` nodes plus an
+/// `O(t)` `contains` scan per occurrence), kept as the measured baseline.
+fn build_btreemap(references: &ReferenceCollection, k: usize) -> Vec<(Kmer, Vec<TaxId>)> {
+    let mut map: BTreeMap<Kmer, Vec<TaxId>> = BTreeMap::new();
+    for genome in references.genomes() {
+        for kmer in KmerExtractor::new(genome.sequence(), k) {
+            let taxa = map.entry(kmer.canonical()).or_default();
+            if !taxa.contains(&genome.taxid()) {
+                taxa.push(genome.taxid());
+            }
+        }
+    }
+    map.into_iter()
+        .map(|(kmer, mut taxa)| {
+            taxa.sort();
+            (kmer, taxa)
+        })
+        .collect()
+}
+
+/// The pre-refactor KMC counting (per-occurrence ordered-map insertion),
+/// kept as the measured baseline.
+fn count_btreemap(reads: &ReadSet, k: usize) -> Vec<(Kmer, u32)> {
+    let mut map: BTreeMap<Kmer, u32> = BTreeMap::new();
+    for read in reads.iter() {
+        for kmer in read.kmers(k) {
+            *map.entry(kmer.canonical()).or_insert(0) += 1;
+        }
+    }
+    map.into_iter().collect()
+}
+
+/// Everything the hot-path experiment measured; [`hotpath_measure`] fills
+/// it, [`HotpathMeasurement::report`] renders the text report, and
+/// [`HotpathMeasurement::to_json`] serializes the `BENCH_hotpath.json`
+/// trajectory record.
+#[derive(Debug, Clone)]
+pub struct HotpathMeasurement {
+    /// Distinct k-mers in the database fixture.
+    pub db_entries: usize,
+    /// k-mer→taxon associations in the database fixture.
+    pub db_associations: usize,
+    /// Query k-mers in the skewed intersection workload.
+    pub queries: usize,
+    /// k-mer occurrences in the counting workload.
+    pub count_occurrences: u64,
+    /// k-mer occurrences the build consumes.
+    pub build_inputs: u64,
+    /// Seconds per two-pointer intersection pass (best trial).
+    pub two_pointer_s: f64,
+    /// Seconds per galloping intersection pass (best trial).
+    pub gallop_s: f64,
+    /// Seconds per `BTreeMap` counting pass (best trial).
+    pub count_btreemap_s: f64,
+    /// Seconds per sort-and-group counting pass (best trial).
+    pub count_sort_s: f64,
+    /// Seconds per `BTreeMap` database build (best trial).
+    pub build_btreemap_s: f64,
+    /// Seconds per columnar database build (best trial).
+    pub build_columnar_s: f64,
+    /// Heap bytes of one columnar database copy.
+    pub db_heap_bytes: u64,
+    /// `(shard count, ShardSet::resident_bytes)` for each swept count.
+    pub resident_by_shards: Vec<(usize, u64)>,
+    /// Whether every refactored kernel reproduced its baseline exactly
+    /// (galloping vs two-pointer, sort-count vs map-count, columnar build
+    /// vs map build).
+    pub parity: bool,
+}
+
+impl HotpathMeasurement {
+    /// Galloping speedup over the two-pointer reference.
+    pub fn gallop_speedup(&self) -> f64 {
+        self.two_pointer_s / self.gallop_s
+    }
+
+    /// Sort-and-group counting speedup over the `BTreeMap` baseline.
+    pub fn count_speedup(&self) -> f64 {
+        self.count_btreemap_s / self.count_sort_s
+    }
+
+    /// Columnar build speedup over the `BTreeMap` baseline.
+    pub fn build_speedup(&self) -> f64 {
+        self.build_btreemap_s / self.build_columnar_s
+    }
+
+    /// Shard-set resident bytes relative to one database copy, at the
+    /// largest swept shard count. Exactly 1.0 for zero-copy views; ~2.0 was
+    /// the deep-copy number this refactor removes.
+    pub fn resident_ratio(&self) -> f64 {
+        let (_, resident) = self.resident_by_shards.last().copied().unwrap_or((0, 0));
+        resident as f64 / self.db_heap_bytes as f64
+    }
+
+    /// The CI verdict: galloping beats two-pointer by at least the 2x
+    /// threshold on the skewed workload.
+    pub fn gallop_confirmed(&self) -> bool {
+        self.gallop_speedup() >= GALLOP_THRESHOLD
+    }
+
+    /// The CI verdict: sharding kept one resident database copy.
+    pub fn zero_copy_confirmed(&self) -> bool {
+        self.resident_by_shards
+            .iter()
+            .all(|(_, resident)| *resident == self.db_heap_bytes)
+    }
+
+    /// Renders the plain-text report with the greppable verdict lines.
+    pub fn report(&self) -> String {
+        let mut report = Report::new();
+        report.title(
+            "Hot-path analysis: columnar k-mer database, galloping intersection, zero-copy shards",
+        );
+        report.line(&format!(
+            "database: {} entries, {} associations (k = {K}); queries: {} \
+             (skew |DB|/|Q| = {SKEW}); best of {TRIALS} trials per kernel",
+            self.db_entries, self.db_associations, self.queries,
+        ));
+
+        let melems = (self.db_entries + self.queries) as f64 / 1e6;
+        report.section(&format!("intersection finding (|DB| = {SKEW} * |Q|)"));
+        report.table_header(&["kernel", "ms/pass", "Melem/s"]);
+        report.table_row(
+            "two-pointer",
+            &[self.two_pointer_s * 1e3, melems / self.two_pointer_s],
+        );
+        report.table_row("galloping", &[self.gallop_s * 1e3, melems / self.gallop_s]);
+        report.line(&format!("speedup: {:.2}x", self.gallop_speedup()));
+
+        let mkmers = self.count_occurrences as f64 / 1e6;
+        report.section(&format!(
+            "KMC counting ({} k-mer occurrences)",
+            self.count_occurrences
+        ));
+        report.table_header(&["kernel", "ms/pass", "Mkmer/s"]);
+        report.table_row(
+            "btreemap",
+            &[self.count_btreemap_s * 1e3, mkmers / self.count_btreemap_s],
+        );
+        report.table_row(
+            "sort+group",
+            &[self.count_sort_s * 1e3, mkmers / self.count_sort_s],
+        );
+        report.line(&format!("speedup: {:.2}x", self.count_speedup()));
+
+        let minputs = self.build_inputs as f64 / 1e6;
+        report.section(&format!(
+            "database build ({} k-mer occurrences)",
+            self.build_inputs
+        ));
+        report.table_header(&["kernel", "ms/pass", "Mkmer/s"]);
+        report.table_row(
+            "btreemap",
+            &[self.build_btreemap_s * 1e3, minputs / self.build_btreemap_s],
+        );
+        report.table_row(
+            "columnar",
+            &[self.build_columnar_s * 1e3, minputs / self.build_columnar_s],
+        );
+        report.line(&format!("speedup: {:.2}x", self.build_speedup()));
+
+        report.section("shard residency (host heap, shared storage counted once)");
+        report.line(&format!(
+            "one database copy: {:.2} MB",
+            self.db_heap_bytes as f64 / 1e6
+        ));
+        report.table_header(&["shards", "resident MB", "x database"]);
+        for (shards, resident) in &self.resident_by_shards {
+            report.table_row(
+                &shards.to_string(),
+                &[
+                    *resident as f64 / 1e6,
+                    *resident as f64 / self.db_heap_bytes as f64,
+                ],
+            );
+        }
+
+        report.line("");
+        report.line(&format!(
+            "parity with two-pointer reference: {}",
+            if self.parity { "identical" } else { "DIVERGED" }
+        ));
+        report.line(&format!(
+            "galloping speedup: {} ({:.2}x vs the {GALLOP_THRESHOLD:.1}x threshold)",
+            if self.gallop_confirmed() {
+                "confirmed"
+            } else {
+                "NOT OBSERVED"
+            },
+            self.gallop_speedup(),
+        ));
+        report.line(&format!(
+            "zero-copy shards: {} ({:.2}x of one database copy at {} shards)",
+            if self.zero_copy_confirmed() {
+                "confirmed"
+            } else {
+                "NOT OBSERVED"
+            },
+            self.resident_ratio(),
+            self.resident_by_shards.last().map(|(s, _)| *s).unwrap_or(0),
+        ));
+        report.line("");
+        report.line("Galloping advances on the longer (database) side in O(log gap) probes, so");
+        report.line("the skewed merge is bounded by |Q| * log(|DB|/|Q|) instead of |DB| + |Q|;");
+        report.line("counting and build replace per-item ordered-map insertion with one");
+        report.line("sort_unstable + run-length group over a dense array; and partitioning");
+        report.line("returns range views over one Arc-shared columnar storage, so an N-shard");
+        report.line("deployment keeps a single resident copy of the database.");
+        report.finish()
+    }
+
+    /// Serializes the measurement as the `BENCH_hotpath.json` record.
+    pub fn to_json(&self) -> String {
+        let residents: Vec<String> = self
+            .resident_by_shards
+            .iter()
+            .map(|(shards, bytes)| format!("    \"{shards}\": {bytes}"))
+            .collect();
+        format!(
+            "{{\n\
+             \x20 \"bench\": \"hotpath\",\n\
+             \x20 \"kmer_len\": {K},\n\
+             \x20 \"db_entries\": {},\n\
+             \x20 \"db_associations\": {},\n\
+             \x20 \"queries\": {},\n\
+             \x20 \"skew\": {SKEW},\n\
+             \x20 \"parity\": {},\n\
+             \x20 \"intersect\": {{\n\
+             \x20   \"two_pointer_us_per_pass\": {:.3},\n\
+             \x20   \"gallop_us_per_pass\": {:.3},\n\
+             \x20   \"speedup\": {:.3},\n\
+             \x20   \"threshold\": {GALLOP_THRESHOLD:.1},\n\
+             \x20   \"confirmed\": {}\n\
+             \x20 }},\n\
+             \x20 \"count\": {{\n\
+             \x20   \"occurrences\": {},\n\
+             \x20   \"btreemap_us_per_pass\": {:.3},\n\
+             \x20   \"sort_group_us_per_pass\": {:.3},\n\
+             \x20   \"speedup\": {:.3}\n\
+             \x20 }},\n\
+             \x20 \"build\": {{\n\
+             \x20   \"occurrences\": {},\n\
+             \x20   \"btreemap_us_per_pass\": {:.3},\n\
+             \x20   \"columnar_us_per_pass\": {:.3},\n\
+             \x20   \"speedup\": {:.3}\n\
+             \x20 }},\n\
+             \x20 \"shards\": {{\n\
+             \x20   \"db_heap_bytes\": {},\n\
+             \x20   \"resident_bytes\": {{\n{}\n\x20   }},\n\
+             \x20   \"resident_ratio\": {:.4},\n\
+             \x20   \"zero_copy_confirmed\": {}\n\
+             \x20 }}\n\
+             }}\n",
+            self.db_entries,
+            self.db_associations,
+            self.queries,
+            self.parity,
+            self.two_pointer_s * 1e6,
+            self.gallop_s * 1e6,
+            self.gallop_speedup(),
+            self.gallop_confirmed(),
+            self.count_occurrences,
+            self.count_btreemap_s * 1e6,
+            self.count_sort_s * 1e6,
+            self.count_speedup(),
+            self.build_inputs,
+            self.build_btreemap_s * 1e6,
+            self.build_columnar_s * 1e6,
+            self.build_speedup(),
+            self.db_heap_bytes,
+            residents.join(",\n"),
+            self.resident_ratio(),
+            self.zero_copy_confirmed(),
+        )
+    }
+}
+
+/// Runs the hot-path microbenchmarks and returns the raw measurement.
+pub fn hotpath_measure() -> HotpathMeasurement {
+    // Intersection fixture: a database far larger than the per-pass query
+    // list (and than the last-level cache), queries drawn from the database
+    // so both merges do full matching work (every query is a hit). Entries
+    // are kept with probability 1/SKEW by a seeded hash rather than a fixed
+    // stride, so the gaps are irregular (geometric-ish around SKEW) — a
+    // fixed stride would hand the galloping hint its best case and
+    // overstate the win.
+    let references = ReferenceCollection::synthetic(INTERSECT_GENOMES, INTERSECT_GENOME_LEN, 4242);
+    let database = SortedKmerDatabase::build(&references, K);
+    let queries: Vec<Kmer> = database
+        .kmers()
+        .enumerate()
+        .filter(|(i, _)| (*i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58 == 0)
+        .map(|(_, kmer)| kmer)
+        .collect();
+
+    // A mixed list (hits + foreign misses + duplicates) for the parity
+    // check, so equivalence is asserted beyond the skewed shape.
+    let foreign = ReferenceCollection::synthetic(2, 2_000, 777);
+    let mut mixed: Vec<Kmer> = queries.clone();
+    mixed.extend(KmerExtractor::new(foreign.genomes()[0].sequence(), K).map(|k| k.canonical()));
+    mixed.extend(queries.iter().step_by(7).copied());
+    mixed.sort();
+
+    let mut parity = database.intersect_sorted(&queries)
+        == database.intersect_sorted_two_pointer(&queries)
+        && database.intersect_sorted(&mixed) == database.intersect_sorted_two_pointer(&mixed);
+
+    let two_pointer_s = best_seconds(|| database.intersect_sorted_two_pointer(&queries).len());
+    let gallop_s = best_seconds(|| database.intersect_sorted(&queries).len());
+
+    // Counting fixture: a synthetic community's read set.
+    let community = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(READS)
+        .with_database_species(12)
+        .build(7);
+    let reads = community.sample().reads();
+    let counted = KmerCounts::count(reads, K);
+    parity &= counted.entries() == count_btreemap(reads, K).as_slice();
+    let count_occurrences = counted.total_occurrences();
+    let count_btreemap_s = best_seconds(|| count_btreemap(reads, K).len());
+    let count_sort_s = best_seconds(|| KmerCounts::count(reads, K).len());
+
+    // Build fixture: small enough to iterate the whole build per trial
+    // (the intersection fixture is deliberately oversized for that).
+    let build_refs = ReferenceCollection::synthetic(BUILD_GENOMES, BUILD_GENOME_LEN, 4242);
+    let build_inputs: u64 = build_refs
+        .genomes()
+        .iter()
+        .map(|g| KmerExtractor::new(g.sequence(), K).count() as u64)
+        .sum();
+    let reference_build = build_btreemap(&build_refs, K);
+    let columnar_build = SortedKmerDatabase::build(&build_refs, K);
+    parity &= reference_build.len() == columnar_build.len()
+        && columnar_build
+            .entries()
+            .zip(&reference_build)
+            .all(|(entry, (kmer, taxa))| entry.kmer == *kmer && entry.taxa == taxa.as_slice());
+    let build_btreemap_s = best_seconds(|| build_btreemap(&build_refs, K).len());
+    let build_columnar_s = best_seconds(|| SortedKmerDatabase::build(&build_refs, K).len());
+
+    // Shard residency: zero-copy views must keep one storage copy at every
+    // shard count.
+    let db_heap_bytes = database.storage().heap_bytes();
+    let resident_by_shards = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| (shards, ShardSet::build(&database, shards).resident_bytes()))
+        .collect();
+
+    HotpathMeasurement {
+        db_entries: database.len(),
+        db_associations: database.storage().association_count(),
+        queries: queries.len(),
+        count_occurrences,
+        build_inputs,
+        two_pointer_s,
+        gallop_s,
+        count_btreemap_s,
+        count_sort_s,
+        build_btreemap_s,
+        build_columnar_s,
+        db_heap_bytes,
+        resident_by_shards,
+        parity,
+    }
+}
+
+/// Hot-path analysis: measures the flattened kernels against their
+/// pre-refactor baselines and renders the report (what
+/// `cargo run -p megis-bench --bin hotpath` prints; the binary additionally
+/// writes `BENCH_hotpath.json`).
+pub fn hotpath() -> String {
+    hotpath_measure().report()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hotpath_confirms_parity_and_zero_copy() {
+        let m = super::hotpath_measure();
+        assert!(m.parity, "refactored kernels must reproduce the baselines");
+        assert!(
+            m.zero_copy_confirmed(),
+            "sharding must keep one resident database copy: {:?} vs {}",
+            m.resident_by_shards,
+            m.db_heap_bytes
+        );
+        let report = m.report();
+        assert!(report.contains("parity with two-pointer reference: identical"));
+        assert!(report.contains("zero-copy shards: confirmed"));
+        let json = m.to_json();
+        assert!(json.contains("\"bench\": \"hotpath\""));
+        assert!(json.contains("\"zero_copy_confirmed\": true"));
+        // The wall-clock speedup verdict is deliberately NOT asserted
+        // here: a timing ratio inside the general test suite would flake on
+        // loaded machines. The release-mode CI smoke step runs the `hotpath`
+        // bin as a dedicated step and greps the verdict line, so the >= 2x
+        // property stays enforced where a failure is attributable.
+        if !m.gallop_confirmed() {
+            eprintln!(
+                "warning: galloping speedup {:.2}x below the 2x threshold in \
+                 this (possibly debug/loaded) run",
+                m.gallop_speedup()
+            );
+        }
+    }
+}

@@ -12,6 +12,7 @@ mod comparison;
 mod energy;
 mod engine;
 mod hardware;
+mod hotpath;
 mod motivation;
 mod presence;
 mod queue;
@@ -24,6 +25,7 @@ pub use comparison::{
 pub use energy::energy_analysis;
 pub use engine::{fig15_sharded_engine, fig21_batch_engine, streaming_load_analysis};
 pub use hardware::{kss_size_analysis, table1_ssd_configs, table2_area_power};
+pub use hotpath::{hotpath, hotpath_measure, HotpathMeasurement};
 pub use motivation::fig03_io_overhead;
 pub use presence::{fig12_presence_speedup, fig13_time_breakdown, fig14_database_size};
 pub use queue::queue_depth_sweep;
@@ -48,6 +50,7 @@ pub fn all() -> String {
         fig21_batch_engine(),
         streaming_load_analysis(),
         queue_depth_sweep(),
+        hotpath(),
         table2_area_power(),
         kss_size_analysis(),
         energy_analysis(),
@@ -84,6 +87,11 @@ mod tests {
             ("fig21", super::fig21_multi_sample()),
             ("fig21-engine", super::fig21_batch_engine()),
             ("streaming-load", super::streaming_load_analysis()),
+            // `hotpath` is deliberately absent: its cache-oversized fixture
+            // makes a full measurement expensive, and its own test module
+            // already runs (and asserts on) one — duplicating it here would
+            // pay the fixture build twice per test run for a
+            // non-emptiness check.
             ("table2", super::table2_area_power()),
             ("kss", super::kss_size_analysis()),
             ("energy", super::energy_analysis()),

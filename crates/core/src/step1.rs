@@ -97,16 +97,23 @@ pub fn run(reads: &ReadSet, config: &MegisConfig, exclusion: ExclusionPolicy) ->
     let selected_kmers = selected.len() as u64;
 
     // Partition the (already sorted) selected k-mers into `bucket_count`
-    // lexicographic ranges with near-equal population — the same effect as the
-    // paper's preliminary-bucket balancing (§4.2.1).
+    // lexicographic ranges with near-equal population — the same effect as
+    // the paper's preliminary-bucket balancing (§4.2.1). The remainder is
+    // spread one-per-bucket from the front, so non-empty bucket sizes differ
+    // by at most one (asserted by `bucket_sizes_are_balanced`); a plain
+    // ceiling-sized chunking would instead leave the last bucket arbitrarily
+    // short.
     let bucket_count = config.bucket_count.max(1);
-    let per_bucket = selected.len().div_ceil(bucket_count).max(1);
-    let mut buckets: Vec<Bucket> = selected
-        .chunks(per_bucket)
-        .map(|c| Bucket { kmers: c.to_vec() })
-        .collect();
-    while buckets.len() < bucket_count {
-        buckets.push(Bucket::default());
+    let base = selected.len() / bucket_count;
+    let extra = selected.len() % bucket_count;
+    let mut buckets: Vec<Bucket> = Vec::with_capacity(bucket_count);
+    let mut start = 0usize;
+    for i in 0..bucket_count {
+        let size = base + usize::from(i < extra);
+        buckets.push(Bucket {
+            kmers: selected[start..start + size].to_vec(),
+        });
+        start += size;
     }
     Step1Output {
         buckets,
@@ -175,7 +182,16 @@ mod tests {
         let sizes: Vec<usize> = out.buckets.iter().map(Bucket::len).collect();
         let max = *sizes.iter().max().unwrap();
         let min_nonzero = sizes.iter().filter(|s| **s > 0).min().copied().unwrap_or(0);
-        assert!(max - min_nonzero <= max, "bucket sizes: {sizes:?}");
+        // Balanced split: the remainder is spread one-per-bucket, so
+        // non-empty bucket sizes differ by at most one. (The old assertion,
+        // `max - min_nonzero <= max`, held for every possible split.)
+        assert!(max <= min_nonzero + 1, "bucket sizes: {sizes:?}");
+        assert_eq!(
+            max,
+            (out.selected_kmers as usize).div_ceil(cfg.bucket_count)
+        );
+        // The buckets cover every selected k-mer exactly once.
+        assert_eq!(sizes.iter().sum::<usize>() as u64, out.selected_kmers);
         assert!(max <= out.selected_kmers as usize / (cfg.bucket_count / 2).max(1) + 1);
     }
 

@@ -53,6 +53,64 @@ fn intersection_equals_set_intersection() {
 }
 
 #[test]
+fn galloping_intersection_equals_two_pointer_reference() {
+    // Seeded property sweep: the galloping merge must be byte-identical to
+    // the retained two-pointer oracle on every input shape — random
+    // hit/miss mixtures, duplicate queries, empty inputs, disjoint sets,
+    // full subsets, and the skewed sparse regime galloping is built for.
+    let mut rng = StdRng::seed_from_u64(206);
+    for case in 0..24u64 {
+        let refs = ReferenceCollection::synthetic(3, 300, case);
+        let db = SortedKmerDatabase::build(&refs, 21);
+        let mut queries = random_kmers(&mut rng, 200, 21);
+        let stride = rng.gen_range(2..40usize);
+        queries.extend(db.kmers().step_by(stride));
+        // Duplicates: repeat a random prefix so equal runs hit the merge.
+        let dups: Vec<Kmer> = queries.iter().take(rng.gen_range(0..30)).copied().collect();
+        queries.extend(dups);
+        queries.sort();
+        assert_eq!(
+            db.intersect_sorted(&queries),
+            db.intersect_sorted_two_pointer(&queries),
+            "case {case}"
+        );
+        // The intersection of duplicate queries stays deduplicated.
+        assert!(db
+            .intersect_sorted(&queries)
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+
+        // Empty queries and empty database.
+        assert!(db.intersect_sorted(&[]).is_empty());
+        assert!(SortedKmerDatabase::default()
+            .intersect_sorted(&queries)
+            .is_empty());
+
+        // Disjoint: queries from an unrelated collection only.
+        let foreign = ReferenceCollection::synthetic(2, 250, case + 10_000);
+        let foreign_db = SortedKmerDatabase::build(&foreign, 21);
+        let misses: Vec<Kmer> = foreign_db.kmers().collect();
+        assert_eq!(
+            db.intersect_sorted(&misses),
+            db.intersect_sorted_two_pointer(&misses),
+            "disjoint case {case}"
+        );
+
+        // Full subset: every database k-mer queried intersects to itself.
+        let all: Vec<Kmer> = db.kmers().collect();
+        assert_eq!(db.intersect_sorted(&all), all);
+
+        // Skewed sparse subset (|DB| >> |Q|), the galloping regime.
+        let sparse: Vec<Kmer> = all.iter().step_by(64).copied().collect();
+        assert_eq!(
+            db.intersect_sorted(&sparse),
+            db.intersect_sorted_two_pointer(&sparse),
+            "sparse case {case}"
+        );
+    }
+}
+
+#[test]
 fn database_partition_preserves_intersections() {
     let mut rng = StdRng::seed_from_u64(202);
     for case in 0..16u64 {
@@ -64,8 +122,14 @@ fn database_partition_preserves_intersections() {
         sorted.sort();
         sorted.dedup();
         let whole = db.intersect_sorted(&sorted);
-        let mut merged: Vec<Kmer> = db
-            .partition(parts)
+        let shards = db.partition(parts);
+        for shard in &shards {
+            assert!(
+                shard.shares_storage_with(&db),
+                "{parts}-way partition must be zero-copy views"
+            );
+        }
+        let mut merged: Vec<Kmer> = shards
             .iter()
             .flat_map(|shard| shard.intersect_sorted(&sorted))
             .collect();

@@ -1,4 +1,4 @@
-//! k-mer databases and reference indexes.
+//! k-mer databases and reference indexes, in a columnar (CSR) layout.
 //!
 //! The streaming-access (S-Qry) analysis flow that MegIS builds on keeps its
 //! database as a *lexicographically sorted* list of k-mers, each associated
@@ -6,18 +6,62 @@
 //! stores this database sequentially across SSD channels and streams through
 //! it once per sample, intersecting it with the (also sorted) query k-mers.
 //!
+//! # Columnar storage and zero-copy views
+//!
+//! The host-side reproduction mirrors that flat on-flash layout in memory.
+//! [`DatabaseStorage`] holds three dense arrays in CSR
+//! (compressed-sparse-row) form:
+//!
+//! * `kmers` — the sorted k-mer column,
+//! * `taxa_offsets` — one `u32` boundary per k-mer (plus a trailing
+//!   sentinel), indexing into
+//! * `taxa` — every k-mer→taxon association, concatenated in k-mer order.
+//!
+//! Entry `i`'s taxa are `taxa[taxa_offsets[i]..taxa_offsets[i + 1]]`, so the
+//! whole database is three allocations instead of one heap-allocated
+//! `Vec<TaxId>` per entry — the innermost intersection loop walks a plain
+//! `&[Kmer]` exactly like MegIS's per-channel Intersect units walk the flash
+//! stream (§4.3.1).
+//!
+//! A [`SortedKmerDatabase`] is a *view*: an [`Arc`]-shared handle on one
+//! [`DatabaseStorage`] plus a contiguous entry range. Cloning a database or
+//! [partitioning](SortedKmerDatabase::partition) it across simulated SSDs
+//! produces more views over the *same* storage — an N-shard deployment holds
+//! one copy of the database, not two. Borrowed entries are exposed as
+//! [`KmerEntryRef`] (a k-mer plus a `&[TaxId]` slice); the owned
+//! [`KmerEntry`] remains as builder input for
+//! [`SortedKmerDatabase::from_sorted_entries`].
+//!
+//! # Intersection
+//!
+//! [`SortedKmerDatabase::intersect_sorted`] runs a galloping
+//! (exponential-search) merge that advances on whichever stream is behind —
+//! in the realistic regime one shard's database slice is far longer than the
+//! query slice that overlaps it, so the merge skips database runs in
+//! `O(log gap)` instead of touching every element. The element-at-a-time
+//! two-pointer merge is kept as
+//! [`SortedKmerDatabase::intersect_sorted_two_pointer`], the reference
+//! oracle for the property tests and the baseline the `hotpath` bench
+//! experiment measures against.
+//!
 //! For read-mapping-based abundance estimation, each species additionally has
 //! a [`ReferenceIndex`] mapping k-mers to their genome locations; MegIS's Step
 //! 3 merges the indexes of the candidate species into a
 //! [`UnifiedReferenceIndex`] inside the SSD (Fig. 9 of the paper).
 
 use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 use crate::kmer::{Kmer, KmerExtractor};
 use crate::reference::{ReferenceCollection, ReferenceGenome};
 use crate::taxonomy::TaxId;
 
-/// One entry of a sorted k-mer database: a k-mer and the taxa it occurs in.
+/// One owned entry of a sorted k-mer database: a k-mer and the taxa it
+/// occurs in. Used as builder input
+/// ([`SortedKmerDatabase::from_sorted_entries`]) and for detached copies
+/// ([`KmerEntryRef::to_owned`]); the database itself stores entries
+/// columnarly, not as a `Vec<KmerEntry>`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KmerEntry {
     /// The indexed k-mer.
@@ -26,7 +70,122 @@ pub struct KmerEntry {
     pub taxa: Vec<TaxId>,
 }
 
-/// A lexicographically sorted k-mer database (the S-Qry / MegIS database).
+/// A borrowed view of one database entry: the k-mer plus its taxa slice
+/// inside the shared columnar storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmerEntryRef<'a> {
+    /// The indexed k-mer.
+    pub kmer: Kmer,
+    /// Sorted, deduplicated taxa whose genomes contain the k-mer.
+    pub taxa: &'a [TaxId],
+}
+
+impl KmerEntryRef<'_> {
+    /// Detaches the entry from the storage it borrows.
+    pub fn to_owned(&self) -> KmerEntry {
+        KmerEntry {
+            kmer: self.kmer,
+            taxa: self.taxa.to_vec(),
+        }
+    }
+}
+
+/// The shared columnar (CSR) backing store of a [`SortedKmerDatabase`].
+///
+/// Three dense arrays: the sorted k-mer column, the per-entry taxa
+/// boundaries, and the concatenated taxa column. All views produced by
+/// [`SortedKmerDatabase::partition`] / [`SortedKmerDatabase::view`] share
+/// one `Arc<DatabaseStorage>`; [`DatabaseStorage::heap_bytes`] is the
+/// resident cost that sharing amortizes.
+#[derive(Debug)]
+pub struct DatabaseStorage {
+    kmers: Vec<Kmer>,
+    /// `kmers.len() + 1` boundaries; entry `i`'s taxa span
+    /// `taxa[taxa_offsets[i] as usize..taxa_offsets[i + 1] as usize]`.
+    taxa_offsets: Vec<u32>,
+    taxa: Vec<TaxId>,
+}
+
+impl Default for DatabaseStorage {
+    fn default() -> DatabaseStorage {
+        DatabaseStorage {
+            kmers: Vec::new(),
+            taxa_offsets: vec![0],
+            taxa: Vec::new(),
+        }
+    }
+}
+
+impl DatabaseStorage {
+    /// Builds the CSR arrays from sorted, deduplicated `(kmer, taxid)`
+    /// association pairs (grouped by k-mer; taxa of one k-mer already
+    /// sorted).
+    fn from_grouped_pairs(pairs: Vec<(Kmer, TaxId)>) -> DatabaseStorage {
+        assert!(
+            pairs.len() < u32::MAX as usize,
+            "taxa column exceeds u32 offsets"
+        );
+        let mut kmers: Vec<Kmer> = Vec::new();
+        let mut taxa_offsets: Vec<u32> = vec![0];
+        let mut taxa: Vec<TaxId> = Vec::with_capacity(pairs.len());
+        for (kmer, taxid) in pairs {
+            if kmers.last() != Some(&kmer) {
+                if !kmers.is_empty() {
+                    taxa_offsets.push(taxa.len() as u32);
+                }
+                kmers.push(kmer);
+            }
+            taxa.push(taxid);
+        }
+        if !kmers.is_empty() {
+            taxa_offsets.push(taxa.len() as u32);
+        }
+        // The distinct-k-mer count is unknown up front, so `kmers` and
+        // `taxa_offsets` grew by doubling; release the slack before the
+        // storage is pinned behind a long-lived `Arc` ([`heap_bytes`]
+        // charges capacity, so an overhang would show up in the resident
+        // accounting).
+        kmers.shrink_to_fit();
+        taxa_offsets.shrink_to_fit();
+        DatabaseStorage {
+            kmers,
+            taxa_offsets,
+            taxa,
+        }
+    }
+
+    /// Number of entries (distinct k-mers) in the storage.
+    pub fn entry_count(&self) -> usize {
+        self.kmers.len()
+    }
+
+    /// Total number of k-mer→taxon associations.
+    pub fn association_count(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Host-resident heap footprint of the three columnar arrays, in bytes.
+    /// This is the quantity [`SortedKmerDatabase::partition`] shares rather
+    /// than copies. Charged on *capacity*, not length, so growth slack
+    /// (were any to survive construction) cannot hide from the resident
+    /// accounting the `hotpath` bench asserts on.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.kmers.capacity() * std::mem::size_of::<Kmer>()
+            + self.taxa_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.taxa.capacity() * std::mem::size_of::<TaxId>()) as u64
+    }
+
+    /// Taxa slice of global entry `index`.
+    #[inline]
+    fn entry_taxa(&self, index: usize) -> &[TaxId] {
+        let start = self.taxa_offsets[index] as usize;
+        let end = self.taxa_offsets[index + 1] as usize;
+        &self.taxa[start..end]
+    }
+}
+
+/// A lexicographically sorted k-mer database (the S-Qry / MegIS database):
+/// a zero-copy range view over [`Arc`]-shared columnar storage.
 ///
 /// # Example
 ///
@@ -39,38 +198,56 @@ pub struct KmerEntry {
 /// assert!(db.len() > 0);
 /// assert!(db.is_sorted());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SortedKmerDatabase {
     k: usize,
-    entries: Vec<KmerEntry>,
+    storage: Arc<DatabaseStorage>,
+    /// Global entry range of this view within `storage`.
+    range: Range<usize>,
+}
+
+impl Default for SortedKmerDatabase {
+    fn default() -> SortedKmerDatabase {
+        SortedKmerDatabase {
+            k: 0,
+            storage: Arc::new(DatabaseStorage::default()),
+            range: 0..0,
+        }
+    }
 }
 
 impl SortedKmerDatabase {
     /// Builds the database from a reference collection using k-mers of length
     /// `k` (canonical form).
     ///
+    /// The build is flat end to end: collect every `(canonical k-mer, taxid)`
+    /// association, `sort_unstable` + `dedup` the pair list, and run-length
+    /// group it into the CSR columns — no per-entry map nodes, no `O(t)`
+    /// membership scans per occurrence.
+    ///
     /// # Panics
     ///
     /// Panics if `k` is zero or exceeds [`crate::kmer::MAX_K`].
     pub fn build(references: &ReferenceCollection, k: usize) -> SortedKmerDatabase {
-        let mut map: BTreeMap<Kmer, Vec<TaxId>> = BTreeMap::new();
+        let mut pairs: Vec<(Kmer, TaxId)> = Vec::new();
         for genome in references.genomes() {
+            let taxid = genome.taxid();
             for kmer in KmerExtractor::new(genome.sequence(), k) {
-                let canon = kmer.canonical();
-                let taxa = map.entry(canon).or_default();
-                if !taxa.contains(&genome.taxid()) {
-                    taxa.push(genome.taxid());
-                }
+                pairs.push((kmer.canonical(), taxid));
             }
         }
-        let entries = map
-            .into_iter()
-            .map(|(kmer, mut taxa)| {
-                taxa.sort();
-                KmerEntry { kmer, taxa }
-            })
-            .collect();
-        SortedKmerDatabase { k, entries }
+        // Sorting by (kmer, taxid) and deduplicating yields, per k-mer, its
+        // sorted deduplicated taxa — the same grouping the old per-entry
+        // `BTreeMap` + `contains` path produced, without either.
+        pairs.sort_unstable();
+        pairs.dedup();
+        let storage = DatabaseStorage::from_grouped_pairs(pairs);
+        let range = 0..storage.entry_count();
+        SortedKmerDatabase {
+            k,
+            storage: Arc::new(storage),
+            range,
+        }
     }
 
     /// Creates a database from pre-sorted entries.
@@ -82,7 +259,31 @@ impl SortedKmerDatabase {
         for w in entries.windows(2) {
             assert!(w[0].kmer < w[1].kmer, "entries must be strictly sorted");
         }
-        SortedKmerDatabase { k, entries }
+        let associations: usize = entries.iter().map(|e| e.taxa.len()).sum();
+        assert!(
+            associations < u32::MAX as usize,
+            "taxa column exceeds u32 offsets"
+        );
+        let mut kmers = Vec::with_capacity(entries.len());
+        let mut taxa_offsets = Vec::with_capacity(entries.len() + 1);
+        taxa_offsets.push(0u32);
+        let mut taxa = Vec::with_capacity(associations);
+        for entry in entries {
+            kmers.push(entry.kmer);
+            taxa.extend(entry.taxa);
+            taxa_offsets.push(taxa.len() as u32);
+        }
+        let storage = DatabaseStorage {
+            kmers,
+            taxa_offsets,
+            taxa,
+        };
+        let range = 0..storage.entry_count();
+        SortedKmerDatabase {
+            k,
+            storage: Arc::new(storage),
+            range,
+        }
     }
 
     /// The k-mer length of this database.
@@ -90,40 +291,81 @@ impl SortedKmerDatabase {
         self.k
     }
 
-    /// Number of distinct k-mers indexed.
+    /// Number of distinct k-mers in this view.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.range.len()
     }
 
-    /// Returns `true` if the database has no entries.
+    /// Returns `true` if the view has no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.range.is_empty()
     }
 
-    /// The sorted entries.
-    pub fn entries(&self) -> &[KmerEntry] {
-        &self.entries
+    /// The shared columnar storage this view borrows from. Views produced by
+    /// [`SortedKmerDatabase::partition`] and [`SortedKmerDatabase::view`]
+    /// return the *same* `Arc`, which is what makes sharding zero-copy.
+    pub fn storage(&self) -> &Arc<DatabaseStorage> {
+        &self.storage
+    }
+
+    /// Returns `true` if `other` is a view over the same storage allocation
+    /// (no matter which entry range each covers).
+    pub fn shares_storage_with(&self, other: &SortedKmerDatabase) -> bool {
+        Arc::ptr_eq(&self.storage, &other.storage)
+    }
+
+    /// Borrowed view of entry `index` (relative to this view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn entry(&self, index: usize) -> KmerEntryRef<'_> {
+        assert!(index < self.len(), "entry index {index} out of range");
+        let global = self.range.start + index;
+        KmerEntryRef {
+            kmer: self.storage.kmers[global],
+            taxa: self.storage.entry_taxa(global),
+        }
+    }
+
+    /// Iterates over the sorted entries as borrowed views.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = KmerEntryRef<'_>> + '_ {
+        (0..self.len()).map(move |i| self.entry(i))
+    }
+
+    /// The sorted k-mer column of this view, as a contiguous slice — the
+    /// stream the intersection units walk.
+    pub fn kmer_slice(&self) -> &[Kmer] {
+        &self.storage.kmers[self.range.clone()]
+    }
+
+    /// The concatenated taxa column of this view (CSR payload), as a
+    /// contiguous slice.
+    fn taxa_slice(&self) -> &[TaxId] {
+        let start = self.storage.taxa_offsets[self.range.start] as usize;
+        let end = self.storage.taxa_offsets[self.range.end] as usize;
+        &self.storage.taxa[start..end]
     }
 
     /// Iterates over the sorted k-mers.
     pub fn kmers(&self) -> impl Iterator<Item = Kmer> + '_ {
-        self.entries.iter().map(|e| e.kmer)
+        self.kmer_slice().iter().copied()
     }
 
     /// Returns `true` if the entries are strictly sorted (always true for
     /// databases built by this crate; exposed for tests and debug checks).
     pub fn is_sorted(&self) -> bool {
-        self.entries.windows(2).all(|w| w[0].kmer < w[1].kmer)
+        self.kmer_slice().windows(2).all(|w| w[0] < w[1])
     }
 
-    /// The smallest indexed k-mer (the database's lower key bound), if any.
+    /// The smallest indexed k-mer (the view's lower key bound), if any.
     pub fn first_kmer(&self) -> Option<Kmer> {
-        self.entries.first().map(|e| e.kmer)
+        self.kmer_slice().first().copied()
     }
 
-    /// The largest indexed k-mer (the database's upper key bound), if any.
+    /// The largest indexed k-mer (the view's upper key bound), if any.
     pub fn last_kmer(&self) -> Option<Kmer> {
-        self.entries.last().map(|e| e.kmer)
+        self.kmer_slice().last().copied()
     }
 
     /// The sub-range of a sorted query list that can possibly intersect this
@@ -141,7 +383,7 @@ impl SortedKmerDatabase {
     /// # Panics
     ///
     /// Panics (in debug builds) if `sorted_queries` is not sorted.
-    pub fn overlapping_query_range(&self, sorted_queries: &[Kmer]) -> std::ops::Range<usize> {
+    pub fn overlapping_query_range(&self, sorted_queries: &[Kmer]) -> Range<usize> {
         debug_assert!(sorted_queries.windows(2).all(|w| w[0] <= w[1]));
         let (Some(lo), Some(hi)) = (self.first_kmer(), self.last_kmer()) else {
             return 0..0;
@@ -152,43 +394,96 @@ impl SortedKmerDatabase {
     }
 
     /// Looks up a single k-mer (binary search).
-    pub fn lookup(&self, kmer: Kmer) -> Option<&KmerEntry> {
-        self.entries
-            .binary_search_by(|e| e.kmer.cmp(&kmer))
+    pub fn lookup(&self, kmer: Kmer) -> Option<KmerEntryRef<'_>> {
+        self.kmer_slice()
+            .binary_search(&kmer)
             .ok()
-            .map(|i| &self.entries[i])
+            .map(|i| self.entry(i))
     }
 
-    /// All taxa indexed by the database, sorted and deduplicated.
+    /// All taxa indexed by this view, sorted and deduplicated.
     pub fn taxa(&self) -> Vec<TaxId> {
-        let mut taxa: Vec<TaxId> = self
-            .entries
-            .iter()
-            .flat_map(|e| e.taxa.iter().copied())
-            .collect();
+        let mut taxa: Vec<TaxId> = self.taxa_slice().to_vec();
         taxa.sort();
         taxa.dedup();
         taxa
     }
 
-    /// Streaming intersection with a sorted list of query k-mers.
+    /// Streaming intersection with a sorted list of query k-mers, via a
+    /// galloping (exponential-search) merge.
     ///
-    /// Both inputs are consumed as sorted streams with a two-pointer merge —
-    /// exactly the access pattern MegIS's per-channel Intersect units perform
-    /// on data arriving from the flash channels and the internal DRAM
-    /// (§4.3.1). Returns the intersecting k-mers in sorted order.
+    /// Both inputs are consumed as sorted streams, but instead of comparing
+    /// element by element the merge *gallops* on whichever side is behind:
+    /// exponential probing (1, 2, 4, … steps) brackets the first element
+    /// `>=` the other stream's head, then a binary search pins it. Skipping
+    /// a run of `g` elements costs `O(log g)` comparisons, so in the
+    /// realistic regime — a database slice far longer than the query slice
+    /// overlapping it — the merge is bounded by `O(|Q| · log(|DB| / |Q|))`
+    /// rather than `O(|DB| + |Q|)`. Returns the intersecting k-mers in
+    /// sorted order, byte-identical to
+    /// [`SortedKmerDatabase::intersect_sorted_two_pointer`] (the property
+    /// suite asserts the equivalence).
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `sorted_queries` is not sorted.
     pub fn intersect_sorted(&self, sorted_queries: &[Kmer]) -> Vec<Kmer> {
         debug_assert!(sorted_queries.windows(2).all(|w| w[0] <= w[1]));
+        let db = self.kmer_slice();
         let mut out = Vec::new();
         let mut qi = 0;
         let mut di = 0;
-        while qi < sorted_queries.len() && di < self.entries.len() {
+        // Hints: the previous advance distance on each side. Skip distances
+        // are locally similar (a query stream hitting every ~g-th database
+        // entry produces gaps around g), so probing the hinted offset first
+        // usually resolves the boundary in two adjacent comparisons instead
+        // of a full exponential-plus-binary chain of cache misses.
+        let mut db_hint = 1usize;
+        let mut query_hint = 1usize;
+        while qi < sorted_queries.len() && di < db.len() {
             let q = sorted_queries[qi];
-            let d = self.entries[di].kmer;
+            let d = db[di];
+            match q.cmp(&d) {
+                std::cmp::Ordering::Equal => {
+                    if out.last() != Some(&q) {
+                        out.push(q);
+                    }
+                    qi += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    let advance = gallop(&sorted_queries[qi..], d, query_hint);
+                    query_hint = advance;
+                    qi += advance;
+                }
+                std::cmp::Ordering::Greater => {
+                    let advance = gallop(&db[di..], q, db_hint);
+                    db_hint = advance;
+                    di += advance;
+                }
+            }
+        }
+        out
+    }
+
+    /// The element-at-a-time two-pointer merge — exactly the access pattern
+    /// MegIS's per-channel Intersect units perform on data arriving from the
+    /// flash channels and the internal DRAM (§4.3.1). Kept as the reference
+    /// oracle for [`SortedKmerDatabase::intersect_sorted`] in the property
+    /// tests, and as the baseline the `hotpath` bench experiment measures
+    /// the galloping merge against.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `sorted_queries` is not sorted.
+    pub fn intersect_sorted_two_pointer(&self, sorted_queries: &[Kmer]) -> Vec<Kmer> {
+        debug_assert!(sorted_queries.windows(2).all(|w| w[0] <= w[1]));
+        let db = self.kmer_slice();
+        let mut out = Vec::new();
+        let mut qi = 0;
+        let mut di = 0;
+        while qi < sorted_queries.len() && di < db.len() {
+            let q = sorted_queries[qi];
+            let d = db[di];
             match q.cmp(&d) {
                 std::cmp::Ordering::Equal => {
                     if out.last() != Some(&q) {
@@ -207,37 +502,129 @@ impl SortedKmerDatabase {
     /// (k-mer payloads plus one 4-byte taxid per association). Used by the
     /// SSD placement and timing models.
     pub fn encoded_bytes(&self) -> u64 {
-        self.entries
+        let kmer_bytes: u64 = self
+            .kmer_slice()
             .iter()
-            .map(|e| (e.kmer.encoded_bytes() + 4 * e.taxa.len()) as u64)
-            .sum()
+            .map(|k| k.encoded_bytes() as u64)
+            .sum();
+        kmer_bytes + 4 * self.taxa_slice().len() as u64
+    }
+
+    /// A zero-copy sub-view of this view (indices relative to `self`): the
+    /// returned database shares the same storage `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn view(&self, sub: Range<usize>) -> SortedKmerDatabase {
+        assert!(
+            sub.start <= sub.end && sub.end <= self.len(),
+            "view range {sub:?} out of bounds for {} entries",
+            self.len()
+        );
+        SortedKmerDatabase {
+            k: self.k,
+            storage: Arc::clone(&self.storage),
+            range: self.range.start + sub.start..self.range.start + sub.end,
+        }
     }
 
     /// Splits the database into `parts` contiguous sorted shards of
     /// near-equal entry counts (used to distribute a database disjointly
     /// across multiple SSDs, §6.1 "Effect of the Number of SSDs").
     ///
+    /// Every shard is a zero-copy [view](SortedKmerDatabase::view) over this
+    /// database's shared storage: partitioning allocates nothing beyond the
+    /// view handles, so N shards hold one copy of the columns, not N (and
+    /// not even two). Trailing padding shards (when `parts > len`) are empty
+    /// views over the same storage.
+    ///
     /// # Panics
     ///
     /// Panics if `parts == 0`.
     pub fn partition(&self, parts: usize) -> Vec<SortedKmerDatabase> {
         assert!(parts > 0, "parts must be positive");
-        let per = self.entries.len().div_ceil(parts.max(1)).max(1);
+        let per = self.len().div_ceil(parts).max(1);
         let mut shards = Vec::with_capacity(parts);
-        for chunk in self.entries.chunks(per) {
-            shards.push(SortedKmerDatabase {
-                k: self.k,
-                entries: chunk.to_vec(),
-            });
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + per).min(self.len());
+            shards.push(self.view(start..end));
+            start = end;
         }
         while shards.len() < parts {
-            shards.push(SortedKmerDatabase {
-                k: self.k,
-                entries: Vec::new(),
-            });
+            shards.push(self.view(self.len()..self.len()));
         }
         shards
     }
+}
+
+/// First index in `slice` whose element is `>= target`, found by galloping
+/// around a caller-provided `hint` (typically the previous advance
+/// distance, TimSort-style). The hinted offset is probed first; depending
+/// on the outcome the boundary is bracketed by exponential probing forward
+/// from the hint or backward toward it, then pinned by a binary search
+/// inside the bracket. `O(log d)` comparisons for a returned distance `d`
+/// (and only ~2 adjacent probes when the hint is exact); the result is a
+/// pure function of `(slice, target)` — the hint changes the probe path,
+/// never the answer.
+fn gallop(slice: &[Kmer], target: Kmer, hint: usize) -> usize {
+    match slice.first() {
+        Some(first) if *first < target => {}
+        _ => return 0,
+    }
+    let n = slice.len();
+    let h = hint.clamp(1, n);
+    if h < n && slice[h] < target {
+        // Boundary beyond the hint: exponential probing forward from it.
+        // Invariant: slice[lo] < target.
+        let mut lo = h;
+        let mut step = 1usize;
+        while lo + step < n && slice[lo + step] < target {
+            lo += step;
+            step <<= 1;
+        }
+        // The boundary lies in (lo, min(lo + step, n)].
+        pin_boundary(slice, target, lo, (lo + step).min(n))
+    } else {
+        // Boundary within (0, h]: exponential probing backward from the
+        // hint. Invariant: slice[hi] >= target (or hi == n).
+        let mut hi = h;
+        let mut step = 1usize;
+        while step < hi && slice[hi - step] >= target {
+            hi -= step;
+            step <<= 1;
+        }
+        // slice[lo] < target: the probed element when one exists, else the
+        // front (which the caller's guard established is < target).
+        let lo = hi.saturating_sub(step);
+        pin_boundary(slice, target, lo, hi)
+    }
+}
+
+/// Width below which the boundary search finishes with a forward scan: a
+/// few cache lines of k-mers — sequential touches the prefetcher covers,
+/// cheaper than the same span's worth of dependent binary probes.
+const LINEAR_TAIL: usize = 16;
+
+/// Pins the boundary (first index `>= target`) inside the bracket
+/// `(lo, hi]`, where `slice[lo] < target` and `slice[hi] >= target` (or
+/// `hi == n`): binary steps while the bracket is wide, one sequential scan
+/// once it is narrow. The scan trades a few predictable comparisons for the
+/// tail of the binary search's serially dependent cache misses.
+fn pin_boundary(slice: &[Kmer], target: Kmer, mut lo: usize, mut hi: usize) -> usize {
+    while hi - lo > LINEAR_TAIL {
+        let mid = lo + (hi - lo) / 2;
+        if slice[mid] < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    while lo + 1 < hi && slice[lo + 1] < target {
+        lo += 1;
+    }
+    lo + 1
 }
 
 /// A per-species read-mapping index: k-mer → sorted genome locations.
@@ -430,17 +817,14 @@ impl UnifiedReferenceIndex {
             .map(|(t, _)| t)
     }
 
-    /// Maps a concatenated-space position back to its species.
+    /// Maps a concatenated-space position back to its species, by binary
+    /// search on the (ascending) per-species offsets: the owning species is
+    /// the last one whose offset is `<= position`.
     pub fn taxon_of_position(&self, position: u64) -> Option<TaxId> {
-        let mut result = None;
-        for (taxid, offset) in &self.offsets {
-            if position >= *offset {
-                result = Some(*taxid);
-            } else {
-                break;
-            }
-        }
-        result
+        let idx = self
+            .offsets
+            .partition_point(|(_, offset)| *offset <= position);
+        idx.checked_sub(1).map(|i| self.offsets[i].0)
     }
 
     /// On-storage size in bytes.
@@ -466,6 +850,36 @@ mod tests {
         assert!(db.len() > 100);
         assert!(db.is_sorted());
         assert_eq!(db.k(), 21);
+        // CSR invariants: one offset boundary per entry plus the sentinel,
+        // and the kmer column matches the entry iterator.
+        assert_eq!(db.storage().entry_count(), db.len());
+        assert_eq!(db.kmer_slice().len(), db.len());
+        assert!(db.storage().association_count() >= db.len());
+        assert!(db.storage().heap_bytes() > 0);
+    }
+
+    #[test]
+    fn build_matches_from_sorted_entries_roundtrip() {
+        // Rebuilding from owned entries must reproduce the same columnar
+        // content: same kmers, same per-entry taxa.
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        let owned: Vec<KmerEntry> = db.entries().map(|e| e.to_owned()).collect();
+        let rebuilt = SortedKmerDatabase::from_sorted_entries(db.k(), owned);
+        assert_eq!(rebuilt.len(), db.len());
+        assert_eq!(rebuilt.kmer_slice(), db.kmer_slice());
+        for (a, b) in rebuilt.entries().zip(db.entries()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(rebuilt.encoded_bytes(), db.encoded_bytes());
+    }
+
+    #[test]
+    fn entry_taxa_are_sorted_and_deduplicated() {
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        for entry in db.entries() {
+            assert!(!entry.taxa.is_empty());
+            assert!(entry.taxa.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]
@@ -485,7 +899,7 @@ mod tests {
     fn shared_kmers_carry_multiple_taxa() {
         let r = refs();
         let db = SortedKmerDatabase::build(&r, 21);
-        let multi = db.entries().iter().filter(|e| e.taxa.len() > 1).count();
+        let multi = db.entries().filter(|e| e.taxa.len() > 1).count();
         assert!(multi > 0, "same-genus species should share k-mers");
     }
 
@@ -522,6 +936,53 @@ mod tests {
         queries.dedup();
         let inter = db.intersect_sorted(&queries);
         assert!(inter.len() < queries.len());
+    }
+
+    #[test]
+    fn galloping_equals_two_pointer_on_edge_shapes() {
+        let r = refs();
+        let db = SortedKmerDatabase::build(&r, 21);
+        let all: Vec<Kmer> = db.kmers().collect();
+
+        // Empty queries; empty database.
+        assert!(db.intersect_sorted(&[]).is_empty());
+        assert!(SortedKmerDatabase::default()
+            .intersect_sorted(&all)
+            .is_empty());
+
+        // Full subset (every query hits).
+        assert_eq!(
+            db.intersect_sorted(&all),
+            db.intersect_sorted_two_pointer(&all)
+        );
+        assert_eq!(db.intersect_sorted(&all), all);
+
+        // Disjoint: foreign queries, mostly misses.
+        let foreign = ReferenceCollection::synthetic(2, 400, 4321);
+        let mut misses: Vec<Kmer> = KmerExtractor::new(foreign.genomes()[0].sequence(), 21)
+            .map(|k| k.canonical())
+            .collect();
+        misses.sort();
+        misses.dedup();
+        assert_eq!(
+            db.intersect_sorted(&misses),
+            db.intersect_sorted_two_pointer(&misses)
+        );
+
+        // Duplicate queries: the output must stay deduplicated either way.
+        let mut dups: Vec<Kmer> = all.iter().step_by(11).copied().collect();
+        dups.extend(all.iter().step_by(11).copied());
+        dups.sort();
+        let gallop_out = db.intersect_sorted(&dups);
+        assert_eq!(gallop_out, db.intersect_sorted_two_pointer(&dups));
+        assert!(gallop_out.windows(2).all(|w| w[0] < w[1]));
+
+        // Sparse skewed queries (|DB| >> |Q|) — the galloping regime.
+        let sparse: Vec<Kmer> = all.iter().step_by(64).copied().collect();
+        assert_eq!(
+            db.intersect_sorted(&sparse),
+            db.intersect_sorted_two_pointer(&sparse)
+        );
     }
 
     #[test]
@@ -562,10 +1023,10 @@ mod tests {
         );
         // Bounds are inclusive: a single-entry database overlaps exactly the
         // run of queries equal to that entry.
-        let single = SortedKmerDatabase::from_sorted_entries(21, vec![db.entries()[3].clone()]);
+        let single = SortedKmerDatabase::from_sorted_entries(21, vec![db.entry(3).to_owned()]);
         let range = single.overlapping_query_range(&queries);
         for q in &queries[range] {
-            assert_eq!(*q, db.entries()[3].kmer);
+            assert_eq!(*q, db.entry(3).kmer);
         }
     }
 
@@ -589,6 +1050,51 @@ mod tests {
         for s in &shards {
             assert!(s.is_sorted());
         }
+    }
+
+    #[test]
+    fn partition_and_view_are_zero_copy() {
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        for parts in [1usize, 3, 8, db.len() + 5] {
+            for shard in db.partition(parts) {
+                assert!(
+                    shard.shares_storage_with(&db),
+                    "{parts}-way partition must share the storage allocation"
+                );
+            }
+        }
+        // Clones share too — a database copy is a view handle, not a data
+        // copy.
+        assert!(db.clone().shares_storage_with(&db));
+        // Sub-views compose: a view of a view addresses the right entries.
+        let mid = db.view(10..40);
+        assert!(mid.shares_storage_with(&db));
+        let inner = mid.view(5..10);
+        assert_eq!(inner.len(), 5);
+        for i in 0..inner.len() {
+            assert_eq!(inner.entry(i), db.entry(15 + i));
+        }
+        // Independent builds do not share.
+        let other = SortedKmerDatabase::build(&refs(), 21);
+        assert!(!other.shares_storage_with(&db));
+    }
+
+    #[test]
+    fn view_intersections_match_slice_semantics() {
+        let db = SortedKmerDatabase::build(&refs(), 21);
+        let queries: Vec<Kmer> = db.kmers().step_by(3).collect();
+        let v = db.view(7..db.len() - 7);
+        // A view behaves exactly like a standalone database over its range.
+        let standalone = SortedKmerDatabase::from_sorted_entries(
+            db.k(),
+            v.entries().map(|e| e.to_owned()).collect(),
+        );
+        assert_eq!(
+            v.intersect_sorted(&queries),
+            standalone.intersect_sorted(&queries)
+        );
+        assert_eq!(v.encoded_bytes(), standalone.encoded_bytes());
+        assert_eq!(v.taxa(), standalone.taxa());
     }
 
     #[test]
@@ -636,6 +1142,14 @@ mod tests {
         assert_eq!(unified.taxon_of_position(0), Some(indexes[0].taxid()));
         assert_eq!(unified.taxon_of_position(650), Some(indexes[1].taxid()));
         assert_eq!(unified.taxon_of_position(1800), Some(indexes[2].taxid()));
+        // Boundary positions belong to the species that starts there.
+        assert_eq!(unified.taxon_of_position(599), Some(indexes[0].taxid()));
+        assert_eq!(unified.taxon_of_position(600), Some(indexes[1].taxid()));
+        assert_eq!(unified.taxon_of_position(1200), Some(indexes[2].taxid()));
+        assert_eq!(
+            unified.taxon_of_position(u64::MAX),
+            Some(indexes[2].taxid())
+        );
     }
 
     #[test]
@@ -643,5 +1157,6 @@ mod tests {
         let unified = UnifiedReferenceIndex::merge(&[]);
         assert!(unified.is_empty());
         assert!(unified.offsets().is_empty());
+        assert_eq!(unified.taxon_of_position(17), None);
     }
 }

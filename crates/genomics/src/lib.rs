@@ -51,7 +51,10 @@ pub mod sample;
 pub mod sketch;
 pub mod taxonomy;
 
-pub use database::{ReferenceIndex, SortedKmerDatabase, UnifiedReferenceIndex};
+pub use database::{
+    DatabaseStorage, KmerEntry, KmerEntryRef, ReferenceIndex, SortedKmerDatabase,
+    UnifiedReferenceIndex,
+};
 pub use dna::{Base, PackedSequence};
 pub use kmer::{CanonicalKmerExtractor, Kmer, KmerExtractor};
 pub use metrics::{AbundanceError, ClassificationMetrics};

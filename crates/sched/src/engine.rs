@@ -345,6 +345,7 @@ impl BatchEngine {
                         ..ShardStats::default()
                     })
                     .collect(),
+                resident_database_bytes: self.shards.resident_bytes(),
                 modeled: None,
             };
         }
@@ -379,6 +380,7 @@ impl BatchEngine {
             results,
             wall_time,
             shard_stats: service_report.shard_stats,
+            resident_database_bytes: service_report.resident_database_bytes,
             modeled: Some(modeled),
         }
     }

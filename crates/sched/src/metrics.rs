@@ -174,6 +174,11 @@ pub struct BatchReport {
     pub throughput: f64,
     /// Per-shard busy accounting.
     pub shard_stats: Vec<ShardStats>,
+    /// Host heap bytes the engine's shard set keeps resident, counting the
+    /// shared columnar storage once ([`crate::ShardSet::resident_bytes`]).
+    /// With zero-copy shard views this is ≈ 1× the database regardless of
+    /// the shard count — not the 2× a deep-copy partition would pin.
+    pub resident_database_bytes: u64,
     /// Modeled-time account at paper scale for this batch shape
     /// (cross-checks `MegisTimingModel::multi_sample_breakdown`); `None`
     /// when the batch was empty and there is no shape to model.
@@ -231,6 +236,13 @@ impl BatchReport {
             out,
             "peak commands in flight per shard: [{}]",
             peaks.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "host-resident database: {:.2} MB across {} shard views (shared storage, \
+             counted once)",
+            self.resident_database_bytes as f64 / 1e6,
+            self.shard_stats.len(),
         );
         match &self.modeled {
             Some(modeled) => {

@@ -259,6 +259,13 @@ impl ModeledAccount {
 /// Bytes held by the critical-path shard of an `shards`-way split: the
 /// ceiling division matching `ShardSet::build`'s chunking, so that
 /// `shards * per_shard_bytes(db, shards)` always covers the whole database.
+///
+/// These are *device-resident* bytes — what each simulated SSD stores and
+/// streams during Step 2, which genuinely divides across devices. Host
+/// memory is accounted separately: the functional shards are zero-copy
+/// views over one shared columnar storage (`ShardSet::resident_bytes`
+/// stays ≈ 1× the database at any shard count), so the modeled per-device
+/// split must not be mistaken for an N-way host copy.
 fn per_shard_bytes(
     database: megis_ssd::timing::ByteSize,
     shards: usize,

@@ -40,6 +40,11 @@
 //! happens to miss — is simply skipped for that sample rather than shipped
 //! no-op work that would burn a queue slot and simulated device time.
 //!
+//! **Memory.** The shard workers hold zero-copy views over the analyzer's
+//! columnar database storage (see [`crate::shard`]): spinning up an N-shard
+//! service does not duplicate the database, and [`ServiceReport`] records
+//! the deduplicated footprint as `resident_database_bytes`.
+//!
 //! **Ordering guarantee.** Dispatch order (the `start_position` assigned in
 //! the same critical section as the pop) *is* policy order at dispatch time.
 //! Step 1 workers may finish out of that order, so the dispatcher holds
@@ -250,6 +255,11 @@ pub struct ServiceReport {
     pub uptime: Duration,
     /// Per-shard busy accounting over the service lifetime.
     pub shard_stats: Vec<ShardStats>,
+    /// Host heap bytes the shard set kept resident, counting the shared
+    /// columnar storage once ([`crate::ShardSet::resident_bytes`]): the
+    /// shards are zero-copy views, so this stays ≈ 1× the database at any
+    /// shard count.
+    pub resident_database_bytes: u64,
     /// Latency distribution over the final rolling window.
     pub window: LatencyStats,
 }
@@ -628,6 +638,7 @@ impl StreamingEngine {
             completed: state.completed,
             uptime: self.started_at.elapsed(),
             shard_stats,
+            resident_database_bytes: self.shards.resident_bytes(),
             window: state.window.stats(),
         }
     }

@@ -6,8 +6,19 @@
 //! contiguous ranges keeps every shard independently streamable, and the
 //! shard-order concatenation of per-shard intersections equals the unsharded
 //! intersection (Fig. 15 setup; also validated by the seed's partition
-//! tests). Each shard is wrapped in an [`std::sync::Arc`] so per-shard worker
-//! threads can hold the data without copying it.
+//! tests).
+//!
+//! **Zero-copy shards.** Each shard is a *view* over the database's shared
+//! columnar storage ([`SortedKmerDatabase::partition`] returns range views
+//! on one `Arc<DatabaseStorage>`), so building an N-shard [`ShardSet`]
+//! allocates nothing beyond N view handles: the analyzer's database and all
+//! of its shards together keep **one** resident copy of the k-mer/taxa
+//! columns, where the old `chunk.to_vec()` partitioning kept two (the
+//! analyzer's copy plus a full duplicate spread across the shards).
+//! [`ShardSet::resident_bytes`] reports the deduplicated host footprint —
+//! counting each distinct storage allocation once — and the `hotpath` bench
+//! experiment asserts it stays ≈ 1× the database. Per-shard worker threads
+//! still hold their shard behind an [`std::sync::Arc`] handle.
 //!
 //! The same sortedness cuts the *query* side: a shard holding keys in
 //! `[lo, hi]` can only match the sub-slice of a sorted query list that
@@ -67,6 +78,25 @@ impl ShardSet {
     /// SSD streams during Step 2).
     pub fn shard_bytes(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.encoded_bytes()).collect()
+    }
+
+    /// Host-resident heap bytes held by this shard set, counting each
+    /// distinct columnar storage allocation **once**: the shards are
+    /// zero-copy views, so for a set built from one database this equals
+    /// that database's [`heap bytes`](megis_genomics::database::DatabaseStorage::heap_bytes)
+    /// — ≈ 1× the database, not the 2× a deep-copy partition would hold
+    /// alongside the analyzer's copy.
+    pub fn resident_bytes(&self) -> u64 {
+        let mut seen: Vec<*const megis_genomics::database::DatabaseStorage> = Vec::new();
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let id = Arc::as_ptr(shard.storage());
+            if !seen.contains(&id) {
+                seen.push(id);
+                total += shard.storage().heap_bytes();
+            }
+        }
+        total
     }
 
     /// Per-shard key-range bounds `(first, last)` in shard order; `None` for
@@ -226,8 +256,7 @@ mod tests {
         let database = db();
         // Far more shards than entries would be slow to build here; instead
         // partition a tiny sub-database so trailing shards are empty.
-        let tiny =
-            SortedKmerDatabase::from_sorted_entries(database.k(), database.entries()[..3].to_vec());
+        let tiny = database.view(0..3);
         let set = ShardSet::build(&tiny, 8);
         assert_eq!(set.shard_count(), 8);
         let bounds = set.bounds();
@@ -274,6 +303,46 @@ mod tests {
         // Ceiling-sized contiguous chunks: only the last shard may run
         // short, by at most parts - 1 entries.
         assert!(max - min < 4, "unbalanced shards: {sizes:?}");
+    }
+
+    #[test]
+    fn shards_are_zero_copy_views_of_one_storage() {
+        let database = db();
+        let single_copy = database.storage().heap_bytes();
+        assert!(single_copy > 0);
+        for shards in [1usize, 2, 4, 8, 32] {
+            let set = ShardSet::build(&database, shards);
+            for shard in set.shards() {
+                assert!(
+                    shard.shares_storage_with(&database),
+                    "shard must view the database's storage, not copy it"
+                );
+            }
+            // Deduplicated host footprint: one copy of the columns no
+            // matter how many shards view them.
+            assert_eq!(set.resident_bytes(), single_copy, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn resident_bytes_counts_distinct_storages_once_each() {
+        // A set whose shards come from two different databases must charge
+        // both storages (each once) — the dedup is by allocation, not by
+        // shard count.
+        let a = db();
+        let b = SortedKmerDatabase::build(&ReferenceCollection::synthetic(4, 400, 99), 21);
+        let mixed = ShardSet {
+            shards: a
+                .partition(3)
+                .into_iter()
+                .chain(b.partition(2))
+                .map(Arc::new)
+                .collect(),
+        };
+        assert_eq!(
+            mixed.resident_bytes(),
+            a.storage().heap_bytes() + b.storage().heap_bytes()
+        );
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! reuses the same logic on the host (with bucketing added on top, which lives
 //! in the `megis` core crate).
 
-use std::collections::BTreeMap;
-
 use megis_genomics::kmer::Kmer;
 use megis_genomics::read::ReadSet;
 
@@ -46,16 +44,28 @@ pub struct KmerCounts {
 
 impl KmerCounts {
     /// Counts the canonical k-mers of every read in `reads`.
+    ///
+    /// Counting is flat, like KMC itself: collect every occurrence into one
+    /// dense array, `sort_unstable` it, and run-length group equal runs into
+    /// `(kmer, count)` pairs — no per-k-mer map nodes on the hot path. The
+    /// result is identical to inserting each occurrence into an ordered map
+    /// (sorted distinct k-mers with their multiplicities).
     pub fn count(reads: &ReadSet, k: usize) -> KmerCounts {
-        let mut map: BTreeMap<Kmer, u32> = BTreeMap::new();
+        let mut occurrences: Vec<Kmer> = Vec::new();
         for read in reads.iter() {
             for kmer in read.kmers(k) {
-                *map.entry(kmer.canonical()).or_insert(0) += 1;
+                occurrences.push(kmer.canonical());
             }
         }
-        KmerCounts {
-            counts: map.into_iter().collect(),
+        occurrences.sort_unstable();
+        let mut counts: Vec<(Kmer, u32)> = Vec::new();
+        for kmer in occurrences {
+            match counts.last_mut() {
+                Some((last, count)) if *last == kmer => *count += 1,
+                _ => counts.push((kmer, 1)),
+            }
         }
+        KmerCounts { counts }
     }
 
     /// Number of distinct k-mers.

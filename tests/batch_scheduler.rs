@@ -9,6 +9,7 @@ use megis_genomics::sample::{CommunityConfig, Diversity, Sample};
 use megis_host::system::SystemConfig;
 use megis_sched::{
     AdmissionError, BatchEngine, EngineConfig, JobSpec, ModeledAccount, Priority, SchedPolicy,
+    ShardSet,
 };
 use megis_ssd::config::SsdConfig;
 use megis_tools::workload::WorkloadSpec;
@@ -124,6 +125,64 @@ fn batch_results_identical_across_queue_depths() {
                 "shard {} exceeded depth {depth}: {}",
                 stats.shard,
                 stats.peak_inflight
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_copy_shard_views_share_one_storage_and_stay_byte_identical() {
+    // The shards are range views over the analyzer database's columnar
+    // storage: building a shard set at any count must keep exactly one
+    // resident copy of the database (not the 2x a deep-copy partition held
+    // next to the analyzer's own copy), and the engine's results through
+    // those views must stay byte-identical to the sequential analyzer for
+    // every worker/shard/depth combination.
+    let (analyzer, samples) = cohort(8);
+    let expected: Vec<MegisOutput> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+    let one_copy = analyzer.database().storage().heap_bytes();
+    assert!(one_copy > 0);
+
+    for shards in [1usize, 2, 4, 8, 17] {
+        let set = ShardSet::build(analyzer.database(), shards);
+        assert_eq!(
+            set.resident_bytes(),
+            one_copy,
+            "{shards} shards must not duplicate the database"
+        );
+        for shard in set.shards() {
+            assert!(
+                shard.shares_storage_with(analyzer.database()),
+                "every shard must view the analyzer's storage"
+            );
+        }
+        // The logical on-device bytes still cover the whole database.
+        assert_eq!(
+            set.shard_bytes().iter().sum::<u64>(),
+            analyzer.database().encoded_bytes()
+        );
+    }
+
+    for (workers, shards, depth) in [(1usize, 2usize, 2usize), (2, 4, 1), (4, 8, 4), (2, 3, 8)] {
+        let mut engine = BatchEngine::new(
+            analyzer.clone(),
+            EngineConfig::new()
+                .with_workers(workers)
+                .with_shards(shards)
+                .with_queue_depth(depth),
+        );
+        engine.submit_all(specs(&samples)).unwrap();
+        let report = engine.run();
+        assert_eq!(
+            report.resident_database_bytes, one_copy,
+            "engine at {workers}w/{shards}s/qd{depth} must hold one database copy"
+        );
+        assert_eq!(report.results.len(), 8);
+        for (result, expected) in report.results.iter().zip(&expected) {
+            assert_eq!(
+                result.output, *expected,
+                "{} diverged through zero-copy views at {workers}w/{shards}s/qd{depth}",
+                result.label
             );
         }
     }
