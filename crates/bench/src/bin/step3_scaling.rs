@@ -1,0 +1,13 @@
+//! Runs the partitioned Step 3 scaling sweep (unified-index generation and
+//! read mapping sharded across 1 → 8 devices, device-bound) and writes the
+//! measurement to `BENCH_step3.json` in the current directory; see
+//! `megis_bench::experiments::step3_scaling` for details.
+
+fn main() {
+    let measurement = megis_bench::experiments::step3_scaling_measure();
+    print!("{}", measurement.report());
+    let path = "BENCH_step3.json";
+    std::fs::write(path, measurement.to_json())
+        .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+    eprintln!("wrote {path}");
+}

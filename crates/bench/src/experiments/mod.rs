@@ -17,6 +17,7 @@ mod motivation;
 mod presence;
 mod queue;
 mod scaling;
+mod step3_scaling;
 
 pub use accuracy::accuracy_analysis;
 pub use comparison::{
@@ -30,6 +31,7 @@ pub use motivation::fig03_io_overhead;
 pub use presence::{fig12_presence_speedup, fig13_time_breakdown, fig14_database_size};
 pub use queue::queue_depth_sweep;
 pub use scaling::{fig15_multi_ssd, fig16_dram_capacity, fig17_internal_bandwidth};
+pub use step3_scaling::{step3_scaling, step3_scaling_measure, Step3ScalingMeasurement};
 
 /// Runs every experiment and concatenates the reports in paper order.
 pub fn all() -> String {
@@ -50,6 +52,7 @@ pub fn all() -> String {
         fig21_batch_engine(),
         streaming_load_analysis(),
         queue_depth_sweep(),
+        step3_scaling(),
         hotpath(),
         table2_area_power(),
         kss_size_analysis(),
@@ -87,11 +90,12 @@ mod tests {
             ("fig21", super::fig21_multi_sample()),
             ("fig21-engine", super::fig21_batch_engine()),
             ("streaming-load", super::streaming_load_analysis()),
-            // `hotpath` is deliberately absent: its cache-oversized fixture
-            // makes a full measurement expensive, and its own test module
-            // already runs (and asserts on) one — duplicating it here would
-            // pay the fixture build twice per test run for a
-            // non-emptiness check.
+            // `hotpath` and `step3_scaling` are deliberately absent: the
+            // former's cache-oversized fixture makes a full measurement
+            // expensive, the latter sleeps simulated device streams, and
+            // both have test modules that already run (and assert on) one
+            // measurement — duplicating them here would pay that cost twice
+            // per test run for a non-emptiness check.
             ("table2", super::table2_area_power()),
             ("kss", super::kss_size_analysis()),
             ("energy", super::energy_analysis()),

@@ -1,0 +1,283 @@
+//! Step 3 scaling sweep: partitioned unified-index generation and read
+//! mapping across 1 → 8 devices.
+//!
+//! MegIS §4.4 (Fig. 9) generates the unified reference index *inside the
+//! SSD* and hands mapping to per-device accelerators; `megis-sched` now
+//! partitions the candidate list into contiguous taxid ranges and runs
+//! `step3::run_partial` per device. This experiment measures that
+//! decomposition directly: one sample's full Step 3 — partition →
+//! per-device partial index merge + mapping (one thread per device) →
+//! reduce — swept over 1, 2, 4, and 8 devices.
+//!
+//! Like the `queue_depth_sweep`, the sweep runs **device-bound**: each
+//! device thread first sleeps a simulated index-stream time proportional to
+//! its candidate range (the per-candidate reference index streamed and
+//! merged at internal bandwidth, which at paper scale dwarfs the in-memory
+//! merge the functional kernel computes), then does the functional work.
+//! The simulated streams genuinely overlap across devices even on a
+//! single-core host, so the sweep measures the *structural* effect of the
+//! partitioning — each device streams only its range — rather than the host
+//! machine's core count. The functional outputs are simultaneously checked
+//! byte-for-byte against the sequential `step3::run` oracle.
+//!
+//! The `step3_scaling` binary prints this report and writes the numbers to
+//! `BENCH_step3.json`; CI runs it in release mode, greps the parity and
+//! scaling verdicts, and uploads the JSON.
+
+use std::time::{Duration, Instant};
+
+use megis::config::MegisConfig;
+use megis::step3;
+use megis::MegisAnalyzer;
+use megis_genomics::database::ReferenceIndex;
+use megis_genomics::sample::{CommunityConfig, Diversity};
+
+use crate::report::Report;
+
+/// Device counts swept.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Trials per device count; the best trial is reported.
+const TRIALS: usize = 2;
+/// Reads per sample: enough coverage that Step 2's support threshold
+/// reports a deep candidate list, light enough that the simulated index
+/// stream still dominates the pass.
+const READS: usize = 600;
+/// Species present in the sample (the candidate pool Step 2 reports).
+const SPECIES: usize = 16;
+/// Species in the reference database.
+const DATABASE_SPECIES: usize = 24;
+/// Simulated device time to stream and merge one candidate's reference
+/// index into the partial unified index — multi-millisecond at paper scale,
+/// and deliberately larger than the host-side functional work here so the
+/// sweep runs device-bound (the same convention as the queue-depth sweep's
+/// per-command device service). The single-device pass streams all ~15
+/// candidates serially; an 8-device pass streams at most 2 per device in
+/// parallel, which is the structural win the sweep measures.
+const STREAM_PER_CANDIDATE: Duration = Duration::from_millis(10);
+
+/// Everything the sweep measured; the binary serializes it as
+/// `BENCH_step3.json`.
+#[derive(Debug, Clone)]
+pub struct Step3ScalingMeasurement {
+    /// Candidate species Step 2 reported for the sample.
+    pub candidates: usize,
+    /// Reads mapped per pass.
+    pub reads: usize,
+    /// Reads that mapped to some candidate.
+    pub mapped_reads: u64,
+    /// `(devices, seconds per full Step 3 pass, best trial)` per swept count.
+    pub seconds_by_shards: Vec<(usize, f64)>,
+    /// Whether every partitioned output was byte-identical to the
+    /// sequential oracle (unified index entries + offsets, abundance
+    /// profile, mapped-read count).
+    pub parity: bool,
+}
+
+impl Step3ScalingMeasurement {
+    /// Step 3 throughput (reads mapped through the stage per second) at a
+    /// swept device count.
+    pub fn throughput(&self, shards: usize) -> f64 {
+        self.seconds_by_shards
+            .iter()
+            .find(|(s, _)| *s == shards)
+            .map(|(_, secs)| self.reads as f64 / secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Speedup of a device count over the single-device baseline.
+    pub fn speedup(&self, shards: usize) -> f64 {
+        self.throughput(shards) / self.throughput(1)
+    }
+
+    /// The CI verdict: every multi-device count strictly beats one device.
+    pub fn scaling_confirmed(&self) -> bool {
+        self.seconds_by_shards
+            .iter()
+            .filter(|(s, _)| *s > 1)
+            .all(|(s, _)| self.speedup(*s) > 1.0)
+    }
+
+    /// Renders the plain-text report with the greppable verdict lines.
+    pub fn report(&self) -> String {
+        let mut report = Report::new();
+        report.title("Step 3 scaling analysis: partitioned unified-index generation and mapping");
+        report.line(&format!(
+            "{} candidate species, {} reads; simulated index stream {} ms per candidate; \
+             best of {TRIALS} trials per device count",
+            self.candidates,
+            self.reads,
+            STREAM_PER_CANDIDATE.as_millis(),
+        ));
+        report.line("");
+        report.table_header(&["devices", "ms/pass", "reads/s", "speedup"]);
+        for (shards, secs) in &self.seconds_by_shards {
+            report.table_row(
+                &shards.to_string(),
+                &[secs * 1e3, self.throughput(*shards), self.speedup(*shards)],
+            );
+        }
+        report.line("");
+        report.line(&format!(
+            "parity with sequential step 3: {}",
+            if self.parity { "identical" } else { "DIVERGED" }
+        ));
+        report.line(&format!(
+            "shard scaling: {} (multi-device throughput vs 1 device, {} reads mapped)",
+            if self.scaling_confirmed() {
+                "confirmed"
+            } else {
+                "NOT OBSERVED"
+            },
+            self.mapped_reads,
+        ));
+        report.line("");
+        report.line("Each device streams and merges only its contiguous candidate range into a");
+        report.line("partial unified index and maps the reads against it; the reduce recombines");
+        report.line("the partials byte-identically and resolves multi-device read hits by the");
+        report.line("same best-hit rule as the sequential mapper. Partitioning divides the");
+        report.line("dominant per-device index stream, so the stage's critical path shrinks");
+        report.line("near-linearly in the device count.");
+        report.finish()
+    }
+
+    /// Serializes the measurement as the `BENCH_step3.json` record.
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .seconds_by_shards
+            .iter()
+            .map(|(shards, secs)| {
+                format!(
+                    "    {{ \"shards\": {shards}, \"us_per_pass\": {:.3}, \
+                     \"reads_per_s\": {:.3}, \"speedup\": {:.4} }}",
+                    secs * 1e6,
+                    self.throughput(*shards),
+                    self.speedup(*shards),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n\
+             \x20 \"bench\": \"step3_scaling\",\n\
+             \x20 \"candidates\": {},\n\
+             \x20 \"reads\": {},\n\
+             \x20 \"mapped_reads\": {},\n\
+             \x20 \"stream_ms_per_candidate\": {},\n\
+             \x20 \"parity\": {},\n\
+             \x20 \"scaling_confirmed\": {},\n\
+             \x20 \"series\": [\n{}\n\x20 ]\n\
+             }}\n",
+            self.candidates,
+            self.reads,
+            self.mapped_reads,
+            STREAM_PER_CANDIDATE.as_millis(),
+            self.parity,
+            self.scaling_confirmed(),
+            series.join(",\n"),
+        )
+    }
+}
+
+/// Runs the sweep and returns the raw measurement.
+pub fn step3_scaling_measure() -> Step3ScalingMeasurement {
+    // A sample rich in candidates: Step 2's actual presence call on a
+    // diverse community decides the candidate list, exactly as the engine's
+    // completer does.
+    let community = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(READS)
+        .with_species(SPECIES)
+        .with_database_species(DATABASE_SPECIES)
+        .build(4242);
+    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+    let presence = analyzer.identify_presence(community.sample()).presence;
+    let candidates = analyzer.candidate_indexes(&presence);
+    let mapping_k = analyzer.config().mapping_k;
+    let reads = community.sample().reads();
+
+    // Sequential oracle: one merge, one mapping pass, no partition/reduce.
+    let owned: Vec<ReferenceIndex> = candidates.iter().map(|c| (*c).clone()).collect();
+    let oracle = step3::run(reads, &owned, mapping_k);
+
+    let mut parity = true;
+    let mut seconds_by_shards = Vec::new();
+    for shards in SHARD_COUNTS {
+        let mut best = f64::INFINITY;
+        for _ in 0..TRIALS {
+            let start = Instant::now();
+            let partition = step3::partition_candidates(&candidates, shards);
+            let partials: Vec<step3::Step3Partial> = std::thread::scope(|scope| {
+                let handles: Vec<_> = partition
+                    .iter()
+                    .map(|part| {
+                        let range = part.range.clone();
+                        let base = part.base_offset;
+                        let slice = &candidates[range.clone()];
+                        scope.spawn(move || {
+                            // Simulated device service: stream each
+                            // candidate's reference index off the medium
+                            // and through the merge unit.
+                            if !range.is_empty() {
+                                std::thread::sleep(STREAM_PER_CANDIDATE * range.len() as u32);
+                            }
+                            step3::run_partial(reads, slice, base, mapping_k)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let reduced = step3::reduce(partials);
+            best = best.min(start.elapsed().as_secs_f64());
+            parity &= reduced == oracle
+                && reduced.unified_index.entries() == oracle.unified_index.entries()
+                && reduced.unified_index.offsets() == oracle.unified_index.offsets();
+        }
+        seconds_by_shards.push((shards, best));
+    }
+
+    Step3ScalingMeasurement {
+        candidates: candidates.len(),
+        reads: reads.len(),
+        mapped_reads: oracle.mapped_reads,
+        seconds_by_shards,
+        parity,
+    }
+}
+
+/// Step 3 scaling analysis: runs the sweep and renders the report (what
+/// `cargo run -p megis-bench --bin step3_scaling` prints; the binary
+/// additionally writes `BENCH_step3.json`).
+pub fn step3_scaling() -> String {
+    step3_scaling_measure().report()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn step3_scaling_confirms_parity() {
+        let m = super::step3_scaling_measure();
+        assert!(
+            m.parity,
+            "partitioned step 3 must reproduce the sequential oracle"
+        );
+        assert!(
+            m.candidates >= 8,
+            "fixture needs a partitionable candidate set"
+        );
+        assert!(m.mapped_reads > 0);
+        let report = m.report();
+        assert!(report.contains("parity with sequential step 3: identical"));
+        let json = m.to_json();
+        assert!(json.contains("\"bench\": \"step3_scaling\""));
+        assert!(json.contains("\"parity\": true"));
+        // The wall-clock scaling verdict is asserted in release only: the
+        // sweep is device-bound by construction (simulated index streams
+        // overlap even on one core), but a debug-profile functional merge
+        // can swamp the stream times. The release-mode CI smoke step runs
+        // the bin and greps the verdict, so the property stays enforced
+        // where a failure is attributable.
+        #[cfg(not(debug_assertions))]
+        assert!(
+            m.scaling_confirmed(),
+            "multi-device step 3 must beat one device:\n{report}"
+        );
+    }
+}

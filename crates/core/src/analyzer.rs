@@ -138,16 +138,60 @@ impl MegisAnalyzer {
         step2::from_intersection(intersecting_kmers, &self.kss, &self.sketches, &self.config)
     }
 
-    /// Runs Step 3 (unified index generation + read mapping) for the
-    /// candidate species reported present.
-    pub fn run_step3(&self, sample: &Sample, presence: &PresenceResult) -> step3::Step3Output {
-        let candidate_indexes: Vec<ReferenceIndex> = self
-            .reference_indexes
+    /// Positions (within [`MegisAnalyzer::reference_indexes`]) of the
+    /// candidate species reported present, in index order — which is
+    /// reference-collection order, i.e. ascending taxid. This is the shared
+    /// definition of "the candidate list" for Step 3: the sequential path,
+    /// the partitioned path, and the scheduler's per-device commands all
+    /// derive from it, so they merge candidates in the same order.
+    pub fn candidate_positions(&self, presence: &PresenceResult) -> Vec<usize> {
+        self.reference_indexes
             .iter()
-            .filter(|idx| presence.contains(idx.taxid()))
-            .cloned()
-            .collect();
-        step3::run(sample.reads(), &candidate_indexes, self.config.mapping_k)
+            .enumerate()
+            .filter(|(_, idx)| presence.contains(idx.taxid()))
+            .map(|(position, _)| position)
+            .collect()
+    }
+
+    /// The candidate species' read-mapping indexes, *borrowed* from the
+    /// analyzer's memoized per-species indexes. Index construction is
+    /// one-time offline work (§4.4): the analyzer builds every species'
+    /// index once in [`MegisAnalyzer::build`] and every sample's Step 3
+    /// borrows the relevant subset — no per-sample rebuild, no per-sample
+    /// copy (a regression test asserts the build count stays flat across
+    /// analyses).
+    pub fn candidate_indexes(&self, presence: &PresenceResult) -> Vec<&ReferenceIndex> {
+        self.candidate_positions(presence)
+            .into_iter()
+            .map(|position| &self.reference_indexes[position])
+            .collect()
+    }
+
+    /// Runs Step 3 (unified index generation + read mapping) for the
+    /// candidate species reported present: the single-device case of
+    /// [`MegisAnalyzer::run_step3_partitioned`], composed through the same
+    /// partition → map → reduce path the sharded scheduler drives (the
+    /// sequential [`step3::run`] is the oracle both are verified against).
+    pub fn run_step3(&self, sample: &Sample, presence: &PresenceResult) -> step3::Step3Output {
+        self.run_step3_partitioned(sample, presence, 1)
+    }
+
+    /// Runs Step 3 partitioned across `parts` devices: the candidate list
+    /// splits into contiguous taxid ranges, each range merges into a
+    /// partial unified index and maps all reads, and the reduce recombines
+    /// — byte-identical to the sequential path for every `parts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    pub fn run_step3_partitioned(
+        &self,
+        sample: &Sample,
+        presence: &PresenceResult,
+        parts: usize,
+    ) -> step3::Step3Output {
+        let candidates = self.candidate_indexes(presence);
+        step3::run_partitioned(sample.reads(), &candidates, parts, self.config.mapping_k)
     }
 
     /// Assembles the end-to-end output from per-step results.
@@ -222,6 +266,56 @@ mod tests {
         assert!(out.mapped_reads > 0);
         let err = AbundanceError::score(&out.abundance, c.truth_profile());
         assert!(err.l1_norm < 0.8, "L1 error {}", err.l1_norm);
+    }
+
+    #[test]
+    fn candidate_indexes_are_memoized_not_rebuilt_per_sample() {
+        // Regression: index construction is one-time offline work (§4.4).
+        // The analyzer builds one index per reference genome at
+        // construction; analyzing samples afterwards must neither rebuild
+        // nor clone them — the thread-local build counter stays flat across
+        // repeated analyses and partitioned Step 3 runs.
+        let c = community();
+        let before = ReferenceIndex::builds_on_this_thread();
+        let analyzer = MegisAnalyzer::build(c.references(), MegisConfig::small());
+        let after_build = ReferenceIndex::builds_on_this_thread();
+        assert_eq!(
+            after_build - before,
+            c.references().len() as u64,
+            "build constructs one index per genome"
+        );
+        let out = analyzer.analyze(c.sample());
+        assert!(out.mapped_reads > 0);
+        for parts in [1usize, 2, 5] {
+            let _ = analyzer.run_step3_partitioned(c.sample(), &out.presence, parts);
+        }
+        let _ = analyzer.analyze(c.sample());
+        assert_eq!(
+            ReferenceIndex::builds_on_this_thread(),
+            after_build,
+            "analyses must borrow the memoized indexes, never rebuild them"
+        );
+        // The borrowed candidate list is the presence-filtered subset, in
+        // ascending-taxid (collection) order.
+        let candidates = analyzer.candidate_indexes(&out.presence);
+        assert_eq!(candidates.len(), out.presence.len());
+        assert!(candidates.windows(2).all(|w| w[0].taxid() < w[1].taxid()));
+    }
+
+    #[test]
+    fn partitioned_step3_matches_sequential_for_any_part_count() {
+        let c = community();
+        let analyzer = MegisAnalyzer::build(c.references(), MegisConfig::small());
+        let step1 = analyzer.run_step1(c.sample());
+        let step2 = analyzer.run_step2(&step1);
+        let candidates = analyzer.candidate_indexes(&step2.presence);
+        let owned: Vec<ReferenceIndex> = candidates.iter().map(|c| (*c).clone()).collect();
+        let oracle = crate::step3::run(c.sample().reads(), &owned, analyzer.config().mapping_k);
+        for parts in 1..=9usize {
+            let sharded = analyzer.run_step3_partitioned(c.sample(), &step2.presence, parts);
+            assert_eq!(sharded, oracle, "{parts} parts diverged");
+        }
+        assert_eq!(analyzer.run_step3(c.sample(), &step2.presence), oracle);
     }
 
     #[test]

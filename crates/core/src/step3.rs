@@ -1,23 +1,52 @@
-//! Step 3 — abundance estimation support (§4.4).
+//! Step 3 — abundance estimation support (§4.4), as partition → map →
+//! reduce over the candidate species.
 //!
 //! For applications that need relative abundances, MegIS prepares the data a
 //! read mapper needs: a *unified* reference index over the candidate species
 //! identified in Step 2, generated inside the SSD by sequentially merging the
-//! candidate species' per-species indexes (Fig. 9). The unified index and the
-//! reads are then handed to a mapping accelerator (or the host) and the
-//! per-species read counts become the abundance profile. Lightweight
-//! statistical estimators can instead run directly on Step 2's output.
+//! candidate species' per-species indexes (Fig. 9), then handed — together
+//! with the reads — to a mapping accelerator. On a device array the same
+//! stage shards: the candidate list is split into contiguous ranges
+//! ([`partition_candidates`], a deterministic assignment over the
+//! ascending-taxid candidate order), each device merges its range into a
+//! [`PartialUnifiedIndex`] and maps every read against it
+//! ([`run_partial`]), and a reduce step ([`reduce`]) recombines the partial
+//! indexes byte-identically, resolves reads that hit candidates on several
+//! devices by the same best-hit rule as
+//! [`UnifiedReferenceIndex::map_read`], and accumulates the abundance
+//! profile.
+//!
+//! The decomposition is *exact*, not approximate:
+//!
+//! * the recombined unified index equals the one-pass merge
+//!   ([`UnifiedReferenceIndex::merge_partials`] — offsets and location
+//!   orders are preserved because the ranges are contiguous and consecutive),
+//! * a candidate lives on exactly one device, so per-device vote counts are
+//!   global vote counts and the max-of-maxes under `(votes,
+//!   smallest-taxid)` is the global best hit, with the
+//!   [`MIN_MAPPING_VOTES`] threshold applied to the winner in the reduce,
+//! * abundance counts group by a deterministic sort + run-length pass
+//!   ([`AbundanceAccumulator`]).
+//!
+//! [`run`] is the sequential oracle (one merge, one mapper): the seeded
+//! property suites assert that partition → [`run_partial`] → [`reduce`] at
+//! any shard count reproduces it byte for byte. Lightweight statistical
+//! estimators ([`statistical_abundance`]) can instead run directly on
+//! Step 2's output.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
-use megis_genomics::database::{ReferenceIndex, UnifiedReferenceIndex};
-use megis_genomics::profile::{AbundanceProfile, PresenceResult};
+use megis_genomics::database::{
+    PartialUnifiedIndex, ReferenceIndex, UnifiedReferenceIndex, MIN_MAPPING_VOTES,
+};
+use megis_genomics::profile::{AbundanceAccumulator, AbundanceProfile, PresenceResult};
 use megis_genomics::read::ReadSet;
 use megis_genomics::reference::ReferenceCollection;
 use megis_genomics::taxonomy::TaxId;
 
 /// Output of Step 3.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Step3Output {
     /// The unified index generated for the candidate species.
     pub unified_index: UnifiedReferenceIndex,
@@ -27,11 +56,98 @@ pub struct Step3Output {
     pub mapped_reads: u64,
 }
 
+/// One contiguous range of the candidate list assigned to a device for
+/// partitioned Step 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidatePart {
+    /// The range of candidate positions (indices into the candidate list).
+    pub range: Range<usize>,
+    /// Concatenated-reference-space offset where the range begins: the sum
+    /// of the genome lengths of every earlier candidate.
+    pub base_offset: u64,
+}
+
+impl CandidatePart {
+    /// Returns `true` if the part covers no candidates (a padding part for
+    /// devices beyond the candidate count).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// One read's best-supported hit within one candidate partition, before the
+/// mapping-vote threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialReadHit {
+    /// Index of the read within the sample's read set.
+    pub read: usize,
+    /// The partition's best-supported candidate for the read.
+    pub taxid: TaxId,
+    /// Seed votes supporting it (equal to the *global* vote count, since a
+    /// candidate lives in exactly one partition).
+    pub votes: u32,
+}
+
+/// Per-device output of partitioned Step 3: the partial unified index over
+/// the device's candidate range plus the best hit of every read that hit
+/// the range at all.
+#[derive(Debug, Clone, Default)]
+pub struct Step3Partial {
+    /// The partial unified index merged on this device.
+    pub index: PartialUnifiedIndex,
+    /// Per-read best hits against this device's candidates, in read order.
+    pub hits: Vec<PartialReadHit>,
+}
+
+/// Splits a candidate list into `parts` contiguous ranges of near-equal
+/// candidate counts — the deterministic device assignment of partitioned
+/// Step 3. The candidate list must be in the order the unified index is
+/// merged in (ascending taxid for candidates filtered from a reference
+/// collection), so each part is a contiguous taxid range; parts beyond the
+/// candidate count come back empty.
+///
+/// Each part carries the `base_offset` its partial index starts at, so the
+/// parts compose: `base_offset` of part `i + 1` equals part `i`'s base plus
+/// its candidates' total genome length, and the recombined index is
+/// byte-identical to the one-pass merge.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn partition_candidates(candidates: &[&ReferenceIndex], parts: usize) -> Vec<CandidatePart> {
+    assert!(parts > 0, "parts must be positive");
+    let per = candidates.len().div_ceil(parts).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut base = 0u64;
+    while start < candidates.len() {
+        let end = (start + per).min(candidates.len());
+        out.push(CandidatePart {
+            range: start..end,
+            base_offset: base,
+        });
+        base += candidates[start..end]
+            .iter()
+            .map(|c| c.genome_len() as u64)
+            .sum::<u64>();
+        start = end;
+    }
+    while out.len() < parts {
+        out.push(CandidatePart {
+            range: candidates.len()..candidates.len(),
+            base_offset: base,
+        });
+    }
+    out
+}
+
 /// Builds per-species reference indexes for the given candidates.
 ///
 /// Index construction for individual species is a one-time offline task
 /// (§4.4); this helper exists so tests and examples can produce them from a
-/// synthetic reference collection.
+/// synthetic reference collection. The analyzer builds its indexes once at
+/// construction and borrows them per sample (see
+/// [`crate::MegisAnalyzer::candidate_indexes`]).
 pub fn build_candidate_indexes(
     references: &ReferenceCollection,
     candidates: &PresenceResult,
@@ -51,20 +167,110 @@ pub fn generate_unified_index(candidate_indexes: &[ReferenceIndex]) -> UnifiedRe
     UnifiedReferenceIndex::merge(candidate_indexes)
 }
 
-/// Runs Step 3: unified index generation followed by read mapping.
+/// Runs one device's share of partitioned Step 3: merge the candidate range
+/// (starting at `base_offset` in the concatenated reference space) into a
+/// partial unified index, then map every read against it, recording each
+/// read's best pre-threshold hit.
+pub fn run_partial(
+    reads: &ReadSet,
+    candidates: &[&ReferenceIndex],
+    base_offset: u64,
+    mapping_k: usize,
+) -> Step3Partial {
+    let index = PartialUnifiedIndex::merge_range(candidates, base_offset);
+    let mut hits = Vec::new();
+    if !index.index().is_empty() {
+        for (read_index, read) in reads.iter().enumerate() {
+            if let Some(hit) = index.index().map_read_hit(read, mapping_k) {
+                hits.push(PartialReadHit {
+                    read: read_index,
+                    taxid: hit.taxid,
+                    votes: hit.votes,
+                });
+            }
+        }
+    }
+    Step3Partial { index, hits }
+}
+
+/// Recombines per-device partials (in candidate-range order) into the full
+/// Step 3 output: merge the partial indexes byte-identically, resolve each
+/// read's winner across devices by the same `(votes, smallest-taxid)`
+/// best-hit rule as [`UnifiedReferenceIndex::map_read`], apply the
+/// mapping-vote threshold to the winner, and accumulate the abundance
+/// profile with a deterministic sort + run-length group.
+pub fn reduce(partials: Vec<Step3Partial>) -> Step3Output {
+    let mut hits: Vec<PartialReadHit> = Vec::new();
+    let mut indexes = Vec::with_capacity(partials.len());
+    for partial in partials {
+        hits.extend(partial.hits);
+        indexes.push(partial.index);
+    }
+    let unified_index = UnifiedReferenceIndex::merge_partials(indexes);
+    // Sorting ascending by (read, votes, Reverse(taxid)) puts each read's
+    // winning hit — most votes, smallest taxid on ties — last in its run.
+    hits.sort_unstable_by_key(|h| (h.read, h.votes, std::cmp::Reverse(h.taxid)));
+    let mut counts = AbundanceAccumulator::new();
+    let mut mapped_reads = 0u64;
+    let mut i = 0usize;
+    while i < hits.len() {
+        let mut j = i;
+        while j + 1 < hits.len() && hits[j + 1].read == hits[i].read {
+            j += 1;
+        }
+        let winner = hits[j];
+        if winner.votes >= MIN_MAPPING_VOTES {
+            counts.record(winner.taxid);
+            mapped_reads += 1;
+        }
+        i = j + 1;
+    }
+    Step3Output {
+        unified_index,
+        abundance: counts.finish(),
+        mapped_reads,
+    }
+}
+
+/// Runs partitioned Step 3 end to end: [`partition_candidates`] →
+/// [`run_partial`] per part → [`reduce`]. With `parts == 1` this is the
+/// composition the analyzer's sequential path uses; the output is
+/// byte-identical to [`run`] for every `parts` (asserted by the seeded
+/// property suite).
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn run_partitioned(
+    reads: &ReadSet,
+    candidates: &[&ReferenceIndex],
+    parts: usize,
+    mapping_k: usize,
+) -> Step3Output {
+    let partials = partition_candidates(candidates, parts)
+        .into_iter()
+        .map(|part| run_partial(reads, &candidates[part.range], part.base_offset, mapping_k))
+        .collect();
+    reduce(partials)
+}
+
+/// Runs Step 3 sequentially: one unified-index merge followed by one
+/// mapping pass. This is the *oracle* the partitioned path is verified
+/// against — it never goes through partition/reduce, so a regression in
+/// either shows up as a divergence.
 pub fn run(reads: &ReadSet, candidate_indexes: &[ReferenceIndex], mapping_k: usize) -> Step3Output {
     let unified_index = generate_unified_index(candidate_indexes);
-    let mut counts: HashMap<TaxId, u64> = HashMap::new();
+    let mut counts = AbundanceAccumulator::new();
     let mut mapped_reads = 0;
     for read in reads.iter() {
         if let Some(taxid) = unified_index.map_read(read, mapping_k) {
-            *counts.entry(taxid).or_insert(0) += 1;
+            counts.record(taxid);
             mapped_reads += 1;
         }
     }
     Step3Output {
         unified_index,
-        abundance: AbundanceProfile::from_counts(counts),
+        abundance: counts.finish(),
         mapped_reads,
     }
 }
@@ -126,5 +332,124 @@ mod tests {
         let out = run(c.sample().reads(), &[], 15);
         assert!(out.abundance.is_empty());
         assert_eq!(out.mapped_reads, 0);
+        // The partitioned path degrades identically: padding-only parts.
+        for parts in [1usize, 3, 8] {
+            assert_eq!(run_partitioned(c.sample().reads(), &[], parts, 15), out);
+        }
+    }
+
+    #[test]
+    fn partition_covers_candidates_and_offsets_compose() {
+        let c = community();
+        let truth = c.truth_presence();
+        let indexes = build_candidate_indexes(c.references(), &truth, 15);
+        let refs: Vec<&ReferenceIndex> = indexes.iter().collect();
+        for parts in 1..=9usize {
+            let partition = partition_candidates(&refs, parts);
+            assert_eq!(partition.len(), parts);
+            // Contiguous cover: ranges abut, start at 0, end at the count.
+            assert_eq!(partition[0].range.start, 0);
+            assert_eq!(partition[parts - 1].range.end, refs.len());
+            assert_eq!(partition[0].base_offset, 0);
+            for w in partition.windows(2) {
+                assert_eq!(w[0].range.end, w[1].range.start);
+                let span: u64 = refs[w[0].range.clone()]
+                    .iter()
+                    .map(|r| r.genome_len() as u64)
+                    .sum();
+                assert_eq!(w[1].base_offset, w[0].base_offset + span);
+            }
+            // More parts than candidates: trailing parts are empty padding.
+            if parts > refs.len() {
+                assert!(partition[refs.len()..].iter().all(CandidatePart::is_empty));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_step3_equals_sequential_oracle() {
+        // Seeded property sweep: random communities (varying candidate
+        // counts and read mixtures) × shard counts 1–9, including counts
+        // beyond the candidates so empty partitions are exercised. The
+        // partitioned output must be byte-identical to the sequential
+        // oracle: same unified index (entries and offsets), same abundance
+        // profile, same mapped-read count.
+        for (seed, species, reads) in [(55u64, 4usize, 200usize), (7, 6, 150), (91, 8, 250)] {
+            let c = CommunityConfig::preset(Diversity::Medium)
+                .with_reads(reads)
+                .with_species(species)
+                .with_database_species(16)
+                .build(seed);
+            let truth = c.truth_presence();
+            let indexes = build_candidate_indexes(c.references(), &truth, 15);
+            let refs: Vec<&ReferenceIndex> = indexes.iter().collect();
+            let oracle = run(c.sample().reads(), &indexes, 15);
+            assert!(oracle.mapped_reads > 0, "seed {seed}: fixture maps nothing");
+            for parts in 1..=9usize {
+                let sharded = run_partitioned(c.sample().reads(), &refs, parts, 15);
+                assert_eq!(
+                    sharded, oracle,
+                    "seed {seed}, {parts} parts diverged from the oracle"
+                );
+                assert_eq!(
+                    sharded.unified_index.entries(),
+                    oracle.unified_index.entries()
+                );
+                assert_eq!(
+                    sharded.unified_index.offsets(),
+                    oracle.unified_index.offsets()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_resolves_multi_shard_hits_like_map_read() {
+        // A read hitting candidates in several partitions must resolve to
+        // the global best hit; ties on votes go to the smallest taxid.
+        let hits = vec![
+            Step3Partial {
+                index: PartialUnifiedIndex::default(),
+                hits: vec![
+                    PartialReadHit {
+                        read: 0,
+                        taxid: TaxId(5),
+                        votes: 3,
+                    },
+                    PartialReadHit {
+                        read: 1,
+                        taxid: TaxId(5),
+                        votes: 1,
+                    },
+                ],
+            },
+            Step3Partial {
+                index: PartialUnifiedIndex::default(),
+                hits: vec![
+                    PartialReadHit {
+                        read: 0,
+                        taxid: TaxId(2),
+                        votes: 3,
+                    },
+                    PartialReadHit {
+                        read: 1,
+                        taxid: TaxId(9),
+                        votes: 1,
+                    },
+                ],
+            },
+        ];
+        let out = reduce(hits);
+        // Read 0: tie at 3 votes, smallest taxid (2) wins. Read 1: winner
+        // has 1 vote, below the threshold — unmapped.
+        assert_eq!(out.mapped_reads, 1);
+        assert!((out.abundance.abundance(TaxId(2)) - 1.0).abs() < 1e-12);
+        assert_eq!(out.abundance.abundance(TaxId(5)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parts must be positive")]
+    fn zero_parts_rejected() {
+        partition_candidates(&[], 0);
     }
 }

@@ -47,8 +47,17 @@
 //! For read-mapping-based abundance estimation, each species additionally has
 //! a [`ReferenceIndex`] mapping k-mers to their genome locations; MegIS's Step
 //! 3 merges the indexes of the candidate species into a
-//! [`UnifiedReferenceIndex`] inside the SSD (Fig. 9 of the paper).
+//! [`UnifiedReferenceIndex`] inside the SSD (Fig. 9 of the paper). The merge
+//! is *partitionable*: a contiguous range of the candidate list can be merged
+//! into a [`PartialUnifiedIndex`] on one device (given the range's base
+//! offset in the concatenated reference space), and
+//! [`UnifiedReferenceIndex::merge_partials`] recombines per-device partials
+//! into an index byte-identical to merging every candidate in one pass —
+//! what lets Step 3's index generation and read mapping shard across the
+//! same device array that serves Step 2.
 
+use std::cell::Cell;
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -627,6 +636,12 @@ fn pin_boundary(slice: &[Kmer], target: Kmer, mut lo: usize, mut hi: usize) -> u
     lo + 1
 }
 
+thread_local! {
+    /// Count of [`ReferenceIndex::build`] calls on the current thread; see
+    /// [`ReferenceIndex::builds_on_this_thread`].
+    static REFERENCE_INDEX_BUILDS: Cell<u64> = const { Cell::new(0) };
+}
+
 /// A per-species read-mapping index: k-mer → sorted genome locations.
 #[derive(Debug, Clone, Default)]
 pub struct ReferenceIndex {
@@ -639,6 +654,7 @@ pub struct ReferenceIndex {
 impl ReferenceIndex {
     /// Builds the index of one reference genome with seeds of length `k`.
     pub fn build(genome: &ReferenceGenome, k: usize) -> ReferenceIndex {
+        REFERENCE_INDEX_BUILDS.with(|c| c.set(c.get() + 1));
         let mut map: BTreeMap<Kmer, Vec<u32>> = BTreeMap::new();
         for (pos, kmer) in KmerExtractor::new(genome.sequence(), k).enumerate() {
             map.entry(kmer.canonical()).or_default().push(pos as u32);
@@ -649,6 +665,17 @@ impl ReferenceIndex {
             genome_len: genome.len(),
             entries: map.into_iter().collect(),
         }
+    }
+
+    /// Number of [`ReferenceIndex::build`] calls the *current thread* has
+    /// performed over its lifetime. Index construction is one-time offline
+    /// work (§4.4): analyzers build their per-species indexes once and
+    /// borrow them per sample, and regression tests use this counter to
+    /// assert no per-sample rebuild sneaks back in. Thread-local (rather
+    /// than process-global) so concurrently running tests cannot perturb
+    /// each other's counts.
+    pub fn builds_on_this_thread() -> u64 {
+        REFERENCE_INDEX_BUILDS.with(Cell::get)
     }
 
     /// The species this index belongs to.
@@ -708,13 +735,31 @@ pub struct UnifiedLocation {
     pub position: u64,
 }
 
+/// Minimum seed votes for a read to be considered mapped by
+/// [`UnifiedReferenceIndex::map_read`]. Shared with the partitioned Step 3
+/// reduce step, which applies the same threshold after resolving per-device
+/// best hits.
+pub const MIN_MAPPING_VOTES: u32 = 2;
+
+/// The best-supported candidate for one read, *before* the
+/// [`MIN_MAPPING_VOTES`] threshold: what a per-device mapper reports so a
+/// reduce step can resolve reads that hit candidates on several devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadMapHit {
+    /// The candidate with the most seed votes (ties go to the smallest
+    /// taxid).
+    pub taxid: TaxId,
+    /// Number of supporting seed votes.
+    pub votes: u32,
+}
+
 /// A unified read-mapping index over several candidate species.
 ///
 /// MegIS generates this inside the SSD by sequentially merging the per-species
 /// indexes of the candidate species found in Step 2, adjusting locations by
 /// per-species offsets (Fig. 9). A single unified index avoids searching each
 /// per-species index separately during read mapping.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UnifiedReferenceIndex {
     k: usize,
     entries: Vec<(Kmer, Vec<UnifiedLocation>)>,
@@ -726,42 +771,79 @@ impl UnifiedReferenceIndex {
     ///
     /// The merge walks all input indexes as sorted streams — the same
     /// sequential access pattern MegIS's in-SSD index generation uses.
+    /// Implemented as the one-partition case of the partitioned merge
+    /// ([`PartialUnifiedIndex::merge_range`] at base offset 0 followed by
+    /// [`UnifiedReferenceIndex::merge_partials`]), so the sequential and
+    /// sharded paths cannot drift apart.
     ///
     /// # Panics
     ///
     /// Panics if the indexes do not all share the same `k`.
     pub fn merge(indexes: &[ReferenceIndex]) -> UnifiedReferenceIndex {
-        if indexes.is_empty() {
-            return UnifiedReferenceIndex::default();
-        }
-        let k = indexes[0].k();
-        assert!(
-            indexes.iter().all(|i| i.k() == k),
-            "all indexes must share the same seed length"
-        );
-        // Assign each species an offset in the concatenated reference space.
-        let mut offsets = Vec::with_capacity(indexes.len());
-        let mut running = 0u64;
-        for idx in indexes {
-            offsets.push((idx.taxid(), running));
-            running += idx.genome_len() as u64;
-        }
+        let refs: Vec<&ReferenceIndex> = indexes.iter().collect();
+        UnifiedReferenceIndex::merge_partials(vec![PartialUnifiedIndex::merge_range(&refs, 0)])
+    }
 
-        let mut merged: BTreeMap<Kmer, Vec<UnifiedLocation>> = BTreeMap::new();
-        for (idx, (taxid, offset)) in indexes.iter().zip(&offsets) {
-            for (kmer, locs) in idx.entries() {
-                let out = merged.entry(*kmer).or_default();
-                for &pos in locs {
-                    out.push(UnifiedLocation {
-                        taxid: *taxid,
-                        position: *offset + pos as u64,
-                    });
-                }
+    /// Recombines per-device partial indexes — built by
+    /// [`PartialUnifiedIndex::merge_range`] over *consecutive* ranges of one
+    /// candidate list, each at its range's base offset — into the unified
+    /// index, byte-identical to [`UnifiedReferenceIndex::merge`] over the
+    /// whole list. Partials covering an empty range contribute nothing and
+    /// may appear anywhere in the sequence.
+    ///
+    /// Per-species offsets concatenate in partial order, and for a seed
+    /// indexed by several partials the location lists concatenate in partial
+    /// (= candidate) order, which is exactly the order the one-pass merge
+    /// produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the non-empty partials do not all share the same seed
+    /// length. Debug builds additionally check that consecutive partials'
+    /// base offsets abut (each base equals the previous base plus its span).
+    pub fn merge_partials(partials: Vec<PartialUnifiedIndex>) -> UnifiedReferenceIndex {
+        let k = partials
+            .iter()
+            .find(|p| !p.index.offsets.is_empty())
+            .map(|p| p.index.k)
+            .unwrap_or(0);
+        assert!(
+            partials
+                .iter()
+                .filter(|p| !p.index.offsets.is_empty())
+                .all(|p| p.index.k == k),
+            "all partial indexes must share the same seed length"
+        );
+        #[cfg(debug_assertions)]
+        for w in partials.windows(2) {
+            debug_assert_eq!(
+                w[1].base,
+                w[0].base + w[0].span,
+                "partials must cover consecutive candidate ranges"
+            );
+        }
+        let mut offsets = Vec::new();
+        let mut pieces: Vec<(Kmer, usize, Vec<UnifiedLocation>)> = Vec::new();
+        for (pi, partial) in partials.into_iter().enumerate() {
+            offsets.extend(partial.index.offsets);
+            for (kmer, locs) in partial.index.entries {
+                pieces.push((kmer, pi, locs));
+            }
+        }
+        // Partial indexes are each kmer-sorted; sorting the concatenation by
+        // (kmer, partial) and run-length grouping restores the global sorted
+        // entry list with location lists concatenated in candidate order.
+        pieces.sort_unstable_by_key(|(kmer, pi, _)| (*kmer, *pi));
+        let mut entries: Vec<(Kmer, Vec<UnifiedLocation>)> = Vec::new();
+        for (kmer, _, locs) in pieces {
+            match entries.last_mut() {
+                Some((last, acc)) if *last == kmer => acc.extend(locs),
+                _ => entries.push((kmer, locs)),
             }
         }
         UnifiedReferenceIndex {
             k,
-            entries: merged.into_iter().collect(),
+            entries,
             offsets,
         }
     }
@@ -786,6 +868,13 @@ impl UnifiedReferenceIndex {
         &self.offsets
     }
 
+    /// The sorted `(seed, locations)` entries — exposed so tests and
+    /// benchmarks can assert a recombined index is byte-identical to the
+    /// one-pass merge.
+    pub fn entries(&self) -> &[(Kmer, Vec<UnifiedLocation>)] {
+        &self.entries
+    }
+
     /// Locations of a seed across all merged species.
     pub fn locations(&self, kmer: Kmer) -> Option<&[UnifiedLocation]> {
         self.entries
@@ -795,13 +884,30 @@ impl UnifiedReferenceIndex {
     }
 
     /// Maps one read against the unified index and returns the species with
-    /// the most seed hits (requiring at least two supporting seeds), or `None`
-    /// if the read does not map.
+    /// the most seed hits (requiring at least [`MIN_MAPPING_VOTES`]
+    /// supporting seeds), or `None` if the read does not map.
     ///
     /// This is the seed-voting mapper used for abundance estimation by both
     /// the S-Qry baseline and MegIS; sharing it keeps their abundance outputs
     /// identical, as the paper requires.
     pub fn map_read(&self, read: &crate::read::Read, seed_k: usize) -> Option<TaxId> {
+        self.map_read_hit(read, seed_k)
+            .filter(|hit| hit.votes >= MIN_MAPPING_VOTES)
+            .map(|hit| hit.taxid)
+    }
+
+    /// The best-supported candidate for one read, *without* the
+    /// [`MIN_MAPPING_VOTES`] threshold (`None` only when no seed hits at
+    /// all). Ties on votes go to the smallest taxid.
+    ///
+    /// A per-device mapper over a candidate partition reports this raw hit;
+    /// because each candidate lives on exactly one device, the per-device
+    /// vote count equals the global vote count, so taking the maximum of the
+    /// per-device hits under the same `(votes, smallest-taxid)` order — and
+    /// applying the threshold to the winner — reproduces
+    /// [`UnifiedReferenceIndex::map_read`] over the full candidate set
+    /// exactly.
+    pub fn map_read_hit(&self, read: &crate::read::Read, seed_k: usize) -> Option<ReadMapHit> {
         let mut votes: BTreeMap<TaxId, u32> = BTreeMap::new();
         for kmer in read.kmers(seed_k) {
             if let Some(locations) = self.locations(kmer.canonical()) {
@@ -812,9 +918,8 @@ impl UnifiedReferenceIndex {
         }
         votes
             .into_iter()
-            .max_by_key(|(t, c)| (*c, std::cmp::Reverse(*t)))
-            .filter(|(_, c)| *c >= 2)
-            .map(|(t, _)| t)
+            .max_by_key(|(t, c)| (*c, Reverse(*t)))
+            .map(|(taxid, votes)| ReadMapHit { taxid, votes })
     }
 
     /// Maps a concatenated-space position back to its species, by binary
@@ -833,6 +938,102 @@ impl UnifiedReferenceIndex {
             .iter()
             .map(|(k, locs)| (k.encoded_bytes() + 12 * locs.len()) as u64)
             .sum()
+    }
+}
+
+/// A unified index over one *contiguous range* of a candidate list — the
+/// per-device output of partitioned Step 3 index generation.
+///
+/// MegIS generates the unified index inside the SSD (Fig. 9); partitioning
+/// the candidate list by species lets each device of the array merge only
+/// its range. A partial records the range's `base` offset in the
+/// concatenated reference space (the sum of all earlier candidates' genome
+/// lengths) and its `span` (the range's own total genome length), so the
+/// locations it stores are already *global*:
+/// [`UnifiedReferenceIndex::merge_partials`] recombines consecutive partials
+/// into the full index byte-identically, and the inner index maps reads
+/// directly (its positions need no post-hoc adjustment).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartialUnifiedIndex {
+    /// Concatenated-reference-space offset where this partial's candidate
+    /// range begins.
+    base: u64,
+    /// Total genome length of the range's candidates, in bases.
+    span: u64,
+    /// The merged index over the range, with globally offset locations.
+    index: UnifiedReferenceIndex,
+}
+
+impl PartialUnifiedIndex {
+    /// Merges a contiguous candidate range into a partial unified index
+    /// whose locations start at `base` — the same sequential sorted-stream
+    /// merge as [`UnifiedReferenceIndex::merge`], restricted to the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidates do not all share the same seed length.
+    pub fn merge_range(candidates: &[&ReferenceIndex], base: u64) -> PartialUnifiedIndex {
+        if candidates.is_empty() {
+            return PartialUnifiedIndex {
+                base,
+                span: 0,
+                index: UnifiedReferenceIndex::default(),
+            };
+        }
+        let k = candidates[0].k();
+        assert!(
+            candidates.iter().all(|i| i.k() == k),
+            "all indexes must share the same seed length"
+        );
+        let mut offsets = Vec::with_capacity(candidates.len());
+        let mut running = base;
+        for idx in candidates {
+            offsets.push((idx.taxid(), running));
+            running += idx.genome_len() as u64;
+        }
+        let mut merged: BTreeMap<Kmer, Vec<UnifiedLocation>> = BTreeMap::new();
+        for (idx, (taxid, offset)) in candidates.iter().zip(&offsets) {
+            for (kmer, locs) in idx.entries() {
+                let out = merged.entry(*kmer).or_default();
+                for &pos in locs {
+                    out.push(UnifiedLocation {
+                        taxid: *taxid,
+                        position: *offset + pos as u64,
+                    });
+                }
+            }
+        }
+        PartialUnifiedIndex {
+            base,
+            span: running - base,
+            index: UnifiedReferenceIndex {
+                k,
+                entries: merged.into_iter().collect(),
+                offsets,
+            },
+        }
+    }
+
+    /// Concatenated-reference-space offset where the range begins.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total genome length of the range's candidates, in bases.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// The merged index over the range. Its locations are globally offset,
+    /// so [`UnifiedReferenceIndex::map_read_hit`] on it reports this range's
+    /// best hit directly.
+    pub fn index(&self) -> &UnifiedReferenceIndex {
+        &self.index
+    }
+
+    /// Returns `true` if the partial covers no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.index.offsets.is_empty()
     }
 }
 
@@ -1158,5 +1359,87 @@ mod tests {
         assert!(unified.is_empty());
         assert!(unified.offsets().is_empty());
         assert_eq!(unified.taxon_of_position(17), None);
+    }
+
+    #[test]
+    fn merge_partials_recombines_byte_identically() {
+        // Candidates from one genus share seeds, so the same k-mer appears
+        // in several partials and the location-concatenation order matters.
+        let r = refs();
+        let indexes: Vec<ReferenceIndex> = r
+            .genomes()
+            .iter()
+            .map(|g| ReferenceIndex::build(g, 15))
+            .collect();
+        let whole = UnifiedReferenceIndex::merge(&indexes);
+        let index_refs: Vec<&ReferenceIndex> = indexes.iter().collect();
+
+        for cuts in [
+            vec![6],
+            vec![2, 4, 6],
+            vec![1, 2, 3, 4, 5, 6],
+            vec![3, 3, 6, 6],
+        ] {
+            let mut partials = Vec::new();
+            let mut start = 0usize;
+            let mut base = 0u64;
+            for end in cuts.clone() {
+                let range = &index_refs[start..end];
+                let partial = PartialUnifiedIndex::merge_range(range, base);
+                assert_eq!(partial.base(), base);
+                assert_eq!(partial.is_empty(), range.is_empty());
+                base += partial.span();
+                start = end;
+                partials.push(partial);
+            }
+            let recombined = UnifiedReferenceIndex::merge_partials(partials);
+            assert_eq!(recombined, whole, "cuts {cuts:?} diverged");
+            assert_eq!(recombined.entries(), whole.entries());
+            assert_eq!(recombined.offsets(), whole.offsets());
+        }
+        // No partials at all recombine to the empty index.
+        assert!(UnifiedReferenceIndex::merge_partials(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn map_read_hit_backs_map_read() {
+        let r = refs();
+        let indexes: Vec<ReferenceIndex> = r
+            .genomes()
+            .iter()
+            .map(|g| ReferenceIndex::build(g, 15))
+            .collect();
+        let unified = UnifiedReferenceIndex::merge(&indexes);
+        // A read drawn straight from a genome maps to it with many votes.
+        let genome = &r.genomes()[1];
+        let bases: Vec<crate::dna::Base> = genome.sequence().iter().take(80).collect();
+        let read = crate::read::Read::new("r0", crate::dna::PackedSequence::from_bases(bases));
+        let hit = unified.map_read_hit(&read, 15).expect("read has seed hits");
+        assert!(hit.votes >= MIN_MAPPING_VOTES);
+        assert_eq!(unified.map_read(&read, 15), Some(hit.taxid));
+        // The per-partition maximum of hits resolves to the global hit.
+        let index_refs: Vec<&ReferenceIndex> = indexes.iter().collect();
+        let mut base = 0u64;
+        let mut best: Option<ReadMapHit> = None;
+        for chunk in index_refs.chunks(2) {
+            let partial = PartialUnifiedIndex::merge_range(chunk, base);
+            base += partial.span();
+            if let Some(h) = partial.index().map_read_hit(&read, 15) {
+                let key = |h: &ReadMapHit| (h.votes, std::cmp::Reverse(h.taxid));
+                if best.as_ref().map(|b| key(&h) > key(b)).unwrap_or(true) {
+                    best = Some(h);
+                }
+            }
+        }
+        assert_eq!(best, Some(hit));
+    }
+
+    #[test]
+    fn reference_index_builds_are_counted_per_thread() {
+        let r = refs();
+        let before = ReferenceIndex::builds_on_this_thread();
+        let _ = ReferenceIndex::build(&r.genomes()[0], 15);
+        let _ = ReferenceIndex::build(&r.genomes()[1], 15);
+        assert_eq!(ReferenceIndex::builds_on_this_thread(), before + 2);
     }
 }

@@ -52,13 +52,13 @@ pub mod sketch;
 pub mod taxonomy;
 
 pub use database::{
-    DatabaseStorage, KmerEntry, KmerEntryRef, ReferenceIndex, SortedKmerDatabase,
-    UnifiedReferenceIndex,
+    DatabaseStorage, KmerEntry, KmerEntryRef, PartialUnifiedIndex, ReadMapHit, ReferenceIndex,
+    SortedKmerDatabase, UnifiedReferenceIndex, MIN_MAPPING_VOTES,
 };
 pub use dna::{Base, PackedSequence};
 pub use kmer::{CanonicalKmerExtractor, Kmer, KmerExtractor};
 pub use metrics::{AbundanceError, ClassificationMetrics};
-pub use profile::{AbundanceProfile, PresenceResult};
+pub use profile::{AbundanceAccumulator, AbundanceProfile, PresenceResult};
 pub use read::{Read, ReadSet};
 pub use reference::{ReferenceCollection, ReferenceGenome};
 pub use sample::{Community, CommunityConfig, Diversity, Sample};

@@ -150,6 +150,73 @@ impl AbundanceProfile {
     }
 }
 
+/// Accumulates raw per-taxon counts — possibly arriving out of order as
+/// partial results, e.g. per-device Step 3 read mapping — and normalizes
+/// once at the end.
+///
+/// Counts are appended to a flat vector and grouped by a single
+/// `sort_unstable` + run-length pass in [`AbundanceAccumulator::finish`]
+/// (no per-item map insertion), so accumulation is allocation-light and the
+/// result is a pure function of the recorded multiset: any interleaving of
+/// partial results produces the same [`AbundanceProfile`].
+#[derive(Debug, Clone, Default)]
+pub struct AbundanceAccumulator {
+    counts: Vec<(TaxId, u64)>,
+}
+
+impl AbundanceAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> AbundanceAccumulator {
+        AbundanceAccumulator::default()
+    }
+
+    /// Records one occurrence of `taxid` (e.g. one mapped read).
+    pub fn record(&mut self, taxid: TaxId) {
+        self.counts.push((taxid, 1));
+    }
+
+    /// Adds `count` occurrences of `taxid`.
+    pub fn add(&mut self, taxid: TaxId, count: u64) {
+        if count > 0 {
+            self.counts.push((taxid, count));
+        }
+    }
+
+    /// Folds another accumulator's counts into this one (partial-result
+    /// merging).
+    pub fn merge(&mut self, other: AbundanceAccumulator) {
+        self.counts.extend(other.counts);
+    }
+
+    /// Number of recorded (ungrouped) count entries.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Groups the recorded counts by taxon (sort + run-length sum) and
+    /// normalizes them into an [`AbundanceProfile`].
+    ///
+    /// [`AbundanceProfile::from_counts`] would also sum duplicates, but one
+    /// ordered-map operation per *recorded entry*; grouping the dense array
+    /// first leaves it one per *distinct taxon*.
+    pub fn finish(mut self) -> AbundanceProfile {
+        self.counts.sort_unstable_by_key(|(taxid, _)| *taxid);
+        let mut grouped: Vec<(TaxId, u64)> = Vec::new();
+        for (taxid, count) in self.counts {
+            match grouped.last_mut() {
+                Some((last, total)) if *last == taxid => *total += count,
+                _ => grouped.push((taxid, count)),
+            }
+        }
+        AbundanceProfile::from_counts(grouped)
+    }
+}
+
 impl fmt::Display for AbundanceProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "abundance profile ({} taxa):", self.abundances.len())?;
@@ -200,6 +267,31 @@ mod tests {
         let pres = p.to_presence(0.05);
         assert!(pres.contains(TaxId(1)));
         assert!(!pres.contains(TaxId(2)));
+    }
+
+    #[test]
+    fn accumulator_matches_from_counts_regardless_of_order() {
+        let mut a = AbundanceAccumulator::new();
+        for t in [3u32, 1, 3, 2, 1, 3] {
+            a.record(TaxId(t));
+        }
+        let mut b = AbundanceAccumulator::new();
+        b.add(TaxId(2), 1);
+        b.add(TaxId(3), 3);
+        b.add(TaxId(1), 2);
+        b.add(TaxId(9), 0); // zero counts are dropped
+        let mut c = AbundanceAccumulator::new();
+        c.add(TaxId(3), 2);
+        let mut d = AbundanceAccumulator::new();
+        d.add(TaxId(1), 2);
+        d.add(TaxId(2), 1);
+        d.add(TaxId(3), 1);
+        c.merge(d);
+        let expected = AbundanceProfile::from_counts([(TaxId(1), 2), (TaxId(2), 1), (TaxId(3), 3)]);
+        assert_eq!(a.finish(), expected);
+        assert_eq!(b.finish(), expected);
+        assert_eq!(c.finish(), expected);
+        assert!(AbundanceAccumulator::new().finish().is_empty());
     }
 
     #[test]

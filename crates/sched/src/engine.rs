@@ -346,6 +346,7 @@ impl BatchEngine {
                     })
                     .collect(),
                 resident_database_bytes: self.shards.resident_bytes(),
+                stage_overlap_events: 0,
                 modeled: None,
             };
         }
@@ -381,6 +382,7 @@ impl BatchEngine {
             wall_time,
             shard_stats: service_report.shard_stats,
             resident_database_bytes: service_report.resident_database_bytes,
+            stage_overlap_events: service_report.stage_overlap_events,
             modeled: Some(modeled),
         }
     }

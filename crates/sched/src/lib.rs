@@ -14,15 +14,22 @@
 //! * [`queue`] — bounded admission and deterministic service order
 //!   ([`SchedPolicy::Fifo`] or [`SchedPolicy::Priority`]),
 //! * [`shard`] — the database partitioned into contiguous sorted ranges,
-//!   one per simulated SSD ([`ShardSet`]), plus the range-partitioned query
+//!   one per simulated SSD ([`ShardSet`]), the range-partitioned query
 //!   dispatch ([`ShardSet::slice_queries`]): each device only ever sees the
-//!   sub-slice of a sample's sorted query list overlapping its key range,
+//!   sub-slice of a sample's sorted query list overlapping its key range —
+//!   plus the per-device workers, which serve both command kinds: Step 2
+//!   intersections and Step 3 partial unified-index generation + read
+//!   mapping over a contiguous range of the sample's candidate species,
 //! * [`service`] — the streaming executor ([`StreamingEngine`]): a pool of
 //!   host Step 1 worker threads live-popping a shared queue and feeding an
 //!   in-SSD stage of NVMe-style bounded per-shard command queues (tagged
 //!   commands, configurable [`EngineConfig::queue_depth`], out-of-order
 //!   completion with in-dispatch-order delivery), built on std threads and
-//!   channels,
+//!   channels. Steps 2 *and* 3 both flow through the queues: the completer
+//!   partitions each sample's candidates across the device array and
+//!   reduces the per-device partials, so one sample's read mapping
+//!   overlaps the next sample's intersection
+//!   ([`ServiceReport::stage_overlap_events`] counts the observations),
 //! * [`engine`] — the closed-batch front end ([`BatchEngine`]), a thin
 //!   wrapper that hands each batch to the same executor,
 //! * [`metrics`] — operational metrics ([`BatchReport`]: latency p50/p99,

@@ -142,7 +142,7 @@ impl RollingWindow {
 pub struct ShardStats {
     /// Shard index (lexicographic range order).
     pub shard: usize,
-    /// Total time the shard's intersect worker spent computing.
+    /// Total time the shard's worker spent computing (both command kinds).
     pub busy: Duration,
     /// Number of intersection commands served (one per job whose query
     /// slice was dispatched to this shard; zero for empty padding shards,
@@ -152,11 +152,19 @@ pub struct ShardStats {
     /// range-partitioned dispatch the per-job sum across shards equals the
     /// job's query count |Q| — not the N·|Q| a broadcast would cost.
     pub query_items: u64,
+    /// Number of Step 3 commands served: one per job whose candidate
+    /// partition assigned this device a non-empty range (zero when the job
+    /// had fewer candidates than this device's rank, or none at all).
+    pub step3_jobs: u64,
+    /// Total candidate reference indexes this device merged into partial
+    /// unified indexes across its Step 3 commands. With the contiguous
+    /// candidate partition the per-job sum across shards equals the job's
+    /// candidate count — each candidate is merged on exactly one device.
+    pub step3_items: u64,
     /// High-water mark of commands concurrently outstanding on this shard's
     /// NVMe-style queue (submitted, completion not yet reaped); bounded by
     /// [`crate::EngineConfig::queue_depth`]. A value ≥ 2 means several
-    /// samples' intersections were genuinely in flight on the device at
-    /// once.
+    /// samples' commands were genuinely in flight on the device at once.
     pub peak_inflight: usize,
 }
 
@@ -179,6 +187,11 @@ pub struct BatchReport {
     /// With zero-copy shard views this is ≈ 1× the database regardless of
     /// the shard count — not the 2× a deep-copy partition would pin.
     pub resident_database_bytes: u64,
+    /// Times a command of one in-SSD stage was submitted while a command of
+    /// the *other* stage was outstanding somewhere on the device array —
+    /// direct evidence that one sample's Step 3 mapping overlapped another
+    /// sample's Step 2 intersection in the command queues.
+    pub stage_overlap_events: u64,
     /// Modeled-time account at paper scale for this batch shape
     /// (cross-checks `MegisTimingModel::multi_sample_breakdown`); `None`
     /// when the batch was empty and there is no shape to model.
@@ -200,6 +213,11 @@ impl BatchReport {
                 }
             })
             .collect()
+    }
+
+    /// Total reads mapped during Step 3 across the batch's results.
+    pub fn mapped_reads(&self) -> u64 {
+        self.results.iter().map(|r| r.output.mapped_reads).sum()
     }
 
     /// Renders a compact plain-text summary.
@@ -237,25 +255,25 @@ impl BatchReport {
             "peak commands in flight per shard: [{}]",
             peaks.join(", ")
         );
-        let _ = writeln!(
-            out,
-            "host-resident database: {:.2} MB across {} shard views (shared storage, \
-             counted once)",
-            self.resident_database_bytes as f64 / 1e6,
-            self.shard_stats.len(),
-        );
+        out.push_str(&residency_and_step3_lines(
+            self.resident_database_bytes,
+            &self.shard_stats,
+            self.mapped_reads(),
+            self.stage_overlap_events,
+        ));
         match &self.modeled {
             Some(modeled) => {
                 let _ = writeln!(
                     out,
                     "modeled ({} samples, {} shards): independent {:.1} s, pipelined {:.1} s \
-                     ({:.2}x); per-shard db stream {:.1} s",
+                     ({:.2}x); per-shard db stream {:.1} s, step3 index stream {:.1} s",
                     modeled.samples,
                     modeled.shards,
                     modeled.independent_total().as_secs(),
                     modeled.pipelined_total().as_secs(),
                     modeled.pipelining_speedup(),
                     modeled.shard_stream_time.as_secs(),
+                    modeled.step3_stream_time.as_secs(),
                 );
             }
             None => {
@@ -264,6 +282,38 @@ impl BatchReport {
         }
         out
     }
+}
+
+/// Renders the resident-database and Step 3 summary lines shared verbatim
+/// by [`BatchReport::summary`] and
+/// [`crate::service::ServiceReport::summary`], so the two reports cannot
+/// drift apart.
+pub(crate) fn residency_and_step3_lines(
+    resident_database_bytes: u64,
+    shard_stats: &[ShardStats],
+    mapped_reads: u64,
+    stage_overlap_events: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "host-resident database: {:.2} MB across {} shard views (shared storage, \
+         counted once)",
+        resident_database_bytes as f64 / 1e6,
+        shard_stats.len(),
+    );
+    let step3_items: Vec<String> = shard_stats
+        .iter()
+        .map(|s| s.step3_items.to_string())
+        .collect();
+    let _ = writeln!(
+        out,
+        "step 3: {mapped_reads} reads mapped; per-shard candidate items: [{}]; \
+         stage overlap events: {stage_overlap_events}",
+        step3_items.join(", "),
+    );
+    out
 }
 
 #[cfg(test)]

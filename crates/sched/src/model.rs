@@ -124,6 +124,14 @@ pub struct ModeledAccount {
     /// partition at internal bandwidth — the per-device Step 2 cost that the
     /// Fig. 15 partitioning divides across SSDs.
     pub shard_stream_time: SimDuration,
+    /// Modeled time for one device to stream-merge its contiguous partition
+    /// of the candidate reference indexes into a partial unified index —
+    /// the per-device share of Step 3's in-SSD index generation (Fig. 9)
+    /// once the candidate list is partitioned across the array. Like the
+    /// database stream, this is device-resident work that genuinely divides:
+    /// the ceiling split matches `step3::partition_candidates`' near-equal
+    /// candidate ranges.
+    pub step3_stream_time: SimDuration,
     /// The command-queue model the account was evaluated under.
     pub queue: QueueModel,
     /// `(depth, modeled throughput multiplier vs depth 1)` for depths up to
@@ -206,6 +214,8 @@ impl ModeledAccount {
             .expect("sharded system has at least one device");
         let shard_stream_time = per_shard_bytes(workload.metalign_db, shards)
             .time_at(shard_view.aggregate_internal_read_bandwidth());
+        let step3_stream_time = per_shard_bytes(workload.candidate_reference_indexes, shards)
+            .time_at(shard_view.aggregate_internal_read_bandwidth());
         let queue_depth_curve = queue.sweep(queue.depth.max(8), shard_stream_time);
 
         ModeledAccount {
@@ -215,6 +225,7 @@ impl ModeledAccount {
             pipelined,
             shard_speedups,
             shard_stream_time,
+            step3_stream_time,
             queue,
             queue_depth_curve,
         }
@@ -315,6 +326,21 @@ mod tests {
         assert!(
             (ratio - 4.0).abs() < 0.01,
             "4-way split should quarter the per-shard stream, got {ratio:.3}x"
+        );
+    }
+
+    #[test]
+    fn step3_stream_time_divides_with_shard_count() {
+        // Partitioning the candidate indexes across devices divides the
+        // per-device unified-index generation stream near-linearly, the
+        // same way the database stream divides for Step 2.
+        let one = account(4, 1).step3_stream_time;
+        let four = account(4, 4).step3_stream_time;
+        assert!(one > SimDuration::from_secs(0.0));
+        let ratio = one / four;
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "4-way split should quarter the per-device step 3 stream, got {ratio:.3}x"
         );
     }
 

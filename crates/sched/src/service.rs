@@ -10,8 +10,13 @@
 //! MetaStore and GenStore frame in-storage genomics accelerators the same
 //! way: continuously fed, not drained once.
 //!
-//! **The in-SSD stage: tagged command queues with bounded depth.** The stage
-//! runs as two threads around one intersect worker per database shard:
+//! **The in-SSD stage: tagged command queues with bounded depth, serving
+//! both Steps 2 and 3.** The stage runs as two threads around one
+//! `ShardWorker` (see [`crate::shard`]) per database shard; each worker's queue
+//! carries commands of *two kinds* — Step 2 intersections and Step 3
+//! partial unified-index generation plus read mapping — so the whole
+//! pipeline after Step 1 is per-device work and the coordinator never
+//! serializes a stage:
 //!
 //! * The *dispatcher* serves prepared samples strictly in dispatch order
 //!   (reorder buffer, below). For each sample it slices the sorted query
@@ -19,26 +24,43 @@
 //!   binary search on the shard key bounds, so each simulated SSD only ever
 //!   sees the slice of the query list overlapping its disjoint database
 //!   range, and total query-side work stays O(|Q|) across shards instead of
-//!   the O(N·|Q|) a broadcast would cost. Each sub-range becomes one command
-//!   tagged `(sequence, shard)` on that shard's command queue. Queues are
-//!   NVMe-style bounded: at most [`crate::EngineConfig::queue_depth`]
-//!   commands may be outstanding per shard (submitted but not yet reaped by
-//!   the completer), so several samples' intersections are in flight on
-//!   every device at once while backpressure still bounds memory.
+//!   the O(N·|Q|) a broadcast would cost. Each sub-range becomes one
+//!   intersect command tagged `(sequence, shard)` on that shard's command
+//!   queue. Queues are NVMe-style bounded: at most
+//!   [`crate::EngineConfig::queue_depth`] commands may be outstanding per
+//!   shard (submitted but not yet reaped by the completer), so several
+//!   samples' commands are in flight on every device at once while
+//!   backpressure still bounds memory.
 //! * The *completer* reaps per-shard completions **out of order** — shard A
 //!   may finish sample 3 before shard B finishes sample 1 — and keeps
-//!   per-job merge accounting (which shards have reported, per sequence
-//!   number). A job whose parts are all in is merged in shard order, runs
-//!   taxID retrieval plus Step 3, and is *delivered in dispatch order*: a
-//!   completed sample waits for every earlier sequence number, so delivery
-//!   order equals dispatch order equals policy order no matter how
-//!   completions interleave.
+//!   per-job merge accounting per stage. Once a job's intersections are all
+//!   in, the completer merges them in shard order, runs taxID retrieval
+//!   (Step 2's presence call), partitions the resulting candidate list into
+//!   contiguous taxid ranges (`step3::partition_candidates`), and issues one
+//!   Step 3 command per non-empty range back onto the *same* tagged,
+//!   depth-bounded queues: each device merges its candidate range into a
+//!   partial unified index and maps all reads against it (§4.4, Fig. 9,
+//!   partitioned across the array). The completer submits Step 3 commands
+//!   without ever blocking on queue space — commands wait in a backlog and
+//!   take slots as reaping frees them, so reaping (the only thing that frees
+//!   slots) can never deadlock behind submission. When a job's Step 3
+//!   partials are all in — and every earlier sequence number has been
+//!   delivered — the completer reduces them (`step3::reduce`: byte-identical
+//!   partial-index recombination, per-read best-hit resolution, abundance
+//!   accumulation) and delivers. Delivery order equals dispatch order equals
+//!   policy order no matter how completions interleave.
 //!
-//! Commands are only issued to shards whose query slice is non-empty: a
-//! device whose key range no query of this sample falls into — an empty
-//! padding shard in particular, but also a populated shard the sample
-//! happens to miss — is simply skipped for that sample rather than shipped
-//! no-op work that would burn a queue slot and simulated device time.
+//! Because both command kinds share the per-device queues, one sample's
+//! Step 3 mapping genuinely overlaps the next sample's Step 2 intersection
+//! on the same device — [`ServiceReport::stage_overlap_events`] counts the
+//! submissions that observed a command of the other stage outstanding.
+//!
+//! Commands are only issued to shards with work to do: a device whose key
+//! range no query of a sample falls into is skipped for that sample's
+//! Step 2, and a device whose candidate range is empty (fewer candidates
+//! than devices, or a sample with no candidates at all) is skipped for its
+//! Step 3, rather than shipped no-op work that would burn a queue slot and
+//! simulated device time.
 //!
 //! **Memory.** The shard workers hold zero-copy views over the analyzer's
 //! columnar database storage (see [`crate::shard`]): spinning up an N-shard
@@ -89,15 +111,16 @@
 //! ordering fix and the byte-identical-to-`analyze` contract by
 //! construction.
 
-use std::collections::BTreeMap;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::ops::Range;
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use megis::step1::Step1Output;
+use megis::step2::Step2Output;
+use megis::step3::{self, Step3Partial};
 use megis::MegisAnalyzer;
 use megis_genomics::kmer::Kmer;
 use megis_genomics::sample::Sample;
@@ -106,7 +129,9 @@ use crate::engine::EngineConfig;
 use crate::job::{JobId, JobResult, JobSpec, Priority};
 use crate::metrics::{LatencyStats, RollingWindow, ShardStats};
 use crate::queue::{AdmissionError, JobQueue, QueuedJob};
-use crate::shard::ShardSet;
+use crate::shard::{
+    CommandOutput, IntersectCommand, ShardCommand, ShardSet, ShardWorker, Step3Command,
+};
 
 /// A Step 1 output in flight between the host stage and the in-SSD stage.
 struct PreparedJob {
@@ -114,29 +139,20 @@ struct PreparedJob {
     label: String,
     priority: Priority,
     start_position: usize,
-    sample: Sample,
+    /// Shared so the job's per-device Step 3 commands can map the reads
+    /// without copying the sample.
+    sample: Arc<Sample>,
     submitted_at: Instant,
     queue_wait: Duration,
     step1_time: Duration,
     step1: Step1Output,
 }
 
-/// One NVMe-style command on a shard's queue: intersect this job's query
-/// sub-range against the shard's database slice.
-struct ShardCommand {
-    /// Dense in-SSD dispatch sequence number the command belongs to.
-    seq: usize,
-    /// The job's full sorted query list (shared, not copied, across shards).
-    queries: Arc<Vec<Kmer>>,
-    /// The sub-range of `queries` overlapping this shard's key range.
-    range: Range<usize>,
-}
-
 /// One completion reaped from a shard, tagged with its origin.
 struct ShardCompletion {
     shard: usize,
     seq: usize,
-    intersection: Vec<Kmer>,
+    output: CommandOutput,
 }
 
 /// Dispatcher → completer record for one sample entering the in-SSD stage;
@@ -154,15 +170,36 @@ struct IspMeta {
     prepared: PreparedJob,
 }
 
-/// Per-job merge accounting at the completer: which shards have reported.
+/// Per-job state machine at the completer: Step 2 merge accounting, then
+/// Step 3 dispatch and merge accounting, then (in delivery order) reduce.
 struct MergeState {
     meta: IspMeta,
     /// Per-shard intersections, indexed by shard, in shard (= key range)
     /// order; `None` until that shard's completion is reaped (and forever
     /// for shards that were never commanded).
     parts: Vec<Option<Vec<Kmer>>>,
-    /// Completions still outstanding.
+    /// Intersect completions still outstanding.
     remaining: usize,
+    /// Step 2's output (taxID retrieval + presence call), computed the
+    /// moment the last intersection is reaped.
+    step2: Option<Step2Output>,
+    /// Per-device Step 3 partials, indexed by shard (= candidate-range
+    /// order); `None` until reaped (and forever for devices whose candidate
+    /// range was empty).
+    step3_parts: Vec<Option<Step3Partial>>,
+    /// Step 3 completions still outstanding.
+    step3_remaining: usize,
+    /// Set once Step 2 ran and the job's Step 3 commands were handed to the
+    /// submission backlog (also set for jobs with no candidates, whose
+    /// Step 3 is trivially complete).
+    step3_dispatched: bool,
+}
+
+impl MergeState {
+    /// Every expected completion of both stages has been reaped.
+    fn is_complete(&self) -> bool {
+        self.remaining == 0 && self.step3_dispatched && self.step3_remaining == 0
+    }
 }
 
 /// State shared by submitters, Step 1 workers, and the in-SSD stage.
@@ -183,13 +220,25 @@ struct ServiceState {
     /// bounds the reorder buffer and prepared-sample memory at
     /// O(workers + queue depth).
     lookahead: usize,
-    /// Commands outstanding per shard: submitted by the dispatcher, not yet
+    /// Commands outstanding per shard (both kinds): submitted, not yet
     /// reaped by the completer. The dispatcher blocks while a shard sits at
-    /// [`EngineConfig::queue_depth`] — the NVMe queue-depth bound.
+    /// [`EngineConfig::queue_depth`] — the NVMe queue-depth bound. (The
+    /// completer never blocks on it; its Step 3 submissions wait in a
+    /// backlog instead.)
     shard_inflight: Vec<usize>,
     /// High-water mark of `shard_inflight`, per shard, over the service
     /// lifetime; reported as [`ShardStats::peak_inflight`].
     shard_inflight_peak: Vec<usize>,
+    /// Intersect commands outstanding across all shards (subset of
+    /// `shard_inflight` sums), for stage-overlap observation.
+    intersect_inflight: usize,
+    /// Step 3 commands outstanding across all shards.
+    step3_inflight: usize,
+    /// Submissions that observed a command of the *other* stage
+    /// outstanding; reported as [`ServiceReport::stage_overlap_events`].
+    stage_overlap_events: u64,
+    /// Reads mapped during Step 3 across all delivered jobs.
+    mapped_reads: u64,
     /// Set when a pipeline thread panics; drain/shutdown propagate it as a
     /// panic instead of waiting forever on work that can never complete.
     poisoned: bool,
@@ -260,8 +309,38 @@ pub struct ServiceReport {
     /// shards are zero-copy views, so this stays ≈ 1× the database at any
     /// shard count.
     pub resident_database_bytes: u64,
+    /// Reads mapped during Step 3 across all delivered jobs.
+    pub mapped_reads: u64,
+    /// Times a command of one in-SSD stage was submitted while a command of
+    /// the other stage was outstanding on the device array — evidence that
+    /// one sample's Step 3 mapping overlapped another sample's Step 2
+    /// intersection in the command queues.
+    pub stage_overlap_events: u64,
     /// Latency distribution over the final rolling window.
     pub window: LatencyStats,
+}
+
+impl ServiceReport {
+    /// Renders a compact plain-text summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "service: {} jobs over {:.3} s uptime; window p50 {:.1} ms, p99 {:.1} ms",
+            self.completed,
+            self.uptime.as_secs_f64(),
+            self.window.p50.as_secs_f64() * 1e3,
+            self.window.p99.as_secs_f64() * 1e3,
+        );
+        out.push_str(&crate::metrics::residency_and_step3_lines(
+            self.resident_database_bytes,
+            &self.shard_stats,
+            self.mapped_reads,
+            self.stage_overlap_events,
+        ));
+        out
+    }
 }
 
 /// Claim on one submitted job's result.
@@ -355,6 +434,10 @@ impl StreamingEngine {
                 lookahead: (2 * config.workers + 2).max(config.queue_depth + config.workers),
                 shard_inflight: vec![0; shard_count],
                 shard_inflight_peak: vec![0; shard_count],
+                intersect_inflight: 0,
+                step3_inflight: 0,
+                stage_overlap_events: 0,
+                mapped_reads: 0,
                 poisoned: false,
                 accepting: true,
                 stopping: false,
@@ -366,9 +449,11 @@ impl StreamingEngine {
             queue_space: Condvar::new(),
         });
 
-        // In-SSD stage, part 1: one intersect worker per database shard,
-        // each consuming its own tagged command queue and reporting
-        // completions out of order on the shared completion channel.
+        // In-SSD stage, part 1: one worker per database shard, each
+        // consuming its own tagged command queue — carrying both Step 2
+        // intersect commands and Step 3 index-generation/mapping commands —
+        // and reporting completions out of order on the shared completion
+        // channel.
         let (stats_tx, stats_rx) = mpsc::channel::<ShardStats>();
         let (resp_tx, resp_rx) = mpsc::channel::<ShardCompletion>();
         let mut shard_txs = Vec::with_capacity(shard_count);
@@ -376,7 +461,7 @@ impl StreamingEngine {
         for (index, shard) in shards.shards().iter().enumerate() {
             let (tx, rx) = mpsc::channel::<ShardCommand>();
             shard_txs.push(tx);
-            let shard = Arc::clone(shard);
+            let worker = ShardWorker::new(Arc::clone(shard), Arc::clone(&analyzer));
             let resp_tx = resp_tx.clone();
             let stats_tx = stats_tx.clone();
             let shared = Arc::clone(&shared);
@@ -386,29 +471,33 @@ impl StreamingEngine {
                 let mut busy = Duration::ZERO;
                 let mut served = 0u64;
                 let mut query_items = 0u64;
+                let mut step3_served = 0u64;
+                let mut step3_items = 0u64;
                 for command in rx {
                     let t0 = Instant::now();
-                    // Simulated device service (the partition stream); the
-                    // sleep counts as busy time, so utilization and the
-                    // measured per-command service both reflect it.
+                    // Simulated device service (the partition stream / the
+                    // candidate-index stream); the sleep counts as busy
+                    // time, so utilization and the measured per-command
+                    // service both reflect it.
                     if !device_latency.is_zero() {
                         thread::sleep(device_latency);
                     }
-                    let slice = &command.queries[command.range.clone()];
-                    // Device-side bound check: the dispatcher's partition
-                    // charges gap queries (values between shard key ranges)
-                    // to the preceding shard, but nothing below this
-                    // shard's first key or above its last can match, so
-                    // the merge runs only over the overlapping sub-range.
-                    let overlap = &slice[shard.overlapping_query_range(slice)];
-                    let intersection = shard.intersect_sorted(overlap);
+                    let output = worker.serve(&command);
                     busy += t0.elapsed();
-                    served += 1;
-                    query_items += command.range.len() as u64;
+                    match &command {
+                        ShardCommand::Intersect(c) => {
+                            served += 1;
+                            query_items += c.range.len() as u64;
+                        }
+                        ShardCommand::Step3(c) => {
+                            step3_served += 1;
+                            step3_items += c.range.len() as u64;
+                        }
+                    }
                     let completion = ShardCompletion {
                         shard: index,
-                        seq: command.seq,
-                        intersection,
+                        seq: command.seq(),
+                        output,
                     };
                     if resp_tx.send(completion).is_err() {
                         break;
@@ -419,6 +508,8 @@ impl StreamingEngine {
                     busy,
                     jobs: served,
                     query_items,
+                    step3_jobs: step3_served,
+                    step3_items,
                     peak_inflight: 0,
                 });
             }));
@@ -449,9 +540,14 @@ impl StreamingEngine {
         drop(s1_tx);
 
         // In-SSD stage, part 2: dispatcher (reorder + slice + bounded-depth
-        // command submission) and completer (out-of-order reaping, per-job
-        // merge accounting, in-dispatch-order delivery).
+        // intersect submission) and completer (out-of-order reaping, per-job
+        // two-stage merge accounting, backlogged Step 3 submission onto the
+        // same queues, in-dispatch-order delivery). Both hold senders for
+        // the shard queues; the completer releases its copies once no more
+        // Step 3 commands can ever be issued, which is what lets the shard
+        // workers (and then the completer itself) wind down.
         let (meta_tx, meta_rx) = mpsc::channel::<IspMeta>();
+        let completer_txs: Vec<Sender<ShardCommand>> = shard_txs.clone();
         let dispatcher = {
             let shared = Arc::clone(&shared);
             let shard_set = shards.clone();
@@ -471,16 +567,24 @@ impl StreamingEngine {
         };
         let completer = {
             let shared = Arc::clone(&shared);
+            let queue_depth = config.queue_depth;
+            let submission_latency = config.submission_latency;
             let completion_latency = config.completion_latency;
             thread::spawn(move || {
-                isp_completer(
-                    &shared,
-                    &analyzer,
-                    meta_rx,
-                    resp_rx,
+                IspCompleter {
+                    shared: &shared,
+                    analyzer: &analyzer,
+                    shard_txs: Some(completer_txs),
                     shard_count,
+                    queue_depth,
+                    pending: BTreeMap::new(),
+                    backlog: VecDeque::new(),
+                    next_to_deliver: 0,
+                    meta_open: true,
+                    submission_latency,
                     completion_latency,
-                );
+                }
+                .run(meta_rx, resp_rx);
             })
         };
 
@@ -639,6 +743,8 @@ impl StreamingEngine {
             uptime: self.started_at.elapsed(),
             shard_stats,
             resident_database_bytes: self.shards.resident_bytes(),
+            mapped_reads: state.mapped_reads,
+            stage_overlap_events: state.stage_overlap_events,
             window: state.window.stats(),
         }
     }
@@ -715,7 +821,7 @@ fn step1_worker(shared: &Shared, analyzer: &MegisAnalyzer, s1_tx: &SyncSender<Pr
             label: job.spec.label,
             priority: job.spec.priority,
             start_position,
-            sample: job.spec.sample,
+            sample: Arc::new(job.spec.sample),
             submitted_at: job.submitted_at,
             queue_wait: started.duration_since(job.submitted_at),
             step1_time: started.elapsed(),
@@ -776,9 +882,11 @@ fn isp_dispatcher(
     // arrives and later arrivals stay buffered here — the poison flag, not
     // this loop, reports that failure.
     //
-    // Dropping shard_txs here ends the shard workers (once their queues
-    // drain), which then report their lifetime stats; the completer exits
-    // after the last completion.
+    // Dropping shard_txs here releases the dispatcher's half of the shard
+    // queues; the completer holds the other half for its Step 3 commands
+    // and releases it once every pending job's Step 3 is dispatched. Only
+    // then do the shard workers exit (reporting their lifetime stats), and
+    // the completer ends after the last completion.
 }
 
 /// Issues one prepared sample's per-shard commands; returns `false` if the
@@ -829,7 +937,9 @@ fn dispatch_one(
         // NVMe queue-depth gate: at most `queue_depth` commands outstanding
         // per shard (submitted, completion not yet reaped). Blocking here is
         // the backpressure that bounds per-device memory; the completer
-        // frees slots as it reaps.
+        // frees slots as it reaps. (Only the dispatcher ever blocks here —
+        // the completer's Step 3 submissions go through a non-blocking
+        // backlog, so reaping can always proceed.)
         {
             let mut state = shared.lock();
             loop {
@@ -848,12 +958,16 @@ fn dispatch_one(
             if state.shard_inflight[shard] > state.shard_inflight_peak[shard] {
                 state.shard_inflight_peak[shard] = state.shard_inflight[shard];
             }
+            state.intersect_inflight += 1;
+            if state.step3_inflight > 0 {
+                state.stage_overlap_events += 1;
+            }
         }
-        let command = ShardCommand {
+        let command = ShardCommand::Intersect(IntersectCommand {
             seq,
             queries: Arc::clone(&queries),
             range,
-        };
+        });
         if shard_txs[shard].send(command).is_err() {
             return false;
         }
@@ -861,137 +975,327 @@ fn dispatch_one(
     true
 }
 
-/// The in-SSD completer: reaps per-shard completions out of order, keeps
-/// per-job merge accounting, and once a job's parts are all in — and every
-/// earlier sequence number has been delivered — merges in shard order, runs
-/// taxID retrieval plus Step 3, and delivers the result.
-fn isp_completer(
-    shared: &Shared,
-    analyzer: &MegisAnalyzer,
-    meta_rx: Receiver<IspMeta>,
-    resp_rx: Receiver<ShardCompletion>,
+/// The in-SSD completer: reaps per-shard completions of *both* stages out
+/// of order, keeps a per-job state machine (intersections → Step 2 taxID
+/// retrieval → per-device Step 3 partials), submits Step 3 commands onto
+/// the same tagged shard queues through a non-blocking depth-bounded
+/// backlog, and once a job's partials are all in — and every earlier
+/// sequence number has been delivered — reduces them and delivers the
+/// result strictly in dispatch order.
+struct IspCompleter<'a> {
+    shared: &'a Shared,
+    analyzer: &'a Arc<MegisAnalyzer>,
+    /// Senders for the per-shard command queues; set to `None` once no
+    /// further Step 3 command can ever be issued, releasing the shard
+    /// workers (and then this completer) to wind down.
+    shard_txs: Option<Vec<Sender<ShardCommand>>>,
     shard_count: usize,
+    queue_depth: usize,
+    pending: BTreeMap<usize, MergeState>,
+    /// `(shard, command)` Step 3 submissions awaiting a free queue slot, in
+    /// issue order. The completer drains it opportunistically instead of
+    /// blocking on the depth gate: reaping is the only thing that frees
+    /// slots, so the thread that reaps must never wait for one.
+    backlog: VecDeque<(usize, ShardCommand)>,
+    next_to_deliver: usize,
+    /// `false` once the dispatcher exited and its meta channel drained (no
+    /// further jobs will ever arrive).
+    meta_open: bool,
+    submission_latency: Duration,
     completion_latency: Duration,
-) {
-    let _guard = PanicGuard(shared);
-    let mut next_to_deliver = 0usize;
-    let mut pending: BTreeMap<usize, MergeState> = BTreeMap::new();
-    let absorb = |pending: &mut BTreeMap<usize, MergeState>, meta_rx: &Receiver<IspMeta>| {
-        while let Ok(meta) = meta_rx.try_recv() {
-            pending.insert(
-                meta.seq,
-                MergeState {
-                    remaining: meta.expected,
-                    parts: (0..shard_count).map(|_| None).collect(),
-                    meta,
-                },
-            );
-        }
-    };
-    loop {
-        absorb(&mut pending, &meta_rx);
-        deliver_ready(shared, analyzer, &mut pending, &mut next_to_deliver);
-        // A panicked shard worker can never respond (its siblings keep the
-        // channel open), so poll the poison flag while completions are
-        // outstanding: the completer then panics — poisoning teardown
-        // cleanly — instead of blocking on the missing response forever.
-        match resp_rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(completion) => {
-                // Host-side completion handling cost (interrupt + reap).
-                if !completion_latency.is_zero() {
-                    thread::sleep(completion_latency);
+}
+
+impl IspCompleter<'_> {
+    fn run(mut self, meta_rx: Receiver<IspMeta>, resp_rx: Receiver<ShardCompletion>) {
+        let _guard = PanicGuard(self.shared);
+        loop {
+            self.absorb(&meta_rx);
+            self.advance_ready_jobs();
+            self.submit_backlog();
+            self.deliver_ready();
+            self.maybe_release_txs();
+            // A panicked shard worker can never respond (its siblings keep
+            // the channel open), so poll the poison flag while completions
+            // are outstanding: the completer then panics — poisoning
+            // teardown cleanly — instead of blocking forever.
+            match resp_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(completion) => {
+                    // Host-side completion handling cost (interrupt + reap).
+                    if !self.completion_latency.is_zero() {
+                        thread::sleep(self.completion_latency);
+                    }
+                    // The meta was sent before any of the job's commands, so
+                    // after absorbing the meta channel it must be known.
+                    self.absorb(&meta_rx);
+                    self.reap(completion);
                 }
-                // The meta was sent before any of the job's commands, so
-                // after absorbing the meta channel it must be known.
-                absorb(&mut pending, &meta_rx);
-                {
-                    let mut state = shared.lock();
-                    state.shard_inflight[completion.shard] -= 1;
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.pending.values().any(|j| !j.is_complete()) {
+                        assert!(
+                            !self.shared.lock().poisoned,
+                            "shard worker panicked while commands were outstanding"
+                        );
+                    }
                 }
-                // Reaping freed a slot in the shard's command queue.
-                shared.queue_space.notify_all();
-                let job = pending
-                    .get_mut(&completion.seq)
-                    .expect("completion for a dispatched job");
-                debug_assert!(job.parts[completion.shard].is_none());
-                job.parts[completion.shard] = Some(completion.intersection);
-                job.remaining -= 1;
-                deliver_ready(shared, analyzer, &mut pending, &mut next_to_deliver);
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Shard workers exited, which implies both the
+                    // dispatcher and this completer released their queue
+                    // senders: every command was served, every buffered
+                    // completion has been consumed above, so every pending
+                    // job is complete and deliverable.
+                    self.absorb(&meta_rx);
+                    self.advance_ready_jobs();
+                    self.deliver_ready();
+                    return;
+                }
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if pending.values().any(|j| j.remaining > 0) {
-                    assert!(
-                        !shared.lock().poisoned,
-                        "shard worker panicked while commands were outstanding"
+        }
+    }
+
+    /// Pulls every queued dispatcher record; marks the meta stream closed
+    /// once the dispatcher has exited.
+    fn absorb(&mut self, meta_rx: &Receiver<IspMeta>) {
+        loop {
+            match meta_rx.try_recv() {
+                Ok(meta) => {
+                    self.pending.insert(
+                        meta.seq,
+                        MergeState {
+                            remaining: meta.expected,
+                            parts: (0..self.shard_count).map(|_| None).collect(),
+                            step2: None,
+                            step3_parts: Vec::new(),
+                            step3_remaining: 0,
+                            step3_dispatched: false,
+                            meta,
+                        },
                     );
                 }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                // Shard workers exited, which implies the dispatcher exited
-                // first, which implies every meta was already sent.
-                absorb(&mut pending, &meta_rx);
-                deliver_ready(shared, analyzer, &mut pending, &mut next_to_deliver);
-                return;
+                Err(TryRecvError::Empty) => return,
+                Err(TryRecvError::Disconnected) => {
+                    self.meta_open = false;
+                    return;
+                }
             }
         }
     }
-}
 
-/// Delivers every fully merged job at the head of the sequence: completions
-/// are collected out of order, but results leave in dispatch order.
-fn deliver_ready(
-    shared: &Shared,
-    analyzer: &MegisAnalyzer,
-    pending: &mut BTreeMap<usize, MergeState>,
-    next_to_deliver: &mut usize,
-) {
-    loop {
-        match pending.get(next_to_deliver) {
-            Some(job) if job.remaining == 0 => {}
-            _ => return,
+    /// Books one reaped completion into its job's state machine and frees
+    /// the command's queue slot.
+    fn reap(&mut self, completion: ShardCompletion) {
+        {
+            let mut state = self.shared.lock();
+            state.shard_inflight[completion.shard] -= 1;
+            match &completion.output {
+                CommandOutput::Intersection(_) => state.intersect_inflight -= 1,
+                CommandOutput::Step3(_) => state.step3_inflight -= 1,
+            }
         }
-        let job = pending.remove(next_to_deliver).expect("checked above");
-        *next_to_deliver += 1;
-        finalize(shared, analyzer, job);
+        // Reaping freed a slot in the shard's command queue.
+        self.shared.queue_space.notify_all();
+        let job = self
+            .pending
+            .get_mut(&completion.seq)
+            .expect("completion for a dispatched job");
+        match completion.output {
+            CommandOutput::Intersection(intersection) => {
+                debug_assert!(job.parts[completion.shard].is_none());
+                job.parts[completion.shard] = Some(intersection);
+                job.remaining -= 1;
+            }
+            CommandOutput::Step3(partial) => {
+                debug_assert!(job.step3_parts[completion.shard].is_none());
+                job.step3_parts[completion.shard] = Some(partial);
+                job.step3_remaining -= 1;
+            }
+        }
     }
-}
 
-/// Merges one job's per-shard intersections in shard order, runs taxID
-/// retrieval plus Step 3, and delivers the result.
-fn finalize(shared: &Shared, analyzer: &MegisAnalyzer, job: MergeState) {
-    let MergeState { meta, parts, .. } = job;
-    // Shard order is key-range order, so the concatenation equals the
-    // unsharded intersection of the full query list.
-    let merged: Vec<Kmer> = parts.into_iter().flatten().flatten().collect();
-    let step2 = analyzer.step2_from_intersection(merged);
-    let step3 = analyzer.run_step3(&meta.prepared.sample, &step2.presence);
-    let output = MegisAnalyzer::assemble_output(&meta.prepared.step1, &step2, step3);
-    let result = JobResult {
-        id: meta.prepared.id,
-        label: meta.prepared.label,
-        priority: meta.prepared.priority,
-        start_position: meta.prepared.start_position,
-        isp_position: meta.isp_position,
-        output,
-        queue_wait: meta.prepared.queue_wait,
-        step1_time: meta.prepared.step1_time,
-        isp_time: meta.isp_start.elapsed(),
-        latency: meta.prepared.submitted_at.elapsed(),
-    };
-    // Deliver before signaling idle, all under the lock: a drain() returning
-    // quiescent must imply every result has already reached its handle.
-    let mut state = shared.lock();
-    state.window.record(result.latency);
-    state.completed += 1;
-    state.in_flight -= 1;
-    state.isp_served += 1;
-    if let Some(tx) = state.senders.remove(&result.id.0) {
-        let _ = tx.send(result);
+    /// Runs Step 2 and hands Step 3 to the backlog for every job whose
+    /// intersections are all in — including jobs that never had an
+    /// intersect command (empty query lists).
+    fn advance_ready_jobs(&mut self) {
+        let ready: Vec<usize> = self
+            .pending
+            .iter()
+            .filter(|(_, job)| job.remaining == 0 && !job.step3_dispatched)
+            .map(|(seq, _)| *seq)
+            .collect();
+        for seq in ready {
+            self.start_step3(seq);
+        }
     }
-    drop(state);
-    shared.idle.notify_all();
-    // Advancing isp_served reopens the dispatch lookahead gate.
-    shared.job_ready.notify_all();
+
+    /// Merges one job's intersections in shard order, runs taxID retrieval
+    /// (Step 2's presence call), partitions the candidate list into
+    /// contiguous taxid ranges, and issues one Step 3 command per non-empty
+    /// range onto the submission backlog.
+    fn start_step3(&mut self, seq: usize) {
+        let analyzer = self.analyzer;
+        let shard_count = self.shard_count;
+        let job = self.pending.get_mut(&seq).expect("ready job is pending");
+        // Shard order is key-range order, so the concatenation equals the
+        // unsharded intersection of the full query list.
+        let merged: Vec<Kmer> = std::mem::take(&mut job.parts)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .collect();
+        let step2 = analyzer.step2_from_intersection(merged);
+        // The candidate positions are shared across the job's per-device
+        // commands; each device resolves its contiguous sub-range against
+        // the analyzer's memoized per-species indexes.
+        let candidates = Arc::new(analyzer.candidate_positions(&step2.presence));
+        let indexes = analyzer.reference_indexes();
+        let candidate_refs: Vec<&megis_genomics::database::ReferenceIndex> =
+            candidates.iter().map(|&p| &indexes[p]).collect();
+        let partition = step3::partition_candidates(&candidate_refs, shard_count);
+        job.step2 = Some(step2);
+        job.step3_parts = (0..shard_count).map(|_| None).collect();
+        job.step3_dispatched = true;
+        let sample = Arc::clone(&job.meta.prepared.sample);
+        let mut commands = Vec::new();
+        for (shard, part) in partition.into_iter().enumerate() {
+            // Devices whose candidate range is empty (fewer candidates than
+            // devices, or none at all) are skipped, like query-less shards
+            // in Step 2.
+            if part.is_empty() {
+                continue;
+            }
+            commands.push((
+                shard,
+                ShardCommand::Step3(Step3Command {
+                    seq,
+                    sample: Arc::clone(&sample),
+                    candidates: Arc::clone(&candidates),
+                    range: part.range,
+                    base_offset: part.base_offset,
+                }),
+            ));
+        }
+        job.step3_remaining = commands.len();
+        self.backlog.extend(commands);
+    }
+
+    /// Submits backlogged Step 3 commands to every shard with a free queue
+    /// slot — the same `(sequence, shard)` tagging and depth bound as the
+    /// dispatcher's intersect path, but never blocking: commands left over
+    /// take slots as future reaps free them.
+    fn submit_backlog(&mut self) {
+        if self.backlog.is_empty() {
+            return;
+        }
+        let Some(txs) = &self.shard_txs else { return };
+        let mut to_send = Vec::new();
+        {
+            let mut state = self.shared.lock();
+            let mut kept = VecDeque::with_capacity(self.backlog.len());
+            for (shard, command) in self.backlog.drain(..) {
+                if state.shard_inflight[shard] < self.queue_depth {
+                    state.shard_inflight[shard] += 1;
+                    if state.shard_inflight[shard] > state.shard_inflight_peak[shard] {
+                        state.shard_inflight_peak[shard] = state.shard_inflight[shard];
+                    }
+                    state.step3_inflight += 1;
+                    if state.intersect_inflight > 0 {
+                        state.stage_overlap_events += 1;
+                    }
+                    to_send.push((shard, command));
+                } else {
+                    kept.push_back((shard, command));
+                }
+            }
+            self.backlog = kept;
+        }
+        for (shard, command) in to_send {
+            // Host-side submission cost (doorbell write, command build),
+            // modeled outside the lock.
+            if !self.submission_latency.is_zero() {
+                thread::sleep(self.submission_latency);
+            }
+            // A send can only fail during teardown after a shard worker
+            // panicked; the poison flag reports that failure.
+            let _ = txs[shard].send(command);
+        }
+    }
+
+    /// Drops the completer's queue senders once no further Step 3 command
+    /// can ever be issued: the dispatcher has exited (so no new jobs), every
+    /// pending job's Step 3 is dispatched, and the backlog is drained. The
+    /// shard workers then wind down as their queues empty, which closes the
+    /// completion channel and ends the completer — the hand-over that
+    /// breaks the shutdown cycle between workers waiting for senders and
+    /// the completer waiting for completions.
+    fn maybe_release_txs(&mut self) {
+        if self.shard_txs.is_some()
+            && !self.meta_open
+            && self.backlog.is_empty()
+            && self.pending.values().all(|job| job.step3_dispatched)
+        {
+            self.shard_txs = None;
+        }
+    }
+
+    /// Delivers every fully reduced job at the head of the sequence:
+    /// completions are collected out of order, but results leave in
+    /// dispatch order.
+    fn deliver_ready(&mut self) {
+        loop {
+            match self.pending.get(&self.next_to_deliver) {
+                Some(job) if job.is_complete() => {}
+                _ => return,
+            }
+            let job = self
+                .pending
+                .remove(&self.next_to_deliver)
+                .expect("checked above");
+            self.next_to_deliver += 1;
+            self.finalize(job);
+        }
+    }
+
+    /// Reduces one job's per-device Step 3 partials (in candidate-range
+    /// order, which is shard order) into the final output and delivers the
+    /// result.
+    fn finalize(&self, job: MergeState) {
+        let MergeState {
+            meta,
+            step2,
+            step3_parts,
+            ..
+        } = job;
+        let step2 = step2.expect("complete job ran step 2");
+        let step3 = step3::reduce(step3_parts.into_iter().flatten().collect());
+        let output = MegisAnalyzer::assemble_output(&meta.prepared.step1, &step2, step3);
+        let result = JobResult {
+            id: meta.prepared.id,
+            label: meta.prepared.label,
+            priority: meta.prepared.priority,
+            start_position: meta.prepared.start_position,
+            isp_position: meta.isp_position,
+            output,
+            queue_wait: meta.prepared.queue_wait,
+            step1_time: meta.prepared.step1_time,
+            isp_time: meta.isp_start.elapsed(),
+            latency: meta.prepared.submitted_at.elapsed(),
+        };
+        // Deliver before signaling idle, all under the lock: a drain()
+        // returning quiescent must imply every result has already reached
+        // its handle.
+        let mut state = self.shared.lock();
+        state.window.record(result.latency);
+        state.completed += 1;
+        state.in_flight -= 1;
+        state.isp_served += 1;
+        state.mapped_reads += result.output.mapped_reads;
+        if let Some(tx) = state.senders.remove(&result.id.0) {
+            let _ = tx.send(result);
+        }
+        drop(state);
+        self.shared.idle.notify_all();
+        // Advancing isp_served reopens the dispatch lookahead gate.
+        self.shared.job_ready.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -1225,6 +1529,72 @@ mod tests {
         for handle in handles {
             assert!(handle.wait().is_some());
         }
+    }
+
+    #[test]
+    fn step3_flows_through_the_shard_queues_and_overlaps_step2() {
+        // Sharded Step 3: every sample with candidates must have its
+        // unified-index generation and read mapping served as per-device
+        // commands (not a coordinator call), each candidate merged on
+        // exactly one device, results byte-identical to the sequential
+        // analyzer — and with a simulated device service time, some
+        // sample's Step 3 command must be submitted while another sample's
+        // intersect command is outstanding (the per-stage pipeline overlap).
+        let c = community();
+        let a = analyzer(&c);
+        let expected = a.analyze(c.sample());
+        assert!(expected.mapped_reads > 0, "fixture must exercise mapping");
+        let candidates = expected.presence.len() as u64;
+        assert!(
+            candidates >= 2,
+            "fixture needs a partitionable candidate set"
+        );
+        let engine = StreamingEngine::new(
+            a,
+            EngineConfig::new()
+                .with_workers(2)
+                .with_shards(2)
+                .with_queue_depth(4)
+                .with_device_latency(Duration::from_millis(1)),
+        );
+        let jobs = 6u64;
+        let handles: Vec<JobHandle> = (0..jobs)
+            .map(|i| {
+                engine
+                    .submit(JobSpec::new(format!("s{i}"), c.sample().clone()))
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.wait().expect("job served");
+            assert_eq!(result.output, expected);
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.mapped_reads, jobs * expected.mapped_reads);
+        let step3_jobs: u64 = report.shard_stats.iter().map(|s| s.step3_jobs).sum();
+        let step3_items: u64 = report.shard_stats.iter().map(|s| s.step3_items).sum();
+        assert!(step3_jobs > 0, "step 3 must run as device commands");
+        assert_eq!(
+            step3_items,
+            jobs * candidates,
+            "each candidate must be merged on exactly one device per job"
+        );
+        // With 2 devices and >= 2 candidates, both devices serve Step 3.
+        for stats in &report.shard_stats {
+            assert!(
+                stats.step3_jobs == jobs,
+                "shard {} served {} of {jobs} step-3 commands",
+                stats.shard,
+                stats.step3_jobs
+            );
+        }
+        assert!(
+            report.stage_overlap_events > 0,
+            "step 3 of one sample must overlap step 2 of another"
+        );
+        let summary = report.summary();
+        assert!(summary.contains("reads mapped"));
+        assert!(summary.contains("stage overlap events"));
     }
 
     #[test]

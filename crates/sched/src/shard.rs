@@ -28,12 +28,129 @@
 //! keeps total query-side work at O(|Q|) across all shards — broadcasting
 //! the whole list instead would make it O(N·|Q|) and flatten the Fig. 15
 //! scaling whenever queries dominate the merge.
+//!
+//! **Two command kinds per device.** Each simulated SSD runs a
+//! `ShardWorker` consuming one tagged command queue. A worker serves both
+//! pipeline stages of the in-SSD side: Step 2 `IntersectCommand`s
+//! (intersect the device's database slice with the sample's overlapping
+//! query sub-range) and Step 3 `Step3Command`s (merge the device's
+//! contiguous range of the sample's candidate species into a partial
+//! unified index and map all reads against it — §4.4's in-SSD index
+//! generation plus mapping, partitioned by candidate). Because both kinds
+//! flow through the same queue, one sample's Step 3 mapping overlaps the
+//! next sample's Step 2 intersection on every device.
 
 use std::ops::Range;
 use std::sync::Arc;
 
-use megis_genomics::database::SortedKmerDatabase;
+use megis::step3::{self, Step3Partial};
+use megis::MegisAnalyzer;
+use megis_genomics::database::{ReferenceIndex, SortedKmerDatabase};
 use megis_genomics::kmer::Kmer;
+use megis_genomics::sample::Sample;
+
+/// A Step 2 command: intersect the job's query sub-range against the
+/// device's database slice.
+#[derive(Debug)]
+pub(crate) struct IntersectCommand {
+    /// Dense in-SSD dispatch sequence number the command belongs to.
+    pub seq: usize,
+    /// The job's full sorted query list (shared, not copied, across shards).
+    pub queries: Arc<Vec<Kmer>>,
+    /// The sub-range of `queries` overlapping this shard's key range.
+    pub range: Range<usize>,
+}
+
+/// A Step 3 command: merge this device's contiguous candidate range into a
+/// partial unified index and map the sample's reads against it.
+#[derive(Debug)]
+pub(crate) struct Step3Command {
+    /// Dense in-SSD dispatch sequence number the command belongs to.
+    pub seq: usize,
+    /// The sample whose reads are mapped (shared across the job's commands).
+    pub sample: Arc<Sample>,
+    /// Positions of *all* the job's candidate species within the analyzer's
+    /// per-species reference indexes, in merge (ascending-taxid) order;
+    /// shared across the job's per-device commands.
+    pub candidates: Arc<Vec<usize>>,
+    /// This device's sub-range of `candidates`.
+    pub range: Range<usize>,
+    /// Concatenated-reference-space offset where the range begins.
+    pub base_offset: u64,
+}
+
+/// One NVMe-style command on a device's tagged queue.
+#[derive(Debug)]
+pub(crate) enum ShardCommand {
+    /// Step 2 intersection finding.
+    Intersect(IntersectCommand),
+    /// Step 3 partial unified-index generation plus read mapping.
+    Step3(Step3Command),
+}
+
+impl ShardCommand {
+    /// The dispatch sequence number the command is tagged with.
+    pub(crate) fn seq(&self) -> usize {
+        match self {
+            ShardCommand::Intersect(c) => c.seq,
+            ShardCommand::Step3(c) => c.seq,
+        }
+    }
+}
+
+/// Result payload of one served command.
+#[derive(Debug)]
+pub(crate) enum CommandOutput {
+    /// The intersecting k-mers of an [`IntersectCommand`].
+    Intersection(Vec<Kmer>),
+    /// The partial index plus per-read hits of a [`Step3Command`].
+    Step3(Step3Partial),
+}
+
+/// One simulated device: the shard's zero-copy database slice (Step 2) plus
+/// a handle on the analyzer whose memoized per-species reference indexes
+/// back Step 3 partials. Consumes commands of either kind from its queue.
+#[derive(Debug)]
+pub(crate) struct ShardWorker {
+    shard: Arc<SortedKmerDatabase>,
+    analyzer: Arc<MegisAnalyzer>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(shard: Arc<SortedKmerDatabase>, analyzer: Arc<MegisAnalyzer>) -> ShardWorker {
+        ShardWorker { shard, analyzer }
+    }
+
+    /// Serves one command functionally (device timing is simulated by the
+    /// caller).
+    pub(crate) fn serve(&self, command: &ShardCommand) -> CommandOutput {
+        match command {
+            ShardCommand::Intersect(c) => {
+                let slice = &c.queries[c.range.clone()];
+                // Device-side bound check: the dispatcher's partition
+                // charges gap queries (values between shard key ranges) to
+                // the preceding shard, but nothing below this shard's first
+                // key or above its last can match, so the merge runs only
+                // over the overlapping sub-range.
+                let overlap = &slice[self.shard.overlapping_query_range(slice)];
+                CommandOutput::Intersection(self.shard.intersect_sorted(overlap))
+            }
+            ShardCommand::Step3(c) => {
+                let indexes = self.analyzer.reference_indexes();
+                let candidates: Vec<&ReferenceIndex> = c.candidates[c.range.clone()]
+                    .iter()
+                    .map(|&position| &indexes[position])
+                    .collect();
+                CommandOutput::Step3(step3::run_partial(
+                    c.sample.reads(),
+                    &candidates,
+                    c.base_offset,
+                    self.analyzer.config().mapping_k,
+                ))
+            }
+        }
+    }
+}
 
 /// The database partitioned across `N` simulated SSDs.
 #[derive(Debug, Clone)]

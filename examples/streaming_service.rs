@@ -161,12 +161,17 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "shard {}: {} cmds, {} query k-mers, peak QD {}",
-                s.shard, s.jobs, s.query_items, s.peak_inflight
+                "shard {}: {} isect + {} step3 cmds, {} query k-mers, peak QD {}",
+                s.shard, s.jobs, s.step3_jobs, s.query_items, s.peak_inflight
             )
         })
         .collect();
     println!("per-shard service counts: [{}]", jobs.join(", "));
+    println!(
+        "step 3 on the device array: {} reads mapped; {} stage-overlap events \
+         (a step-3 or intersect submission saw the other stage outstanding)",
+        report.mapped_reads, report.stage_overlap_events,
+    );
     println!("\nClinical samples submitted mid-stream overtook the queued cohort work");
     println!("(disp = dispatch position), and the in-SSD stage served samples exactly");
     println!("in dispatch order (isp = disp), even with 4 racing Step 1 workers.");

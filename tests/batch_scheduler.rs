@@ -189,6 +189,63 @@ fn zero_copy_shard_views_share_one_storage_and_stay_byte_identical() {
 }
 
 #[test]
+fn sharded_step3_accounts_every_candidate_once_and_stays_byte_identical() {
+    // Step 3 runs as per-device commands through the same queues as the
+    // intersections: across a worker/shard/depth matrix, every job's
+    // candidate species must be merged on exactly one device (the per-job
+    // sum of per-shard step3 items equals the job's candidate count), the
+    // mapped-read totals must surface in the report, and every output must
+    // stay byte-identical to the sequential analyzer.
+    let (analyzer, samples) = cohort(8);
+    let expected: Vec<MegisOutput> = samples.iter().map(|s| analyzer.analyze(s)).collect();
+    let expected_candidates: u64 = expected.iter().map(|e| e.presence.len() as u64).sum();
+    let expected_mapped: u64 = expected.iter().map(|e| e.mapped_reads).sum();
+    assert!(expected_mapped > 0, "fixture must exercise read mapping");
+
+    for (workers, shards, depth) in [(1usize, 1usize, 1usize), (2, 4, 2), (4, 2, 4), (2, 8, 8)] {
+        let mut engine = BatchEngine::new(
+            analyzer.clone(),
+            EngineConfig::new()
+                .with_workers(workers)
+                .with_shards(shards)
+                .with_queue_depth(depth),
+        );
+        engine.submit_all(specs(&samples)).unwrap();
+        let report = engine.run();
+        for (result, expected) in report.results.iter().zip(&expected) {
+            assert_eq!(
+                result.output, *expected,
+                "{} diverged at {workers}w/{shards}s/qd{depth}",
+                result.label
+            );
+        }
+        assert_eq!(
+            report.mapped_reads(),
+            expected_mapped,
+            "mapped-read total at {workers}w/{shards}s/qd{depth}"
+        );
+        let step3_items: u64 = report.shard_stats.iter().map(|s| s.step3_items).sum();
+        assert_eq!(
+            step3_items, expected_candidates,
+            "each candidate merged on exactly one device at {workers}w/{shards}s/qd{depth}"
+        );
+        let step3_jobs: u64 = report.shard_stats.iter().map(|s| s.step3_jobs).sum();
+        assert!(
+            step3_jobs >= samples.len() as u64,
+            "every job ran step 3 on some device"
+        );
+        // Devices beyond the candidate count are never commanded for a job;
+        // no device can serve more step-3 commands than there are jobs.
+        for stats in &report.shard_stats {
+            assert!(stats.step3_jobs <= samples.len() as u64);
+        }
+        let summary = report.summary();
+        assert!(summary.contains("reads mapped"));
+        assert!(summary.contains("stage overlap events"));
+    }
+}
+
+#[test]
 fn more_shards_than_database_entries_stays_correct() {
     // `SortedKmerDatabase::partition` pads with empty trailing shards when
     // parts > len; those dead shards must never be commanded (0 jobs), must
