@@ -1,14 +1,15 @@
 //! Runs the hot-path microbenchmarks (galloping intersection vs the
 //! two-pointer reference, sort-based counting/build vs their `BTreeMap`
 //! baselines, zero-copy shard residency) and writes the measurement to
-//! `BENCH_hotpath.json` in the current directory — the repo's performance
-//! trajectory record; see `megis_bench::experiments::hotpath` for details.
+//! `BENCH_hotpath.json` (override with `--out <path>`) — the repo's
+//! performance trajectory record; see `megis_bench::experiments::hotpath`
+//! for details.
 
 fn main() {
     let measurement = megis_bench::experiments::hotpath_measure();
     print!("{}", measurement.report());
-    let path = "BENCH_hotpath.json";
-    std::fs::write(path, measurement.to_json())
+    let path = megis_bench::out_path("BENCH_hotpath.json");
+    std::fs::write(&path, measurement.to_json())
         .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
     eprintln!("wrote {path}");
 }

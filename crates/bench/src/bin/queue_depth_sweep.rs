@@ -1,6 +1,13 @@
-//! Regenerates one experiment of the MegIS evaluation; see
+//! Runs the queue-depth sweep (per-shard NVMe-style command queues, depth
+//! 1 → 8 on a device-bound batch) and writes the measurement to
+//! `BENCH_queue_depth.json` (override with `--out <path>`); see
 //! `megis_bench::experiments::queue_depth_sweep` for details.
 
 fn main() {
-    print!("{}", megis_bench::experiments::queue_depth_sweep());
+    let measurement = megis_bench::experiments::queue_depth_sweep_measure();
+    print!("{}", measurement.report());
+    let path = megis_bench::out_path("BENCH_queue_depth.json");
+    std::fs::write(&path, measurement.to_json())
+        .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+    eprintln!("wrote {path}");
 }

@@ -1,13 +1,27 @@
 //! Runs the partitioned Step 3 scaling sweep (unified-index generation and
-//! read mapping sharded across 1 → 8 devices, device-bound) and writes the
-//! measurement to `BENCH_step3.json` in the current directory; see
-//! `megis_bench::experiments::step3_scaling` for details.
+//! read mapping sharded across 1 → 8 devices, device-bound) plus the traced
+//! streaming pass (stage breakdowns and the straggler analysis at 8
+//! devices), and writes the sweep measurement to `BENCH_step3.json`
+//! (`--out <path>`) and the raw trace event log to `BENCH_step3_trace.json`
+//! (`--trace-out <path>`); see `megis_bench::experiments::step3_scaling`
+//! for details.
+
+use megis_bench::{flag_value, out_path};
 
 fn main() {
     let measurement = megis_bench::experiments::step3_scaling_measure();
     print!("{}", measurement.report());
-    let path = "BENCH_step3.json";
-    std::fs::write(path, measurement.to_json())
+    let path = out_path("BENCH_step3.json");
+    std::fs::write(&path, measurement.to_json())
         .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
     eprintln!("wrote {path}");
+
+    let traced = megis_bench::experiments::step3_trace_measure();
+    print!("{}", traced.report());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path =
+        flag_value(&args, "--trace-out").unwrap_or_else(|| "BENCH_step3_trace.json".to_string());
+    std::fs::write(&trace_path, &traced.trace_json)
+        .unwrap_or_else(|e| panic!("failed to write {trace_path}: {e}"));
+    eprintln!("wrote {trace_path}");
 }

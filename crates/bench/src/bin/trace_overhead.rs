@@ -1,0 +1,16 @@
+//! Trace overhead gate: pipeline tracing vs the no-trace baseline.
+//!
+//! Prints the report with the greppable `trace overhead: confirmed` verdict
+//! and writes the JSON record (default `BENCH_trace_overhead.json`;
+//! override with `--out <path>`).
+
+use megis_bench::experiments::trace_overhead_measure;
+use megis_bench::out_path;
+
+fn main() {
+    let measurement = trace_overhead_measure();
+    print!("{}", measurement.report());
+    let path = out_path("BENCH_trace_overhead.json");
+    std::fs::write(&path, measurement.to_json()).expect("write bench record");
+    println!("wrote {path}");
+}

@@ -18,6 +18,7 @@ mod presence;
 mod queue;
 mod scaling;
 mod step3_scaling;
+mod trace_overhead;
 
 pub use accuracy::accuracy_analysis;
 pub use comparison::{
@@ -29,9 +30,17 @@ pub use hardware::{kss_size_analysis, table1_ssd_configs, table2_area_power};
 pub use hotpath::{hotpath, hotpath_measure, HotpathMeasurement};
 pub use motivation::fig03_io_overhead;
 pub use presence::{fig12_presence_speedup, fig13_time_breakdown, fig14_database_size};
-pub use queue::queue_depth_sweep;
+pub use queue::{
+    queue_depth_sweep, queue_depth_sweep_measure, QueueDepthMeasurement, QueueDepthRow,
+};
 pub use scaling::{fig15_multi_ssd, fig16_dram_capacity, fig17_internal_bandwidth};
-pub use step3_scaling::{step3_scaling, step3_scaling_measure, Step3ScalingMeasurement};
+pub use step3_scaling::{
+    step3_scaling, step3_scaling_measure, step3_trace_measure, Step3ScalingMeasurement,
+    Step3TraceMeasurement, CLOSURE_GATE,
+};
+pub use trace_overhead::{
+    trace_overhead, trace_overhead_measure, TraceOverheadMeasurement, OVERHEAD_GATE,
+};
 
 /// Runs every experiment and concatenates the reports in paper order.
 pub fn all() -> String {
@@ -53,6 +62,7 @@ pub fn all() -> String {
         streaming_load_analysis(),
         queue_depth_sweep(),
         step3_scaling(),
+        trace_overhead(),
         hotpath(),
         table2_area_power(),
         kss_size_analysis(),
@@ -90,12 +100,13 @@ mod tests {
             ("fig21", super::fig21_multi_sample()),
             ("fig21-engine", super::fig21_batch_engine()),
             ("streaming-load", super::streaming_load_analysis()),
-            // `hotpath` and `step3_scaling` are deliberately absent: the
-            // former's cache-oversized fixture makes a full measurement
-            // expensive, the latter sleeps simulated device streams, and
-            // both have test modules that already run (and assert on) one
-            // measurement — duplicating them here would pay that cost twice
-            // per test run for a non-emptiness check.
+            // `hotpath`, `step3_scaling`, and `trace_overhead` are
+            // deliberately absent: the first's cache-oversized fixture makes
+            // a full measurement expensive, the other two sleep simulated
+            // device streams, and all three have test modules that already
+            // run (and assert on) one measurement — duplicating them here
+            // would pay that cost twice per test run for a non-emptiness
+            // check.
             ("table2", super::table2_area_power()),
             ("kss", super::kss_size_analysis()),
             ("energy", super::energy_analysis()),

@@ -67,22 +67,153 @@ fn device_bound_cohort() -> (MegisAnalyzer, Vec<Sample>) {
     (analyzer, samples)
 }
 
-/// Queue-depth sweep (engine path): depth 1 → 8 on one multi-sample batch,
-/// measured throughput/p99/peak-queue-occupancy against the modeled
-/// utilization curve for the same round trip and service time.
-pub fn queue_depth_sweep() -> String {
-    let mut report = Report::new();
-    report.title("Queue-depth sweep: per-shard NVMe-style command queues via megis-sched");
+/// One depth's best-trial row of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueDepthRow {
+    /// Swept per-shard queue depth.
+    pub depth: usize,
+    /// Measured batch throughput, samples/s.
+    pub throughput: f64,
+    /// Measured p99 job latency.
+    pub p99: Duration,
+    /// Peak in-flight commands on the busiest shard.
+    pub peak_inflight: usize,
+    /// Mean shard utilization over the batch.
+    pub util_avg: f64,
+    /// The analytic [`QueueModel`] throughput multiplier for this depth.
+    pub modeled_multiplier: f64,
+}
+
+/// Everything the sweep measured; the binary serializes it as
+/// `BENCH_queue_depth.json`.
+#[derive(Debug, Clone)]
+pub struct QueueDepthMeasurement {
+    /// Best-trial row per swept depth, shallowest first.
+    pub rows: Vec<QueueDepthRow>,
+    /// Whether every batch output was byte-identical to the sequential
+    /// analyzer across all depths and trials.
+    pub parity: bool,
+    /// Calibrated per-command device service time (depth-1 run).
+    pub service: SimDuration,
+    /// The priced host round trip per command.
+    pub model: QueueModel,
+}
+
+impl QueueDepthMeasurement {
+    /// The CI verdict: every depth ≥ 2 strictly beats depth 1.
+    pub fn scaling_confirmed(&self) -> bool {
+        let baseline = self.rows[0].throughput;
+        self.rows[1..].iter().all(|r| r.throughput > baseline)
+    }
+
+    /// Renders the plain-text report with the greppable verdict lines.
+    pub fn report(&self) -> String {
+        let mut report = Report::new();
+        report.title("Queue-depth sweep: per-shard NVMe-style command queues via megis-sched");
+        report.line(&format!(
+            "{SAMPLES} samples, {SHARDS} shards, 2 step-1 workers; simulated device service {} ms, \
+             submission {} us + completion {} us per command; best of {TRIALS} trials per depth",
+            DEVICE.as_millis(),
+            SUBMISSION.as_micros(),
+            COMPLETION.as_micros(),
+        ));
+        report.line("");
+        report.table_header(&[
+            "depth",
+            "samples/s",
+            "p99 ms",
+            "peak QD",
+            "util avg",
+            "modeled x",
+        ]);
+        for row in &self.rows {
+            report.table_row(
+                &row.depth.to_string(),
+                &[
+                    row.throughput,
+                    row.p99.as_secs_f64() * 1e3,
+                    row.peak_inflight as f64,
+                    row.util_avg,
+                    row.modeled_multiplier,
+                ],
+            );
+        }
+        report.line("");
+        report.line(&format!(
+            "parity with sequential analyzer: {}",
+            if self.parity { "identical" } else { "DIVERGED" }
+        ));
+        report.line(&format!(
+            "depth scaling: {} (depth-2+ throughput vs depth-1 at {:.1} samples/s)",
+            if self.scaling_confirmed() {
+                "confirmed"
+            } else {
+                "NOT OBSERVED"
+            },
+            self.rows[0].throughput,
+        ));
+        report.line(&format!(
+            "calibrated per-command service time: {:.0} us; modeled saturation depth: \
+             1 + round-trip/service = {:.1}",
+            self.service.as_micros(),
+            1.0 + self.model.round_trip() / self.service.max(SimDuration::from_nanos(1.0)),
+        ));
+        report.line("");
+        report.line("At depth 1 every command's host round trip (submission + completion reaping)");
+        report.line(
+            "serializes against the device, leaving the shard idle between samples; depth 2+",
+        );
+        report.line(
+            "keeps commands queued on every device so several samples' intersections stay in",
+        );
+        report
+            .line("flight per shard (peak QD > 1) — the paper's inter-sample in-SSD overlap. The");
+        report
+            .line("modeled column prices the same round trip with QueueModel; at paper scale the");
+        report.line("database stream dominates and the modeled curve flattens toward 1x.");
+        report.finish()
+    }
+
+    /// Serializes the measurement as the `BENCH_queue_depth.json` record.
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"depth\": {}, \"samples_per_s\": {:.3}, \"p99_us\": {:.3}, \
+                     \"peak_inflight\": {}, \"util_avg\": {:.4}, \"modeled_x\": {:.4} }}",
+                    r.depth,
+                    r.throughput,
+                    r.p99.as_secs_f64() * 1e6,
+                    r.peak_inflight,
+                    r.util_avg,
+                    r.modeled_multiplier,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n\
+             \x20 \"bench\": \"queue_depth_sweep\",\n\
+             \x20 \"samples\": {SAMPLES},\n\
+             \x20 \"shards\": {SHARDS},\n\
+             \x20 \"parity\": {},\n\
+             \x20 \"scaling_confirmed\": {},\n\
+             \x20 \"service_us\": {:.3},\n\
+             \x20 \"series\": [\n{}\n\x20 ]\n\
+             }}\n",
+            self.parity,
+            self.scaling_confirmed(),
+            self.service.as_micros(),
+            series.join(",\n"),
+        )
+    }
+}
+
+/// Runs the sweep and returns the raw measurement.
+pub fn queue_depth_sweep_measure() -> QueueDepthMeasurement {
     let (analyzer, samples) = device_bound_cohort();
     let expected: Vec<_> = samples.iter().map(|s| analyzer.analyze(s)).collect();
-    report.line(&format!(
-        "{SAMPLES} samples, {SHARDS} shards, 2 step-1 workers; simulated device service {} ms, \
-         submission {} us + completion {} us per command; best of {TRIALS} trials per depth",
-        DEVICE.as_millis(),
-        SUBMISSION.as_micros(),
-        COMPLETION.as_micros(),
-    ));
-    report.line("");
 
     // Per-command device service time, measured from a calibration run:
     // what the modeled curve prices the depth sweep against.
@@ -95,15 +226,7 @@ pub fn queue_depth_sweep() -> String {
         completion_latency: SimDuration::from_secs(COMPLETION.as_secs_f64()),
     };
 
-    report.table_header(&[
-        "depth",
-        "samples/s",
-        "p99 ms",
-        "peak QD",
-        "util avg",
-        "modeled x",
-    ]);
-    let mut throughputs = Vec::new();
+    let mut rows = Vec::new();
     let mut all_parity = true;
     for depth in [1usize, 2, 4, 8] {
         let mut best: Option<megis_sched::BatchReport> = None;
@@ -156,59 +279,42 @@ pub fn queue_depth_sweep() -> String {
             .max()
             .unwrap_or(0);
         let util = run.shard_utilization();
-        let util_avg = util.iter().sum::<f64>() / util.len() as f64;
-        report.table_row(
-            &depth.to_string(),
-            &[
-                run.throughput,
-                run.latency.p99.as_secs_f64() * 1e3,
-                peak as f64,
-                util_avg,
-                queue_model.throughput_multiplier(depth, service),
-            ],
-        );
-        throughputs.push((depth, run.throughput));
+        rows.push(QueueDepthRow {
+            depth,
+            throughput: run.throughput,
+            p99: run.latency.p99,
+            peak_inflight: peak,
+            util_avg: util.iter().sum::<f64>() / util.len() as f64,
+            modeled_multiplier: queue_model.throughput_multiplier(depth, service),
+        });
     }
 
-    let baseline = throughputs[0].1;
-    let scaling_confirmed = throughputs[1..].iter().all(|(_, t)| *t > baseline);
-    report.line("");
-    report.line(&format!(
-        "parity with sequential analyzer: {}",
-        if all_parity { "identical" } else { "DIVERGED" }
-    ));
-    report.line(&format!(
-        "depth scaling: {} (depth-2+ throughput vs depth-1 at {:.1} samples/s)",
-        if scaling_confirmed {
-            "confirmed"
-        } else {
-            "NOT OBSERVED"
-        },
-        baseline,
-    ));
-    report.line(&format!(
-        "calibrated per-command service time: {:.0} us; modeled saturation depth: \
-         1 + round-trip/service = {:.1}",
-        service.as_micros(),
-        1.0 + queue_model.round_trip() / service.max(SimDuration::from_nanos(1.0)),
-    ));
-    report.line("");
-    report.line("At depth 1 every command's host round trip (submission + completion reaping)");
-    report.line("serializes against the device, leaving the shard idle between samples; depth 2+");
-    report.line("keeps commands queued on every device so several samples' intersections stay in");
-    report.line("flight per shard (peak QD > 1) — the paper's inter-sample in-SSD overlap. The");
-    report.line("modeled column prices the same round trip with QueueModel; at paper scale the");
-    report.line("database stream dominates and the modeled curve flattens toward 1x.");
-    report.finish()
+    QueueDepthMeasurement {
+        rows,
+        parity: all_parity,
+        service,
+        model: queue_model,
+    }
+}
+
+/// Queue-depth sweep (engine path): depth 1 → 8 on one multi-sample batch,
+/// measured throughput/p99/peak-queue-occupancy against the modeled
+/// utilization curve for the same round trip and service time.
+pub fn queue_depth_sweep() -> String {
+    queue_depth_sweep_measure().report()
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn queue_depth_sweep_confirms_scaling_and_parity() {
-        let report = super::queue_depth_sweep();
+        let m = super::queue_depth_sweep_measure();
+        let report = m.report();
         assert!(report.contains("parity with sequential analyzer: identical"));
         assert!(!report.contains("DIVERGED"));
+        let json = m.to_json();
+        assert!(json.contains("\"bench\": \"queue_depth_sweep\""));
+        assert!(json.contains("\"parity\": true"));
         // The wall-clock scaling verdict only holds when the simulated
         // latencies dominate the functional compute, i.e. in release
         // builds; debug-profile host work swamps the 1 ms round trip. The

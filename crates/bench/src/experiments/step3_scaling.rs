@@ -20,9 +20,23 @@
 //! machine's core count. The functional outputs are simultaneously checked
 //! byte-for-byte against the sequential `step3::run` oracle.
 //!
-//! The `step3_scaling` binary prints this report and writes the numbers to
-//! `BENCH_step3.json`; CI runs it in release mode, greps the parity and
-//! scaling verdicts, and uploads the JSON.
+//! A second, *traced* pass runs the same workload through the streaming
+//! engine at the widest device count with the pipeline trace enabled
+//! ([`megis_sched::EngineConfig::with_tracing`]): the straggler analyzer
+//! then names, per job, the device whose last Step 3 completion gated the
+//! reduce, reports each device's busy/stall/idle split and Step 3 busy
+//! time with the max/min skew, and cross-checks every job's
+//! [`megis_sched::StageBreakdown`] against its independently measured
+//! end-to-end latency. That per-device skew measurement is the input the
+//! cost-aware-partitioning roadmap item needs — today's equal-count
+//! partition leaves the reduce waiting on whichever device drew the larger
+//! candidate ranges.
+//!
+//! The `step3_scaling` binary prints both reports and writes the numbers to
+//! `BENCH_step3.json` (`--out`) and the raw event log to
+//! `BENCH_step3_trace.json` (`--trace-out`); CI runs it in release mode,
+//! greps the parity/scaling verdicts and the straggler-report header, and
+//! uploads both JSON records.
 
 use std::time::{Duration, Instant};
 
@@ -31,6 +45,7 @@ use megis::step3;
 use megis::MegisAnalyzer;
 use megis_genomics::database::ReferenceIndex;
 use megis_genomics::sample::{CommunityConfig, Diversity};
+use megis_sched::{EngineConfig, JobSpec, StreamingEngine};
 
 use crate::report::Report;
 
@@ -54,6 +69,21 @@ const DATABASE_SPECIES: usize = 24;
 /// candidates serially; an 8-device pass streams at most 2 per device in
 /// parallel, which is the structural win the sweep measures.
 const STREAM_PER_CANDIDATE: Duration = Duration::from_millis(10);
+/// Jobs the traced streaming pass pushes through the engine.
+const TRACE_JOBS: usize = 6;
+/// Devices in the traced streaming pass (the widest swept count).
+const TRACE_SHARDS: usize = 8;
+/// Per-candidate simulated Step 3 device time in the traced pass
+/// ([`EngineConfig::with_step3_item_latency`]): the engine-side analogue of
+/// [`STREAM_PER_CANDIDATE`], sized so per-device Step 3 busy time reflects
+/// candidate-count skew without making the pass slow.
+const TRACE_STEP3_ITEM: Duration = Duration::from_millis(5);
+/// Simulated per-command device service time in the traced pass.
+const TRACE_DEVICE: Duration = Duration::from_millis(2);
+/// Tolerated relative disagreement between a job's trace-derived
+/// [`megis_sched::StageBreakdown`] total and its independently measured
+/// end-to-end latency.
+pub const CLOSURE_GATE: f64 = 0.01;
 
 /// Everything the sweep measured; the binary serializes it as
 /// `BENCH_step3.json`.
@@ -177,16 +207,20 @@ impl Step3ScalingMeasurement {
     }
 }
 
-/// Runs the sweep and returns the raw measurement.
-pub fn step3_scaling_measure() -> Step3ScalingMeasurement {
-    // A sample rich in candidates: Step 2's actual presence call on a
-    // diverse community decides the candidate list, exactly as the engine's
-    // completer does.
-    let community = CommunityConfig::preset(Diversity::Medium)
+/// The candidate-rich fixture both passes analyze: Step 2's actual
+/// presence call on a diverse community decides the candidate list, exactly
+/// as the engine's completer does.
+fn fixture_community() -> megis_genomics::sample::Community {
+    CommunityConfig::preset(Diversity::Medium)
         .with_reads(READS)
         .with_species(SPECIES)
         .with_database_species(DATABASE_SPECIES)
-        .build(4242);
+        .build(4242)
+}
+
+/// Runs the sweep and returns the raw measurement.
+pub fn step3_scaling_measure() -> Step3ScalingMeasurement {
+    let community = fixture_community();
     let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
     let presence = analyzer.identify_presence(community.sample()).presence;
     let candidates = analyzer.candidate_indexes(&presence);
@@ -249,6 +283,149 @@ pub fn step3_scaling() -> String {
     step3_scaling_measure().report()
 }
 
+/// What the traced streaming pass observed; the binary renders
+/// [`Step3TraceMeasurement::report`] and writes
+/// [`Step3TraceMeasurement::trace_json`] as `BENCH_step3_trace.json`.
+#[derive(Debug, Clone)]
+pub struct Step3TraceMeasurement {
+    /// Jobs pushed through the traced engine.
+    pub jobs: usize,
+    /// Devices in the traced array.
+    pub shards: usize,
+    /// `(job id, trace-derived breakdown total, measured latency)` per job,
+    /// in delivery order.
+    pub closures: Vec<(u64, Duration, Duration)>,
+    /// Mean per-job stage breakdown over the pass, rendered.
+    pub mean_breakdown_line: String,
+    /// The straggler analyzer's rendered report (per-device busy/stall/idle,
+    /// Step 3 busy skew, per-job gating device, gating histogram).
+    pub straggler_text: String,
+    /// Max/min per-device Step 3 busy time across the array.
+    pub step3_busy_skew: f64,
+    /// The raw event log, serialized (`BENCH_step3_trace.json`).
+    pub trace_json: String,
+}
+
+impl Step3TraceMeasurement {
+    /// Worst relative disagreement between any job's breakdown total and
+    /// its measured end-to-end latency.
+    pub fn max_closure_error(&self) -> f64 {
+        self.closures
+            .iter()
+            .map(|(_, total, latency)| {
+                let latency = latency.as_secs_f64().max(1e-9);
+                (total.as_secs_f64() - latency).abs() / latency
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The verdict: every job's breakdown telescopes to its measured
+    /// latency within [`CLOSURE_GATE`].
+    pub fn closure_confirmed(&self) -> bool {
+        !self.closures.is_empty() && self.max_closure_error() < CLOSURE_GATE
+    }
+
+    /// Renders the traced-pass report; the straggler-report header inside
+    /// it is the stable line CI greps.
+    pub fn report(&self) -> String {
+        let mut report = Report::new();
+        report.title("Traced step 3 pass: stage breakdown and straggler analysis");
+        report.line(&format!(
+            "{} jobs through the streaming engine at {} devices, pipeline trace on; \
+             simulated device service {} ms/command + {} ms per step-3 candidate",
+            self.jobs,
+            self.shards,
+            TRACE_DEVICE.as_millis(),
+            TRACE_STEP3_ITEM.as_millis(),
+        ));
+        report.line("");
+        report.line(&format!(
+            "stage breakdown (mean over {} jobs): {}",
+            self.jobs, self.mean_breakdown_line
+        ));
+        for (job, total, latency) in &self.closures {
+            report.line(&format!(
+                "  job#{job}: breakdown total {:.1} ms vs measured latency {:.1} ms",
+                total.as_secs_f64() * 1e3,
+                latency.as_secs_f64() * 1e3,
+            ));
+        }
+        report.line(&format!(
+            "breakdown closure: {} (max |breakdown - latency| / latency = {:.3}%, gate {:.0}%)",
+            if self.closure_confirmed() {
+                "confirmed"
+            } else {
+                "VIOLATED"
+            },
+            self.max_closure_error() * 100.0,
+            CLOSURE_GATE * 100.0,
+        ));
+        report.line("");
+        for line in self.straggler_text.lines() {
+            report.line(line);
+        }
+        report.line("");
+        report.line("Equal-count candidate partitioning hands some devices one more candidate");
+        report.line("range than others, so their Step 3 busy time — and with it the job's reduce");
+        report.line("barrier — is gated by the devices at the top of the skew. The gating-device");
+        report.line("histogram above is the measurement the cost-aware partitioning work item");
+        report.line("consumes: a cost-proportional split would flatten it.");
+        report.finish()
+    }
+}
+
+/// Runs the traced streaming pass and returns what the trace observed.
+pub fn step3_trace_measure() -> Step3TraceMeasurement {
+    let community = fixture_community();
+    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+    let engine = StreamingEngine::new(
+        analyzer,
+        EngineConfig::new()
+            .with_workers(2)
+            .with_shards(TRACE_SHARDS)
+            .with_device_latency(TRACE_DEVICE)
+            .with_step3_item_latency(TRACE_STEP3_ITEM)
+            .with_tracing(),
+    );
+    let handles: Vec<_> = (0..TRACE_JOBS)
+        .map(|i| {
+            engine
+                .submit(JobSpec::new(
+                    format!("traced-{i}"),
+                    community.sample().clone(),
+                ))
+                .expect("admission")
+        })
+        .collect();
+    let mut closures = Vec::new();
+    for handle in handles {
+        let result = handle.wait().expect("job served");
+        let breakdown = result
+            .breakdown
+            .expect("tracing is on, so every job carries a breakdown");
+        closures.push((result.id.0, breakdown.total(), result.latency));
+    }
+    let report = engine.shutdown();
+    let straggler = report
+        .straggler
+        .expect("tracing is on, so the report carries the straggler analysis");
+    let trace = report
+        .trace
+        .expect("tracing is on, so the report carries the event log");
+    let mean = report
+        .stage_breakdown
+        .expect("tracing is on, so the report carries the mean breakdown");
+    Step3TraceMeasurement {
+        jobs: TRACE_JOBS,
+        shards: TRACE_SHARDS,
+        closures,
+        mean_breakdown_line: mean.summary_line(),
+        straggler_text: straggler.report(),
+        step3_busy_skew: straggler.step3_busy_skew(),
+        trace_json: trace.to_json(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -279,5 +456,35 @@ mod tests {
             m.scaling_confirmed(),
             "multi-device step 3 must beat one device:\n{report}"
         );
+    }
+
+    #[test]
+    fn traced_pass_closes_breakdowns_and_names_gating_devices() {
+        let m = super::step3_trace_measure();
+        assert_eq!(m.closures.len(), super::TRACE_JOBS);
+        // Closure is a consistency property between two independent
+        // measurements of the same wall clock, not a speed property, so it
+        // holds in debug builds too (slower jobs only shrink the relative
+        // error).
+        assert!(
+            m.closure_confirmed(),
+            "stage breakdowns must telescope to the measured latency:\n{}",
+            m.report()
+        );
+        assert!(m.step3_busy_skew >= 1.0);
+        let report = m.report();
+        assert!(report
+            .contains("straggler report: per-device busy/stall/idle and per-job step-3 gating"));
+        // Every device line, every job's gating entry, and the histogram
+        // must be present for the widest array.
+        for device in 0..super::TRACE_SHARDS {
+            assert!(report.contains(&format!("device {device}:")), "{report}");
+        }
+        assert!(
+            report.contains("reduce gated by: [job seq 0 -> device"),
+            "{report}"
+        );
+        assert!(report.contains("gating-device histogram:"), "{report}");
+        assert!(m.trace_json.contains("\"trace\""));
     }
 }

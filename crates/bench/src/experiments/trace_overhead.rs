@@ -1,0 +1,292 @@
+//! Trace overhead gate: the pipeline tracing subsystem must be ~free when
+//! disabled and cheap when enabled.
+//!
+//! The `megis-sched` engine carries trace record points on every hot path
+//! (admission, Step 1, command issue/start/complete, reduce, delivery).
+//! The subsystem's contract is that the *disabled* sink — the default —
+//! costs a single inlined branch per point, and that even the *enabled*
+//! bounded ring stays far from the engine's critical path. This experiment
+//! measures both:
+//!
+//! * a record-point microbenchmark: nanoseconds per
+//!   [`megis_sched::TraceSink::record`] call on a disabled and an enabled
+//!   sink (the disabled path is the one every untraced run pays);
+//! * an engine-level comparison: the same device-bound batch run with
+//!   tracing disabled (the no-trace baseline) and enabled, best of several
+//!   interleaved trials, with the relative wall-clock overhead gated below
+//!   [`OVERHEAD_GATE`].
+//!
+//! The workload is device-bound by construction (simulated device service
+//! dominates, as in the queue-depth sweep), because that is the regime the
+//! engine actually runs in — and the regime where a tracing subsystem that
+//! contended on the hot path would show up as lost overlap rather than a
+//! little extra host CPU.
+//!
+//! The `trace_overhead` binary prints this report and writes
+//! `BENCH_trace_overhead.json`; CI runs it in release mode, greps the
+//! `trace overhead: confirmed` verdict, and uploads the JSON.
+
+use std::time::{Duration, Instant};
+
+use megis::config::MegisConfig;
+use megis::MegisAnalyzer;
+use megis_genomics::sample::{CommunityConfig, Diversity, Sample};
+use megis_sched::{BatchEngine, EngineConfig, JobSpec, TraceEventKind, TraceSink};
+
+use crate::report::Report;
+
+/// Samples per batch.
+const SAMPLES: usize = 10;
+/// Database shards (simulated SSDs).
+const SHARDS: usize = 4;
+/// Interleaved trials per mode; the best trial per mode is compared.
+const TRIALS: usize = 3;
+/// Simulated per-command device service time — the dominant term, so the
+/// run is device-bound like the real workload.
+const DEVICE: Duration = Duration::from_millis(2);
+/// Maximum tolerated relative wall-clock overhead of the traced run over
+/// the no-trace baseline.
+pub const OVERHEAD_GATE: f64 = 0.02;
+/// Record calls per microbenchmark pass.
+const MICRO_CALLS: usize = 1_000_000;
+
+/// Everything the gate measured; the binary serializes it as
+/// `BENCH_trace_overhead.json`.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadMeasurement {
+    /// Best wall-clock seconds of the batch with tracing disabled (the
+    /// no-trace baseline every production run pays).
+    pub baseline_secs: f64,
+    /// Best wall-clock seconds of the same batch with tracing enabled.
+    pub traced_secs: f64,
+    /// Nanoseconds per `record` call on a disabled sink.
+    pub disabled_ns_per_record: f64,
+    /// Nanoseconds per `record` call on an enabled bounded sink.
+    pub enabled_ns_per_record: f64,
+    /// Events the traced run's ring held at shutdown.
+    pub events_recorded: usize,
+    /// Events the ring evicted (0 means the whole run fit).
+    pub dropped: u64,
+    /// Jobs per batch.
+    pub jobs: usize,
+}
+
+impl TraceOverheadMeasurement {
+    /// Relative wall-clock overhead of the traced run over the baseline
+    /// (negative when the traced run happened to be faster — noise).
+    pub fn overhead(&self) -> f64 {
+        self.traced_secs / self.baseline_secs.max(1e-12) - 1.0
+    }
+
+    /// The CI verdict: overhead below the gate.
+    pub fn confirmed(&self) -> bool {
+        self.overhead() < OVERHEAD_GATE
+    }
+
+    /// Renders the plain-text report with the greppable verdict line.
+    pub fn report(&self) -> String {
+        let mut report = Report::new();
+        report.title("Trace overhead analysis: pipeline tracing vs the no-trace baseline");
+        report.line(&format!(
+            "{} jobs, {SHARDS} shards, simulated device service {} ms/command; \
+             best of {TRIALS} interleaved trials per mode",
+            self.jobs,
+            DEVICE.as_millis(),
+        ));
+        report.line("");
+        report.table_header(&["mode", "s/batch", "ns/record"]);
+        report.table_row(
+            "disabled",
+            &[self.baseline_secs, self.disabled_ns_per_record],
+        );
+        report.table_row("enabled", &[self.traced_secs, self.enabled_ns_per_record]);
+        report.line("");
+        report.line(&format!(
+            "engine overhead with tracing enabled: {:+.2}% ({} events held, {} dropped)",
+            self.overhead() * 100.0,
+            self.events_recorded,
+            self.dropped,
+        ));
+        report.line(&format!(
+            "trace overhead: {} (gate: < {:.0}% of the no-trace baseline)",
+            if self.confirmed() {
+                "confirmed"
+            } else {
+                "EXCEEDED"
+            },
+            OVERHEAD_GATE * 100.0,
+        ));
+        report.line("");
+        report.line("The disabled sink records through one inlined branch — no lock, no clock");
+        report.line("read, no allocation — so the instrumentation points cost an untraced engine");
+        report.line("nothing. The enabled sink takes a short mutex-guarded ring push per event,");
+        report.line("off the device-bound critical path, so even full tracing stays within the");
+        report.line("gate on this workload.");
+        report.finish()
+    }
+
+    /// Serializes the measurement as the `BENCH_trace_overhead.json` record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\
+             \x20 \"bench\": \"trace_overhead\",\n\
+             \x20 \"jobs\": {},\n\
+             \x20 \"baseline_us\": {:.3},\n\
+             \x20 \"traced_us\": {:.3},\n\
+             \x20 \"overhead_frac\": {:.6},\n\
+             \x20 \"gate_frac\": {OVERHEAD_GATE},\n\
+             \x20 \"confirmed\": {},\n\
+             \x20 \"disabled_ns_per_record\": {:.3},\n\
+             \x20 \"enabled_ns_per_record\": {:.3},\n\
+             \x20 \"events_recorded\": {},\n\
+             \x20 \"dropped\": {}\n\
+             }}\n",
+            self.jobs,
+            self.baseline_secs * 1e6,
+            self.traced_secs * 1e6,
+            self.overhead(),
+            self.confirmed(),
+            self.disabled_ns_per_record,
+            self.enabled_ns_per_record,
+            self.events_recorded,
+            self.dropped,
+        )
+    }
+}
+
+fn device_bound_cohort() -> (MegisAnalyzer, Vec<Sample>) {
+    // Foreign-read samples against a modest database: the per-command
+    // simulated device service dominates, host compute stays trivial — the
+    // same convention as the queue-depth sweep, so a tracing regression
+    // would surface as lost device overlap, not hidden under host work.
+    let base = CommunityConfig::preset(Diversity::Medium)
+        .with_reads(60)
+        .with_database_species(12);
+    let reference_community = base.build(77);
+    let analyzer = MegisAnalyzer::build(reference_community.references(), MegisConfig::small());
+    let samples = (0..SAMPLES)
+        .map(|i| {
+            base.build_cohort_sample(6161, 700 + i as u64)
+                .sample()
+                .clone()
+        })
+        .collect();
+    (analyzer, samples)
+}
+
+fn run_batch(analyzer: &MegisAnalyzer, samples: &[Sample], traced: bool) -> (f64, usize, u64) {
+    let mut config = EngineConfig::new()
+        .with_workers(2)
+        .with_shards(SHARDS)
+        .with_device_latency(DEVICE);
+    if traced {
+        config = config.with_tracing();
+    }
+    let mut engine = BatchEngine::new(analyzer.clone(), config);
+    engine
+        .submit_all(
+            samples
+                .iter()
+                .enumerate()
+                .map(|(i, s)| JobSpec::new(format!("sample-{i}"), s.clone())),
+        )
+        .expect("admission");
+    let start = Instant::now();
+    let report = engine.run();
+    let secs = start.elapsed().as_secs_f64();
+    let (events, dropped) = report
+        .trace
+        .as_ref()
+        .map(|t| (t.events.len(), t.dropped))
+        .unwrap_or((0, 0));
+    (secs, events, dropped)
+}
+
+/// Nanoseconds per `record` call on the given sink.
+fn ns_per_record(sink: &TraceSink) -> f64 {
+    let start = Instant::now();
+    for i in 0..MICRO_CALLS {
+        sink.record(i, TraceEventKind::Step1Finished);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / MICRO_CALLS as f64
+}
+
+/// Runs the gate and returns the raw measurement.
+pub fn trace_overhead_measure() -> TraceOverheadMeasurement {
+    let (analyzer, samples) = device_bound_cohort();
+
+    // Interleave the modes so slow-machine drift (thermal, noisy neighbor)
+    // hits both alike; compare the best trial of each.
+    let mut baseline_secs = f64::INFINITY;
+    let mut traced_secs = f64::INFINITY;
+    let mut events_recorded = 0;
+    let mut dropped = 0;
+    for _ in 0..TRIALS {
+        let (secs, _, _) = run_batch(&analyzer, &samples, false);
+        baseline_secs = baseline_secs.min(secs);
+        let (secs, events, drops) = run_batch(&analyzer, &samples, true);
+        if secs < traced_secs {
+            traced_secs = secs;
+            events_recorded = events;
+            dropped = drops;
+        }
+    }
+
+    let disabled_ns_per_record = ns_per_record(&TraceSink::disabled());
+    let enabled_ns_per_record = ns_per_record(&TraceSink::bounded(1 << 16));
+
+    TraceOverheadMeasurement {
+        baseline_secs,
+        traced_secs,
+        disabled_ns_per_record,
+        enabled_ns_per_record,
+        events_recorded,
+        dropped,
+        jobs: SAMPLES,
+    }
+}
+
+/// Trace overhead analysis: runs the gate and renders the report (what
+/// `cargo run -p megis-bench --bin trace_overhead` prints; the binary
+/// additionally writes `BENCH_trace_overhead.json`).
+pub fn trace_overhead() -> String {
+    trace_overhead_measure().report()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trace_overhead_measures_both_modes() {
+        let m = super::trace_overhead_measure();
+        assert!(m.baseline_secs > 0.0 && m.traced_secs > 0.0);
+        assert!(
+            m.events_recorded > 0,
+            "the traced run must actually record events"
+        );
+        assert_eq!(m.dropped, 0, "the default ring must hold a small batch");
+        let report = m.report();
+        assert!(report.contains("trace overhead:"));
+        let json = m.to_json();
+        assert!(json.contains("\"bench\": \"trace_overhead\""));
+        // The wall-clock gate is asserted in release only: a device-bound
+        // run is insensitive to tracing by construction, but debug-profile
+        // functional work shrinks the sleep share enough for scheduler
+        // noise to dominate the ratio. The release-mode CI smoke step runs
+        // the bin and greps the verdict, so the gate stays enforced where a
+        // failure is attributable.
+        #[cfg(not(debug_assertions))]
+        {
+            assert!(
+                m.confirmed(),
+                "tracing overhead exceeded the gate:\n{report}"
+            );
+            assert!(
+                m.disabled_ns_per_record <= m.enabled_ns_per_record,
+                "the disabled record path must not cost more than the enabled one \
+                 ({:.1} ns vs {:.1} ns)",
+                m.disabled_ns_per_record,
+                m.enabled_ns_per_record,
+            );
+        }
+    }
+}

@@ -12,3 +12,58 @@ pub mod experiments;
 pub mod report;
 
 pub use report::Report;
+
+/// Resolves the value of a `--flag <value>` / `--flag=<value>` pair in an
+/// argument list. Used by the bench binaries for `--out` (and
+/// `--trace-out`), so CI and local runs can redirect the JSON records
+/// instead of clobbering the committed `BENCH_*.json` baselines in the
+/// working directory.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return args.next().cloned();
+        }
+        if let Some(value) = arg.strip_prefix(&format!("{flag}=")) {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
+/// The output path for a bench binary's JSON record: the `--out` argument
+/// if given, the hardcoded committed-baseline default otherwise.
+pub fn out_path(default: &str) -> String {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    flag_value(&args, "--out").unwrap_or_else(|| default.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::flag_value;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_supports_both_spellings_and_absence() {
+        assert_eq!(
+            flag_value(&args(&["--out", "/tmp/x.json"]), "--out"),
+            Some("/tmp/x.json".to_string())
+        );
+        assert_eq!(
+            flag_value(&args(&["--out=/tmp/y.json"]), "--out"),
+            Some("/tmp/y.json".to_string())
+        );
+        assert_eq!(flag_value(&args(&["--other", "z"]), "--out"), None);
+        assert_eq!(flag_value(&args(&[]), "--out"), None);
+        assert_eq!(
+            flag_value(&args(&["--out", "a", "--trace-out", "b"]), "--trace-out"),
+            Some("b".to_string())
+        );
+        // A dangling flag with no value resolves to nothing rather than
+        // panicking.
+        assert_eq!(flag_value(&args(&["--out"]), "--out"), None);
+    }
+}

@@ -79,6 +79,19 @@ pub struct EngineConfig {
     /// simulated devices genuinely overlap each other — and overlap the
     /// host — even on a single-core host.
     pub device_latency: Duration,
+    /// Simulated *per-candidate* device service time for Step 3 commands, on
+    /// top of [`EngineConfig::device_latency`]: a Step 3 command over `k`
+    /// candidate references sleeps an extra `k ×` this value, modeling the
+    /// per-reference index stream. Zero by default. Unlike the flat
+    /// per-command latency, this makes a device's Step 3 service time
+    /// proportional to its candidate-range size — which is what lets the
+    /// straggler analyzer observe the equal-count partitioning skew the
+    /// 8-device sweep suffers from.
+    pub step3_item_latency: Duration,
+    /// Capacity of the pipeline trace ring buffer; `None` (the default)
+    /// disables tracing entirely — the zero-cost
+    /// [`crate::trace::TraceSink::disabled`] path.
+    pub trace_capacity: Option<usize>,
     /// Completions covered by the service-mode rolling metrics window.
     pub metrics_window: usize,
     /// Base system for the modeled-time account: the pipelining comparison
@@ -100,6 +113,8 @@ impl Default for EngineConfig {
             submission_latency: Duration::ZERO,
             completion_latency: Duration::ZERO,
             device_latency: Duration::ZERO,
+            step3_item_latency: Duration::ZERO,
+            trace_capacity: None,
             metrics_window: 256,
             // The paper's multi-sample configuration (Fig. 21): without the
             // sorting accelerator, host-side sorting dominates and hides the
@@ -190,6 +205,37 @@ impl EngineConfig {
     /// trip by.
     pub fn with_device_latency(mut self, device: Duration) -> EngineConfig {
         self.device_latency = device;
+        self
+    }
+
+    /// Sets the simulated per-candidate Step 3 service time (defaults to
+    /// zero): each Step 3 command sleeps an extra `candidates ×` this value,
+    /// so a device's Step 3 busy time scales with its candidate-range size
+    /// and the straggler analyzer can attribute partitioning skew.
+    pub fn with_step3_item_latency(mut self, per_candidate: Duration) -> EngineConfig {
+        self.step3_item_latency = per_candidate;
+        self
+    }
+
+    /// Enables pipeline tracing with the default ring capacity
+    /// ([`crate::trace::DEFAULT_TRACE_CAPACITY`] events). The engine then
+    /// records every lifecycle event and its reports carry a
+    /// [`crate::trace::StageBreakdown`], a
+    /// [`crate::trace::StragglerReport`], and the raw
+    /// [`crate::trace::TraceLog`].
+    pub fn with_tracing(self) -> EngineConfig {
+        self.with_trace_capacity(crate::trace::DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Enables pipeline tracing with an explicit ring capacity (events kept;
+    /// oldest evicted beyond it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> EngineConfig {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.trace_capacity = Some(capacity);
         self
     }
 
@@ -348,6 +394,9 @@ impl BatchEngine {
                 resident_database_bytes: self.shards.resident_bytes(),
                 stage_overlap_events: 0,
                 modeled: None,
+                stage_breakdown: None,
+                straggler: None,
+                trace: None,
             };
         }
         let modeled = ModeledAccount::compute_with_queue(
@@ -384,6 +433,9 @@ impl BatchEngine {
             resident_database_bytes: service_report.resident_database_bytes,
             stage_overlap_events: service_report.stage_overlap_events,
             modeled: Some(modeled),
+            stage_breakdown: service_report.stage_breakdown,
+            straggler: service_report.straggler,
+            trace: service_report.trace,
         }
     }
 }

@@ -5,6 +5,8 @@ use std::time::Duration;
 use megis::MegisOutput;
 use megis_genomics::sample::Sample;
 
+use crate::trace::StageBreakdown;
+
 /// Identifier of one submitted job (its admission sequence number).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
@@ -103,6 +105,13 @@ pub struct JobResult {
     pub isp_time: Duration,
     /// Total latency from submission to completion.
     pub latency: Duration,
+    /// Per-stage decomposition of the job's latency, reconstructed from the
+    /// pipeline trace: `None` when tracing was disabled
+    /// ([`crate::EngineConfig::trace_capacity`]) or the trace ring evicted
+    /// the job's early events. For streaming submissions
+    /// [`StageBreakdown::total`] matches [`JobResult::latency`] to well
+    /// under 1% (the two are measured independently).
+    pub breakdown: Option<StageBreakdown>,
 }
 
 #[cfg(test)]

@@ -39,7 +39,10 @@
 //!   cross-checking the executed batch shape against
 //!   `MegisTimingModel::multi_sample_breakdown` and the Fig. 15 shard
 //!   scaling series, plus the command-queue model ([`QueueModel`]): how much
-//!   of the host submission/completion round trip a given queue depth hides.
+//!   of the host submission/completion round trip a given queue depth hides,
+//! * [`trace`] — the pipeline tracing subsystem ([`TraceSink`],
+//!   [`StageBreakdown`], [`StragglerReport`]): per-command lifecycle events
+//!   and the analyses built on them (see *Observability* below).
 //!
 //! # Batch mode vs. service mode
 //!
@@ -71,6 +74,32 @@
 //! `MegisAnalyzer::analyze` on the same sample, for any worker count, shard
 //! count, admission policy, or submission concurrency (enforced by the
 //! workspace integration tests).
+//!
+//! # Observability
+//!
+//! Enable pipeline tracing with [`EngineConfig::with_tracing`]. Every
+//! pipeline thread then records timestamped lifecycle events into one
+//! bounded, multi-producer [`TraceSink`]: job admission, Step 1 start/end,
+//! per-`(seq, shard)` command issued/started/completed for both in-SSD
+//! command kinds, reduce start/end, delivery. Two analyses are built on the
+//! event log and surfaced on [`JobResult`], [`BatchReport`], and
+//! [`ServiceReport`]:
+//!
+//! * [`StageBreakdown`] — each job's submission→delivery wall clock,
+//!   partitioned into telescoping stage segments (queue wait, Step 1,
+//!   per-stage queue wait vs. device service, reduce barrier, reduce), so
+//!   the segments sum to the job's end-to-end latency;
+//! * [`StragglerReport`] — per-device busy/stall/idle fractions, per-device
+//!   Step 3 busy time with the max/min skew, and the device whose last
+//!   Step 3 completion gated each job's reduce — the measurement the
+//!   cost-aware-partitioning roadmap item consumes.
+//!
+//! **Overhead contract:** tracing is disabled by default;
+//! [`trace::TraceSink::disabled`] records through a single inlined branch
+//! (no lock, no clock read, no allocation), so instrumented hot paths cost
+//! nothing when tracing is off. The `trace_overhead` bench experiment
+//! measures and CI gates this (< 2% engine overhead vs. a no-trace
+//! baseline).
 //!
 //! # Example
 //!
@@ -109,6 +138,7 @@ pub mod model;
 pub mod queue;
 pub mod service;
 pub mod shard;
+pub mod trace;
 
 pub use engine::{BatchEngine, EngineConfig, PartialAdmission};
 pub use job::{JobId, JobResult, JobSpec, Priority};
@@ -117,3 +147,7 @@ pub use model::{ModeledAccount, QueueModel};
 pub use queue::{AdmissionError, JobQueue, SchedPolicy};
 pub use service::{JobHandle, ServiceReport, ServiceSnapshot, StreamingEngine};
 pub use shard::ShardSet;
+pub use trace::{
+    DeviceUsage, StageBreakdown, StragglerReport, TraceEvent, TraceEventKind, TraceLog, TraceSink,
+    TraceStage,
+};

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use crate::job::JobResult;
 use crate::model::ModeledAccount;
+use crate::trace::{StageBreakdown, StragglerReport, TraceLog};
 
 /// Latency distribution over the completed jobs of a batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -17,8 +18,13 @@ pub struct LatencyStats {
     pub mean: Duration,
     /// Median (50th percentile, nearest-rank).
     pub p50: Duration,
+    /// 90th percentile (nearest-rank).
+    pub p90: Duration,
     /// 99th percentile (nearest-rank).
     pub p99: Duration,
+    /// 99.9th percentile (nearest-rank) — separates a fat tail (p999 ≈ max)
+    /// from a lone outlier.
+    pub p999: Duration,
     /// Maximum observed latency.
     pub max: Duration,
 }
@@ -39,7 +45,9 @@ impl LatencyStats {
             count: sorted.len(),
             mean,
             p50: percentile(&sorted, 50.0),
+            p90: percentile(&sorted, 90.0),
             p99: percentile(&sorted, 99.0),
+            p999: percentile(&sorted, 99.9),
             max: *sorted.last().unwrap(),
         }
     }
@@ -90,10 +98,18 @@ impl RollingWindow {
     /// Records one completion (now) with the given end-to-end latency,
     /// evicting the oldest entry once the window is full.
     pub fn record(&mut self, latency: Duration) {
+        self.record_at(Instant::now(), latency);
+    }
+
+    /// Records one completion at an explicit instant — the injectable form
+    /// [`RollingWindow::record`] wraps, so [`RollingWindow::throughput`] is
+    /// deterministically testable. Entries are expected in non-decreasing
+    /// instant order (the engine records completions as they happen).
+    pub fn record_at(&mut self, at: Instant, latency: Duration) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
         }
-        self.entries.push_back((Instant::now(), latency));
+        self.entries.push_back((at, latency));
         self.total += 1;
     }
 
@@ -196,6 +212,16 @@ pub struct BatchReport {
     /// (cross-checks `MegisTimingModel::multi_sample_breakdown`); `None`
     /// when the batch was empty and there is no shape to model.
     pub modeled: Option<ModeledAccount>,
+    /// Mean per-job stage breakdown over the jobs whose timelines the trace
+    /// captured; `None` when tracing was disabled (the default) or no job's
+    /// breakdown could be reconstructed.
+    pub stage_breakdown: Option<StageBreakdown>,
+    /// Per-device straggler analysis of the traced run; `None` when tracing
+    /// was disabled.
+    pub straggler: Option<StragglerReport>,
+    /// The raw event log ([`TraceLog::to_json`] exports it); `None` when
+    /// tracing was disabled.
+    pub trace: Option<TraceLog>,
 }
 
 impl BatchReport {
@@ -231,14 +257,7 @@ impl BatchReport {
             self.wall_time.as_secs_f64(),
             self.throughput,
         );
-        let _ = writeln!(
-            out,
-            "latency: mean {:.1} ms, p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
-            self.latency.mean.as_secs_f64() * 1e3,
-            self.latency.p50.as_secs_f64() * 1e3,
-            self.latency.p99.as_secs_f64() * 1e3,
-            self.latency.max.as_secs_f64() * 1e3,
-        );
+        out.push_str(&latency_line(&self.latency));
         let utils: Vec<String> = self
             .shard_utilization()
             .iter()
@@ -261,6 +280,7 @@ impl BatchReport {
             self.mapped_reads(),
             self.stage_overlap_events,
         ));
+        out.push_str(&stage_breakdown_line(self.stage_breakdown.as_ref()));
         match &self.modeled {
             Some(modeled) => {
                 let _ = writeln!(
@@ -281,6 +301,32 @@ impl BatchReport {
             }
         }
         out
+    }
+}
+
+/// Renders the latency line shared verbatim by [`BatchReport::summary`] and
+/// [`crate::service::ServiceReport::summary`].
+pub(crate) fn latency_line(latency: &LatencyStats) -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    format!(
+        "latency: mean {:.1} ms, p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, \
+         p999 {:.1} ms, max {:.1} ms\n",
+        ms(latency.mean),
+        ms(latency.p50),
+        ms(latency.p90),
+        ms(latency.p99),
+        ms(latency.p999),
+        ms(latency.max),
+    )
+}
+
+/// Renders the mean stage-breakdown line shared verbatim by both report
+/// summaries ("n/a" when tracing was disabled, so the line — and its golden
+/// tests — exist in both modes).
+pub(crate) fn stage_breakdown_line(breakdown: Option<&StageBreakdown>) -> String {
+    match breakdown {
+        Some(breakdown) => format!("stage breakdown (mean): {}\n", breakdown.summary_line()),
+        None => "stage breakdown (mean): n/a (tracing disabled)\n".to_string(),
     }
 }
 
@@ -328,9 +374,32 @@ mod tests {
     fn percentiles_use_nearest_rank() {
         let sorted: Vec<Duration> = (1..=100).map(ms).collect();
         assert_eq!(percentile(&sorted, 50.0), ms(50));
+        assert_eq!(percentile(&sorted, 90.0), ms(90));
         assert_eq!(percentile(&sorted, 99.0), ms(99));
+        assert_eq!(
+            percentile(&sorted, 99.9),
+            ms(100),
+            "ceil(99.9) ranks last of 100"
+        );
         assert_eq!(percentile(&sorted, 100.0), ms(100));
         assert_eq!(percentile(&[ms(7)], 50.0), ms(7));
+    }
+
+    #[test]
+    fn tail_percentiles_populate_from_latencies() {
+        let latencies: Vec<Duration> = (1..=1000).map(ms).collect();
+        let stats = LatencyStats::from_latencies(&latencies);
+        assert_eq!(stats.p90, ms(900));
+        assert_eq!(stats.p99, ms(990));
+        // 99.9/100 × 1000 lands a hair above 999.0 in f64, so the ceil rank
+        // is 1000: p999 coincides with max at this sample count.
+        assert_eq!(stats.p999, ms(1000));
+        assert_eq!(stats.max, ms(1000));
+        // At 10000 samples the p999/max distinction is real.
+        let latencies: Vec<Duration> = (1..=10000).map(ms).collect();
+        let stats = LatencyStats::from_latencies(&latencies);
+        assert_eq!(stats.p999, ms(9991));
+        assert_eq!(stats.max, ms(10000));
     }
 
     #[test]
@@ -372,6 +441,30 @@ mod tests {
         assert_eq!(stats.max, ms(40), "oldest entry was evicted");
         assert_eq!(stats.p50, ms(30));
         assert!(w.throughput() > 0.0);
+    }
+
+    #[test]
+    fn record_at_makes_throughput_deterministic() {
+        let mut w = RollingWindow::new(8);
+        let epoch = Instant::now();
+        // Four completions exactly 250 ms apart: 3 intervals over 750 ms is
+        // exactly 4 completions/s — assertable only with injected instants.
+        for i in 0..4u64 {
+            w.record_at(epoch + Duration::from_millis(250 * i), ms(10));
+        }
+        let throughput = w.throughput();
+        assert!(
+            (throughput - 4.0).abs() < 1e-9,
+            "expected exactly 4/s, got {throughput}"
+        );
+        assert_eq!(w.total_recorded(), 4);
+        // Eviction keeps the unbiased estimator anchored on the oldest
+        // *windowed* entry, not the all-time oldest.
+        let mut w = RollingWindow::new(2);
+        w.record_at(epoch, ms(1));
+        w.record_at(epoch + Duration::from_secs(100), ms(1));
+        w.record_at(epoch + Duration::from_secs(101), ms(1));
+        assert!((w.throughput() - 1.0).abs() < 1e-9, "1 interval over 1 s");
     }
 
     #[test]

@@ -79,6 +79,15 @@ impl QueueModel {
         service + self.round_trip().saturating_sub(covered)
     }
 
+    /// The per-command idle bubble at `depth`: the slice of the cycle the
+    /// device spends waiting on the host round trip, `cycle_time − service`
+    /// (zero once the queue is deep enough to hide the whole round trip).
+    /// This is the modeled counterpart of the *stall* time the straggler
+    /// analyzer measures per device from the trace.
+    pub fn idle_bubble(&self, depth: usize, service: SimDuration) -> SimDuration {
+        self.cycle_time(depth, service).saturating_sub(service)
+    }
+
     /// Device utilization at `depth`: `service / cycle_time`, in `(0, 1]`.
     pub fn utilization(&self, depth: usize, service: SimDuration) -> f64 {
         if service.is_zero() {
@@ -407,6 +416,22 @@ mod tests {
             assert!(w[1].1 >= w[0].1, "curve must be monotone: {curve:?}");
         }
         assert!((curve[7].1 - 3.0).abs() < 1e-9, "saturates at 1 + r/s");
+    }
+
+    #[test]
+    fn idle_bubble_shrinks_with_depth_and_closes_at_saturation() {
+        let queue = QueueModel {
+            depth: 4,
+            submission_latency: SimDuration::from_micros(30.0),
+            completion_latency: SimDuration::from_micros(70.0),
+        };
+        let service = SimDuration::from_micros(50.0);
+        // Depth 1 exposes the whole 100 µs round trip; each extra queued
+        // command hides 50 µs of it; depth 3 closes the bubble entirely.
+        assert!((queue.idle_bubble(1, service).as_micros() - 100.0).abs() < 1e-9);
+        assert!((queue.idle_bubble(2, service).as_micros() - 50.0).abs() < 1e-9);
+        assert!(queue.idle_bubble(3, service).is_zero());
+        assert!(queue.idle_bubble(8, service).is_zero());
     }
 
     #[test]

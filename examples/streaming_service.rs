@@ -12,6 +12,8 @@
 //! 4 here, with a simulated per-command device service time), so several
 //! samples' intersections are in flight on every shard at once — the final
 //! per-shard report shows the peak queue occupancy each device reached.
+//! Pipeline tracing is enabled, so the shutdown report carries each job's
+//! stage-latency breakdown and the straggler analysis of the device array.
 //! The run ends with a graceful drain and shutdown.
 //!
 //! Run with: `cargo run -p megis-examples --bin streaming_service`
@@ -46,7 +48,8 @@ fn main() {
             .with_queue_capacity(64)
             .with_queue_depth(4)
             .with_device_latency(Duration::from_millis(1))
-            .with_metrics_window(16),
+            .with_metrics_window(16)
+            .with_tracing(),
     ));
     println!(
         "service up: {} step-1 workers, {} database shards ({} entries), {} policy, \
@@ -172,6 +175,16 @@ fn main() {
          (a step-3 or intersect submission saw the other stage outstanding)",
         report.mapped_reads, report.stage_overlap_events,
     );
+    if let Some(breakdown) = &report.stage_breakdown {
+        println!(
+            "stage breakdown (mean over {} jobs): {}",
+            report.completed,
+            breakdown.summary_line()
+        );
+    }
+    if let Some(straggler) = &report.straggler {
+        print!("\n{}", straggler.report());
+    }
     println!("\nClinical samples submitted mid-stream overtook the queued cohort work");
     println!("(disp = dispatch position), and the in-SSD stage served samples exactly");
     println!("in dispatch order (isp = disp), even with 4 racing Step 1 workers.");
