@@ -1,42 +1,51 @@
-//! Step 3 scaling sweep: partitioned unified-index generation and read
-//! mapping across 1 → 8 devices.
+//! Step 3 scaling sweep: cost-aware partitioned unified-index generation
+//! and read mapping across 1 → 8 devices, on a skewed candidate workload.
 //!
 //! MegIS §4.4 (Fig. 9) generates the unified reference index *inside the
-//! SSD* and hands mapping to per-device accelerators; `megis-sched` now
-//! partitions the candidate list into contiguous taxid ranges and runs
-//! `step3::run_partial` per device. This experiment measures that
-//! decomposition directly: one sample's full Step 3 — partition →
-//! per-device partial index merge + mapping (one thread per device) →
-//! reduce — swept over 1, 2, 4, and 8 devices.
+//! SSD* and hands mapping to per-device accelerators; `megis-sched`
+//! partitions the candidate list into contiguous taxid ranges by **modeled
+//! cost** (`step3::partition_candidates` weighs each candidate by its index
+//! stream bytes plus expected mapping work) and runs `step3::run_partial`
+//! per device. This experiment measures that decomposition in the regime
+//! that exposed the old equal-count cliff: a **skewed** candidate pool —a
+//! few giant reference indexes among many small ones — where splitting by
+//! item *count* loads some devices with several times the stream volume of
+//! others and the slowest device gates the reduce.
 //!
 //! Like the `queue_depth_sweep`, the sweep runs **device-bound**: each
 //! device thread first sleeps a simulated index-stream time proportional to
-//! its candidate range (the per-candidate reference index streamed and
-//! merged at internal bandwidth, which at paper scale dwarfs the in-memory
-//! merge the functional kernel computes), then does the functional work.
-//! The simulated streams genuinely overlap across devices even on a
-//! single-core host, so the sweep measures the *structural* effect of the
-//! partitioning — each device streams only its range — rather than the host
-//! machine's core count. The functional outputs are simultaneously checked
-//! byte-for-byte against the sequential `step3::run` oracle.
+//! its partition's *modeled cost* (the per-candidate reference index
+//! streamed and merged at internal bandwidth, which at paper scale dwarfs
+//! the in-memory merge the functional kernel computes), then does the
+//! functional work. The simulated streams genuinely overlap across devices
+//! even on a single-core host, so the sweep measures the *structural*
+//! effect of the partitioning — each device streams only its cost share —
+//! rather than the host machine's core count. The functional outputs are
+//! simultaneously checked byte-for-byte against the sequential
+//! `step3::run` oracle, and the verdict line CI greps asserts the speedup
+//! is **strictly monotone** through 8 devices (the old count-based split
+//! regressed past 4).
 //!
-//! A second, *traced* pass runs the same workload through the streaming
-//! engine at the widest device count with the pipeline trace enabled
-//! ([`megis_sched::EngineConfig::with_tracing`]): the straggler analyzer
-//! then names, per job, the device whose last Step 3 completion gated the
-//! reduce, reports each device's busy/stall/idle split and Step 3 busy
-//! time with the max/min skew, and cross-checks every job's
-//! [`megis_sched::StageBreakdown`] against its independently measured
-//! end-to-end latency. That per-device skew measurement is the input the
-//! cost-aware-partitioning roadmap item needs — today's equal-count
-//! partition leaves the reduce waiting on whichever device drew the larger
-//! candidate ranges.
+//! A second, *traced* pass runs the same skewed workload through the
+//! streaming engine at the widest device count with the pipeline trace and
+//! work stealing enabled ([`megis_sched::EngineConfig::with_tracing`]):
+//! the straggler analyzer names, per job, the device whose last Step 3
+//! completion gated the reduce, reports each device's busy/stall/idle
+//! split with the Step 3 busy skew, summarizes the gating-device histogram
+//! as a single **flatness** figure
+//! ([`megis_sched::StragglerReport::gating_histogram_flatness`]), counts
+//! the candidate items idle devices stole from loaded peers, and
+//! cross-checks every job's [`megis_sched::StageBreakdown`] against its
+//! independently measured end-to-end latency. A flat histogram plus a
+//! near-zero mean reduce barrier is the measured signature of the
+//! cost-aware split and the incremental reduce doing their jobs.
 //!
 //! The `step3_scaling` binary prints both reports and writes the numbers to
-//! `BENCH_step3.json` (`--out`) and the raw event log to
+//! `BENCH_step3.json` (`--out`) and the annotated event log — flatness,
+//! skew, and mean reduce barrier alongside the raw events — to
 //! `BENCH_step3_trace.json` (`--trace-out`); CI runs it in release mode,
-//! greps the parity/scaling verdicts and the straggler-report header, and
-//! uploads both JSON records.
+//! greps the parity/monotone-scaling verdicts and the straggler-report
+//! header, and uploads both JSON records.
 
 use std::time::{Duration, Instant};
 
@@ -44,7 +53,11 @@ use megis::config::MegisConfig;
 use megis::step3;
 use megis::MegisAnalyzer;
 use megis_genomics::database::ReferenceIndex;
-use megis_genomics::sample::{CommunityConfig, Diversity};
+use megis_genomics::dna::{Base, PackedSequence};
+use megis_genomics::read::{Read, ReadSet};
+use megis_genomics::reference::{ReferenceCollection, ReferenceGenome};
+use megis_genomics::sample::Sample;
+use megis_genomics::taxonomy::{TaxId, Taxonomy};
 use megis_sched::{EngineConfig, JobSpec, StreamingEngine};
 
 use crate::report::Report;
@@ -53,30 +66,39 @@ use crate::report::Report;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Trials per device count; the best trial is reported.
 const TRIALS: usize = 2;
-/// Reads per sample: enough coverage that Step 2's support threshold
-/// reports a deep candidate list, light enough that the simulated index
-/// stream still dominates the pass.
-const READS: usize = 600;
-/// Species present in the sample (the candidate pool Step 2 reports).
-const SPECIES: usize = 16;
-/// Species in the reference database.
-const DATABASE_SPECIES: usize = 24;
-/// Simulated device time to stream and merge one candidate's reference
-/// index into the partial unified index — multi-millisecond at paper scale,
-/// and deliberately larger than the host-side functional work here so the
-/// sweep runs device-bound (the same convention as the queue-depth sweep's
-/// per-command device service). The single-device pass streams all ~15
-/// candidates serially; an 8-device pass streams at most 2 per device in
-/// parallel, which is the structural win the sweep measures.
+/// Species in the skewed reference pool (and, because the sample tiles
+/// every genome with error-free reads, the Step 3 candidate count).
+const CANDIDATES: usize = 24;
+/// Every `GIANT_EVERY`-th species gets a giant genome; the rest are small.
+/// 3 giants among 24 candidates lands one giant in most equal-count octile
+/// ranges — the shape that used to gate the 8-device reduce.
+const GIANT_EVERY: usize = 8;
+/// Giant reference genome length in bases.
+const GIANT_GENOME_LEN: usize = 4000;
+/// Small reference genome length in bases.
+const SMALL_GENOME_LEN: usize = 400;
+/// Length of the error-free reads tiling each genome.
+const READ_LEN: usize = 100;
+/// Tiling stride; < `READ_LEN - k_max` so every k-mer of every genome
+/// appears in some read and all species clear the presence thresholds.
+const TILE_STRIDE: usize = 40;
+/// Mean simulated device time to stream and merge one candidate's
+/// reference index into the partial unified index — multi-millisecond at
+/// paper scale, and deliberately larger than the host-side functional work
+/// here so the sweep runs device-bound. Each device's actual sleep is this
+/// value scaled by its partition's modeled cost share (a giant candidate
+/// streams proportionally longer than a small one), so the sweep rewards a
+/// cost-balanced split and punishes a count-balanced one — exactly like
+/// real hardware.
 const STREAM_PER_CANDIDATE: Duration = Duration::from_millis(10);
 /// Jobs the traced streaming pass pushes through the engine.
 const TRACE_JOBS: usize = 6;
 /// Devices in the traced streaming pass (the widest swept count).
 const TRACE_SHARDS: usize = 8;
-/// Per-candidate simulated Step 3 device time in the traced pass
+/// Per-candidate-unit simulated Step 3 device time in the traced pass
 /// ([`EngineConfig::with_step3_item_latency`]): the engine-side analogue of
-/// [`STREAM_PER_CANDIDATE`], sized so per-device Step 3 busy time reflects
-/// candidate-count skew without making the pass slow.
+/// [`STREAM_PER_CANDIDATE`], scaled by each command's cost share the same
+/// way.
 const TRACE_STEP3_ITEM: Duration = Duration::from_millis(5);
 /// Simulated per-command device service time in the traced pass.
 const TRACE_DEVICE: Duration = Duration::from_millis(2);
@@ -95,6 +117,9 @@ pub struct Step3ScalingMeasurement {
     pub reads: usize,
     /// Reads that mapped to some candidate.
     pub mapped_reads: u64,
+    /// Max/min modeled per-candidate cost — how adversarial the workload's
+    /// skew is (≈ 1 would be the old uniform fixture).
+    pub cost_skew: f64,
     /// `(devices, seconds per full Step 3 pass, best trial)` per swept count.
     pub seconds_by_shards: Vec<(usize, f64)>,
     /// Whether every partitioned output was byte-identical to the
@@ -119,22 +144,30 @@ impl Step3ScalingMeasurement {
         self.throughput(shards) / self.throughput(1)
     }
 
-    /// The CI verdict: every multi-device count strictly beats one device.
+    /// The CI verdict: speedup strictly increases at every swept step —
+    /// in particular 8 devices must beat 4, the step the old equal-count
+    /// partition regressed on.
     pub fn scaling_confirmed(&self) -> bool {
-        self.seconds_by_shards
+        let speedups: Vec<f64> = self
+            .seconds_by_shards
             .iter()
-            .filter(|(s, _)| *s > 1)
-            .all(|(s, _)| self.speedup(*s) > 1.0)
+            .map(|(s, _)| self.speedup(*s))
+            .collect();
+        speedups.len() == SHARD_COUNTS.len() && speedups.windows(2).all(|w| w[1] > w[0])
     }
 
     /// Renders the plain-text report with the greppable verdict lines.
     pub fn report(&self) -> String {
         let mut report = Report::new();
-        report.title("Step 3 scaling analysis: partitioned unified-index generation and mapping");
+        report.title(
+            "Step 3 scaling analysis: cost-aware partitioned unified-index generation and mapping",
+        );
         report.line(&format!(
-            "{} candidate species, {} reads; simulated index stream {} ms per candidate; \
+            "{} candidate species (modeled cost skew {:.1}x), {} reads; simulated index \
+             stream {} ms per mean candidate, scaled by each device's cost share; \
              best of {TRIALS} trials per device count",
             self.candidates,
+            self.cost_skew,
             self.reads,
             STREAM_PER_CANDIDATE.as_millis(),
         ));
@@ -152,7 +185,8 @@ impl Step3ScalingMeasurement {
             if self.parity { "identical" } else { "DIVERGED" }
         ));
         report.line(&format!(
-            "shard scaling: {} (multi-device throughput vs 1 device, {} reads mapped)",
+            "step3 monotone scaling: {} (speedup strictly increases 1 -> 2 -> 4 -> 8 \
+             devices, {} reads mapped)",
             if self.scaling_confirmed() {
                 "confirmed"
             } else {
@@ -164,9 +198,12 @@ impl Step3ScalingMeasurement {
         report.line("Each device streams and merges only its contiguous candidate range into a");
         report.line("partial unified index and maps the reads against it; the reduce recombines");
         report.line("the partials byte-identically and resolves multi-device read hits by the");
-        report.line("same best-hit rule as the sequential mapper. Partitioning divides the");
-        report.line("dominant per-device index stream, so the stage's critical path shrinks");
-        report.line("near-linearly in the device count.");
+        report.line("same best-hit rule as the sequential mapper. The partitioner cuts the");
+        report.line("candidate list by modeled cost (index stream bytes + expected mapping");
+        report.line("work), so a giant reference index gets a device nearly to itself while");
+        report.line("small ones share — the critical-path stream shrinks near-linearly in the");
+        report.line("device count even on this skewed pool, where an equal-count split used to");
+        report.line("regress past 4 devices.");
         report.finish()
     }
 
@@ -188,7 +225,9 @@ impl Step3ScalingMeasurement {
         format!(
             "{{\n\
              \x20 \"bench\": \"step3_scaling\",\n\
+             \x20 \"workload\": \"skewed\",\n\
              \x20 \"candidates\": {},\n\
+             \x20 \"cost_skew\": {:.2},\n\
              \x20 \"reads\": {},\n\
              \x20 \"mapped_reads\": {},\n\
              \x20 \"stream_ms_per_candidate\": {},\n\
@@ -197,6 +236,7 @@ impl Step3ScalingMeasurement {
              \x20 \"series\": [\n{}\n\x20 ]\n\
              }}\n",
             self.candidates,
+            self.cost_skew,
             self.reads,
             self.mapped_reads,
             STREAM_PER_CANDIDATE.as_millis(),
@@ -207,25 +247,76 @@ impl Step3ScalingMeasurement {
     }
 }
 
-/// The candidate-rich fixture both passes analyze: Step 2's actual
-/// presence call on a diverse community decides the candidate list, exactly
-/// as the engine's completer does.
-fn fixture_community() -> megis_genomics::sample::Community {
-    CommunityConfig::preset(Diversity::Medium)
-        .with_reads(READS)
-        .with_species(SPECIES)
-        .with_database_species(DATABASE_SPECIES)
-        .build(4242)
+/// Deterministic pseudo-random base sequence (splitmix64 core), so the
+/// fixture needs no external RNG dependency.
+fn pseudo_bases(len: usize, seed: u64) -> PackedSequence {
+    let mut state = seed;
+    let mut seq = PackedSequence::with_capacity(len);
+    for _ in 0..len {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        seq.push(Base::from_code((z & 3) as u8));
+    }
+    seq
+}
+
+/// The skewed fixture both passes analyze: [`CANDIDATES`] species whose
+/// genome (and therefore reference index) sizes are adversarially skewed —
+/// every [`GIANT_EVERY`]-th species is [`GIANT_GENOME_LEN`] bases, the rest
+/// [`SMALL_GENOME_LEN`] — and a sample of error-free reads tiling every
+/// genome densely enough that Step 2's actual presence call reports *all*
+/// of them as candidates, exactly as the engine's completer sees it.
+fn fixture_skewed() -> (ReferenceCollection, Sample) {
+    let genera = CANDIDATES.div_ceil(8);
+    let taxonomy = Taxonomy::synthetic(genera, 8);
+    let mut genomes = Vec::with_capacity(CANDIDATES);
+    let mut reads = ReadSet::new();
+    for s in 0..CANDIDATES {
+        let len = if s % GIANT_EVERY == 0 {
+            GIANT_GENOME_LEN
+        } else {
+            SMALL_GENOME_LEN
+        };
+        let taxid = TaxId(1000 * (s as u32 / 8 + 1) + s as u32 % 8 + 1);
+        let seq = pseudo_bases(len, 4242 + s as u64);
+        let mut start = 0;
+        let mut i = 0;
+        while start + READ_LEN <= len {
+            reads.push(Read::new(
+                format!("r{s}-{i}"),
+                seq.subsequence(start, READ_LEN),
+            ));
+            start += TILE_STRIDE;
+            i += 1;
+        }
+        genomes.push(ReferenceGenome::new(taxid, format!("skewed s{s}"), seq));
+    }
+    (
+        ReferenceCollection::new(genomes, taxonomy),
+        Sample::from_reads(reads),
+    )
 }
 
 /// Runs the sweep and returns the raw measurement.
 pub fn step3_scaling_measure() -> Step3ScalingMeasurement {
-    let community = fixture_community();
-    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
-    let presence = analyzer.identify_presence(community.sample()).presence;
+    let (references, sample) = fixture_skewed();
+    let analyzer = MegisAnalyzer::build(&references, MegisConfig::small());
+    let presence = analyzer.identify_presence(&sample).presence;
     let candidates = analyzer.candidate_indexes(&presence);
     let mapping_k = analyzer.config().mapping_k;
-    let reads = community.sample().reads();
+    let reads = sample.reads();
+
+    let costs: Vec<u64> = candidates
+        .iter()
+        .map(|c| step3::candidate_cost(c))
+        .collect();
+    let cost_skew = match (costs.iter().max(), costs.iter().min()) {
+        (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+        _ => 1.0,
+    };
 
     // Sequential oracle: one merge, one mapping pass, no partition/reduce.
     let owned: Vec<ReferenceIndex> = candidates.iter().map(|c| (*c).clone()).collect();
@@ -233,24 +324,30 @@ pub fn step3_scaling_measure() -> Step3ScalingMeasurement {
 
     let mut parity = true;
     let mut seconds_by_shards = Vec::new();
+    let n_candidates = candidates.len();
     for shards in SHARD_COUNTS {
         let mut best = f64::INFINITY;
         for _ in 0..TRIALS {
             let start = Instant::now();
             let partition = step3::partition_candidates(&candidates, shards);
+            let total_cost: u64 = partition.iter().map(|p| p.cost).sum();
             let partials: Vec<step3::Step3Partial> = std::thread::scope(|scope| {
                 let handles: Vec<_> = partition
                     .iter()
                     .map(|part| {
                         let range = part.range.clone();
                         let base = part.base_offset;
+                        let cost = part.cost;
                         let slice = &candidates[range.clone()];
                         scope.spawn(move || {
-                            // Simulated device service: stream each
-                            // candidate's reference index off the medium
-                            // and through the merge unit.
-                            if !range.is_empty() {
-                                std::thread::sleep(STREAM_PER_CANDIDATE * range.len() as u32);
+                            // Simulated device service: stream this range's
+                            // reference indexes off the medium and through
+                            // the merge unit — time proportional to the
+                            // range's modeled cost share, so skewed
+                            // candidates cost what they would on hardware.
+                            if !range.is_empty() && total_cost > 0 {
+                                let units = cost as f64 * n_candidates as f64 / total_cost as f64;
+                                std::thread::sleep(STREAM_PER_CANDIDATE.mul_f64(units));
                             }
                             step3::run_partial(reads, slice, base, mapping_k)
                         })
@@ -271,6 +368,7 @@ pub fn step3_scaling_measure() -> Step3ScalingMeasurement {
         candidates: candidates.len(),
         reads: reads.len(),
         mapped_reads: oracle.mapped_reads,
+        cost_skew,
         seconds_by_shards,
         parity,
     }
@@ -297,12 +395,21 @@ pub struct Step3TraceMeasurement {
     pub closures: Vec<(u64, Duration, Duration)>,
     /// Mean per-job stage breakdown over the pass, rendered.
     pub mean_breakdown_line: String,
+    /// Mean reduce-barrier segment over the pass — with the incremental
+    /// reduce folding partials as they arrive, this should sit near zero.
+    pub mean_reduce_barrier: Duration,
     /// The straggler analyzer's rendered report (per-device busy/stall/idle,
     /// Step 3 busy skew, per-job gating device, gating histogram).
     pub straggler_text: String,
     /// Max/min per-device Step 3 busy time across the array.
     pub step3_busy_skew: f64,
-    /// The raw event log, serialized (`BENCH_step3_trace.json`).
+    /// Max/mean of the gating-device histogram (1.0 = perfectly flat, the
+    /// device count = one device gated every reduce).
+    pub gating_flatness: f64,
+    /// Candidate items idle devices served from loaded peers' queues.
+    pub stolen_items: u64,
+    /// The annotated event log (`BENCH_step3_trace.json`): flatness, skew,
+    /// and mean reduce barrier alongside the raw events.
     pub trace_json: String,
 }
 
@@ -331,8 +438,9 @@ impl Step3TraceMeasurement {
         let mut report = Report::new();
         report.title("Traced step 3 pass: stage breakdown and straggler analysis");
         report.line(&format!(
-            "{} jobs through the streaming engine at {} devices, pipeline trace on; \
-             simulated device service {} ms/command + {} ms per step-3 candidate",
+            "{} jobs through the streaming engine at {} devices (work stealing on), \
+             pipeline trace on; simulated device service {} ms/command + {} ms per \
+             step-3 candidate cost unit",
             self.jobs,
             self.shards,
             TRACE_DEVICE.as_millis(),
@@ -364,20 +472,34 @@ impl Step3TraceMeasurement {
         for line in self.straggler_text.lines() {
             report.line(line);
         }
+        report.line(&format!(
+            "  gating-histogram flatness (max/mean): {:.2} (1.00 = flat, {:.2} = one \
+             device gates all)",
+            self.gating_flatness, self.shards as f64,
+        ));
+        report.line(&format!(
+            "  stolen candidate items: {} served by idle devices for loaded peers",
+            self.stolen_items,
+        ));
+        report.line(&format!(
+            "  mean reduce barrier: {:.2} ms (incremental reduce folds partials on arrival)",
+            self.mean_reduce_barrier.as_secs_f64() * 1e3,
+        ));
         report.line("");
-        report.line("Equal-count candidate partitioning hands some devices one more candidate");
-        report.line("range than others, so their Step 3 busy time — and with it the job's reduce");
-        report.line("barrier — is gated by the devices at the top of the skew. The gating-device");
-        report.line("histogram above is the measurement the cost-aware partitioning work item");
-        report.line("consumes: a cost-proportional split would flatten it.");
+        report.line("The cost-aware partition sizes each device's candidate range by modeled");
+        report.line("work, work stealing lets an idle device drain a loaded peer's queue, and");
+        report.line("the incremental reduce folds each partial as it arrives instead of");
+        report.line("barriering on the last device — together they flatten the gating-device");
+        report.line("histogram and pull the reduce barrier toward zero on the very skew that");
+        report.line("used to gate the 8-device array.");
         report.finish()
     }
 }
 
 /// Runs the traced streaming pass and returns what the trace observed.
 pub fn step3_trace_measure() -> Step3TraceMeasurement {
-    let community = fixture_community();
-    let analyzer = MegisAnalyzer::build(community.references(), MegisConfig::small());
+    let (references, sample) = fixture_skewed();
+    let analyzer = MegisAnalyzer::build(&references, MegisConfig::small());
     let engine = StreamingEngine::new(
         analyzer,
         EngineConfig::new()
@@ -390,10 +512,7 @@ pub fn step3_trace_measure() -> Step3TraceMeasurement {
     let handles: Vec<_> = (0..TRACE_JOBS)
         .map(|i| {
             engine
-                .submit(JobSpec::new(
-                    format!("traced-{i}"),
-                    community.sample().clone(),
-                ))
+                .submit(JobSpec::new(format!("traced-{i}"), sample.clone()))
                 .expect("admission")
         })
         .collect();
@@ -415,14 +534,37 @@ pub fn step3_trace_measure() -> Step3TraceMeasurement {
     let mean = report
         .stage_breakdown
         .expect("tracing is on, so the report carries the mean breakdown");
+    let stolen_items: u64 = report.shard_stats.iter().map(|s| s.stolen_items).sum();
+    let gating_flatness = straggler.gating_histogram_flatness();
+    let step3_busy_skew = straggler.step3_busy_skew();
+    // Annotate the raw event log with the pass's headline figures so the
+    // committed `BENCH_step3_trace.json` is self-describing.
+    let trace_json = trace.to_json().replacen(
+        "\"trace\": \"megis-sched\",",
+        &format!(
+            "\"trace\": \"megis-sched\",\n  \"bench\": \"step3_trace\",\n  \
+             \"gating_histogram_flatness\": {:.4},\n  \
+             \"step3_busy_skew\": {:.4},\n  \
+             \"mean_reduce_barrier_us\": {:.1},\n  \
+             \"stolen_items\": {},",
+            gating_flatness,
+            step3_busy_skew,
+            mean.reduce_barrier.as_secs_f64() * 1e6,
+            stolen_items,
+        ),
+        1,
+    );
     Step3TraceMeasurement {
         jobs: TRACE_JOBS,
         shards: TRACE_SHARDS,
         closures,
         mean_breakdown_line: mean.summary_line(),
+        mean_reduce_barrier: mean.reduce_barrier,
         straggler_text: straggler.report(),
-        step3_busy_skew: straggler.step3_busy_skew(),
-        trace_json: trace.to_json(),
+        step3_busy_skew,
+        gating_flatness,
+        stolen_items,
+        trace_json,
     }
 }
 
@@ -435,15 +577,23 @@ mod tests {
             m.parity,
             "partitioned step 3 must reproduce the sequential oracle"
         );
+        assert_eq!(
+            m.candidates,
+            super::CANDIDATES,
+            "the tiling sample must push every skewed species past presence"
+        );
         assert!(
-            m.candidates >= 8,
-            "fixture needs a partitionable candidate set"
+            m.cost_skew > 2.0,
+            "the fixture must be adversarially skewed, got {:.2}x",
+            m.cost_skew
         );
         assert!(m.mapped_reads > 0);
         let report = m.report();
         assert!(report.contains("parity with sequential step 3: identical"));
+        assert!(report.contains("step3 monotone scaling:"));
         let json = m.to_json();
         assert!(json.contains("\"bench\": \"step3_scaling\""));
+        assert!(json.contains("\"workload\": \"skewed\""));
         assert!(json.contains("\"parity\": true"));
         // The wall-clock scaling verdict is asserted in release only: the
         // sweep is device-bound by construction (simulated index streams
@@ -454,7 +604,7 @@ mod tests {
         #[cfg(not(debug_assertions))]
         assert!(
             m.scaling_confirmed(),
-            "multi-device step 3 must beat one device:\n{report}"
+            "step 3 speedup must increase monotonically through 8 devices:\n{report}"
         );
     }
 
@@ -472,11 +622,13 @@ mod tests {
             m.report()
         );
         assert!(m.step3_busy_skew >= 1.0);
+        assert!(m.gating_flatness >= 1.0);
         let report = m.report();
         assert!(report
             .contains("straggler report: per-device busy/stall/idle and per-job step-3 gating"));
-        // Every device line, every job's gating entry, and the histogram
-        // must be present for the widest array.
+        // Every device line, every job's gating entry, the histogram, and
+        // the new flatness/stealing/reduce-barrier figures must be present
+        // for the widest array.
         for device in 0..super::TRACE_SHARDS {
             assert!(report.contains(&format!("device {device}:")), "{report}");
         }
@@ -485,6 +637,20 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("gating-device histogram:"), "{report}");
+        assert!(report.contains("gating-histogram flatness"), "{report}");
+        assert!(report.contains("stolen candidate items:"), "{report}");
+        assert!(report.contains("mean reduce barrier:"), "{report}");
         assert!(m.trace_json.contains("\"trace\""));
+        assert!(m.trace_json.contains("\"gating_histogram_flatness\""));
+        assert!(m.trace_json.contains("\"mean_reduce_barrier_us\""));
+        // With cost-aware parts and stealing, no single device should gate
+        // every reduce on this skew. Release-only for the same reason as
+        // the sweep verdict.
+        #[cfg(not(debug_assertions))]
+        assert!(
+            m.gating_flatness < super::TRACE_SHARDS as f64,
+            "one device still gates every reduce:\n{}",
+            m.report()
+        );
     }
 }

@@ -1014,6 +1014,71 @@ impl PartialUnifiedIndex {
         }
     }
 
+    /// Folds the *next consecutive* partial into this one, in place — the
+    /// pairwise form of [`UnifiedReferenceIndex::merge_partials`]. Because
+    /// location lists concatenate in candidate order and offsets concatenate
+    /// in partial order, left-folding a sequence of consecutive partials
+    /// through `absorb` is byte-identical to `merge_partials` over the whole
+    /// sequence: this is what lets a completer reduce partials *as they
+    /// arrive* instead of barriering on all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` does not start where this partial ends
+    /// (`next.base() != self.base() + self.span()`), or if two non-empty
+    /// partials disagree on the seed length.
+    pub fn absorb(&mut self, next: PartialUnifiedIndex) {
+        assert_eq!(
+            next.base,
+            self.base + self.span,
+            "absorbed partial must cover the next consecutive candidate range"
+        );
+        self.span += next.span;
+        if next.index.offsets.is_empty() {
+            return;
+        }
+        if self.index.offsets.is_empty() {
+            self.index.k = next.index.k;
+        } else {
+            assert_eq!(
+                self.index.k, next.index.k,
+                "all partial indexes must share the same seed length"
+            );
+        }
+        self.index.offsets.extend(next.index.offsets);
+        // Linear merge of the two sorted entry lists; on a shared seed the
+        // earlier range's locations stay first, exactly as the one-pass
+        // merge orders them.
+        let left = std::mem::take(&mut self.index.entries);
+        let mut merged = Vec::with_capacity(left.len() + next.index.entries.len());
+        let mut li = left.into_iter().peekable();
+        let mut ri = next.index.entries.into_iter().peekable();
+        loop {
+            match (li.peek(), ri.peek()) {
+                (Some((lk, _)), Some((rk, _))) => match lk.cmp(rk) {
+                    std::cmp::Ordering::Less => merged.push(li.next().unwrap()),
+                    std::cmp::Ordering::Greater => merged.push(ri.next().unwrap()),
+                    std::cmp::Ordering::Equal => {
+                        let (kmer, mut locs) = li.next().unwrap();
+                        locs.extend(ri.next().unwrap().1);
+                        merged.push((kmer, locs));
+                    }
+                },
+                (Some(_), None) => merged.push(li.next().unwrap()),
+                (None, Some(_)) => merged.push(ri.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        self.index.entries = merged;
+    }
+
+    /// Consumes the partial and returns the merged index — what a reduce
+    /// step that folded every consecutive partial through
+    /// [`PartialUnifiedIndex::absorb`] hands out as the unified index.
+    pub fn into_index(self) -> UnifiedReferenceIndex {
+        self.index
+    }
+
     /// Concatenated-reference-space offset where the range begins.
     pub fn base(&self) -> u64 {
         self.base
@@ -1399,6 +1464,61 @@ mod tests {
         }
         // No partials at all recombine to the empty index.
         assert!(UnifiedReferenceIndex::merge_partials(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn absorb_left_fold_matches_merge_partials() {
+        // Incremental-reduce contract: folding consecutive partials through
+        // `absorb` one at a time must be byte-identical to the one-shot
+        // `merge_partials` recombination (and therefore to the one-pass
+        // merge), for every cut pattern including empty ranges.
+        let r = refs();
+        let indexes: Vec<ReferenceIndex> = r
+            .genomes()
+            .iter()
+            .map(|g| ReferenceIndex::build(g, 15))
+            .collect();
+        let whole = UnifiedReferenceIndex::merge(&indexes);
+        let index_refs: Vec<&ReferenceIndex> = indexes.iter().collect();
+        for cuts in [
+            vec![6],
+            vec![2, 4, 6],
+            vec![1, 2, 3, 4, 5, 6],
+            vec![3, 3, 6, 6],
+            vec![0, 6],
+        ] {
+            let mut acc: Option<PartialUnifiedIndex> = None;
+            let mut start = 0usize;
+            let mut base = 0u64;
+            for end in cuts.clone() {
+                let partial = PartialUnifiedIndex::merge_range(&index_refs[start..end], base);
+                base += partial.span();
+                start = end;
+                match acc.as_mut() {
+                    Some(folded) => folded.absorb(partial),
+                    None => acc = Some(partial),
+                }
+            }
+            let folded = acc.expect("at least one cut").into_index();
+            assert_eq!(folded, whole, "cuts {cuts:?} diverged");
+            assert_eq!(folded.entries(), whole.entries());
+            assert_eq!(folded.offsets(), whole.offsets());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive candidate range")]
+    fn absorb_rejects_non_consecutive_partials() {
+        let r = refs();
+        let indexes: Vec<ReferenceIndex> = r
+            .genomes()
+            .iter()
+            .map(|g| ReferenceIndex::build(g, 15))
+            .collect();
+        let index_refs: Vec<&ReferenceIndex> = indexes.iter().collect();
+        let mut first = PartialUnifiedIndex::merge_range(&index_refs[..2], 0);
+        let gap = first.span() + 7;
+        first.absorb(PartialUnifiedIndex::merge_range(&index_refs[2..4], gap));
     }
 
     #[test]

@@ -88,6 +88,14 @@ pub struct EngineConfig {
     /// straggler analyzer observe the equal-count partitioning skew the
     /// 8-device sweep suffers from.
     pub step3_item_latency: Duration,
+    /// Whether idle devices steal queued Step 3 commands from loaded peers'
+    /// queues (`true` by default). Step 2 intersections stay pinned — they
+    /// need the owner's database slice — but Step 3 commands resolve against
+    /// the shared analyzer and can run anywhere; stealing keeps the whole
+    /// array busy when the cost-aware partition is forced to hand one device
+    /// a dominant candidate. Results stay tagged with the shard-of-record,
+    /// so outputs are byte-identical with stealing on or off.
+    pub work_stealing: bool,
     /// Capacity of the pipeline trace ring buffer; `None` (the default)
     /// disables tracing entirely — the zero-cost
     /// [`crate::trace::TraceSink::disabled`] path.
@@ -114,6 +122,7 @@ impl Default for EngineConfig {
             completion_latency: Duration::ZERO,
             device_latency: Duration::ZERO,
             step3_item_latency: Duration::ZERO,
+            work_stealing: true,
             trace_capacity: None,
             metrics_window: 256,
             // The paper's multi-sample configuration (Fig. 21): without the
@@ -209,11 +218,23 @@ impl EngineConfig {
     }
 
     /// Sets the simulated per-candidate Step 3 service time (defaults to
-    /// zero): each Step 3 command sleeps an extra `candidates ×` this value,
-    /// so a device's Step 3 busy time scales with its candidate-range size
-    /// and the straggler analyzer can attribute partitioning skew.
+    /// zero): each Step 3 command sleeps an extra `stream_units ×` this
+    /// value, where a command's stream units are its cost-normalized
+    /// candidate count (exactly `candidates` under uniform per-candidate
+    /// costs). A device's Step 3 busy time thus scales with the index bytes
+    /// it streams, and the straggler analyzer can attribute partitioning
+    /// skew.
     pub fn with_step3_item_latency(mut self, per_candidate: Duration) -> EngineConfig {
         self.step3_item_latency = per_candidate;
+        self
+    }
+
+    /// Enables or disables Step 3 work stealing between devices (enabled by
+    /// default). Disabling pins every command to its shard-of-record — the
+    /// pre-stealing execution model — which tests use to compare stolen and
+    /// pinned runs byte-for-byte.
+    pub fn with_work_stealing(mut self, enabled: bool) -> EngineConfig {
+        self.work_stealing = enabled;
         self
     }
 

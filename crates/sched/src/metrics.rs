@@ -177,6 +177,12 @@ pub struct ShardStats {
     /// candidate partition the per-job sum across shards equals the job's
     /// candidate count — each candidate is merged on exactly one device.
     pub step3_items: u64,
+    /// Of [`ShardStats::step3_items`], the candidate items this device
+    /// served from a *peer's* queue via work stealing (zero when stealing is
+    /// disabled or the load was balanced). Stealing moves only the physical
+    /// service: the result stays tagged with the shard-of-record, so merge
+    /// accounting and reducer part positions are unchanged.
+    pub stolen_items: u64,
     /// High-water mark of commands concurrently outstanding on this shard's
     /// NVMe-style queue (submitted, completion not yet reaped); bounded by
     /// [`crate::EngineConfig::queue_depth`]. A value ≥ 2 means several
@@ -358,6 +364,17 @@ pub(crate) fn residency_and_step3_lines(
         "step 3: {mapped_reads} reads mapped; per-shard candidate items: [{}]; \
          stage overlap events: {stage_overlap_events}",
         step3_items.join(", "),
+    );
+    let stolen_items: Vec<String> = shard_stats
+        .iter()
+        .map(|s| s.stolen_items.to_string())
+        .collect();
+    let total_stolen: u64 = shard_stats.iter().map(|s| s.stolen_items).sum();
+    let _ = writeln!(
+        out,
+        "work stealing: {total_stolen} candidate items served for peers; \
+         per-device stolen items: [{}]",
+        stolen_items.join(", "),
     );
     out
 }

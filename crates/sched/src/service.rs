@@ -36,24 +36,49 @@
 //!   per-job merge accounting per stage. Once a job's intersections are all
 //!   in, the completer merges them in shard order, runs taxID retrieval
 //!   (Step 2's presence call), partitions the resulting candidate list into
-//!   contiguous taxid ranges (`step3::partition_candidates`), and issues one
-//!   Step 3 command per non-empty range back onto the *same* tagged,
+//!   contiguous taxid ranges of near-equal *modeled cost*
+//!   (`step3::partition_candidates` weighs each candidate by its index
+//!   stream bytes plus expected mapping work, so one dominant genome no
+//!   longer gates the array the way an equal-count split did), and issues
+//!   one Step 3 command per non-empty range back onto the *same* tagged,
 //!   depth-bounded queues: each device merges its candidate range into a
 //!   partial unified index and maps all reads against it (§4.4, Fig. 9,
 //!   partitioned across the array). The completer submits Step 3 commands
 //!   without ever blocking on queue space — commands wait in a backlog and
 //!   take slots as reaping frees them, so reaping (the only thing that frees
-//!   slots) can never deadlock behind submission. When a job's Step 3
+//!   slots) can never deadlock behind submission. Step 3 partials are
+//!   **reduced incrementally** (`step3::IncrementalReduce`): each reaped
+//!   partial is folded the moment it arrives — contiguous partial-index
+//!   absorption, per-read best-hit maxima — instead of barriering on the
+//!   full set, so by the time the last device reports, only the cheap
+//!   threshold + abundance finish remains and the traced `reduce` /
+//!   `reduce_barrier` segments collapse toward zero. The fold is
+//!   commutative, so arrival order cannot change the output. When a job's
 //!   partials are all in — and every earlier sequence number has been
-//!   delivered — the completer reduces them (`step3::reduce`: byte-identical
-//!   partial-index recombination, per-read best-hit resolution, abundance
-//!   accumulation) and delivers. Delivery order equals dispatch order equals
-//!   policy order no matter how completions interleave.
+//!   delivered — the completer finishes the reduction and delivers.
+//!   Delivery order equals dispatch order equals policy order no matter how
+//!   completions interleave.
 //!
 //! Because both command kinds share the per-device queues, one sample's
 //! Step 3 mapping genuinely overlaps the next sample's Step 2 intersection
 //! on the same device — [`ServiceReport::stage_overlap_events`] counts the
 //! submissions that observed a command of the other stage outstanding.
+//!
+//! **Work stealing.** The per-device queues are deques, not channels: a
+//! device that drains its own queue steals queued `Step3Command`s from
+//! loaded peers (`CommandQueues`, owner-LIFO / thief-FIFO ends). Step 2
+//! intersections stay pinned — they need the owner's zero-copy database
+//! slice — but Step 3 commands resolve their candidate range against the
+//! shared analyzer's memoized reference indexes, so any worker can serve
+//! one. Stolen results stay tagged with the *shard-of-record* (the queue
+//! the command was issued to), which keeps the completer's depth accounting
+//! and the reducer's part positions unchanged; trace events and
+//! [`ShardStats`] credit the *physical* serving device, so the straggler
+//! analyzer sees real per-device busy time and
+//! [`ShardStats::stolen_items`] counts the candidate items each device
+//! served on a peer's behalf. Outputs are byte-identical with stealing on
+//! or off ([`crate::EngineConfig::work_stealing`]); stealing changes only
+//! *where* a range is merged, never *what* is merged.
 //!
 //! Commands are only issued to shards with work to do: a device whose key
 //! range no query of a sample falls into is skipped for that sample's
@@ -144,7 +169,7 @@ use std::time::{Duration, Instant};
 
 use megis::step1::Step1Output;
 use megis::step2::Step2Output;
-use megis::step3::{self, Step3Partial};
+use megis::step3;
 use megis::MegisAnalyzer;
 use megis_genomics::kmer::Kmer;
 use megis_genomics::sample::Sample;
@@ -177,9 +202,150 @@ struct PreparedJob {
 
 /// One completion reaped from a shard, tagged with its origin.
 struct ShardCompletion {
+    /// The *shard-of-record*: the queue the command was issued to, not
+    /// necessarily the device that served it (an idle peer may have stolen
+    /// a Step 3 command). Depth accounting and the reducer's part positions
+    /// key on this, so stealing is invisible to the completer's merge
+    /// bookkeeping.
     shard: usize,
     seq: usize,
     output: CommandOutput,
+}
+
+/// The per-device command queues, restructured from N private channels into
+/// one shared deque array so idle devices can steal Step 3 work.
+///
+/// Discipline per queue: producers push at the back; the owner pops from
+/// the back (LIFO — the freshest command, whose sample data is hottest),
+/// and a thief removes the oldest *stealable* command scanning from the
+/// front (FIFO — the command that has waited longest behind the loaded
+/// owner). `IntersectCommand`s are never stolen: they intersect the owner's
+/// database slice. `Step3Command`s resolve against the shared analyzer, so
+/// any device can serve them.
+///
+/// Producer accounting replaces channel disconnection for shutdown: each
+/// producing side (dispatcher, completer) holds a [`QueueProducer`] guard,
+/// and a worker exits when its own queue is empty, nothing is stealable,
+/// and no producer guard remains.
+#[derive(Debug)]
+struct CommandQueues {
+    inner: Mutex<QueuesInner>,
+    /// Signaled on push and on producer release.
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct QueuesInner {
+    queues: Vec<VecDeque<ShardCommand>>,
+    /// Outstanding [`QueueProducer`] guards.
+    producers: usize,
+    /// Whether idle devices may steal Step 3 commands from peers
+    /// ([`crate::EngineConfig::work_stealing`]).
+    work_stealing: bool,
+}
+
+/// One command handed to a worker, with its provenance.
+struct PoppedCommand {
+    command: ShardCommand,
+    /// The queue the command came from (the shard-of-record).
+    record_shard: usize,
+    /// `true` when the serving device is not the shard-of-record.
+    stolen: bool,
+}
+
+impl CommandQueues {
+    fn new(shard_count: usize, work_stealing: bool) -> Arc<CommandQueues> {
+        Arc::new(CommandQueues {
+            inner: Mutex::new(QueuesInner {
+                queues: (0..shard_count).map(|_| VecDeque::new()).collect(),
+                producers: 0,
+                work_stealing,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueuesInner> {
+        // Same poison recovery as `Shared::lock`: the engine's own poison
+        // flag is the failure signal, and teardown must keep draining while
+        // a panic unwinds.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a producing side; commands can be pushed while the guard
+    /// lives, and workers only wind down once every guard is dropped.
+    fn producer(self: &Arc<Self>) -> QueueProducer {
+        self.lock().producers += 1;
+        QueueProducer {
+            queues: Arc::clone(self),
+        }
+    }
+
+    /// Blocks until device `index` has a command to serve — its own queue's
+    /// back, or (with stealing on) the oldest Step 3 command of some peer —
+    /// or returns `None` when no command can ever arrive again (queues
+    /// drained, producers gone).
+    fn pop(&self, index: usize) -> Option<PoppedCommand> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(command) = inner.queues[index].pop_back() {
+                return Some(PoppedCommand {
+                    command,
+                    record_shard: index,
+                    stolen: false,
+                });
+            }
+            if inner.work_stealing {
+                let n = inner.queues.len();
+                for offset in 1..n {
+                    let peer = (index + offset) % n;
+                    if let Some(pos) = inner.queues[peer]
+                        .iter()
+                        .position(|c| matches!(c, ShardCommand::Step3(_)))
+                    {
+                        let command = inner.queues[peer].remove(pos).expect("position just found");
+                        return Some(PoppedCommand {
+                            command,
+                            record_shard: peer,
+                            stolen: true,
+                        });
+                    }
+                }
+            }
+            if inner.producers == 0 {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// RAII registration of one producing side on the [`CommandQueues`];
+/// dropping it is the shutdown hand-over that lets idle workers exit.
+#[derive(Debug)]
+struct QueueProducer {
+    queues: Arc<CommandQueues>,
+}
+
+impl QueueProducer {
+    /// Enqueues a command on `shard`'s queue. Infallible: worker liveness
+    /// is reported through the engine's poison flag, not through send
+    /// errors.
+    fn send(&self, shard: usize, command: ShardCommand) {
+        self.queues.lock().queues[shard].push_back(command);
+        self.queues.ready.notify_all();
+    }
+}
+
+impl Drop for QueueProducer {
+    fn drop(&mut self) {
+        self.queues.lock().producers -= 1;
+        // Wake every waiting worker so it can re-check the exit condition.
+        self.queues.ready.notify_all();
+    }
 }
 
 /// Dispatcher → completer record for one sample entering the in-SSD stage;
@@ -210,10 +376,13 @@ struct MergeState {
     /// Step 2's output (taxID retrieval + presence call), computed the
     /// moment the last intersection is reaped.
     step2: Option<Step2Output>,
-    /// Per-device Step 3 partials, indexed by shard (= candidate-range
-    /// order); `None` until reaped (and forever for devices whose candidate
-    /// range was empty).
-    step3_parts: Vec<Option<Step3Partial>>,
+    /// The incremental Step 3 reducer, created at Step 3 dispatch with one
+    /// expected position per shard-of-record that got a non-empty candidate
+    /// range. Each reaped partial is folded into it immediately —
+    /// partial-index absorption plus per-read best-hit maxima — so the
+    /// barrier-time work left at delivery is only the cheap
+    /// [`step3::IncrementalReduce::finish`].
+    reduce: Option<step3::IncrementalReduce>,
     /// Step 3 completions still outstanding.
     step3_remaining: usize,
     /// Set once Step 2 ran and the job's Step 3 commands were handed to the
@@ -501,18 +670,20 @@ impl StreamingEngine {
             queue_space: Condvar::new(),
         });
 
-        // In-SSD stage, part 1: one worker per database shard, each
-        // consuming its own tagged command queue — carrying both Step 2
+        // In-SSD stage, part 1: one worker per database shard, all sharing
+        // the deque-per-device [`CommandQueues`] — carrying both Step 2
         // intersect commands and Step 3 index-generation/mapping commands —
         // and reporting completions out of order on the shared completion
-        // channel.
+        // channel. The producer guards are taken *before* any worker spawns
+        // so no worker can observe a producerless instant and exit early.
+        let queues = CommandQueues::new(shard_count, config.work_stealing);
+        let dispatcher_producer = queues.producer();
+        let completer_producer = queues.producer();
         let (stats_tx, stats_rx) = mpsc::channel::<ShardStats>();
         let (resp_tx, resp_rx) = mpsc::channel::<ShardCompletion>();
-        let mut shard_txs = Vec::with_capacity(shard_count);
         let mut shard_handles = Vec::with_capacity(shard_count);
         for (index, shard) in shards.shards().iter().enumerate() {
-            let (tx, rx) = mpsc::channel::<ShardCommand>();
-            shard_txs.push(tx);
+            let queues = Arc::clone(&queues);
             let worker = ShardWorker::new(Arc::clone(shard), Arc::clone(&analyzer));
             let resp_tx = resp_tx.clone();
             let stats_tx = stats_tx.clone();
@@ -527,11 +698,17 @@ impl StreamingEngine {
                 let mut query_items = 0u64;
                 let mut step3_served = 0u64;
                 let mut step3_items = 0u64;
-                for command in rx {
+                let mut stolen_items = 0u64;
+                while let Some(popped) = queues.pop(index) {
+                    let command = popped.command;
                     let stage = match &command {
                         ShardCommand::Intersect(_) => TraceStage::Intersect,
                         ShardCommand::Step3(_) => TraceStage::Step3,
                     };
+                    // Trace events and stats credit the *physical* serving
+                    // device (`index`): the straggler analyzer sums real
+                    // per-device service intervals, which under stealing
+                    // differ from the shard-of-record's queue.
                     trace.record(
                         command.seq(),
                         TraceEventKind::CommandStarted {
@@ -544,15 +721,17 @@ impl StreamingEngine {
                     // candidate-index stream); the sleeps count as busy
                     // time, so utilization and the measured per-command
                     // service both reflect them. Step 3 commands pay an
-                    // additional per-candidate stream cost proportional to
-                    // their range, so candidate-partitioning skew shows up
-                    // as per-device busy-time skew.
+                    // additional stream cost proportional to their range's
+                    // *modeled bytes* (`stream_units`, cost-normalized so
+                    // uniform candidates reproduce the old per-item sleep),
+                    // so candidate skew the partitioner could not split
+                    // shows up as per-device busy-time skew.
                     if !device_latency.is_zero() {
                         thread::sleep(device_latency);
                     }
                     if let ShardCommand::Step3(c) = &command {
-                        if !step3_item_latency.is_zero() {
-                            thread::sleep(step3_item_latency * c.range.len() as u32);
+                        if !step3_item_latency.is_zero() && c.stream_units > 0.0 {
+                            thread::sleep(step3_item_latency.mul_f64(c.stream_units));
                         }
                     }
                     let output = worker.serve(&command);
@@ -565,6 +744,9 @@ impl StreamingEngine {
                         ShardCommand::Step3(c) => {
                             step3_served += 1;
                             step3_items += c.range.len() as u64;
+                            if popped.stolen {
+                                stolen_items += c.range.len() as u64;
+                            }
                         }
                     }
                     trace.record(
@@ -575,7 +757,7 @@ impl StreamingEngine {
                         },
                     );
                     let completion = ShardCompletion {
-                        shard: index,
+                        shard: popped.record_shard,
                         seq: command.seq(),
                         output,
                     };
@@ -590,6 +772,7 @@ impl StreamingEngine {
                     query_items,
                     step3_jobs: step3_served,
                     step3_items,
+                    stolen_items,
                     peak_inflight: 0,
                 });
             }));
@@ -623,12 +806,11 @@ impl StreamingEngine {
         // In-SSD stage, part 2: dispatcher (reorder + slice + bounded-depth
         // intersect submission) and completer (out-of-order reaping, per-job
         // two-stage merge accounting, backlogged Step 3 submission onto the
-        // same queues, in-dispatch-order delivery). Both hold senders for
-        // the shard queues; the completer releases its copies once no more
-        // Step 3 commands can ever be issued, which is what lets the shard
-        // workers (and then the completer itself) wind down.
+        // same queues, in-dispatch-order delivery). Both hold producer
+        // guards on the shard queues; the completer releases its guard once
+        // no more Step 3 commands can ever be issued, which is what lets
+        // the shard workers (and then the completer itself) wind down.
         let (meta_tx, meta_rx) = mpsc::channel::<IspMeta>();
-        let completer_txs: Vec<Sender<ShardCommand>> = shard_txs.clone();
         let dispatcher = {
             let shared = Arc::clone(&shared);
             let shard_set = shards.clone();
@@ -640,7 +822,7 @@ impl StreamingEngine {
                     &shared,
                     &shard_set,
                     s1_rx,
-                    shard_txs,
+                    dispatcher_producer,
                     meta_tx,
                     queue_depth,
                     submission_latency,
@@ -658,7 +840,7 @@ impl StreamingEngine {
                 IspCompleter {
                     shared: &shared,
                     analyzer: &analyzer,
-                    shard_txs: Some(completer_txs),
+                    producer: Some(completer_producer),
                     shard_count,
                     queue_depth,
                     pending: BTreeMap::new(),
@@ -969,7 +1151,7 @@ fn isp_dispatcher(
     shared: &Shared,
     shards: &ShardSet,
     s1_rx: Receiver<PreparedJob>,
-    shard_txs: Vec<Sender<ShardCommand>>,
+    producer: QueueProducer,
     meta_tx: Sender<IspMeta>,
     queue_depth: usize,
     submission_latency: Duration,
@@ -995,7 +1177,7 @@ fn isp_dispatcher(
             if !dispatch_one(
                 shared,
                 shards,
-                &shard_txs,
+                &producer,
                 &meta_tx,
                 prepared,
                 dispatched,
@@ -1013,11 +1195,11 @@ fn isp_dispatcher(
     // arrives and later arrivals stay buffered here — the poison flag, not
     // this loop, reports that failure.
     //
-    // Dropping shard_txs here releases the dispatcher's half of the shard
-    // queues; the completer holds the other half for its Step 3 commands
-    // and releases it once every pending job's Step 3 is dispatched. Only
-    // then do the shard workers exit (reporting their lifetime stats), and
-    // the completer ends after the last completion.
+    // Dropping the producer guard here releases the dispatcher's claim on
+    // the shard queues; the completer holds its own guard for Step 3
+    // commands and releases it once every pending job's Step 3 is
+    // dispatched. Only then do the shard workers exit (reporting their
+    // lifetime stats), and the completer ends after the last completion.
 }
 
 /// Issues one prepared sample's per-shard commands; returns `false` if the
@@ -1026,7 +1208,7 @@ fn isp_dispatcher(
 fn dispatch_one(
     shared: &Shared,
     shards: &ShardSet,
-    shard_txs: &[Sender<ShardCommand>],
+    producer: &QueueProducer,
     meta_tx: &Sender<IspMeta>,
     prepared: PreparedJob,
     isp_position: usize,
@@ -1107,27 +1289,26 @@ fn dispatch_one(
                 shard,
             },
         );
-        if shard_txs[shard].send(command).is_err() {
-            return false;
-        }
+        producer.send(shard, command);
     }
     true
 }
 
 /// The in-SSD completer: reaps per-shard completions of *both* stages out
 /// of order, keeps a per-job state machine (intersections → Step 2 taxID
-/// retrieval → per-device Step 3 partials), submits Step 3 commands onto
-/// the same tagged shard queues through a non-blocking depth-bounded
-/// backlog, and once a job's partials are all in — and every earlier
-/// sequence number has been delivered — reduces them and delivers the
-/// result strictly in dispatch order.
+/// retrieval → incrementally folded per-device Step 3 partials), submits
+/// Step 3 commands onto the same tagged shard queues through a
+/// non-blocking depth-bounded backlog, and once a job's partials are all
+/// in — and every earlier sequence number has been delivered — finishes
+/// the incremental reduction and delivers the result strictly in dispatch
+/// order.
 struct IspCompleter<'a> {
     shared: &'a Shared,
     analyzer: &'a Arc<MegisAnalyzer>,
-    /// Senders for the per-shard command queues; set to `None` once no
-    /// further Step 3 command can ever be issued, releasing the shard
+    /// Producer guard on the per-shard command queues; set to `None` once
+    /// no further Step 3 command can ever be issued, releasing the shard
     /// workers (and then this completer) to wind down.
-    shard_txs: Option<Vec<Sender<ShardCommand>>>,
+    producer: Option<QueueProducer>,
     shard_count: usize,
     queue_depth: usize,
     pending: BTreeMap<usize, MergeState>,
@@ -1204,7 +1385,7 @@ impl IspCompleter<'_> {
                             remaining: meta.expected,
                             parts: (0..self.shard_count).map(|_| None).collect(),
                             step2: None,
-                            step3_parts: Vec::new(),
+                            reduce: None,
                             step3_remaining: 0,
                             step3_dispatched: false,
                             meta,
@@ -1244,8 +1425,14 @@ impl IspCompleter<'_> {
                 job.remaining -= 1;
             }
             CommandOutput::Step3(partial) => {
-                debug_assert!(job.step3_parts[completion.shard].is_none());
-                job.step3_parts[completion.shard] = Some(partial);
+                // Incremental reduce: fold the partial the moment it is
+                // reaped — the expensive merge work overlaps the devices
+                // still streaming — keyed by the shard-of-record, which is
+                // the part's position in candidate-range order.
+                job.reduce
+                    .as_mut()
+                    .expect("step 3 completion implies the reducer exists")
+                    .offer(completion.shard, partial);
                 job.step3_remaining -= 1;
             }
         }
@@ -1291,9 +1478,15 @@ impl IspCompleter<'_> {
             candidates.iter().map(|&p| &indexes[p]).collect();
         let partition = step3::partition_candidates(&candidate_refs, shard_count);
         job.step2 = Some(step2);
-        job.step3_parts = (0..shard_count).map(|_| None).collect();
         job.step3_dispatched = true;
         let sample = Arc::clone(&job.meta.prepared.sample);
+        // Normalize modeled part costs into candidate units so the
+        // simulated per-item device latency prices a command by the bytes
+        // it streams: the job's units sum to its candidate count, and
+        // uniform per-candidate costs reproduce `range.len()` exactly.
+        let total_cost: u64 = partition.iter().map(|p| p.cost).sum();
+        let n_candidates = candidates.len();
+        let mut expected = vec![false; shard_count];
         let mut commands = Vec::new();
         for (shard, part) in partition.into_iter().enumerate() {
             // Devices whose candidate range is empty (fewer candidates than
@@ -1302,6 +1495,8 @@ impl IspCompleter<'_> {
             if part.is_empty() {
                 continue;
             }
+            expected[shard] = true;
+            let stream_units = part.cost as f64 * n_candidates as f64 / total_cost as f64;
             commands.push((
                 shard,
                 ShardCommand::Step3(Step3Command {
@@ -1310,9 +1505,15 @@ impl IspCompleter<'_> {
                     candidates: Arc::clone(&candidates),
                     range: part.range,
                     base_offset: part.base_offset,
+                    stream_units,
                 }),
             ));
         }
+        // The reducer folds partials as they are reaped; a job with no
+        // candidates expects none and is complete immediately (its finish
+        // yields the same default output the batch reduce gives an empty
+        // partial list).
+        job.reduce = Some(step3::IncrementalReduce::new(expected));
         job.step3_remaining = commands.len();
         self.backlog.extend(commands);
     }
@@ -1325,7 +1526,9 @@ impl IspCompleter<'_> {
         if self.backlog.is_empty() {
             return;
         }
-        let Some(txs) = &self.shard_txs else { return };
+        let Some(producer) = &self.producer else {
+            return;
+        };
         let mut to_send = Vec::new();
         {
             let mut state = self.shared.lock();
@@ -1360,26 +1563,24 @@ impl IspCompleter<'_> {
                     shard,
                 },
             );
-            // A send can only fail during teardown after a shard worker
-            // panicked; the poison flag reports that failure.
-            let _ = txs[shard].send(command);
+            producer.send(shard, command);
         }
     }
 
-    /// Drops the completer's queue senders once no further Step 3 command
+    /// Drops the completer's producer guard once no further Step 3 command
     /// can ever be issued: the dispatcher has exited (so no new jobs), every
     /// pending job's Step 3 is dispatched, and the backlog is drained. The
     /// shard workers then wind down as their queues empty, which closes the
     /// completion channel and ends the completer — the hand-over that
-    /// breaks the shutdown cycle between workers waiting for senders and
+    /// breaks the shutdown cycle between workers waiting for producers and
     /// the completer waiting for completions.
     fn maybe_release_txs(&mut self) {
-        if self.shard_txs.is_some()
+        if self.producer.is_some()
             && !self.meta_open
             && self.backlog.is_empty()
             && self.pending.values().all(|job| job.step3_dispatched)
         {
-            self.shard_txs = None;
+            self.producer = None;
         }
     }
 
@@ -1401,20 +1602,20 @@ impl IspCompleter<'_> {
         }
     }
 
-    /// Reduces one job's per-device Step 3 partials (in candidate-range
-    /// order, which is shard order) into the final output and delivers the
-    /// result.
+    /// Finishes one job's incremental Step 3 reduction — the partials were
+    /// already folded at reap time, so only the vote threshold and
+    /// abundance accumulation run here — and delivers the result.
     fn finalize(&self, job: MergeState) {
         let MergeState {
             meta,
             step2,
-            step3_parts,
+            reduce,
             ..
         } = job;
         let step2 = step2.expect("complete job ran step 2");
         let seq = meta.prepared.start_position;
         self.trace.record(seq, TraceEventKind::ReduceStarted);
-        let step3 = step3::reduce(step3_parts.into_iter().flatten().collect());
+        let step3 = reduce.expect("complete job dispatched step 3").finish();
         let output = MegisAnalyzer::assemble_output(&meta.prepared.step1, &step2, step3);
         self.trace.record(seq, TraceEventKind::ReduceFinished);
         // Reconstruct the job's stage timeline from its own events, stamped
@@ -1708,6 +1909,10 @@ mod tests {
         // analyzer — and with a simulated device service time, some
         // sample's Step 3 command must be submitted while another sample's
         // intersect command is outstanding (the per-stage pipeline overlap).
+        //
+        // Work stealing is off so the per-shard `step3_jobs` assertions are
+        // deterministic (with it on, an idle device may serve a peer's
+        // command); the stealing path has its own dedicated test below.
         let c = community();
         let a = analyzer(&c);
         let expected = a.analyze(c.sample());
@@ -1723,7 +1928,8 @@ mod tests {
                 .with_workers(2)
                 .with_shards(2)
                 .with_queue_depth(4)
-                .with_device_latency(Duration::from_millis(1)),
+                .with_device_latency(Duration::from_millis(1))
+                .with_work_stealing(false),
         );
         let jobs = 6u64;
         let handles: Vec<JobHandle> = (0..jobs)
@@ -1763,6 +1969,113 @@ mod tests {
         let summary = report.summary();
         assert!(summary.contains("reads mapped"));
         assert!(summary.contains("stage overlap events"));
+    }
+
+    #[test]
+    fn work_stealing_engages_on_skewed_candidates_and_stays_byte_identical() {
+        use megis_genomics::dna::{Base, PackedSequence};
+        use megis_genomics::read::{Read, ReadSet};
+        use megis_genomics::reference::{ReferenceCollection, ReferenceGenome};
+        use megis_genomics::sample::Sample;
+        use megis_genomics::taxonomy::{TaxId, Taxonomy};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Adversarially skewed candidate sizes: one giant genome next to
+        // three small ones. The cost-aware partitioner gives the giant a
+        // device to itself, so that device's modeled stream time dwarfs its
+        // peer's — exactly the regime where the idle peer must steal queued
+        // Step 3 commands instead of waiting out the skew.
+        let mut rng = StdRng::seed_from_u64(97);
+        let lengths = [6000usize, 400, 400, 400];
+        let taxonomy = Taxonomy::synthetic(1, lengths.len());
+        let mut genomes = Vec::new();
+        let mut reads = ReadSet::new();
+        for (s, &len) in lengths.iter().enumerate() {
+            let taxid = TaxId(1000 + s as u32 + 1);
+            let mut seq = PackedSequence::with_capacity(len);
+            for _ in 0..len {
+                seq.push(Base::from_code(rng.gen_range(0..4)));
+            }
+            // Error-free tiling reads (stride < read_len - k_max) so every
+            // species — including the giant — clears the sketch containment
+            // and support thresholds and becomes a Step 3 candidate.
+            let (read_len, stride) = (100, 40);
+            let mut start = 0;
+            let mut i = 0;
+            while start + read_len <= len {
+                reads.push(Read::new(
+                    format!("r{s}-{i}"),
+                    seq.subsequence(start, read_len),
+                ));
+                start += stride;
+                i += 1;
+            }
+            genomes.push(ReferenceGenome::new(taxid, format!("skew{s}"), seq));
+        }
+        let references = ReferenceCollection::new(genomes, taxonomy);
+        let sample = Sample::from_reads(reads);
+        let expected = MegisAnalyzer::build(&references, MegisConfig::small()).analyze(&sample);
+        assert_eq!(
+            expected.presence.len(),
+            lengths.len(),
+            "every species must become a Step 3 candidate"
+        );
+        assert!(expected.mapped_reads > 0, "fixture must exercise mapping");
+
+        let jobs = 8u64;
+        let run = |stealing: bool| {
+            let engine = StreamingEngine::new(
+                MegisAnalyzer::build(&references, MegisConfig::small()),
+                EngineConfig::new()
+                    .with_workers(2)
+                    .with_shards(2)
+                    .with_queue_depth(4)
+                    .with_step3_item_latency(Duration::from_millis(5))
+                    .with_work_stealing(stealing),
+            );
+            let handles: Vec<JobHandle> = (0..jobs)
+                .map(|i| {
+                    engine
+                        .submit(JobSpec::new(format!("s{i}"), sample.clone()))
+                        .unwrap()
+                })
+                .collect();
+            let outputs: Vec<megis::analyzer::MegisOutput> = handles
+                .into_iter()
+                .map(|h| h.wait().expect("job served").output)
+                .collect();
+            (outputs, engine.shutdown())
+        };
+
+        let (stolen_outputs, stolen_report) = run(true);
+        let (pinned_outputs, pinned_report) = run(false);
+
+        // Byte-parity: stolen and pinned runs both match the sequential
+        // oracle exactly, job for job.
+        for output in stolen_outputs.iter().chain(pinned_outputs.iter()) {
+            assert_eq!(*output, expected);
+        }
+        // One merge per candidate regardless of which device served it.
+        for report in [&stolen_report, &pinned_report] {
+            let items: u64 = report.shard_stats.iter().map(|s| s.step3_items).sum();
+            assert_eq!(items, jobs * lengths.len() as u64);
+        }
+        let stolen: u64 = stolen_report
+            .shard_stats
+            .iter()
+            .map(|s| s.stolen_items)
+            .sum();
+        assert!(
+            stolen > 0,
+            "the idle device must steal from the loaded one on this skew"
+        );
+        let pinned: u64 = pinned_report
+            .shard_stats
+            .iter()
+            .map(|s| s.stolen_items)
+            .sum();
+        assert_eq!(pinned, 0, "stealing disabled must mean zero stolen items");
     }
 
     #[test]

@@ -39,6 +39,15 @@
 //! generation plus mapping, partitioned by candidate). Because both kinds
 //! flow through the same queue, one sample's Step 3 mapping overlaps the
 //! next sample's Step 2 intersection on every device.
+//!
+//! **Step 3 commands are stealable.** An `IntersectCommand` is pinned to
+//! its device — it intersects *that* shard's zero-copy database slice — but
+//! a `Step3Command` resolves its candidate positions against the shared
+//! analyzer's memoized per-species reference indexes, so *any* worker can
+//! serve it. The engine exploits this: an idle device steals queued Step 3
+//! commands from a loaded peer's queue (owner-LIFO / thief-FIFO deque
+//! discipline, see `service.rs`), and the result stays tagged with the
+//! shard-of-record so merge accounting is unchanged.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -77,6 +86,14 @@ pub(crate) struct Step3Command {
     pub range: Range<usize>,
     /// Concatenated-reference-space offset where the range begins.
     pub base_offset: u64,
+    /// Simulated device stream time for the range, in *normalized candidate
+    /// units*: the part's modeled cost share of the job, rescaled so the
+    /// job's units sum to its candidate count. Uniform candidate costs make
+    /// this exactly `range.len()`, so the engine's per-candidate Step 3
+    /// latency keeps its historical meaning; skewed costs stretch or shrink
+    /// the simulated stream in proportion to the bytes the device actually
+    /// streams.
+    pub stream_units: f64,
 }
 
 /// One NVMe-style command on a device's tagged queue.

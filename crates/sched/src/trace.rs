@@ -37,7 +37,7 @@
 //! start), so a whole trace serializes losslessly with
 //! [`TraceLog::to_json`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -614,8 +614,13 @@ impl StragglerReport {
         // Per-device interval sets. The devices serve serially, so service
         // intervals never overlap and sum directly; pending intervals
         // (issued→completed) do overlap and need a union. Commands are
-        // matched FIFO per (device, stage): the channels and the serial
-        // worker preserve issue order.
+        // matched FIFO per `(seq, stage)` rather than per device: with work
+        // stealing a Step 3 command can complete on a different device than
+        // it was issued to, so a per-device pairing would orphan the
+        // issue timestamp. A job's same-stage commands are issued together,
+        // so the within-key FIFO mismatch is negligible, and the
+        // `.min(started)` clamp keeps every pending interval covering its
+        // service interval (busy + stall + idle always closes to the span).
         let mut usage: Vec<DeviceUsage> = (0..devices)
             .map(|device| DeviceUsage {
                 device,
@@ -624,14 +629,17 @@ impl StragglerReport {
             .collect();
         let mut service: Vec<Vec<(Duration, Duration)>> = vec![Vec::new(); devices];
         let mut pending: Vec<Vec<(Duration, Duration)>> = vec![Vec::new(); devices];
-        let mut issued_fifo: Vec<VecDeque<Duration>> = vec![VecDeque::new(); devices];
+        let mut issued_fifo: HashMap<(usize, TraceStage), VecDeque<Duration>> = HashMap::new();
         let mut started_at: Vec<Option<Duration>> = vec![None; devices];
         let mut last_step3: Vec<Option<(Duration, usize)>> = Vec::new();
         let mut step3_seqs: Vec<usize> = Vec::new();
         for event in events {
             match event.kind {
-                TraceEventKind::CommandIssued { shard, .. } if shard < devices => {
-                    issued_fifo[shard].push_back(event.at);
+                TraceEventKind::CommandIssued { stage, shard } if shard < devices => {
+                    issued_fifo
+                        .entry((event.seq, stage))
+                        .or_default()
+                        .push_back(event.at);
                 }
                 TraceEventKind::CommandStarted { shard, .. } if shard < devices => {
                     started_at[shard] = Some(event.at);
@@ -639,7 +647,11 @@ impl StragglerReport {
                 TraceEventKind::CommandCompleted { stage, shard } if shard < devices => {
                     let started = started_at[shard].take().unwrap_or(event.at);
                     service[shard].push((started, event.at));
-                    let issued = issued_fifo[shard].pop_front().unwrap_or(started);
+                    let issued = issued_fifo
+                        .get_mut(&(event.seq, stage))
+                        .and_then(|q| q.pop_front())
+                        .unwrap_or(started)
+                        .min(started);
                     pending[shard].push((issued, event.at));
                     usage[shard].commands += 1;
                     let width = event.at.saturating_sub(started);
@@ -708,6 +720,22 @@ impl StragglerReport {
         let max = busy.iter().cloned().fold(f64::MIN, f64::max);
         let min = busy.iter().cloned().fold(f64::MAX, f64::min);
         max / min
+    }
+
+    /// Flatness of the gating-device histogram: max over mean of
+    /// `histogram`, across all devices. `1.0` is perfectly flat (every
+    /// device gates its fair share of reduces — the cost-aware-partition
+    /// goal); the worst case is the device count (one device gates every
+    /// job — the equal-count cliff). Returns `1.0` when no job ran Step 3
+    /// or there are no devices, so "no evidence of skew" reads as flat.
+    pub fn gating_histogram_flatness(&self) -> f64 {
+        let total: u64 = self.histogram.iter().sum();
+        if total == 0 || self.histogram.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.histogram.len() as f64;
+        let max = *self.histogram.iter().max().unwrap() as f64;
+        max / mean
     }
 
     /// The device gating the most jobs, with its count (`None` when no job
@@ -1100,7 +1128,25 @@ mod tests {
         assert!(report.gating.is_empty());
         assert_eq!(report.step3_busy_skew(), 1.0);
         assert_eq!(report.dominant_gater(), None);
+        assert_eq!(report.gating_histogram_flatness(), 1.0);
         assert!(report.report().contains("no job ran step 3"));
+    }
+
+    #[test]
+    fn gating_histogram_flatness_is_max_over_mean() {
+        let base = StragglerReport::from_events(&[], 4);
+        // One device gates everything: worst case = device count.
+        let mut worst = base.clone();
+        worst.histogram = vec![8, 0, 0, 0];
+        assert!((worst.gating_histogram_flatness() - 4.0).abs() < 1e-9);
+        // Perfectly flat split: 1.0.
+        let mut flat = base.clone();
+        flat.histogram = vec![2, 2, 2, 2];
+        assert!((flat.gating_histogram_flatness() - 1.0).abs() < 1e-9);
+        // Mild skew: max 3 over mean 2.
+        let mut mild = base;
+        mild.histogram = vec![3, 2, 2, 1];
+        assert!((mild.gating_histogram_flatness() - 1.5).abs() < 1e-9);
     }
 
     #[test]

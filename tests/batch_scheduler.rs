@@ -234,10 +234,22 @@ fn sharded_step3_accounts_every_candidate_once_and_stays_byte_identical() {
             step3_jobs >= samples.len() as u64,
             "every job ran step 3 on some device"
         );
-        // Devices beyond the candidate count are never commanded for a job;
-        // no device can serve more step-3 commands than there are jobs.
+        // With work stealing an idle device may serve commands issued to a
+        // peer, so its served count is bounded by the total that can be
+        // issued (one command per job per device at most), not by the job
+        // count — and every command is still served exactly once.
+        let issued_bound = samples.len() as u64 * shards as u64;
         for stats in &report.shard_stats {
-            assert!(stats.step3_jobs <= samples.len() as u64);
+            assert!(
+                stats.step3_jobs <= issued_bound,
+                "device {} served {} step-3 commands, issue bound {issued_bound}",
+                stats.shard,
+                stats.step3_jobs
+            );
+            assert!(
+                stats.stolen_items <= stats.step3_items,
+                "stolen items are a subset of served items"
+            );
         }
         let summary = report.summary();
         assert!(summary.contains("reads mapped"));

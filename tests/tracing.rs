@@ -153,6 +153,7 @@ fn observability_fixture() -> (Vec<ShardStats>, LatencyStats, StageBreakdown) {
             query_items: 1000,
             step3_jobs: 4,
             step3_items: 8 - shard as u64,
+            stolen_items: shard as u64 * 2,
             peak_inflight: 2,
         })
         .collect();
@@ -221,6 +222,15 @@ fn batch_and_service_summaries_share_the_observability_lines() {
         );
         assert!(
             summary.contains("stage overlap events: 17"),
+            "{name}:\n{summary}"
+        );
+        // The work-stealing line: total stolen items plus the per-device
+        // split, rendered identically by both summaries.
+        assert!(
+            summary.contains(
+                "work stealing: 6 candidate items served for peers; \
+                 per-device stolen items: [0, 2, 4]"
+            ),
             "{name}:\n{summary}"
         );
         // The traced stage breakdown, rendered by the shared line.
