@@ -8,6 +8,9 @@
 //! the full suite. Criterion micro-benchmarks over the functional kernels and
 //! the figure models live under `benches/`.
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 pub mod experiments;
 pub mod report;
 

@@ -72,6 +72,9 @@
 //! per-shard utilization, and a modeled-time account cross-checked against
 //! [`pipeline::MegisTimingModel::multi_sample_breakdown`].
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 pub mod accel;
 pub mod analyzer;
 pub mod commands;

@@ -40,6 +40,9 @@
 //! assert!(kmers > 0);
 //! ```
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 pub mod database;
 pub mod dna;
 pub mod kmer;

@@ -18,6 +18,9 @@
 //! * [`cost`] — the hardware cost model behind the cost-efficiency analysis
 //!   (Fig. 18).
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 pub mod accelerators;
 pub mod cost;
 pub mod cpu;

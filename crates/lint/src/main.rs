@@ -1,0 +1,63 @@
+//! CLI for the workspace concurrency-invariant linter.
+//!
+//! ```text
+//! megis-lint [--root <dir>] [--out <report.json>]
+//! ```
+//!
+//! Prints the diagnostic listing and the grepable verdict line, optionally
+//! writes the JSON report, and exits 1 on any unsuppressed diagnostic (2 on
+//! usage/IO errors).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut out: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--out" => match argv.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => return usage("--out requires a file path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: megis-lint [--root <dir>] [--out <report.json>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unrecognized argument `{other}`")),
+        }
+    }
+
+    let report = match megis_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("megis-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = out {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("megis-lint: failed to write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("megis-lint: {problem}");
+    eprintln!("usage: megis-lint [--root <dir>] [--out <report.json>]");
+    ExitCode::from(2)
+}

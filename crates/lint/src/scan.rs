@@ -1,0 +1,482 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The build is offline, so the linter cannot use `syn` or `proc-macro2`;
+//! this module provides the minimum lexical understanding the rule engine
+//! needs instead: a flat token stream (identifiers, punctuation, literals,
+//! lifetimes) with line numbers, plus the comment text (where `lint:allow`
+//! annotations live).
+//!
+//! Getting the *lexical* layer right is what separates this from a grep:
+//! the scanner understands line and (nested) block comments, string
+//! literals with escapes, raw strings with arbitrary `#` fences, byte
+//! strings, char literals vs. lifetimes, and raw identifiers — so a string
+//! containing `".lock().unwrap()"` or a commented-out `thread::spawn` can
+//! never trip a rule. Rules match only [`TokenKind::Ident`] and
+//! [`TokenKind::Punct`] tokens.
+//!
+//! Consecutive `//` comment lines (with nothing but whitespace between
+//! them) are merged into one [`Comment`] block, so a `lint:allow(rule,
+//! reason)` annotation wrapped over several lines by rustfmt still parses
+//! as a single annotation.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`let`, `lock`, `spawn`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `{`, `:`, …).
+    Punct,
+    /// A string/char/number literal. Rules never match inside these.
+    Literal,
+    /// A lifetime (`'a`). Distinct from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::Literal`], the raw source slice).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment block: a `/* … */` comment, or a run of consecutive `//`
+/// lines merged together (so wrapped `lint:allow` annotations stay whole).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the block starts on.
+    pub start_line: u32,
+    /// 1-based line the block ends on.
+    pub end_line: u32,
+    /// Comment text with the `//` / `/*` markers stripped; merged lines are
+    /// joined with a single space.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    /// `lint:allow` annotations live in regular comments only — doc
+    /// comments *describe* the syntax, they never apply it.
+    pub doc: bool,
+}
+
+/// The scanner's output for one source file.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment blocks in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans one Rust source file into tokens and comment blocks.
+///
+/// The scanner is resilient rather than strict: unterminated strings or
+/// comments simply end at EOF. It lexes the token-level language only — no
+/// parsing, no macro expansion — which is exactly the level the rules are
+/// specified at.
+pub fn scan(source: &str) -> ScannedFile {
+    Scanner {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: ScannedFile::default(),
+        tokens_at_last_comment: usize::MAX,
+    }
+    .run()
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: ScannedFile,
+    /// `out.tokens.len()` when the last comment was pushed; used to decide
+    /// whether a new `//` line can merge with the previous block (merging is
+    /// only valid when no code token appeared in between).
+    tokens_at_last_comment: usize,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> ScannedFile {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'b' | 'r' if self.starts_string_prefix() => self.prefixed_string(),
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier `r#type`: skip the fence, lex the ident.
+                    self.bump();
+                    self.bump();
+                    self.ident();
+                }
+                '\'' => self.lifetime_or_char(),
+                c if is_ident_start(Some(c)) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().expect("peeked");
+                    self.push_token(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `b"…"`, `br#"…"#`, `r"…"`, `r#"…"#` all start a (raw/byte) string.
+    fn starts_string_prefix(&self) -> bool {
+        let (mut i, c) = (1, self.peek(0));
+        if c == Some('b') && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        match self.peek(i) {
+            Some('"') => true,
+            Some('#') => {
+                // Consume the fence hashes; a raw string needs a quote after.
+                let mut j = i;
+                while self.peek(j) == Some('#') {
+                    j += 1;
+                }
+                self.peek(j) == Some('"')
+            }
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.line;
+        self.bump();
+        self.bump();
+        // `///` and `//!` are doc comments (`////…` is not, per the
+        // reference, but for annotation purposes it is close enough).
+        let doc = matches!(self.peek(0), Some('/') | Some('!'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let text = text.trim().to_string();
+        // Merge with the previous block when it is the `//` run directly
+        // above (no code tokens in between): wrapped annotations stay whole.
+        if self.tokens_at_last_comment == self.out.tokens.len() {
+            if let Some(prev) = self.out.comments.last_mut() {
+                if prev.end_line + 1 == start && prev.doc == doc {
+                    if !prev.text.is_empty() && !text.is_empty() {
+                        prev.text.push(' ');
+                    }
+                    prev.text.push_str(&text);
+                    prev.end_line = start;
+                    return;
+                }
+            }
+        }
+        self.out.comments.push(Comment {
+            start_line: start,
+            end_line: start,
+            text,
+            doc,
+        });
+        self.tokens_at_last_comment = self.out.tokens.len();
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('*') | Some('!')) && self.peek(1) != Some('/');
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            start_line: start,
+            end_line: self.line,
+            text: text.split_whitespace().collect::<Vec<_>>().join(" "),
+            doc,
+        });
+        self.tokens_at_last_comment = self.out.tokens.len();
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        text.push(self.bump().expect("peeked"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Literal, text, line);
+    }
+
+    /// `b"…"` byte strings and `r#"…"#` raw (byte) strings with any fence.
+    fn prefixed_string(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut raw = false;
+        while let Some(c) = self.peek(0) {
+            if c == 'b' || c == 'r' {
+                raw |= c == 'r';
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !raw {
+            // Plain byte string: same escape rules as a normal string.
+            while let Some(c) = self.bump() {
+                text.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    }
+                    '"' if text.len() > 2 => break,
+                    _ => {}
+                }
+            }
+            self.push_token(TokenKind::Literal, text, line);
+            return;
+        }
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) == Some('"') {
+            text.push('"');
+            self.bump();
+        }
+        // No escapes in raw strings: scan for `"` followed by `fence` hashes.
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < fence && self.peek(0) == Some('#') {
+                    matched += 1;
+                    text.push('#');
+                    self.bump();
+                }
+                if matched == fence {
+                    break;
+                }
+            }
+        }
+        self.push_token(TokenKind::Literal, text, line);
+    }
+
+    fn lifetime_or_char(&mut self) {
+        let line = self.line;
+        // `'a` / `'static` are lifetimes when not closed by a quote
+        // (`'a'` is a char literal).
+        if is_ident_start(self.peek(1)) && self.peek(2) != Some('\'') {
+            self.bump();
+            let mut text = String::from("'");
+            while is_ident_continue(self.peek(0)) {
+                text.push(self.bump().expect("peeked"));
+            }
+            self.push_token(TokenKind::Lifetime, text, line);
+            return;
+        }
+        let mut text = String::new();
+        text.push(self.bump().expect("peeked"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Literal, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while is_ident_continue(self.peek(0)) {
+            text.push(self.bump().expect("peeked"));
+        }
+        self.push_token(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            text.push(self.bump().expect("peeked"));
+        }
+        // A fractional part only when the dot is followed by a digit, so
+        // `0..4` lexes as `0`, `.`, `.`, `4`.
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().expect("peeked"));
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        self.push_token(TokenKind::Literal, text, line);
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_ascii_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &str) -> Vec<String> {
+        scan(s)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r####"
+            let a = "lock().unwrap() in a string";
+            // lock().unwrap() in a comment
+            /* thread::spawn in a /* nested */ block comment */
+            let b = r#"raw "string" with .lock().unwrap()"#;
+            let c = b"byte string .unwrap()";
+        "####;
+        let toks = idents(src);
+        assert!(!toks.contains(&"lock".to_string()));
+        assert!(!toks.contains(&"unwrap".to_string()));
+        assert!(!toks.contains(&"spawn".to_string()));
+        assert_eq!(
+            toks,
+            vec!["let", "a", "let", "b", "let", "c"],
+            "only code identifiers survive"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let scanned = scan(src);
+        let lifetimes: Vec<&Token> = scanned
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        assert!(scanned
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "with \" escaped quote and .unwrap()"; lock();"#;
+        let toks = idents(src);
+        assert_eq!(toks, vec!["let", "s", "lock"]);
+    }
+
+    #[test]
+    fn consecutive_line_comments_merge_into_one_block() {
+        let src = "\n// lint:allow(poison-safety, a reason\n// wrapped over lines)\nlet x = 1;\n// separate\n";
+        let scanned = scan(src);
+        assert_eq!(scanned.comments.len(), 2);
+        assert_eq!(
+            scanned.comments[0].text,
+            "lint:allow(poison-safety, a reason wrapped over lines)"
+        );
+        assert_eq!(scanned.comments[0].start_line, 2);
+        assert_eq!(scanned.comments[0].end_line, 3);
+        assert_eq!(scanned.comments[1].text, "separate");
+    }
+
+    #[test]
+    fn comments_separated_by_code_do_not_merge() {
+        let src = "// one\nlet x = 1; // two\n";
+        let scanned = scan(src);
+        assert_eq!(scanned.comments.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"multi\nline\nstring\";\nlock();\n";
+        let scanned = scan(src);
+        let lock = scanned
+            .tokens
+            .iter()
+            .find(|t| t.text == "lock")
+            .expect("lock token");
+        assert_eq!(lock.line, 4);
+    }
+
+    #[test]
+    fn raw_fences_respect_hash_counts() {
+        // The `"#` inside the body does not close a `##` fence.
+        let src = "let s = r##\"contains \"# inner\"##; lock();";
+        assert_eq!(idents(src), vec!["let", "s", "lock"]);
+    }
+}

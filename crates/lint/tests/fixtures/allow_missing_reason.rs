@@ -1,0 +1,13 @@
+// Fixture: malformed allow annotations. A reasonless or unknown-rule
+// annotation is an `allow-hygiene` diagnostic and suppresses nothing, so
+// the underlying poison-safety violation still fires too.
+
+use std::sync::Mutex;
+
+fn reasonless(m: &Mutex<u32>) -> u32 {
+    // lint:allow(poison-safety)
+    *m.lock().unwrap()
+}
+
+// lint:allow(not-a-rule, the rule name does not exist)
+fn unknown_rule() {}

@@ -1,0 +1,24 @@
+// Fixture: well-formed allow annotations — every violation below is
+// deliberately suppressed with a reason, so the file has no diagnostics but
+// three recorded suppressions.
+
+use std::sync::{Mutex, PoisonError};
+use std::thread;
+
+fn poison_test_helper(m: &Mutex<u32>) -> u32 {
+    // lint:allow(poison-safety, this helper only runs in tests that never
+    // poison the mutex, and a panic here is the desired test failure)
+    *m.lock().unwrap()
+}
+
+fn delivery_under_lock(m: &Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    // lint:allow(guard-across-blocking, unbounded std mpsc send never blocks)
+    tx.send(*guard).ok();
+}
+
+fn worker_with_deliberate_panic() {
+    thread::spawn(|| {
+        panic!("poison the pipeline on purpose"); // lint:allow(panic-hygiene, this panic is the poison signal under test)
+    });
+}

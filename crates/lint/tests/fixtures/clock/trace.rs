@@ -1,0 +1,24 @@
+// Fixture: clock-injection violation in a file named `trace.rs` — the
+// basename puts every fn outside the seam set under the epoch-only rule.
+
+use std::time::Instant;
+
+struct Sink {
+    epoch: Instant,
+}
+
+impl Sink {
+    // `bounded` is a designated seam: constructing the epoch is the one
+    // legitimate direct clock read.
+    fn bounded() -> Sink {
+        Sink {
+            epoch: Instant::now(),
+        }
+    }
+
+    // Violation: a hot-path fn reading the clock directly instead of
+    // deriving from the shared epoch behind the enabled check.
+    fn push(&self) -> u64 {
+        Instant::now().elapsed().as_nanos() as u64
+    }
+}

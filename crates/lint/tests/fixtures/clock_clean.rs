@@ -1,0 +1,39 @@
+// Fixture: the sanctioned clock idioms outside `trace.rs` — direct
+// `Instant::now()` is fine in engine code (only `trace.rs` is restricted
+// to seams), and `record_at` is fine when the stamp comes through the
+// injectable seam rather than an inline read.
+
+use std::time::Instant;
+
+struct Engine {
+    sink: Sink,
+}
+
+struct Sink;
+
+impl Sink {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn record_at(&self, _at: Instant, _seq: u64) {}
+
+    // The `record` convenience seam is the one wrapper allowed to read
+    // inline on behalf of `record_at`.
+    fn record(&self, seq: u64) {
+        self.record_at(Instant::now(), seq);
+    }
+}
+
+impl Engine {
+    fn measure(&self) -> std::time::Duration {
+        // Engine latency measurement is not tracing: unrestricted here.
+        let t0 = Instant::now();
+        t0.elapsed()
+    }
+
+    fn submit(&self, seq: u64) {
+        let at = self.sink.now();
+        self.sink.record_at(at, seq);
+    }
+}

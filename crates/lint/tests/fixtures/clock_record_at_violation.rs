@@ -1,0 +1,25 @@
+// Fixture: clock-injection violations outside trace.rs — inline clock
+// reads in `record_at(..)` arguments pay the clock cost even when the
+// trace sink is disabled.
+
+use std::time::Instant;
+
+struct Hot {
+    sink: Sink,
+}
+
+struct Sink;
+
+impl Sink {
+    fn record_at(&self, _at: Instant, _seq: u64) {}
+}
+
+impl Hot {
+    fn submit(&self, seq: u64) {
+        self.sink.record_at(Instant::now(), seq);
+    }
+
+    fn complete(&self, t0: Instant, seq: u64) {
+        self.sink.record_at(t0.elapsed(), seq);
+    }
+}

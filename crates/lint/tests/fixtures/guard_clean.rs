@@ -1,0 +1,38 @@
+// Fixture: the sanctioned ways to mix locks and blocking — scope the guard
+// out before blocking, `drop` it explicitly, consume it as a statement
+// temporary, or block through `Condvar::wait` (which releases the lock).
+
+use std::sync::{Condvar, Mutex, PoisonError};
+
+fn scope_then_send(m: &Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let value = {
+        let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard
+    };
+    tx.send(value).ok();
+}
+
+fn drop_then_recv(m: &Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(guard);
+    let _ = rx.recv();
+}
+
+fn temporary_then_send(m: &Mutex<Vec<u32>>, tx: &std::sync::mpsc::Sender<Vec<u32>>) {
+    // The chain continues past `.lock()`: the guard is a statement
+    // temporary, already dropped when `send` runs.
+    let snapshot: Vec<u32> = m
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .copied()
+        .collect();
+    tx.send(snapshot).ok();
+}
+
+fn condvar_wait_is_sanctioned(m: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = m.lock().unwrap_or_else(PoisonError::into_inner);
+    while !*ready {
+        ready = cv.wait(ready).unwrap_or_else(PoisonError::into_inner);
+    }
+}

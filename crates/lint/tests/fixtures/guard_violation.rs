@@ -1,0 +1,22 @@
+// Fixture: guard-across-blocking violations — a live `MutexGuard` across
+// `send`, `recv` and `join` (the completer deadlock class).
+
+use std::sync::{Mutex, PoisonError};
+
+fn hold_across_send(m: &Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    tx.send(*guard).ok();
+}
+
+fn hold_across_recv(m: &Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    let mut guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Ok(v) = rx.recv() {
+        *guard = v;
+    }
+}
+
+fn hold_across_join(m: &Mutex<u32>, handle: std::thread::JoinHandle<()>) {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = handle.join();
+    drop(guard);
+}

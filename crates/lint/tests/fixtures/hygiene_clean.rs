@@ -1,0 +1,29 @@
+// Fixture: panic-hygiene clean patterns — handle channel failures on the
+// pipeline thread, and panic freely *outside* spawn bodies (other rules'
+// business, not this one's).
+
+use std::sync::mpsc::Receiver;
+use std::thread;
+
+fn worker_handles_disconnect(rx: Receiver<u32>) {
+    thread::spawn(move || {
+        while let Ok(value) = rx.recv() {
+            let _ = value;
+        }
+    });
+}
+
+fn worker_uses_get(rx: Receiver<usize>, table: Vec<u32>) {
+    thread::spawn(move || {
+        let index = rx.recv().unwrap_or(0);
+        table.get(index).copied()
+    });
+}
+
+fn panics_outside_spawn_are_not_this_rules_business(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+fn plain_indexing_is_fine(table: &[u32], i: usize) -> u32 {
+    table[i]
+}

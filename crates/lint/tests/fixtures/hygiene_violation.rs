@@ -1,0 +1,32 @@
+// Fixture: panic-hygiene violations — implicit and explicit panic sites
+// inside `thread::spawn` bodies with no annotation.
+
+use std::sync::mpsc::Receiver;
+use std::thread;
+
+fn unwrap_in_worker(rx: Receiver<u32>) {
+    thread::spawn(move || {
+        let value = rx.recv().unwrap();
+        value + 1
+    });
+}
+
+fn expect_in_worker(rx: Receiver<u32>) {
+    thread::spawn(move || {
+        let value = rx.recv().expect("channel closed");
+        value + 1
+    });
+}
+
+fn explicit_panic_in_worker() {
+    thread::spawn(|| {
+        panic!("worker gave up");
+    });
+}
+
+fn index_channel_result_in_worker(rx: Receiver<usize>, table: Vec<u32>) {
+    thread::spawn(move || {
+        let slot = table[rx.recv().unwrap_or(0)];
+        slot
+    });
+}

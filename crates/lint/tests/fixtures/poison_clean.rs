@@ -1,0 +1,18 @@
+// Fixture: the sanctioned poison-safe idioms — `PoisonError::into_inner`
+// recovery and a named lock accessor built on it.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn reap(stats: &Mutex<Vec<u64>>) -> Vec<u64> {
+    stats.lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+struct Shared {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Vec<u64>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

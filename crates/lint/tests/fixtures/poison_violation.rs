@@ -1,0 +1,11 @@
+// Fixture: poison-safety violations. Both panic again on a poisoned mutex,
+// which aborts the process if reached during an unwind.
+
+fn reap(stats: &std::sync::Mutex<Vec<u64>>) -> Vec<u64> {
+    let collected = stats.lock().unwrap().clone();
+    collected
+}
+
+fn reap_with_message(stats: &std::sync::Mutex<Vec<u64>>) -> Vec<u64> {
+    stats.lock().expect("stats mutex poisoned").clone()
+}

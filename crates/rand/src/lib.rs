@@ -8,6 +8,9 @@
 //! seed (the property the synthetic-community builders rely on), but are
 //! *not* bit-compatible with the real `rand` crate.
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 /// Core random-number source: a stream of uniform `u64`s.

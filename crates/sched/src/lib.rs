@@ -101,6 +101,51 @@
 //! measures and CI gates this (< 2% engine overhead vs. a no-trace
 //! baseline).
 //!
+//! # Machine-checked invariants
+//!
+//! The concurrency rules this crate lives by are enforced by the in-tree
+//! `megis-lint` pass (`crates/lint`), which CI runs over every workspace
+//! source file. Each rule encodes an incident class from this crate's own
+//! history:
+//!
+//! * **poison-safety** — never `.lock().unwrap()` / `.lock().expect(..)` on
+//!   a pipeline mutex. A worker panic poisons the mutexes it held; the
+//!   engine reports that through its own poison flag and keeps shutting
+//!   down. An `unwrap` on a poisoned lock reached *during that unwind*
+//!   (e.g. `Drop` → `stop_and_join`) panics-within-panic and aborts the
+//!   process instead of delivering the failure report. Locks here recover
+//!   with `.lock().unwrap_or_else(PoisonError::into_inner)` or go through
+//!   the named accessors (`Shared::lock`, `CommandQueues::lock`). The
+//!   incident: the shutdown path's stats reap did exactly this on
+//!   `stats_rx` — see `shutdown_reaps_stats_through_a_poisoned_stats_mutex`
+//!   in `service.rs` for the regression test.
+//!
+//! * **guard-across-blocking** — never hold a `MutexGuard` across
+//!   `send`/`recv`/`recv_timeout`/`join`/`thread::sleep`. Blocking while
+//!   holding a pipeline lock is the completer-deadlock class from the PR 5
+//!   sharding work (completer parked on a bounded channel while holding
+//!   the state every worker needs to make progress). `Condvar::wait`
+//!   releases the lock while parked and is the sanctioned way to block
+//!   with a guard. One deliberate exception lives in `finalize`: result
+//!   delivery sends under the state lock, annotated in-source with why an
+//!   unbounded-channel send cannot block.
+//!
+//! * **clock-injection** — `trace.rs` reads the clock only in its
+//!   designated seams, and no `record_at(..)` call site passes an inline
+//!   `Instant::now()`/`.elapsed()`; stamps flow through the injectable
+//!   seam so disabled tracing never pays a clock read (the overhead
+//!   contract above).
+//!
+//! * **panic-hygiene** — any panic site inside a `thread::spawn` body
+//!   (`unwrap`, `expect`, panicking macros, indexing channel results) must
+//!   carry an inline `lint:allow(panic-hygiene, reason)` annotation: a
+//!   pipeline-thread panic starts poison propagation, so it has to be
+//!   visibly deliberate.
+//!
+//! Suppressions are never silent: each needs a
+//! `// lint:allow(rule, reason)` with a mandatory reason, and the lint
+//! report lists every one in effect.
+//!
 //! # Example
 //!
 //! ```
@@ -131,6 +176,9 @@
 //! assert!(report.modeled.unwrap().pipelining_speedup() > 1.0);
 //! ```
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 pub mod engine;
 pub mod job;
 pub mod metrics;

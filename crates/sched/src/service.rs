@@ -1014,7 +1014,16 @@ impl StreamingEngine {
         if let Some(completer) = self.completer.take() {
             let _ = completer.join();
         }
-        let mut shard_stats: Vec<ShardStats> = self.stats_rx.lock().unwrap().try_iter().collect();
+        // Poison-safe like every other pipeline lock: this runs during
+        // unwinding when `drain` propagated a poisoned service (Drop →
+        // stop_and_join while panicking), and a `lock().unwrap()` here
+        // would panic-within-panic and abort instead of reporting.
+        let mut shard_stats: Vec<ShardStats> = self
+            .stats_rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .try_iter()
+            .collect();
         shard_stats.sort_by_key(|s| s.shard);
         let state = self.shared.lock();
         for stats in &mut shard_stats {
@@ -1658,6 +1667,10 @@ impl IspCompleter<'_> {
         state.isp_served += 1;
         state.mapped_reads += result.output.mapped_reads;
         if let Some(tx) = state.senders.remove(&result.id.0) {
+            // lint:allow(guard-across-blocking, std mpsc Sender::send never
+            // blocks on an unbounded channel, and delivery must happen under
+            // the lock so a quiescent drain implies every result has already
+            // reached its handle)
             let _ = tx.send(result);
         }
         drop(state);
@@ -2076,6 +2089,44 @@ mod tests {
             .map(|s| s.stolen_items)
             .sum();
         assert_eq!(pinned, 0, "stealing disabled must mean zero stolen items");
+    }
+
+    #[test]
+    fn shutdown_reaps_stats_through_a_poisoned_stats_mutex() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // Regression: `stop_and_join` used to call `.lock().unwrap()` on the
+        // stats receiver — the only pipeline lock without the
+        // `PoisonError::into_inner` recovery. That mutex is poisoned exactly
+        // when a panic is already unwinding, which is the one moment a
+        // second panic aborts the process instead of reporting. Poison it
+        // the way an unwinding thread would (panic while holding the guard)
+        // and assert shutdown still reaps the per-shard stats.
+        let c = community();
+        let a = analyzer(&c);
+        let engine = StreamingEngine::new(a, EngineConfig::new().with_workers(2).with_shards(2));
+        let handle = engine
+            .submit(JobSpec::new("job", c.sample().clone()))
+            .unwrap();
+        assert!(handle.wait().is_some());
+        let poisoner = catch_unwind(AssertUnwindSafe(|| {
+            // lint:allow(poison-safety, deliberately panicking while holding
+            // the guard is the only way to poison the mutex under test)
+            let _guard = engine.stats_rx.lock().unwrap();
+            panic!("simulated pipeline panic while holding the stats mutex");
+        }));
+        assert!(poisoner.is_err(), "the poisoning closure must panic");
+        // With the old `.lock().unwrap()` this shutdown panics again; with
+        // `PoisonError::into_inner` it must deliver both shards' stats.
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(
+            report.shard_stats.len(),
+            2,
+            "stats must be reaped through the poisoned mutex"
+        );
+        for stats in &report.shard_stats {
+            assert_eq!(stats.jobs, 1, "shard {} served the job", stats.shard);
+        }
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //! assert!(summary.time.as_secs() > 3.0 && summary.time.as_secs() < 4.5);
 //! ```
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod dram;
 pub mod energy;

@@ -19,6 +19,9 @@
 //! figure harness). The shared workload description and timing-breakdown
 //! types live in [`workload`] and [`timing`].
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 pub mod bracken;
 pub mod kmc;
 pub mod kraken;

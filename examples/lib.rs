@@ -18,6 +18,9 @@
 //!   work mid-stream, results stream back incrementally, and the service
 //!   drains gracefully.
 
+// The whole workspace is safe Rust ([workspace.lints] forbids it too);
+// this attribute keeps the guarantee visible at the crate root.
+#![forbid(unsafe_code)]
 use megis_genomics::profile::AbundanceProfile;
 use megis_genomics::taxonomy::Taxonomy;
 use megis_tools::timing::Breakdown;

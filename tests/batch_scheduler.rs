@@ -288,14 +288,23 @@ fn more_shards_than_database_entries_stays_correct() {
         assert_eq!(result.output, expected, "{} diverged", result.label);
     }
     assert_eq!(report.shard_stats.len(), shards);
-    // Entry-holding shards serve every job; dead padding shards serve none.
+    // Entry-holding shards serve every job's intersection; entry-less
+    // padding shards are never *intersect*-commanded (their key range is
+    // empty). They may still serve Step 3: cost-aware candidate
+    // partitioning places parts by cumulative cost over the whole device
+    // array — Step 3 resolves candidates against the analyzer's memoized
+    // indexes, not the shard's database range — and work stealing can move
+    // that Step 3 work to any idle device. So `busy` is only pinned to
+    // zero for shards that served neither command kind.
     for stats in &report.shard_stats {
         if stats.shard < entries {
             assert_eq!(stats.jobs, 3, "shard {} holds entries", stats.shard);
         } else {
             assert_eq!(stats.jobs, 0, "shard {} is padding", stats.shard);
             assert_eq!(stats.query_items, 0);
-            assert_eq!(stats.busy, std::time::Duration::ZERO);
+            if stats.step3_jobs == 0 {
+                assert_eq!(stats.busy, std::time::Duration::ZERO);
+            }
         }
     }
     let utilization = report.shard_utilization();
