@@ -1,0 +1,16 @@
+//! Fault recovery smoke: seeded transient storm vs the clean run.
+//!
+//! Prints the report with the greppable `fault recovery: confirmed` verdict
+//! and writes the JSON record (default `BENCH_chaos.json`; override with
+//! `--out <path>`).
+
+use megis_bench::experiments::fault_recovery_measure;
+use megis_bench::out_path;
+
+fn main() {
+    let measurement = fault_recovery_measure();
+    print!("{}", measurement.report());
+    let path = out_path("BENCH_chaos.json");
+    std::fs::write(&path, measurement.to_json()).expect("write bench record");
+    println!("wrote {path}");
+}

@@ -11,6 +11,7 @@ mod accuracy;
 mod comparison;
 mod energy;
 mod engine;
+mod fault_recovery;
 mod hardware;
 mod hotpath;
 mod motivation;
@@ -26,6 +27,7 @@ pub use comparison::{
 };
 pub use energy::energy_analysis;
 pub use engine::{fig15_sharded_engine, fig21_batch_engine, streaming_load_analysis};
+pub use fault_recovery::{fault_recovery, fault_recovery_measure, FaultRecoveryMeasurement};
 pub use hardware::{kss_size_analysis, table1_ssd_configs, table2_area_power};
 pub use hotpath::{hotpath, hotpath_measure, HotpathMeasurement};
 pub use motivation::fig03_io_overhead;
@@ -63,6 +65,7 @@ pub fn all() -> String {
         queue_depth_sweep(),
         step3_scaling(),
         trace_overhead(),
+        fault_recovery(),
         hotpath(),
         table2_area_power(),
         kss_size_analysis(),
@@ -100,13 +103,13 @@ mod tests {
             ("fig21", super::fig21_multi_sample()),
             ("fig21-engine", super::fig21_batch_engine()),
             ("streaming-load", super::streaming_load_analysis()),
-            // `hotpath`, `step3_scaling`, and `trace_overhead` are
-            // deliberately absent: the first's cache-oversized fixture makes
-            // a full measurement expensive, the other two sleep simulated
-            // device streams, and all three have test modules that already
-            // run (and assert on) one measurement — duplicating them here
-            // would pay that cost twice per test run for a non-emptiness
-            // check.
+            // `hotpath`, `step3_scaling`, `trace_overhead`, and
+            // `fault_recovery` are deliberately absent: the first's
+            // cache-oversized fixture makes a full measurement expensive,
+            // the others sleep simulated device streams, and all four have
+            // test modules that already run (and assert on) one
+            // measurement — duplicating them here would pay that cost twice
+            // per test run for a non-emptiness check.
             ("table2", super::table2_area_power()),
             ("kss", super::kss_size_analysis()),
             ("energy", super::energy_analysis()),

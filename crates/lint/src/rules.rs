@@ -28,15 +28,19 @@ pub const GUARD_ACROSS_BLOCKING: &str = "guard-across-blocking";
 pub const CLOCK_INJECTION: &str = "clock-injection";
 /// The panic-hygiene rule: unannotated panics inside `thread::spawn` bodies.
 pub const PANIC_HYGIENE: &str = "panic-hygiene";
+/// The bounded-send rule: a plain `.send(..)` on a bounded-channel sender
+/// (`mpsc::sync_channel` / `SyncSender`) without a reasoned annotation.
+pub const BOUNDED_SEND: &str = "bounded-send";
 /// Meta-rule for malformed `lint:allow` annotations; not suppressible.
 pub const ALLOW_HYGIENE: &str = "allow-hygiene";
 
 /// Every suppressible rule, in report order.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     POISON_SAFETY,
     GUARD_ACROSS_BLOCKING,
     CLOCK_INJECTION,
     PANIC_HYGIENE,
+    BOUNDED_SEND,
 ];
 
 /// One violation: file, line, the invariant violated, and the fix.
@@ -87,6 +91,7 @@ pub fn lint_source(file: &str, source: &str) -> LintOutcome {
     raw.extend(guard_across_blocking(&ctx));
     raw.extend(clock_injection(&ctx));
     raw.extend(panic_hygiene(&ctx));
+    raw.extend(bounded_send(&ctx));
     raw.sort_by_key(|d| (d.line, d.rule));
 
     let (allows, mut hygiene) = parse_allows(file, &scanned.comments);
@@ -738,6 +743,91 @@ fn scan_spawn_body(ctx: &Ctx<'_>, start: usize, end: usize, out: &mut Vec<Diagno
     }
 }
 
+/// **bounded-send** — a plain `.send(..)` on a *bounded* channel sender
+/// blocks forever when the receiver stops draining, which on a pipeline
+/// thread is the stuck-shutdown class the command-deadline machinery exists
+/// for. Senders are recognized lexically: the first binding of a
+/// `let (tx, rx) = mpsc::sync_channel(..)` destructuring, and any binding
+/// annotated with a `SyncSender` type (fn params, struct fields). Each
+/// plain `.send(..)` through such a name needs either the non-blocking
+/// variants (`try_send`, `send_timeout` — exempt by construction) or a
+/// reasoned `lint:allow(bounded-send, ..)` arguing its drain story.
+fn bounded_send(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let mut bounded: Vec<String> = Vec::new();
+    let n = ctx.tokens.len();
+    for i in 0..n {
+        // `let (tx, rx) = mpsc::sync_channel(..)`: walk back from the call
+        // to the destructuring `let (` and take the tuple's first binding.
+        if ctx.is_i(i, "sync_channel") {
+            let mut j = i;
+            while j > 0 {
+                if ctx.is_i(j, "let") && ctx.is_p(j + 1, "(") {
+                    if let Some(name) = ctx.ident(j + 2) {
+                        bounded.push(name.to_string());
+                    }
+                    break;
+                }
+                if ctx.is_p(j, ";") || ctx.is_p(j, "{") || ctx.is_p(j, "}") {
+                    break;
+                }
+                j -= 1;
+            }
+        }
+        // `name: SyncSender<..>` / `name: &SyncSender<..>`: walk back over
+        // the type path to the annotated binding.
+        if ctx.is_i(i, "SyncSender") {
+            let mut j = i;
+            while j > 0 {
+                let prev = j - 1;
+                let skip = match ctx.tokens.get(prev) {
+                    Some(t) if t.kind == TokenKind::Punct => {
+                        matches!(t.text.as_str(), ":" | "&" | "<" | "'")
+                    }
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        matches!(t.text.as_str(), "mpsc" | "std" | "sync" | "Option" | "Arc")
+                            || ctx.is_p(prev.wrapping_sub(1), "'")
+                    }
+                    _ => false,
+                };
+                if !skip {
+                    break;
+                }
+                j = prev;
+            }
+            let Some(j) = j.checked_sub(1) else {
+                continue;
+            };
+            if ctx.is_p(j + 1, ":") {
+                if let Some(name) = ctx.ident(j) {
+                    bounded.push(name.to_string());
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for i in 0..n {
+        if ctx.is_p(i + 1, ".") && ctx.is_i(i + 2, "send") && ctx.is_p(i + 3, "(") {
+            if let Some(name) = ctx.ident(i) {
+                if bounded.iter().any(|b| b == name) {
+                    out.push(ctx.diag(
+                        i + 2,
+                        BOUNDED_SEND,
+                        format!(
+                            "plain `.send(..)` on bounded sender `{name}`: when the receiver \
+                             stops draining, this blocks the pipeline thread forever — the \
+                             stuck-shutdown class the retry/deadline machinery exists for"
+                        ),
+                        "use `try_send`/`send_timeout` with explicit failure handling, or \
+                         annotate with `// lint:allow(bounded-send, why the receiver always \
+                         drains)` stating the drain story",
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -855,6 +945,43 @@ mod tests {
             diags(src).is_empty(),
             "plain indexing is not channel indexing"
         );
+    }
+
+    #[test]
+    fn bounded_send_fires_on_sync_channel_tuple_binding() {
+        let src = "fn f() { let (tx, rx) = mpsc::sync_channel::<u32>(4); tx.send(1); }";
+        assert_eq!(rules_of(src), vec![BOUNDED_SEND]);
+    }
+
+    #[test]
+    fn bounded_send_fires_on_sync_sender_typed_params_and_fields() {
+        let src = "fn f(s1_tx: &SyncSender<Job>) { s1_tx.send(job); }";
+        assert_eq!(rules_of(src), vec![BOUNDED_SEND]);
+        let src = "struct S { tx: std::sync::mpsc::SyncSender<u32> }\nfn f(s: &S) { tx.send(1); }";
+        assert_eq!(rules_of(src), vec![BOUNDED_SEND]);
+    }
+
+    #[test]
+    fn bounded_send_exempts_nonblocking_variants_and_unbounded_senders() {
+        let src = "fn f() { let (tx, rx) = mpsc::sync_channel::<u32>(4); tx.try_send(1); }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+        let src = "fn f() { let (tx, rx) = mpsc::sync_channel::<u32>(4); tx.send_timeout(1, t); }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+        // Unbounded `mpsc::channel` senders never block: out of scope.
+        let src = "fn f() { let (tx, rx) = mpsc::channel::<u32>(); tx.send(1); }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+        // A `use` import of the type is not a binding.
+        let src = "use std::sync::mpsc::SyncSender;\nfn f() { other.send(1); }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+    }
+
+    #[test]
+    fn bounded_send_allow_with_reason_suppresses() {
+        let src = "fn f(s1_tx: &SyncSender<Job>) {\n    // lint:allow(bounded-send, the dispatcher drains until teardown)\n    s1_tx.send(job);\n}";
+        let out = lint_source("test.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.suppressed[0].rule, BOUNDED_SEND);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+// Fixture: bounded-send violations — plain `.send(..)` through a bounded
+// channel sender, both at the `sync_channel` creation site and through a
+// `SyncSender`-typed parameter (the stuck-pipeline class).
+
+use std::sync::mpsc::{self, SyncSender};
+
+fn send_on_fresh_bounded_channel() {
+    let (tx, rx) = mpsc::sync_channel::<u32>(4);
+    tx.send(7).ok();
+    let _ = rx.recv();
+}
+
+fn send_through_typed_param(s1_tx: &SyncSender<u32>, value: u32) {
+    s1_tx.send(value).ok();
+}

@@ -4,8 +4,8 @@
 
 use megis_lint::report::LintReport;
 use megis_lint::rules::{
-    lint_source, LintOutcome, ALLOW_HYGIENE, CLOCK_INJECTION, GUARD_ACROSS_BLOCKING, PANIC_HYGIENE,
-    POISON_SAFETY,
+    lint_source, LintOutcome, ALLOW_HYGIENE, BOUNDED_SEND, CLOCK_INJECTION, GUARD_ACROSS_BLOCKING,
+    PANIC_HYGIENE, POISON_SAFETY,
 };
 use std::path::{Path, PathBuf};
 
@@ -94,6 +94,20 @@ fn hygiene_fixtures() {
 
     let good = fixture("hygiene_clean.rs");
     assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+}
+
+#[test]
+fn bounded_send_fixtures() {
+    let bad = fixture("bounded_send_violation.rs");
+    assert_eq!(rule_counts(&bad, BOUNDED_SEND), 2, "{:?}", bad.diagnostics);
+    assert_eq!(bad.diagnostics.len(), 2);
+    assert!(bad.diagnostics.iter().all(|d| d.hint.contains("try_send")));
+
+    let good = fixture("bounded_send_clean.rs");
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+    // The reasoned annotation is recorded, not silently dropped.
+    assert_eq!(good.suppressed.len(), 1);
+    assert_eq!(good.suppressed[0].rule, BOUNDED_SEND);
 }
 
 #[test]

@@ -40,7 +40,8 @@ use megis_ssd::config::SsdConfig;
 use megis_ssd::timing::{ByteSize, SimDuration};
 use megis_tools::workload::WorkloadSpec;
 
-use crate::job::{JobId, JobResult, JobSpec};
+use crate::fault::FaultPlan;
+use crate::job::{JobError, JobId, JobResult, JobSpec};
 use crate::metrics::{BatchReport, LatencyStats, ShardStats};
 use crate::model::{ModeledAccount, QueueModel};
 use crate::queue::{AdmissionError, JobQueue, SchedPolicy};
@@ -100,6 +101,23 @@ pub struct EngineConfig {
     /// disables tracing entirely — the zero-cost
     /// [`crate::trace::TraceSink::disabled`] path.
     pub trace_capacity: Option<usize>,
+    /// Deterministic seeded fault-injection schedule applied at the
+    /// shard-worker seam; `None` (the default) injects nothing and the
+    /// fault path costs one `Option` check per command.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Maximum *retries* per command (re-issues after the initial attempt)
+    /// before the owning job fails with
+    /// [`crate::JobError::RetriesExhausted`].
+    pub retry_budget: u32,
+    /// Base backoff before a transient-failure re-issue; doubled per
+    /// attempt (capped at 8×), deterministic. Zero (the default) re-issues
+    /// immediately.
+    pub retry_backoff: Duration,
+    /// Deadline after which an outstanding command is considered stuck and
+    /// re-issued (counting against the retry budget); `None` (the default)
+    /// never re-issues on time. Protects the reaping loop against a
+    /// latency-spiked or wedged device.
+    pub command_deadline: Option<Duration>,
     /// Completions covered by the service-mode rolling metrics window.
     pub metrics_window: usize,
     /// Base system for the modeled-time account: the pipelining comparison
@@ -124,6 +142,10 @@ impl Default for EngineConfig {
             step3_item_latency: Duration::ZERO,
             work_stealing: true,
             trace_capacity: None,
+            fault_plan: None,
+            retry_budget: 3,
+            retry_backoff: Duration::ZERO,
+            command_deadline: None,
             metrics_window: 256,
             // The paper's multi-sample configuration (Fig. 21): without the
             // sorting accelerator, host-side sorting dominates and hides the
@@ -257,6 +279,46 @@ impl EngineConfig {
     pub fn with_trace_capacity(mut self, capacity: usize) -> EngineConfig {
         assert!(capacity > 0, "trace capacity must be positive");
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Installs a deterministic seeded [`FaultPlan`]: the shard workers
+    /// consult it before serving every command and inject the transient
+    /// errors, latency spikes, shard deaths, and worker panics it
+    /// schedules. The engine's recovery machinery (retry, failover, per-job
+    /// failure isolation) then runs for real — with a recoverable plan the
+    /// output stays byte-identical to the sequential oracle.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> EngineConfig {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Sets the per-command retry budget (re-issues after the initial
+    /// attempt; default 3). A budget of zero fails a job on its first
+    /// transient fault.
+    pub fn with_retry_budget(mut self, budget: u32) -> EngineConfig {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the base retry backoff (default zero = immediate re-issue).
+    /// The delay before attempt `n + 1` is `backoff × 2^min(n, 3)` —
+    /// capped, deterministic exponential.
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> EngineConfig {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the command deadline: an outstanding command unanswered for
+    /// this long is re-issued (counting against the retry budget), so a
+    /// stuck device delays its job instead of wedging the reaping loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn with_command_deadline(mut self, deadline: Duration) -> EngineConfig {
+        assert!(!deadline.is_zero(), "command deadline must be positive");
+        self.command_deadline = Some(deadline);
         self
     }
 
@@ -403,6 +465,7 @@ impl BatchEngine {
         if jobs.is_empty() {
             return BatchReport {
                 results: Vec::new(),
+                failed: Vec::new(),
                 wall_time: Duration::ZERO,
                 latency: LatencyStats::default(),
                 throughput: 0.0,
@@ -442,13 +505,22 @@ impl BatchEngine {
         let service_report = service.shutdown();
         let wall_time = batch_start.elapsed();
 
-        let mut results: Vec<JobResult> = handles.into_iter().filter_map(JobHandle::wait).collect();
+        let mut results: Vec<JobResult> = Vec::new();
+        let mut failed: Vec<JobError> = Vec::new();
+        for handle in handles {
+            match handle.wait() {
+                Ok(result) => results.push(result),
+                Err(error) => failed.push(error),
+            }
+        }
         results.sort_by_key(|r| r.id);
+        failed.sort_by_key(JobError::job);
         let latencies: Vec<Duration> = results.iter().map(|r| r.latency).collect();
         BatchReport {
             latency: LatencyStats::from_latencies(&latencies),
             throughput: sample_count as f64 / wall_time.as_secs_f64().max(1e-9),
             results,
+            failed,
             wall_time,
             shard_stats: service_report.shard_stats,
             resident_database_bytes: service_report.resident_database_bytes,

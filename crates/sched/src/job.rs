@@ -114,6 +114,85 @@ pub struct JobResult {
     pub breakdown: Option<StageBreakdown>,
 }
 
+/// Why a job failed while the engine kept serving others. A
+/// [`crate::JobHandle`] resolves to `Err(JobError)` for the affected job
+/// only; whole-engine poison is reserved for unrecoverable coordinator or
+/// completer death (see the failure model in `service.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A command kept failing transiently until the per-command retry
+    /// budget ran out.
+    RetriesExhausted {
+        /// The failed job.
+        job: JobId,
+        /// Stage label of the exhausted command (`"intersect"`/`"step3"`).
+        stage: &'static str,
+        /// Shard-of-record of the exhausted command.
+        shard: usize,
+        /// Attempts made (initial issue plus retries).
+        attempts: u32,
+    },
+    /// A shard worker panicked while serving one of the job's commands
+    /// (caught at the worker seam; non-recoverable for this job).
+    WorkerPanicked {
+        /// The failed job.
+        job: JobId,
+        /// Shard-of-record of the command being served.
+        shard: usize,
+    },
+    /// Every shard worker died before the job's commands could be served —
+    /// there is no survivor to fail over to.
+    NoLiveShards {
+        /// The failed job.
+        job: JobId,
+    },
+    /// The engine stopped (or its result channel closed) before delivering
+    /// the job.
+    EngineStopped {
+        /// The undelivered job.
+        job: JobId,
+    },
+}
+
+impl JobError {
+    /// The failed job's identifier.
+    pub fn job(&self) -> JobId {
+        match self {
+            JobError::RetriesExhausted { job, .. }
+            | JobError::WorkerPanicked { job, .. }
+            | JobError::NoLiveShards { job }
+            | JobError::EngineStopped { job } => *job,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::RetriesExhausted {
+                job,
+                stage,
+                shard,
+                attempts,
+            } => write!(
+                f,
+                "{job} failed: {stage} command on shard {shard} still failing after {attempts} attempts (retry budget exhausted)"
+            ),
+            JobError::WorkerPanicked { job, shard } => {
+                write!(f, "{job} failed: shard {shard} worker panicked serving its command")
+            }
+            JobError::NoLiveShards { job } => {
+                write!(f, "{job} failed: no live shard left to serve its commands")
+            }
+            JobError::EngineStopped { job } => {
+                write!(f, "{job} failed: engine stopped before delivering the result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +216,33 @@ mod tests {
     #[test]
     fn job_id_displays_compactly() {
         assert_eq!(JobId(7).to_string(), "job#7");
+    }
+
+    #[test]
+    fn job_error_is_a_std_error_with_a_cause_in_display() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(JobError::RetriesExhausted {
+                job: JobId(3),
+                stage: "intersect",
+                shard: 1,
+                attempts: 4,
+            }),
+            Box::new(JobError::WorkerPanicked {
+                job: JobId(3),
+                shard: 0,
+            }),
+            Box::new(JobError::NoLiveShards { job: JobId(3) }),
+            Box::new(JobError::EngineStopped { job: JobId(3) }),
+        ];
+        for e in &errors {
+            let text = e.to_string();
+            assert!(text.contains("job#3"), "{text}");
+            assert!(text.contains("failed"), "{text}");
+        }
+        assert_eq!(
+            JobError::NoLiveShards { job: JobId(9) }.job(),
+            JobId(9),
+            "the job accessor names the failed job"
+        );
     }
 }

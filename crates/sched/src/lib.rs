@@ -32,6 +32,14 @@
 //!   ([`ServiceReport::stage_overlap_events`] counts the observations),
 //! * [`engine`] — the closed-batch front end ([`BatchEngine`]), a thin
 //!   wrapper that hands each batch to the same executor,
+//! * [`fault`] — deterministic seeded fault injection ([`FaultPlan`]):
+//!   transient command failures, latency spikes, permanent shard death, and
+//!   targeted worker panics, decided purely from `(seed, command identity)`
+//!   so chaos runs replay exactly. The executor's recovery machinery —
+//!   per-command retry with capped backoff, command deadlines, shard
+//!   failover, per-job failure isolation ([`JobError`]) — lives in
+//!   [`service`] and is exercised by the seeded chaos suite
+//!   (`tests/fault_tolerance.rs`),
 //! * [`metrics`] — operational metrics ([`BatchReport`]: latency p50/p99,
 //!   throughput in samples/sec, per-shard utilization; [`RollingWindow`]
 //!   for live service-mode metrics),
@@ -142,6 +150,14 @@
 //!   pipeline-thread panic starts poison propagation, so it has to be
 //!   visibly deliberate.
 //!
+//! * **bounded-send** — a plain `.send(..)` on a *bounded* channel sender
+//!   (`mpsc::sync_channel` / `SyncSender`) must either use the
+//!   non-blocking/timeout variants or carry a reasoned
+//!   `lint:allow(bounded-send, ..)`: a bounded send that blocks forever is
+//!   the stuck-pipeline class the command-deadline machinery exists for,
+//!   and every such block must argue its drain story in-source (see the
+//!   Step 1 hand-off in `service.rs` for the canonical annotation).
+//!
 //! Suppressions are never silent: each needs a
 //! `// lint:allow(rule, reason)` with a mandatory reason, and the lint
 //! report lists every one in effect.
@@ -180,6 +196,7 @@
 // this attribute keeps the guarantee visible at the crate root.
 #![forbid(unsafe_code)]
 pub mod engine;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod model;
@@ -189,7 +206,8 @@ pub mod shard;
 pub mod trace;
 
 pub use engine::{BatchEngine, EngineConfig, PartialAdmission};
-pub use job::{JobId, JobResult, JobSpec, Priority};
+pub use fault::{FaultDecision, FaultPlan};
+pub use job::{JobError, JobId, JobResult, JobSpec, Priority};
 pub use metrics::{BatchReport, LatencyStats, RollingWindow, ShardStats};
 pub use model::{ModeledAccount, QueueModel};
 pub use queue::{AdmissionError, JobQueue, SchedPolicy};

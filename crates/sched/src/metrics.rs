@@ -5,7 +5,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use crate::job::JobResult;
+use crate::job::{JobError, JobResult};
 use crate::model::ModeledAccount;
 use crate::trace::{StageBreakdown, StragglerReport, TraceLog};
 
@@ -188,6 +188,20 @@ pub struct ShardStats {
     /// [`crate::EngineConfig::queue_depth`]. A value ≥ 2 means several
     /// samples' commands were genuinely in flight on the device at once.
     pub peak_inflight: usize,
+    /// Injected command faults this shard's worker reported (transient
+    /// errors plus dead-shard rejections; zero without a
+    /// [`crate::fault::FaultPlan`]).
+    pub faults: u64,
+    /// Commands re-issued after a transient failure or deadline expiry,
+    /// charged to the command's shard-of-record. With a fully recoverable
+    /// plan, `sum(retries) == sum(faults)` across shards.
+    pub retries: u64,
+    /// Re-issues routed to a *different* (surviving) shard because this
+    /// shard-of-record was dead; a subset of [`ShardStats::retries`].
+    pub failovers: u64,
+    /// Whether the shard's worker died permanently during the run (fault
+    /// plan shard death).
+    pub dead: bool,
 }
 
 /// Everything a batch run reports.
@@ -195,6 +209,10 @@ pub struct ShardStats {
 pub struct BatchReport {
     /// Per-job results, sorted by [`crate::job::JobId`].
     pub results: Vec<JobResult>,
+    /// Jobs that failed in isolation (retry budget exhausted, worker panic,
+    /// no live shard), sorted by job id; empty on a clean run. The engine
+    /// kept serving the jobs in [`BatchReport::results`].
+    pub failed: Vec<JobError>,
     /// Wall-clock time of the whole batch (first dispatch to last
     /// completion).
     pub wall_time: Duration,
@@ -286,6 +304,9 @@ impl BatchReport {
             self.mapped_reads(),
             self.stage_overlap_events,
         ));
+        if let Some(line) = degraded_line(&self.shard_stats, self.failed.len() as u64) {
+            out.push_str(&line);
+        }
         out.push_str(&stage_breakdown_line(self.stage_breakdown.as_ref()));
         match &self.modeled {
             Some(modeled) => {
@@ -379,12 +400,60 @@ pub(crate) fn residency_and_step3_lines(
     out
 }
 
+/// Renders the degraded-mode summary line shared by both report summaries —
+/// only when there was fault activity (injected faults, retries, failovers,
+/// dead shards, or failed jobs), so clean-run summaries are byte-identical
+/// to the pre-fault-tolerance format.
+pub(crate) fn degraded_line(shard_stats: &[ShardStats], failed_jobs: u64) -> Option<String> {
+    let faults: u64 = shard_stats.iter().map(|s| s.faults).sum();
+    let retries: u64 = shard_stats.iter().map(|s| s.retries).sum();
+    let failovers: u64 = shard_stats.iter().map(|s| s.failovers).sum();
+    let dead: Vec<String> = shard_stats
+        .iter()
+        .filter(|s| s.dead)
+        .map(|s| s.shard.to_string())
+        .collect();
+    if faults == 0 && retries == 0 && failovers == 0 && dead.is_empty() && failed_jobs == 0 {
+        return None;
+    }
+    let dead_text = if dead.is_empty() {
+        "none".to_string()
+    } else {
+        format!("[{}]", dead.join(", "))
+    };
+    Some(format!(
+        "degraded mode: {faults} command faults, {retries} retries ({failovers} failovers), \
+         dead shards: {dead_text}, failed jobs: {failed_jobs}\n"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ms(v: u64) -> Duration {
         Duration::from_millis(v)
+    }
+
+    #[test]
+    fn degraded_line_appears_only_under_fault_activity() {
+        let clean = vec![ShardStats::default(), ShardStats::default()];
+        assert_eq!(degraded_line(&clean, 0), None);
+
+        let mut stats = clean.clone();
+        stats[1].shard = 1;
+        stats[1].faults = 3;
+        stats[1].retries = 3;
+        stats[1].failovers = 1;
+        stats[1].dead = true;
+        let line = degraded_line(&stats, 2).expect("fault activity renders the line");
+        assert!(line.contains("3 command faults"), "{line}");
+        assert!(line.contains("3 retries (1 failovers)"), "{line}");
+        assert!(line.contains("dead shards: [1]"), "{line}");
+        assert!(line.contains("failed jobs: 2"), "{line}");
+
+        let failed_only = degraded_line(&clean, 1).expect("failed jobs alone render the line");
+        assert!(failed_only.contains("dead shards: none"), "{failed_only}");
     }
 
     #[test]

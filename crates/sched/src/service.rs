@@ -114,11 +114,36 @@
 //! commands — the behavior [`crate::model::QueueModel`] prices analytically
 //! and the `queue_depth_sweep` experiment measures.
 //!
-//! **Failure.** If a pipeline thread panics (a dispatched position that
-//! would otherwise never complete), the service is *poisoned*:
-//! [`StreamingEngine::drain`] and [`StreamingEngine::shutdown`] propagate
-//! the failure as a panic instead of blocking forever, and outstanding
-//! [`JobHandle`]s yield `None`.
+//! **Failure.** Failure handling is layered, mirroring how a real device
+//! array degrades, and every layer is exercised deterministically by an
+//! injected [`crate::FaultPlan`] ([`crate::EngineConfig::with_fault_plan`]):
+//!
+//! 1. *Retry.* A command that fails transiently is re-issued by the
+//!    completer with capped exponential backoff
+//!    ([`crate::EngineConfig::with_retry_backoff`]) against a per-command
+//!    retry budget ([`crate::EngineConfig::with_retry_budget`]); an optional
+//!    command deadline ([`crate::EngineConfig::with_command_deadline`])
+//!    treats a stuck command as a transient failure of its current attempt,
+//!    so a hung device cannot stall a job forever. A command keeps its NVMe
+//!    queue-depth slot from first issue to final resolution — retries never
+//!    double-count against the depth gate, and stale completions of
+//!    superseded attempts are ignored.
+//! 2. *Failover.* When a shard's worker dies permanently, surviving workers
+//!    adopt the commands still queued on the dead shard's deque, and retries
+//!    of its failed commands are re-issued to a surviving queue. Every
+//!    worker holds the zero-copy [`ShardSet`], so any device can serve any
+//!    shard's database range and outputs stay byte-identical; results stay
+//!    keyed on the *shard-of-record*, so failover is invisible to the merge
+//!    bookkeeping.
+//! 3. *Per-job failure.* A worker panic (caught at the serving seam) or an
+//!    exhausted retry budget fails only the owning job: its [`JobHandle`]
+//!    resolves to `Err(`[`JobError`]`)`, delivered in dispatch order like
+//!    any result, and the engine keeps serving every other job.
+//! 4. *Poison.* Only unrecoverable pipeline failures — a Step 1 worker, the
+//!    dispatcher, or the completer panicking — poison the whole service:
+//!    [`StreamingEngine::drain`] and [`StreamingEngine::shutdown`] propagate
+//!    the failure as a panic instead of blocking forever, and outstanding
+//!    [`JobHandle`]s resolve to `Err(JobError::EngineStopped)`.
 //!
 //! **Delivery.** Each submission returns a [`JobHandle`]; the result is sent
 //! on the handle's channel the moment the job completes, so clients consume
@@ -175,11 +200,13 @@ use megis_genomics::kmer::Kmer;
 use megis_genomics::sample::Sample;
 
 use crate::engine::EngineConfig;
-use crate::job::{JobId, JobResult, JobSpec, Priority};
+use crate::fault::FaultDecision;
+use crate::job::{JobError, JobId, JobResult, JobSpec, Priority};
 use crate::metrics::{LatencyStats, RollingWindow, ShardStats};
 use crate::queue::{AdmissionError, JobQueue, QueuedJob};
 use crate::shard::{
-    CommandOutput, IntersectCommand, ShardCommand, ShardSet, ShardWorker, Step3Command,
+    CommandFailure, CommandOutput, IntersectCommand, ShardCommand, ShardSet, ShardWorker,
+    Step3Command,
 };
 use crate::trace::{
     StageBreakdown, StragglerReport, TraceEventKind, TraceLog, TraceSink, TraceStage, NO_SEQ,
@@ -200,16 +227,26 @@ struct PreparedJob {
     step1: Step1Output,
 }
 
-/// One completion reaped from a shard, tagged with its origin.
+/// One completion reaped from a shard, tagged with its origin. Completions
+/// are Result-shaped: a served command reports `Ok(output)`, a faulted one
+/// reports `Err(failure)` and the completer decides between retry,
+/// failover, and per-job failure.
 struct ShardCompletion {
     /// The *shard-of-record*: the queue the command was issued to, not
     /// necessarily the device that served it (an idle peer may have stolen
-    /// a Step 3 command). Depth accounting and the reducer's part positions
-    /// key on this, so stealing is invisible to the completer's merge
-    /// bookkeeping.
+    /// a Step 3 command, or adopted anything from a dead peer). Depth
+    /// accounting and the reducer's part positions key on this, so stealing
+    /// and failover are invisible to the completer's merge bookkeeping.
     shard: usize,
     seq: usize,
-    output: CommandOutput,
+    /// The attempt this completion settles; stale completions of superseded
+    /// attempts (a deadline re-issue overtook them) are ignored.
+    attempt: u32,
+    /// The command kind, carried explicitly so failed completions (which
+    /// have no output to infer it from) still settle the right stage
+    /// counter.
+    stage: TraceStage,
+    result: Result<CommandOutput, CommandFailure>,
 }
 
 /// The per-device command queues, restructured from N private channels into
@@ -242,14 +279,20 @@ struct QueuesInner {
     /// Whether idle devices may steal Step 3 commands from peers
     /// ([`crate::EngineConfig::work_stealing`]).
     work_stealing: bool,
+    /// Shards whose worker died permanently (an injected shard death).
+    /// Commands left on a dead shard's queue are adopted by live peers —
+    /// *any* command kind, independent of the work-stealing setting — and
+    /// retries of its failed commands are re-issued elsewhere.
+    dead: Vec<bool>,
 }
 
-/// One command handed to a worker, with its provenance.
+/// One command handed to a worker, with its provenance. The command itself
+/// names its shard-of-record ([`ShardCommand::record_shard`]) — under
+/// failover re-issue that can differ from the queue it sat on, so the queue
+/// index is deliberately not carried here.
 struct PoppedCommand {
     command: ShardCommand,
-    /// The queue the command came from (the shard-of-record).
-    record_shard: usize,
-    /// `true` when the serving device is not the shard-of-record.
+    /// `true` when the serving device took the command off a peer's queue.
     stolen: bool,
 }
 
@@ -260,6 +303,7 @@ impl CommandQueues {
                 queues: (0..shard_count).map(|_| VecDeque::new()).collect(),
                 producers: 0,
                 work_stealing,
+                dead: vec![false; shard_count],
             }),
             ready: Condvar::new(),
         })
@@ -281,19 +325,49 @@ impl CommandQueues {
         }
     }
 
+    /// Marks a shard's worker permanently dead (injected shard death) and
+    /// wakes every waiting peer so its queue can be adopted immediately.
+    fn mark_dead(&self, index: usize) {
+        self.lock().dead[index] = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether a shard's worker died permanently.
+    fn is_dead(&self, index: usize) -> bool {
+        self.lock().dead[index]
+    }
+
     /// Blocks until device `index` has a command to serve — its own queue's
-    /// back, or (with stealing on) the oldest Step 3 command of some peer —
-    /// or returns `None` when no command can ever arrive again (queues
-    /// drained, producers gone).
+    /// back, a dead peer's abandoned queue, or (with stealing on) the oldest
+    /// Step 3 command of some live peer — or returns `None` when no command
+    /// can ever arrive again (queues drained, producers gone).
     fn pop(&self, index: usize) -> Option<PoppedCommand> {
         let mut inner = self.lock();
         loop {
             if let Some(command) = inner.queues[index].pop_back() {
                 return Some(PoppedCommand {
                     command,
-                    record_shard: index,
                     stolen: false,
                 });
+            }
+            // A dead peer's queue can never be served by its owner again:
+            // adopt its oldest command unconditionally — *any* kind, not
+            // just the stealable Step 3 ones, since every worker holds the
+            // whole shard set and an [`IntersectCommand`] names its
+            // database range explicitly.
+            {
+                let n = inner.queues.len();
+                for offset in 1..n {
+                    let peer = (index + offset) % n;
+                    if inner.dead[peer] {
+                        if let Some(command) = inner.queues[peer].pop_front() {
+                            return Some(PoppedCommand {
+                                command,
+                                stolen: true,
+                            });
+                        }
+                    }
+                }
             }
             if inner.work_stealing {
                 let n = inner.queues.len();
@@ -306,7 +380,6 @@ impl CommandQueues {
                         let command = inner.queues[peer].remove(pos).expect("position just found");
                         return Some(PoppedCommand {
                             command,
-                            record_shard: peer,
                             stolen: true,
                         });
                     }
@@ -363,6 +436,28 @@ struct IspMeta {
     prepared: PreparedJob,
 }
 
+/// Dispatcher → completer stream. `Issued` records travel on the same
+/// ordered channel as the job metas and are sent *before* the command is
+/// pushed onto a shard queue, so by the time any completion of a command
+/// can exist, its registration is already queued ahead of it — the
+/// completer absorbs this channel before reaping and therefore always
+/// knows the command it is settling (the invariant the retry machinery
+/// keys on).
+enum DispatchMsg {
+    /// A sample entered the in-SSD stage.
+    Job(IspMeta),
+    /// An intersect command was issued to `shard`'s queue; the command
+    /// itself is carried (cheap: `Arc`-shared payloads) so the completer
+    /// can re-issue it on failure. Step 3 commands register directly in
+    /// `submit_backlog` — same thread as the reaping — and don't pass
+    /// through here.
+    Issued {
+        /// The target queue (= shard-of-record).
+        shard: usize,
+        command: ShardCommand,
+    },
+}
+
 /// Per-job state machine at the completer: Step 2 merge accounting, then
 /// Step 3 dispatch and merge accounting, then (in delivery order) reduce.
 struct MergeState {
@@ -389,12 +484,18 @@ struct MergeState {
     /// submission backlog (also set for jobs with no candidates, whose
     /// Step 3 is trivially complete).
     step3_dispatched: bool,
+    /// Set when the job failed (worker panic, exhausted retry budget, no
+    /// live shard): the job is delivered as `Err` at its turn in dispatch
+    /// order, isolated from every other job.
+    failed: Option<JobError>,
 }
 
 impl MergeState {
-    /// Every expected completion of both stages has been reaped.
+    /// Every expected completion of both stages has been reaped — or the
+    /// job failed and is ready to deliver its error at its ordered turn.
     fn is_complete(&self) -> bool {
-        self.remaining == 0 && self.step3_dispatched && self.step3_remaining == 0
+        self.failed.is_some()
+            || (self.remaining == 0 && self.step3_dispatched && self.step3_remaining == 0)
     }
 }
 
@@ -403,8 +504,10 @@ impl MergeState {
 struct ServiceState {
     /// The live admission queue; workers `pop_next` it at dispatch time.
     queue: JobQueue,
-    /// Per-job result channels, removed at delivery.
-    senders: HashMap<u64, mpsc::Sender<JobResult>>,
+    /// Per-job result channels, removed at delivery. A failed job's error
+    /// travels the same channel as a result would, so handles resolve in
+    /// either case.
+    senders: HashMap<u64, mpsc::Sender<Result<JobResult, JobError>>>,
     /// Next service position to assign (same critical section as the pop).
     next_position: usize,
     /// Jobs popped but not yet completed by the in-SSD stage.
@@ -433,6 +536,15 @@ struct ServiceState {
     /// Submissions that observed a command of the *other* stage
     /// outstanding; reported as [`ServiceReport::stage_overlap_events`].
     stage_overlap_events: u64,
+    /// Commands re-issued after a failure, per shard-of-record; merged into
+    /// [`ShardStats::retries`] at shutdown.
+    shard_retries: Vec<u64>,
+    /// Retries routed to a different device because the shard-of-record is
+    /// dead, per (dead) shard-of-record; merged into
+    /// [`ShardStats::failovers`] at shutdown.
+    shard_failovers: Vec<u64>,
+    /// Jobs that failed with a [`JobError`] while the engine kept serving.
+    failed_jobs: u64,
     /// Reads mapped during Step 3 across all delivered jobs.
     mapped_reads: u64,
     /// Set when a pipeline thread panics; drain/shutdown propagate it as a
@@ -517,6 +629,10 @@ pub struct ServiceReport {
     /// one sample's Step 3 mapping overlapped another sample's Step 2
     /// intersection in the command queues.
     pub stage_overlap_events: u64,
+    /// Jobs that failed with a [`JobError`] while the engine kept serving
+    /// (per-job failure isolation); their handles resolved to `Err` and
+    /// they are not counted in [`ServiceReport::completed`].
+    pub failed_jobs: u64,
     /// Latency distribution over the final rolling window.
     pub window: LatencyStats,
     /// Mean per-job stage breakdown over the jobs whose timelines the trace
@@ -550,6 +666,9 @@ impl ServiceReport {
             self.mapped_reads,
             self.stage_overlap_events,
         ));
+        if let Some(line) = crate::metrics::degraded_line(&self.shard_stats, self.failed_jobs) {
+            out.push_str(&line);
+        }
         out.push_str(&crate::metrics::stage_breakdown_line(
             self.stage_breakdown.as_ref(),
         ));
@@ -559,13 +678,15 @@ impl ServiceReport {
 
 /// Claim on one submitted job's result.
 ///
-/// The result is sent the moment the job completes; [`JobHandle::wait`]
-/// blocks until then. If the engine is dropped before the job is served
-/// (which only happens on teardown without a drain), waiting yields `None`.
+/// The outcome is sent the moment the job settles; [`JobHandle::wait`]
+/// blocks until then and resolves `Ok(JobResult)` for a served job or
+/// `Err(`[`JobError`]`)` for one that failed while the engine kept serving
+/// (per-job failure isolation). If the engine stops — or is poisoned —
+/// before the job is served, waiting yields `Err(JobError::EngineStopped)`.
 #[derive(Debug)]
 pub struct JobHandle {
     id: JobId,
-    rx: Receiver<JobResult>,
+    rx: Receiver<Result<JobResult, JobError>>,
 }
 
 impl JobHandle {
@@ -574,20 +695,23 @@ impl JobHandle {
         self.id
     }
 
-    /// Blocks until the job completes and returns its result, or `None` if
-    /// the engine stopped without serving it.
-    pub fn wait(self) -> Option<JobResult> {
-        self.rx.recv().ok()
+    /// Blocks until the job settles and returns its outcome;
+    /// `Err(JobError::EngineStopped)` if the engine stopped without serving
+    /// it.
+    pub fn wait(self) -> Result<JobResult, JobError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(JobError::EngineStopped { job: self.id }))
     }
 
-    /// Returns the result if the job has already completed, without
+    /// Returns the outcome if the job has already settled, without
     /// blocking.
-    pub fn try_wait(&self) -> Option<JobResult> {
+    pub fn try_wait(&self) -> Option<Result<JobResult, JobError>> {
         self.rx.try_recv().ok()
     }
 
-    /// Blocks up to `timeout` for the result.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+    /// Blocks up to `timeout` for the outcome.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobResult, JobError>> {
         self.rx.recv_timeout(timeout).ok()
     }
 }
@@ -656,6 +780,9 @@ impl StreamingEngine {
                 intersect_inflight: 0,
                 step3_inflight: 0,
                 stage_overlap_events: 0,
+                shard_retries: vec![0; shard_count],
+                shard_failovers: vec![0; shard_count],
+                failed_jobs: 0,
                 mapped_reads: 0,
                 poisoned: false,
                 accepting: true,
@@ -682,14 +809,15 @@ impl StreamingEngine {
         let (stats_tx, stats_rx) = mpsc::channel::<ShardStats>();
         let (resp_tx, resp_rx) = mpsc::channel::<ShardCompletion>();
         let mut shard_handles = Vec::with_capacity(shard_count);
-        for (index, shard) in shards.shards().iter().enumerate() {
+        for index in 0..shard_count {
             let queues = Arc::clone(&queues);
-            let worker = ShardWorker::new(Arc::clone(shard), Arc::clone(&analyzer));
+            let worker = ShardWorker::new(shards.clone(), Arc::clone(&analyzer));
             let resp_tx = resp_tx.clone();
             let stats_tx = stats_tx.clone();
             let shared = Arc::clone(&shared);
             let device_latency = config.device_latency;
             let step3_item_latency = config.step3_item_latency;
+            let fault_plan = config.fault_plan.clone();
             let trace = trace.clone();
             shard_handles.push(thread::spawn(move || {
                 let _guard = PanicGuard(&shared);
@@ -699,18 +827,123 @@ impl StreamingEngine {
                 let mut step3_served = 0u64;
                 let mut step3_items = 0u64;
                 let mut stolen_items = 0u64;
+                let mut faults = 0u64;
+                let mut dead = false;
+                let mut popped_total = 0u64;
+                let death_after = fault_plan.as_ref().and_then(|p| p.death_after(index));
                 while let Some(popped) = queues.pop(index) {
                     let command = popped.command;
-                    let stage = match &command {
-                        ShardCommand::Intersect(_) => TraceStage::Intersect,
-                        ShardCommand::Step3(_) => TraceStage::Step3,
-                    };
+                    let stage = command.stage();
+                    let seq = command.seq();
+                    // The command's *own* record shard, not the queue it was
+                    // popped from: after a failover re-issue the two differ,
+                    // and completions must carry the identity the completer
+                    // keyed the outstanding entry (and the Step 3 reduce
+                    // slot) on.
+                    let record = command.record_shard();
+                    let attempt = command.attempt();
+                    popped_total += 1;
+                    // Injected permanent shard death: after serving
+                    // `death_after` commands the worker dies with the next
+                    // command in hand. That command fails with a dead-shard
+                    // error (the completer fails it over to a survivor) and
+                    // everything still queued here is adopted by live peers
+                    // via `CommandQueues::pop`.
+                    if death_after.is_some_and(|after| popped_total > after) {
+                        queues.mark_dead(index);
+                        faults += 1;
+                        dead = true;
+                        trace.record(
+                            seq,
+                            TraceEventKind::Fault {
+                                stage,
+                                shard: record,
+                            },
+                        );
+                        let _ = resp_tx.send(ShardCompletion {
+                            shard: record,
+                            seq,
+                            attempt,
+                            stage,
+                            result: Err(CommandFailure::ShardDead),
+                        });
+                        break;
+                    }
+                    // Fault decisions key on the command identity — the
+                    // *record* shard, never the physical server — so a
+                    // plan's schedule is independent of stealing and
+                    // failover routing. The fault-free hot path pays one
+                    // `Option` check.
+                    let mut spike = Duration::ZERO;
+                    match fault_plan
+                        .as_ref()
+                        .and_then(|p| p.decide(seq, record, stage, attempt))
+                    {
+                        Some(FaultDecision::Transient) => {
+                            faults += 1;
+                            trace.record(
+                                seq,
+                                TraceEventKind::Fault {
+                                    stage,
+                                    shard: record,
+                                },
+                            );
+                            let failed = ShardCompletion {
+                                shard: record,
+                                seq,
+                                attempt,
+                                stage,
+                                result: Err(CommandFailure::Transient),
+                            };
+                            if resp_tx.send(failed).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        Some(FaultDecision::Panic) => {
+                            faults += 1;
+                            trace.record(
+                                seq,
+                                TraceEventKind::Fault {
+                                    stage,
+                                    shard: record,
+                                },
+                            );
+                            // Caught right here at the serving seam: the
+                            // injected panic must fail only the owning job,
+                            // never unwind the worker (the `PanicGuard`
+                            // stays un-tripped and the engine keeps
+                            // serving).
+                            let caught = std::panic::catch_unwind(|| {
+                                // lint:allow(panic-hygiene, the injected
+                                // worker panic is caught by the enclosing
+                                // catch_unwind at the serving seam and
+                                // surfaces as a per-job error, not a thread
+                                // death)
+                                panic!("injected worker panic");
+                            });
+                            debug_assert!(caught.is_err());
+                            let failed = ShardCompletion {
+                                shard: record,
+                                seq,
+                                attempt,
+                                stage,
+                                result: Err(CommandFailure::Panicked),
+                            };
+                            if resp_tx.send(failed).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        Some(FaultDecision::Spike(extra)) => spike = extra,
+                        None => {}
+                    }
                     // Trace events and stats credit the *physical* serving
                     // device (`index`): the straggler analyzer sums real
                     // per-device service intervals, which under stealing
                     // differ from the shard-of-record's queue.
                     trace.record(
-                        command.seq(),
+                        seq,
                         TraceEventKind::CommandStarted {
                             stage,
                             shard: index,
@@ -725,7 +958,12 @@ impl StreamingEngine {
                     // *modeled bytes* (`stream_units`, cost-normalized so
                     // uniform candidates reproduce the old per-item sleep),
                     // so candidate skew the partitioner could not split
-                    // shows up as per-device busy-time skew.
+                    // shows up as per-device busy-time skew. An injected
+                    // latency spike stalls the device first — busy time the
+                    // command deadline exists to cut short.
+                    if !spike.is_zero() {
+                        thread::sleep(spike);
+                    }
                     if !device_latency.is_zero() {
                         thread::sleep(device_latency);
                     }
@@ -750,16 +988,18 @@ impl StreamingEngine {
                         }
                     }
                     trace.record(
-                        command.seq(),
+                        seq,
                         TraceEventKind::CommandCompleted {
                             stage,
                             shard: index,
                         },
                     );
                     let completion = ShardCompletion {
-                        shard: popped.record_shard,
-                        seq: command.seq(),
-                        output,
+                        shard: record,
+                        seq,
+                        attempt,
+                        stage,
+                        result: Ok(output),
                     };
                     if resp_tx.send(completion).is_err() {
                         break;
@@ -774,6 +1014,10 @@ impl StreamingEngine {
                     step3_items,
                     stolen_items,
                     peak_inflight: 0,
+                    faults,
+                    retries: 0,
+                    failovers: 0,
+                    dead,
                 });
             }));
         }
@@ -810,7 +1054,7 @@ impl StreamingEngine {
         // guards on the shard queues; the completer releases its guard once
         // no more Step 3 commands can ever be issued, which is what lets
         // the shard workers (and then the completer itself) wind down.
-        let (meta_tx, meta_rx) = mpsc::channel::<IspMeta>();
+        let (meta_tx, meta_rx) = mpsc::channel::<DispatchMsg>();
         let dispatcher = {
             let shared = Arc::clone(&shared);
             let shard_set = shards.clone();
@@ -832,19 +1076,29 @@ impl StreamingEngine {
         };
         let completer = {
             let shared = Arc::clone(&shared);
+            let queues = Arc::clone(&queues);
             let queue_depth = config.queue_depth;
             let submission_latency = config.submission_latency;
             let completion_latency = config.completion_latency;
+            let retry_budget = config.retry_budget;
+            let retry_backoff = config.retry_backoff;
+            let command_deadline = config.command_deadline;
             let trace = trace.clone();
             thread::spawn(move || {
                 IspCompleter {
                     shared: &shared,
                     analyzer: &analyzer,
                     producer: Some(completer_producer),
+                    queues,
                     shard_count,
                     queue_depth,
                     pending: BTreeMap::new(),
                     backlog: VecDeque::new(),
+                    outstanding: HashMap::new(),
+                    retry_due: Vec::new(),
+                    retry_budget,
+                    retry_backoff,
+                    command_deadline,
                     next_to_deliver: 0,
                     meta_open: true,
                     submission_latency,
@@ -1028,6 +1282,8 @@ impl StreamingEngine {
         let state = self.shared.lock();
         for stats in &mut shard_stats {
             stats.peak_inflight = state.shard_inflight_peak[stats.shard];
+            stats.retries = state.shard_retries[stats.shard];
+            stats.failovers = state.shard_failovers[stats.shard];
         }
         let (stage_breakdown, straggler, trace) = if self.trace.is_enabled() {
             let events = self.trace.events();
@@ -1049,6 +1305,7 @@ impl StreamingEngine {
             resident_database_bytes: self.shards.resident_bytes(),
             mapped_reads: state.mapped_reads,
             stage_overlap_events: state.stage_overlap_events,
+            failed_jobs: state.failed_jobs,
             window: state.window.stats(),
             stage_breakdown,
             straggler,
@@ -1146,6 +1403,10 @@ fn step1_worker(
             step1_time: started.elapsed(),
             step1,
         };
+        // lint:allow(bounded-send, the hand-off channel is bounded by
+        // workers + 1 and the dispatcher drains it unconditionally until
+        // its receiver closes; a closed receiver (teardown) returns Err
+        // here and exits the worker, so this send cannot wedge a shutdown)
         if s1_tx.send(prepared).is_err() {
             return;
         }
@@ -1161,7 +1422,7 @@ fn isp_dispatcher(
     shards: &ShardSet,
     s1_rx: Receiver<PreparedJob>,
     producer: QueueProducer,
-    meta_tx: Sender<IspMeta>,
+    meta_tx: Sender<DispatchMsg>,
     queue_depth: usize,
     submission_latency: Duration,
     trace: &TraceSink,
@@ -1218,7 +1479,7 @@ fn dispatch_one(
     shared: &Shared,
     shards: &ShardSet,
     producer: &QueueProducer,
-    meta_tx: &Sender<IspMeta>,
+    meta_tx: &Sender<DispatchMsg>,
     prepared: PreparedJob,
     isp_position: usize,
     queue_depth: usize,
@@ -1248,7 +1509,7 @@ fn dispatch_one(
         isp_start,
         prepared,
     };
-    if meta_tx.send(meta).is_err() {
+    if meta_tx.send(DispatchMsg::Job(meta)).is_err() {
         return false;
     }
     for (shard, range) in targets {
@@ -1290,7 +1551,21 @@ fn dispatch_one(
             seq,
             queries: Arc::clone(&queries),
             range,
+            shard,
+            attempt: 0,
         });
+        // Register the issued command with the completer *before* it can
+        // reach a shard queue: the completer absorbs this channel before
+        // reaping, so every completion finds its command outstanding.
+        if meta_tx
+            .send(DispatchMsg::Issued {
+                shard,
+                command: command.clone(),
+            })
+            .is_err()
+        {
+            return false;
+        }
         trace.record(
             seq,
             TraceEventKind::CommandIssued {
@@ -1303,6 +1578,17 @@ fn dispatch_one(
     true
 }
 
+/// Deterministic capped exponential backoff for retry attempt `attempt`
+/// (0-based): `base × 2^min(attempt, 3)`. A zero base means immediate
+/// re-issue — the default, and what keeps the chaos tests fast.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    if base.is_zero() {
+        Duration::ZERO
+    } else {
+        base * (1u32 << attempt.min(3))
+    }
+}
+
 /// The in-SSD completer: reaps per-shard completions of *both* stages out
 /// of order, keeps a per-job state machine (intersections → Step 2 taxID
 /// retrieval → incrementally folded per-device Step 3 partials), submits
@@ -1311,13 +1597,35 @@ fn dispatch_one(
 /// in — and every earlier sequence number has been delivered — finishes
 /// the incremental reduction and delivers the result strictly in dispatch
 /// order.
+/// Identity of one outstanding command: `(seq, shard-of-record, stage)`.
+/// Stable across retries and failover — re-issues keep the key and bump
+/// only the attempt counter, so a completion always finds the entry for
+/// the command it answers (or finds a newer attempt and is discarded as
+/// stale).
+type CommandKey = (usize, usize, TraceStage);
+
+/// One issued-but-unreaped command, retained by the completer so it can be
+/// re-issued on a transient failure, a dead shard, or a blown deadline.
+/// Cheap to keep: commands share their sample/query payloads through
+/// `Arc`s.
+struct OutstandingCommand {
+    command: ShardCommand,
+    /// When the current attempt was issued; the command deadline measures
+    /// from here.
+    issued_at: Instant,
+}
+
 struct IspCompleter<'a> {
     shared: &'a Shared,
     analyzer: &'a Arc<MegisAnalyzer>,
     /// Producer guard on the per-shard command queues; set to `None` once
-    /// no further Step 3 command can ever be issued, releasing the shard
-    /// workers (and then this completer) to wind down.
+    /// no further command — Step 3 *or* a retry of either stage — can ever
+    /// be issued, releasing the shard workers (and then this completer) to
+    /// wind down.
     producer: Option<QueueProducer>,
+    /// The shard queues themselves, for failure routing: `is_dead` picks a
+    /// live target for re-issues away from a dead shard.
+    queues: Arc<CommandQueues>,
     shard_count: usize,
     queue_depth: usize,
     pending: BTreeMap<usize, MergeState>,
@@ -1326,6 +1634,17 @@ struct IspCompleter<'a> {
     /// blocking on the depth gate: reaping is the only thing that frees
     /// slots, so the thread that reaps must never wait for one.
     backlog: VecDeque<(usize, ShardCommand)>,
+    /// Every issued command awaiting its final completion — the retry and
+    /// failover ledger. A command's queue-depth slot is held from its
+    /// *first* issue to its final resolution, so re-issues never re-gate
+    /// (see the failure model in the module docs).
+    outstanding: HashMap<CommandKey, OutstandingCommand>,
+    /// Commands waiting out a retry backoff: `(due, key)` pairs, fired by
+    /// `fire_due_retries` once due.
+    retry_due: Vec<(Instant, CommandKey)>,
+    retry_budget: u32,
+    retry_backoff: Duration,
+    command_deadline: Option<Duration>,
     next_to_deliver: usize,
     /// `false` once the dispatcher exited and its meta channel drained (no
     /// further jobs will ever arrive).
@@ -1336,19 +1655,23 @@ struct IspCompleter<'a> {
 }
 
 impl IspCompleter<'_> {
-    fn run(mut self, meta_rx: Receiver<IspMeta>, resp_rx: Receiver<ShardCompletion>) {
+    fn run(mut self, meta_rx: Receiver<DispatchMsg>, resp_rx: Receiver<ShardCompletion>) {
         let _guard = PanicGuard(self.shared);
         loop {
             self.absorb(&meta_rx);
             self.advance_ready_jobs();
             self.submit_backlog();
+            self.fire_due_retries();
+            self.expire_stuck_commands();
             self.deliver_ready();
             self.maybe_release_txs();
             // A panicked shard worker can never respond (its siblings keep
             // the channel open), so poll the poison flag while completions
             // are outstanding: the completer then panics — poisoning
-            // teardown cleanly — instead of blocking forever.
-            match resp_rx.recv_timeout(Duration::from_millis(50)) {
+            // teardown cleanly — instead of blocking forever. The poll
+            // shortens while retries are pending or a deadline is armed so
+            // re-issues fire promptly.
+            match resp_rx.recv_timeout(self.poll_timeout()) {
                 Ok(completion) => {
                     // Host-side completion handling cost (interrupt + reap).
                     if !self.completion_latency.is_zero() {
@@ -1370,11 +1693,23 @@ impl IspCompleter<'_> {
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     // Shard workers exited, which implies both the
                     // dispatcher and this completer released their queue
-                    // senders: every command was served, every buffered
-                    // completion has been consumed above, so every pending
-                    // job is complete and deliverable.
+                    // senders: every *servable* command was served and every
+                    // buffered completion has been consumed above. Jobs
+                    // still incomplete here lost their last live shard —
+                    // every worker died before their commands could be
+                    // re-issued — so they fail rather than hang.
                     self.absorb(&meta_rx);
                     self.advance_ready_jobs();
+                    let stuck: Vec<usize> = self
+                        .pending
+                        .iter()
+                        .filter(|(_, job)| !job.is_complete())
+                        .map(|(seq, _)| *seq)
+                        .collect();
+                    for seq in stuck {
+                        let job = self.pending[&seq].meta.prepared.id;
+                        self.fail_job(seq, JobError::NoLiveShards { job });
+                    }
                     self.deliver_ready();
                     return;
                 }
@@ -1382,12 +1717,29 @@ impl IspCompleter<'_> {
         }
     }
 
-    /// Pulls every queued dispatcher record; marks the meta stream closed
-    /// once the dispatcher has exited.
-    fn absorb(&mut self, meta_rx: &Receiver<IspMeta>) {
+    /// How long to block on the completion channel: short while a retry is
+    /// waiting out its backoff or a deadline is armed over outstanding
+    /// commands, relaxed otherwise.
+    fn poll_timeout(&self) -> Duration {
+        if !self.retry_due.is_empty() {
+            Duration::from_millis(1)
+        } else if self.command_deadline.is_some() && !self.outstanding.is_empty() {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(50)
+        }
+    }
+
+    /// Pulls every queued dispatcher record — new-job metas and
+    /// issued-command registrations; marks the meta stream closed once the
+    /// dispatcher has exited. The dispatcher sends `Issued` *before* the
+    /// command reaches a shard queue (and Step 3 issues register on this
+    /// thread), so every completion's command is in `outstanding` by the
+    /// time it is reaped.
+    fn absorb(&mut self, meta_rx: &Receiver<DispatchMsg>) {
         loop {
             match meta_rx.try_recv() {
-                Ok(meta) => {
+                Ok(DispatchMsg::Job(meta)) => {
                     self.pending.insert(
                         meta.seq,
                         MergeState {
@@ -1397,7 +1749,17 @@ impl IspCompleter<'_> {
                             reduce: None,
                             step3_remaining: 0,
                             step3_dispatched: false,
+                            failed: None,
                             meta,
+                        },
+                    );
+                }
+                Ok(DispatchMsg::Issued { shard, command }) => {
+                    self.outstanding.insert(
+                        (command.seq(), shard, command.stage()),
+                        OutstandingCommand {
+                            command,
+                            issued_at: Instant::now(),
                         },
                     );
                 }
@@ -1411,12 +1773,31 @@ impl IspCompleter<'_> {
     }
 
     /// Books one reaped completion into its job's state machine and frees
-    /// the command's queue slot.
+    /// the command's queue slot — or, for a failed attempt, retries, fails
+    /// over, or fails the owning job. Completions whose command is no
+    /// longer outstanding (the job already failed) or whose attempt counter
+    /// is stale (the command was already re-issued after a blown deadline)
+    /// are discarded entirely: their slot was already freed exactly once.
     fn reap(&mut self, completion: ShardCompletion) {
+        let key: CommandKey = (completion.seq, completion.shard, completion.stage);
+        let Some(entry) = self.outstanding.get(&key) else {
+            return;
+        };
+        if entry.command.attempt() != completion.attempt {
+            return;
+        }
+        let output = match completion.result {
+            Ok(output) => output,
+            Err(failure) => {
+                self.handle_failure(key, failure);
+                return;
+            }
+        };
+        self.outstanding.remove(&key);
         {
             let mut state = self.shared.lock();
             state.shard_inflight[completion.shard] -= 1;
-            match &completion.output {
+            match &output {
                 CommandOutput::Intersection(_) => state.intersect_inflight -= 1,
                 CommandOutput::Step3(_) => state.step3_inflight -= 1,
             }
@@ -1427,7 +1808,7 @@ impl IspCompleter<'_> {
             .pending
             .get_mut(&completion.seq)
             .expect("completion for a dispatched job");
-        match completion.output {
+        match output {
             CommandOutput::Intersection(intersection) => {
                 debug_assert!(job.parts[completion.shard].is_none());
                 job.parts[completion.shard] = Some(intersection);
@@ -1447,6 +1828,188 @@ impl IspCompleter<'_> {
         }
     }
 
+    /// One command attempt failed: schedule a retry within the budget, or
+    /// fail the owning job (panics are non-recoverable by design — the
+    /// worker state after a caught panic is not trusted for a replay).
+    fn handle_failure(&mut self, key: CommandKey, failure: CommandFailure) {
+        let Some(entry) = self.outstanding.get(&key) else {
+            return;
+        };
+        let attempt = entry.command.attempt();
+        let Some(job) = self.pending.get(&key.0).map(|j| j.meta.prepared.id) else {
+            return;
+        };
+        if failure == CommandFailure::Panicked {
+            self.fail_job(key.0, JobError::WorkerPanicked { job, shard: key.1 });
+            return;
+        }
+        if attempt >= self.retry_budget {
+            self.fail_job(
+                key.0,
+                JobError::RetriesExhausted {
+                    job,
+                    stage: key.2.label(),
+                    shard: key.1,
+                    attempts: attempt + 1,
+                },
+            );
+            return;
+        }
+        let delay = backoff_delay(self.retry_backoff, attempt);
+        if delay.is_zero() {
+            self.reissue(key);
+        } else {
+            self.retry_due.push((Instant::now() + delay, key));
+        }
+    }
+
+    /// Re-issues one outstanding command with a bumped attempt counter,
+    /// routed to its record shard if alive and failed over to the next live
+    /// shard otherwise (every worker holds the whole `ShardSet`, so any
+    /// survivor serves the command identically).
+    fn reissue(&mut self, key: CommandKey) {
+        if !self.pending.contains_key(&key.0) {
+            return;
+        }
+        let (seq, shard, stage) = key;
+        let Some(target) = self.pick_target(shard) else {
+            let Some(job) = self.pending.get(&seq).map(|j| j.meta.prepared.id) else {
+                return;
+            };
+            self.fail_job(seq, JobError::NoLiveShards { job });
+            return;
+        };
+        let Some(entry) = self.outstanding.get_mut(&key) else {
+            return;
+        };
+        entry.command.bump_attempt();
+        entry.issued_at = Instant::now();
+        let attempt = entry.command.attempt();
+        let command = entry.command.clone();
+        {
+            let mut state = self.shared.lock();
+            state.shard_retries[shard] += 1;
+            if target != shard {
+                state.shard_failovers[shard] += 1;
+            }
+        }
+        self.trace.record(
+            seq,
+            TraceEventKind::Retry {
+                stage,
+                shard,
+                attempt,
+            },
+        );
+        if target != shard {
+            self.trace.record(
+                seq,
+                TraceEventKind::Failover {
+                    stage,
+                    from: shard,
+                    to: target,
+                },
+            );
+        }
+        self.trace.record(
+            seq,
+            TraceEventKind::CommandIssued {
+                stage,
+                shard: target,
+            },
+        );
+        if let Some(producer) = &self.producer {
+            producer.send(target, command);
+        }
+    }
+
+    /// The shard a re-issue should go to: the record shard while it lives,
+    /// else the nearest live shard by index; `None` when every shard died.
+    fn pick_target(&self, record: usize) -> Option<usize> {
+        if !self.queues.is_dead(record) {
+            return Some(record);
+        }
+        (1..self.shard_count)
+            .map(|offset| (record + offset) % self.shard_count)
+            .find(|&shard| !self.queues.is_dead(shard))
+    }
+
+    /// Re-issues every backoff-delayed retry whose due time has passed.
+    fn fire_due_retries(&mut self) {
+        if self.retry_due.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        self.retry_due.retain(|&(at, key)| {
+            if at <= now {
+                due.push(key);
+                false
+            } else {
+                true
+            }
+        });
+        for key in due {
+            self.reissue(key);
+        }
+    }
+
+    /// Treats any outstanding command older than the configured deadline as
+    /// a transient failure — the guard against a stuck device. Commands
+    /// already waiting out a retry backoff are exempt (their entry is aging
+    /// by design); if the stuck attempt completes later anyway, its stale
+    /// attempt counter gets it discarded.
+    fn expire_stuck_commands(&mut self) {
+        let Some(deadline) = self.command_deadline else {
+            return;
+        };
+        let expired: Vec<CommandKey> = self
+            .outstanding
+            .iter()
+            .filter(|(key, entry)| {
+                entry.issued_at.elapsed() > deadline
+                    && !self.retry_due.iter().any(|(_, k)| k == *key)
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        for key in expired {
+            self.handle_failure(key, CommandFailure::Transient);
+        }
+    }
+
+    /// Fails one job in place: drops its commands from the retry ledger
+    /// (freeing their queue-depth slots exactly once), purges its
+    /// unsubmitted backlog, and records the error for `deliver_ready` to
+    /// surface in dispatch order. The engine itself keeps serving.
+    fn fail_job(&mut self, seq: usize, error: JobError) {
+        let keys: Vec<CommandKey> = self
+            .outstanding
+            .keys()
+            .filter(|key| key.0 == seq)
+            .copied()
+            .collect();
+        if !keys.is_empty() {
+            let mut state = self.shared.lock();
+            for key in &keys {
+                let entry = self.outstanding.remove(key).expect("key just listed");
+                state.shard_inflight[key.1] -= 1;
+                match entry.command {
+                    ShardCommand::Intersect(_) => state.intersect_inflight -= 1,
+                    ShardCommand::Step3(_) => state.step3_inflight -= 1,
+                }
+            }
+            drop(state);
+            self.shared.queue_space.notify_all();
+        }
+        self.backlog.retain(|(_, command)| command.seq() != seq);
+        self.retry_due.retain(|(_, key)| key.0 != seq);
+        if let Some(job) = self.pending.get_mut(&seq) {
+            if job.failed.is_none() {
+                job.failed = Some(error);
+            }
+        }
+    }
+
     /// Runs Step 2 and hands Step 3 to the backlog for every job whose
     /// intersections are all in — including jobs that never had an
     /// intersect command (empty query lists).
@@ -1454,7 +2017,7 @@ impl IspCompleter<'_> {
         let ready: Vec<usize> = self
             .pending
             .iter()
-            .filter(|(_, job)| job.remaining == 0 && !job.step3_dispatched)
+            .filter(|(_, job)| job.remaining == 0 && !job.step3_dispatched && job.failed.is_none())
             .map(|(seq, _)| *seq)
             .collect();
         for seq in ready {
@@ -1515,6 +2078,8 @@ impl IspCompleter<'_> {
                     range: part.range,
                     base_offset: part.base_offset,
                     stream_units,
+                    record_shard: shard,
+                    attempt: 0,
                 }),
             ));
         }
@@ -1572,6 +2137,15 @@ impl IspCompleter<'_> {
                     shard,
                 },
             );
+            // Register before the send — same thread as the reap loop, so
+            // the completion cannot be observed before this insert.
+            self.outstanding.insert(
+                (command.seq(), shard, TraceStage::Step3),
+                OutstandingCommand {
+                    command: command.clone(),
+                    issued_at: Instant::now(),
+                },
+            );
             producer.send(shard, command);
         }
     }
@@ -1587,7 +2161,7 @@ impl IspCompleter<'_> {
         if self.producer.is_some()
             && !self.meta_open
             && self.backlog.is_empty()
-            && self.pending.values().all(|job| job.step3_dispatched)
+            && self.pending.is_empty()
         {
             self.producer = None;
         }
@@ -1613,8 +2187,13 @@ impl IspCompleter<'_> {
 
     /// Finishes one job's incremental Step 3 reduction — the partials were
     /// already folded at reap time, so only the vote threshold and
-    /// abundance accumulation run here — and delivers the result.
+    /// abundance accumulation run here — and delivers the result. A failed
+    /// job skips the reduction and delivers its error instead.
     fn finalize(&self, job: MergeState) {
+        if let Some(error) = job.failed.clone() {
+            self.finalize_failed(job.meta, error);
+            return;
+        }
         let MergeState {
             meta,
             step2,
@@ -1671,7 +2250,34 @@ impl IspCompleter<'_> {
             // blocks on an unbounded channel, and delivery must happen under
             // the lock so a quiescent drain implies every result has already
             // reached its handle)
-            let _ = tx.send(result);
+            let _ = tx.send(Ok(result));
+        }
+        drop(state);
+        self.shared.idle.notify_all();
+        // Advancing isp_served reopens the dispatch lookahead gate.
+        self.shared.job_ready.notify_all();
+    }
+
+    /// Delivers one failed job's error in dispatch order. The failure is
+    /// isolated: the job's slot leaves `in_flight` and — critically — its
+    /// sequence still advances `isp_served`, so the dispatch lookahead gate
+    /// keeps opening for the jobs behind it. The rolling latency window and
+    /// the completion counter record only successes.
+    fn finalize_failed(&self, meta: IspMeta, error: JobError) {
+        let seq = meta.prepared.start_position;
+        let job_id = meta.prepared.id.0;
+        self.trace
+            .record(seq, TraceEventKind::Delivered { job: job_id });
+        let mut state = self.shared.lock();
+        state.failed_jobs += 1;
+        state.in_flight -= 1;
+        state.isp_served += 1;
+        if let Some(tx) = state.senders.remove(&job_id) {
+            // lint:allow(guard-across-blocking, std mpsc Sender::send never
+            // blocks on an unbounded channel, and the error is delivered
+            // under the lock for the same drain-implies-delivered guarantee
+            // successful results get)
+            let _ = tx.send(Err(error));
         }
         drop(state);
         self.shared.idle.notify_all();
@@ -1779,9 +2385,9 @@ mod tests {
         let handle = engine
             .submit(JobSpec::new("late", c.sample().clone()))
             .unwrap();
-        assert!(handle.wait().is_some());
+        assert!(handle.wait().is_ok());
         for handle in handles {
-            assert!(handle.wait().is_some(), "admitted jobs all complete");
+            assert!(handle.wait().is_ok(), "admitted jobs all complete");
         }
     }
 
@@ -1827,12 +2433,12 @@ mod tests {
             thread::sleep(Duration::from_micros(100));
         }
         assert!(observed_busy, "never observed the drained-but-busy window");
-        assert!(first.wait().is_some());
+        assert!(first.wait().is_ok());
         // The slot frees once the result is delivered.
         let late = engine
             .submit(JobSpec::new("late", c.sample().clone()))
             .unwrap();
-        assert!(late.wait().is_some());
+        assert!(late.wait().is_ok());
     }
 
     #[test]
@@ -1866,7 +2472,7 @@ mod tests {
             thread::sleep(Duration::from_micros(200));
         }
         for handle in handles {
-            assert!(handle.wait().is_some());
+            assert!(handle.wait().is_ok());
         }
     }
 
@@ -1909,7 +2515,7 @@ mod tests {
             assert!(stats.peak_inflight >= 1, "some command was outstanding");
         }
         for handle in handles {
-            assert!(handle.wait().is_some());
+            assert!(handle.wait().is_ok());
         }
     }
 
@@ -2107,7 +2713,7 @@ mod tests {
         let handle = engine
             .submit(JobSpec::new("job", c.sample().clone()))
             .unwrap();
-        assert!(handle.wait().is_some());
+        assert!(handle.wait().is_ok());
         let poisoner = catch_unwind(AssertUnwindSafe(|| {
             // lint:allow(poison-safety, deliberately panicking while holding
             // the guard is the only way to poison the mutex under test)
@@ -2176,10 +2782,10 @@ mod tests {
             .submit(JobSpec::new("stat", c.sample().clone()).with_priority(Priority::High))
             .unwrap();
         engine.drain();
-        let stat_result = stat.try_wait().unwrap();
+        let stat_result = stat.try_wait().unwrap().unwrap();
         let normal_positions: Vec<usize> = handles
             .into_iter()
-            .map(|h| h.try_wait().unwrap().start_position)
+            .map(|h| h.try_wait().unwrap().unwrap().start_position)
             .collect();
         // Some head-of-line normals may already have been dispatched before
         // the high submission arrived (the lookahead gate allows up to

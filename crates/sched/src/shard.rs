@@ -48,22 +48,44 @@
 //! commands from a loaded peer's queue (owner-LIFO / thief-FIFO deque
 //! discipline, see `service.rs`), and the result stays tagged with the
 //! shard-of-record so merge accounting is unchanged.
+//!
+//! **Failover serving.** Because the shards are zero-copy views over one
+//! `Arc`-shared columnar storage, every worker holds the *whole*
+//! [`ShardSet`] and an `IntersectCommand` names the shard range it must
+//! intersect (its `shard` field). In normal operation a command
+//! is only ever queued on its own shard, so the pinning discipline above is
+//! unchanged — but when a device dies permanently (fault injection, see
+//! `fault.rs`), a surviving worker can re-serve the dead shard's pinned
+//! intersections against the still-resident range. Commands also carry an
+//! `attempt` counter so retried completions are distinguishable from stale
+//! ones, and a served command can fail with a `CommandFailure` instead of
+//! an output when a fault plan is active.
 
 use std::ops::Range;
 use std::sync::Arc;
 
 use megis::step3::{self, Step3Partial};
 use megis::MegisAnalyzer;
-use megis_genomics::database::{ReferenceIndex, SortedKmerDatabase};
+use megis_genomics::database::ReferenceIndex;
+use megis_genomics::database::SortedKmerDatabase;
 use megis_genomics::kmer::Kmer;
 use megis_genomics::sample::Sample;
 
+use crate::trace::TraceStage;
+
 /// A Step 2 command: intersect the job's query sub-range against the
 /// device's database slice.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct IntersectCommand {
     /// Dense in-SSD dispatch sequence number the command belongs to.
     pub seq: usize,
+    /// The shard-of-record whose database range this command intersects.
+    /// Failover never changes it: a survivor serving the command still
+    /// intersects the dead shard's (still-resident) range.
+    pub shard: usize,
+    /// 0-based service attempt; bumped on every retry/failover re-issue so
+    /// stale completions of superseded attempts are recognizable.
+    pub attempt: u32,
     /// The job's full sorted query list (shared, not copied, across shards).
     pub queries: Arc<Vec<Kmer>>,
     /// The sub-range of `queries` overlapping this shard's key range.
@@ -72,10 +94,15 @@ pub(crate) struct IntersectCommand {
 
 /// A Step 3 command: merge this device's contiguous candidate range into a
 /// partial unified index and map the sample's reads against it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Step3Command {
     /// Dense in-SSD dispatch sequence number the command belongs to.
     pub seq: usize,
+    /// The shard-of-record the partial is merged under (partition/merge
+    /// accounting slot; unchanged by stealing or failover).
+    pub record_shard: usize,
+    /// 0-based service attempt; bumped on every retry re-issue.
+    pub attempt: u32,
     /// The sample whose reads are mapped (shared across the job's commands).
     pub sample: Arc<Sample>,
     /// Positions of *all* the job's candidate species within the analyzer's
@@ -97,7 +124,7 @@ pub(crate) struct Step3Command {
 }
 
 /// One NVMe-style command on a device's tagged queue.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum ShardCommand {
     /// Step 2 intersection finding.
     Intersect(IntersectCommand),
@@ -113,6 +140,39 @@ impl ShardCommand {
             ShardCommand::Step3(c) => c.seq,
         }
     }
+
+    /// The shard-of-record: the merge/accounting slot the completion fills,
+    /// regardless of which physical device serves the command.
+    pub(crate) fn record_shard(&self) -> usize {
+        match self {
+            ShardCommand::Intersect(c) => c.shard,
+            ShardCommand::Step3(c) => c.record_shard,
+        }
+    }
+
+    /// The 0-based service attempt of this issue.
+    pub(crate) fn attempt(&self) -> u32 {
+        match self {
+            ShardCommand::Intersect(c) => c.attempt,
+            ShardCommand::Step3(c) => c.attempt,
+        }
+    }
+
+    /// Increments the attempt counter for a retry/failover re-issue.
+    pub(crate) fn bump_attempt(&mut self) {
+        match self {
+            ShardCommand::Intersect(c) => c.attempt += 1,
+            ShardCommand::Step3(c) => c.attempt += 1,
+        }
+    }
+
+    /// The pipeline stage the command belongs to (trace/fault keying).
+    pub(crate) fn stage(&self) -> TraceStage {
+        match self {
+            ShardCommand::Intersect(_) => TraceStage::Intersect,
+            ShardCommand::Step3(_) => TraceStage::Step3,
+        }
+    }
 }
 
 /// Result payload of one served command.
@@ -124,18 +184,34 @@ pub(crate) enum CommandOutput {
     Step3(Step3Partial),
 }
 
-/// One simulated device: the shard's zero-copy database slice (Step 2) plus
-/// a handle on the analyzer whose memoized per-species reference indexes
-/// back Step 3 partials. Consumes commands of either kind from its queue.
+/// Why a command's service failed (fault injection, see `fault.rs`): the
+/// `Err` side of a completion. The completer decides retry vs failover vs
+/// per-job failure from the kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CommandFailure {
+    /// A transient device error: retry against the budget.
+    Transient,
+    /// The worker panicked serving the command (caught at the seam): fails
+    /// the owning job, never retried.
+    Panicked,
+    /// The serving shard died permanently: fail over to a survivor.
+    ShardDead,
+}
+
+/// One simulated device: the full shard set's zero-copy database views
+/// (Step 2 intersects the command's shard-of-record range — its own in
+/// normal operation, a dead peer's range under failover) plus a handle on
+/// the analyzer whose memoized per-species reference indexes back Step 3
+/// partials. Consumes commands of either kind from its queue.
 #[derive(Debug)]
 pub(crate) struct ShardWorker {
-    shard: Arc<SortedKmerDatabase>,
+    shards: ShardSet,
     analyzer: Arc<MegisAnalyzer>,
 }
 
 impl ShardWorker {
-    pub(crate) fn new(shard: Arc<SortedKmerDatabase>, analyzer: Arc<MegisAnalyzer>) -> ShardWorker {
-        ShardWorker { shard, analyzer }
+    pub(crate) fn new(shards: ShardSet, analyzer: Arc<MegisAnalyzer>) -> ShardWorker {
+        ShardWorker { shards, analyzer }
     }
 
     /// Serves one command functionally (device timing is simulated by the
@@ -143,14 +219,15 @@ impl ShardWorker {
     pub(crate) fn serve(&self, command: &ShardCommand) -> CommandOutput {
         match command {
             ShardCommand::Intersect(c) => {
+                let shard = &self.shards.shards()[c.shard];
                 let slice = &c.queries[c.range.clone()];
                 // Device-side bound check: the dispatcher's partition
                 // charges gap queries (values between shard key ranges) to
                 // the preceding shard, but nothing below this shard's first
                 // key or above its last can match, so the merge runs only
                 // over the overlapping sub-range.
-                let overlap = &slice[self.shard.overlapping_query_range(slice)];
-                CommandOutput::Intersection(self.shard.intersect_sorted(overlap))
+                let overlap = &slice[shard.overlapping_query_range(slice)];
+                CommandOutput::Intersection(shard.intersect_sorted(overlap))
             }
             ShardCommand::Step3(c) => {
                 let indexes = self.analyzer.reference_indexes();

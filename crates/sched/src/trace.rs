@@ -122,6 +122,33 @@ pub enum TraceEventKind {
         /// The job's id.
         job: u64,
     },
+    /// A device failed the command (injected transient error, dead shard,
+    /// or caught worker panic) instead of completing it.
+    Fault {
+        /// Command kind.
+        stage: TraceStage,
+        /// Shard-of-record of the failed command.
+        shard: usize,
+    },
+    /// The completer re-issued a failed command against its retry budget.
+    Retry {
+        /// Command kind.
+        stage: TraceStage,
+        /// Shard-of-record of the retried command.
+        shard: usize,
+        /// The re-issue's attempt number (1 for the first retry).
+        attempt: u32,
+    },
+    /// A retry was routed to a different device because the shard-of-record
+    /// is dead (zero-copy failover: every worker holds the shared storage).
+    Failover {
+        /// Command kind.
+        stage: TraceStage,
+        /// The dead shard-of-record.
+        from: usize,
+        /// The surviving device the command was re-issued to.
+        to: usize,
+    },
 }
 
 /// One timestamped lifecycle event.
@@ -357,6 +384,22 @@ impl TraceLog {
                 TraceEventKind::Delivered { job } => {
                     format!("\"kind\": \"delivered\", \"job\": {job}")
                 }
+                TraceEventKind::Fault { stage, shard } => format!(
+                    "\"kind\": \"fault\", \"stage\": \"{}\", \"shard\": {shard}",
+                    stage.label()
+                ),
+                TraceEventKind::Retry {
+                    stage,
+                    shard,
+                    attempt,
+                } => format!(
+                    "\"kind\": \"retry\", \"stage\": \"{}\", \"shard\": {shard}, \"attempt\": {attempt}",
+                    stage.label()
+                ),
+                TraceEventKind::Failover { stage, from, to } => format!(
+                    "\"kind\": \"failover\", \"stage\": \"{}\", \"from\": {from}, \"to\": {to}",
+                    stage.label()
+                ),
             };
             let _ = write!(
                 out,
@@ -457,7 +500,10 @@ impl StageBreakdown {
                 TraceEventKind::ReduceStarted => reduce_start = Some(event.at),
                 TraceEventKind::CommandIssued { .. }
                 | TraceEventKind::ReduceFinished
-                | TraceEventKind::Delivered { .. } => {}
+                | TraceEventKind::Delivered { .. }
+                | TraceEventKind::Fault { .. }
+                | TraceEventKind::Retry { .. }
+                | TraceEventKind::Failover { .. } => {}
             }
         }
         // Batch-mode hand-offs may never trace an admission (submitted
@@ -602,6 +648,14 @@ pub struct StragglerReport {
     /// Jobs gated per device (`histogram[d]` = jobs whose reduce waited on
     /// device `d` last), in device order.
     pub histogram: Vec<u64>,
+    /// Injected or real command faults per device (shard-of-record), in
+    /// device order. All zero on a clean run.
+    pub faults: Vec<u64>,
+    /// Commands re-issued per device (shard-of-record), in device order.
+    pub retries: Vec<u64>,
+    /// Retries routed away from a dead shard-of-record, per (dead) device,
+    /// in device order.
+    pub failovers: Vec<u64>,
 }
 
 impl StragglerReport {
@@ -633,8 +687,20 @@ impl StragglerReport {
         let mut started_at: Vec<Option<Duration>> = vec![None; devices];
         let mut last_step3: Vec<Option<(Duration, usize)>> = Vec::new();
         let mut step3_seqs: Vec<usize> = Vec::new();
+        let mut faults = vec![0u64; devices];
+        let mut retries = vec![0u64; devices];
+        let mut failovers = vec![0u64; devices];
         for event in events {
             match event.kind {
+                TraceEventKind::Fault { shard, .. } if shard < devices => {
+                    faults[shard] += 1;
+                }
+                TraceEventKind::Retry { shard, .. } if shard < devices => {
+                    retries[shard] += 1;
+                }
+                TraceEventKind::Failover { from, .. } if from < devices => {
+                    failovers[from] += 1;
+                }
                 TraceEventKind::CommandIssued { stage, shard } if shard < devices => {
                     issued_fifo
                         .entry((event.seq, stage))
@@ -701,6 +767,9 @@ impl StragglerReport {
             devices: usage,
             gating,
             histogram,
+            faults,
+            retries,
+            failovers,
         }
     }
 
@@ -797,6 +866,35 @@ impl StragglerReport {
                 None => " — no job ran step 3".to_string(),
             },
         );
+        // Fault lines appear only when the run actually degraded, so clean
+        // reports stay byte-identical to the pre-fault-injection renderer.
+        if self.faults.iter().any(|&n| n > 0) || self.retries.iter().any(|&n| n > 0) {
+            let _ = writeln!(
+                out,
+                "  command faults per device: [{}]; retries per device: [{}]",
+                self.faults
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                self.retries
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+        if self.failovers.iter().any(|&n| n > 0) {
+            let _ = writeln!(
+                out,
+                "  failovers away from dead shards: [{}]",
+                self.failovers
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
         out
     }
 }
@@ -1184,6 +1282,83 @@ mod tests {
         assert!(json.contains("\"seq\": null"), "NO_SEQ serializes as null");
         assert!(json.contains("\"stage\": \"step3\""));
         assert!(json.contains("\"dropped\": 0"));
+    }
+
+    #[test]
+    fn fault_retry_and_failover_events_serialize_and_are_counted() {
+        use TraceEventKind::*;
+        use TraceStage::*;
+        let e = |at, seq, kind| TraceEvent {
+            at: ms(at),
+            seq,
+            kind,
+        };
+        let events = vec![
+            e(
+                1,
+                0,
+                Fault {
+                    stage: Intersect,
+                    shard: 1,
+                },
+            ),
+            e(
+                2,
+                0,
+                Retry {
+                    stage: Intersect,
+                    shard: 1,
+                    attempt: 1,
+                },
+            ),
+            e(
+                3,
+                0,
+                Failover {
+                    stage: Step3,
+                    from: 1,
+                    to: 0,
+                },
+            ),
+        ];
+        let json = TraceLog {
+            events: events.clone(),
+            dropped: 0,
+        }
+        .to_json();
+        for needle in [
+            "\"kind\": \"fault\"",
+            "\"kind\": \"retry\"",
+            "\"attempt\": 1",
+            "\"kind\": \"failover\"",
+            "\"from\": 1, \"to\": 0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        let report = StragglerReport::from_events(&events, 2);
+        assert_eq!(report.faults, vec![0, 1]);
+        assert_eq!(report.retries, vec![0, 1]);
+        assert_eq!(report.failovers, vec![0, 1]);
+        let text = report.report();
+        assert!(text
+            .starts_with("straggler report: per-device busy/stall/idle and per-job step-3 gating"));
+        assert!(text.contains("command faults per device: [0, 1]"));
+        assert!(text.contains("failovers away from dead shards: [0, 1]"));
+        // The new kinds never perturb a job's stage breakdown.
+        let mut with_faults = fixture_events();
+        with_faults.extend(events);
+        let clean = StageBreakdown::from_events(&fixture_events(), ms(22)).unwrap();
+        let faulted = StageBreakdown::from_events(&with_faults, ms(22)).unwrap();
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn clean_straggler_report_renders_no_fault_lines() {
+        let report = StragglerReport::from_events(&fixture_events(), 2);
+        assert_eq!(report.faults, vec![0, 0]);
+        let text = report.report();
+        assert!(!text.contains("command faults"));
+        assert!(!text.contains("failovers"));
     }
 
     #[test]

@@ -72,7 +72,10 @@ fn concurrent_submitters_get_results_identical_to_sequential_analyze() {
     engine.drain();
     let mut positions = Vec::new();
     for (i, handle) in handles {
-        let result = handle.try_wait().expect("drained job already delivered");
+        let result = handle
+            .try_wait()
+            .expect("drained job already delivered")
+            .expect("job succeeded");
         assert_eq!(
             result.output, expected[i],
             "{} diverged from sequential analyze",
@@ -126,7 +129,7 @@ fn streaming_and_batch_results_are_identical() {
         })
         .collect();
     for (handle, batch_result) in handles.into_iter().zip(&batch_report.results) {
-        let streamed = handle.wait().expect("job served");
+        let streamed = handle.wait().expect("job succeeded");
         assert_eq!(streamed.id, batch_result.id);
         assert_eq!(streamed.output, batch_result.output);
     }
@@ -206,7 +209,10 @@ fn several_samples_intersections_are_in_flight_per_shard() {
         .collect();
     engine.drain();
     for (handle, expected) in handles.into_iter().zip(&expected) {
-        let result = handle.try_wait().expect("drained job delivered");
+        let result = handle
+            .try_wait()
+            .expect("drained job delivered")
+            .expect("job succeeded");
         assert_eq!(result.output, *expected, "{} diverged", result.label);
         assert_eq!(
             result.isp_position, result.start_position,
@@ -259,7 +265,13 @@ fn per_shard_query_work_sums_to_the_query_count() {
         engine.drain();
         let total_queries: u64 = handles
             .into_iter()
-            .map(|h| h.try_wait().expect("drained").output.selected_kmers)
+            .map(|h| {
+                h.try_wait()
+                    .expect("drained")
+                    .expect("succeeded")
+                    .output
+                    .selected_kmers
+            })
             .sum();
         let report = engine.shutdown();
         let scanned: u64 = report.shard_stats.iter().map(|s| s.query_items).sum();

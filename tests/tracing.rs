@@ -155,6 +155,10 @@ fn observability_fixture() -> (Vec<ShardStats>, LatencyStats, StageBreakdown) {
             step3_items: 8 - shard as u64,
             stolen_items: shard as u64 * 2,
             peak_inflight: 2,
+            faults: 0,
+            retries: 0,
+            failovers: 0,
+            dead: false,
         })
         .collect();
     let latencies: Vec<Duration> = (1..=20).map(|i| Duration::from_millis(i * 5)).collect();
@@ -178,6 +182,7 @@ fn batch_and_service_summaries_share_the_observability_lines() {
     let (shard_stats, latency, breakdown) = observability_fixture();
     let batch = BatchReport {
         results: Vec::new(),
+        failed: Vec::new(),
         wall_time: Duration::from_millis(500),
         latency,
         throughput: 8.0,
@@ -196,6 +201,7 @@ fn batch_and_service_summaries_share_the_observability_lines() {
         resident_database_bytes: 2_000_000,
         mapped_reads: 64,
         stage_overlap_events: 17,
+        failed_jobs: 0,
         window: latency,
         stage_breakdown: Some(breakdown),
         straggler: None,
