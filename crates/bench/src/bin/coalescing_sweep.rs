@@ -1,0 +1,16 @@
+//! Query coalescing smoke: shared sweeps vs per-sample dispatch.
+//!
+//! Prints the report with the greppable `query coalescing: confirmed`
+//! verdict and writes the JSON record (default `BENCH_coalescing.json`;
+//! override with `--out <path>`).
+
+use megis_bench::experiments::coalescing_sweep_measure;
+use megis_bench::out_path;
+
+fn main() {
+    let measurement = coalescing_sweep_measure();
+    print!("{}", measurement.report());
+    let path = out_path("BENCH_coalescing.json");
+    std::fs::write(&path, measurement.to_json()).expect("write bench record");
+    println!("wrote {path}");
+}

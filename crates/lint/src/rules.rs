@@ -31,16 +31,20 @@ pub const PANIC_HYGIENE: &str = "panic-hygiene";
 /// The bounded-send rule: a plain `.send(..)` on a bounded-channel sender
 /// (`mpsc::sync_channel` / `SyncSender`) without a reasoned annotation.
 pub const BOUNDED_SEND: &str = "bounded-send";
+/// The shardstats-accessor rule: a `ShardStats` counter field mutated
+/// directly (`stats.retries = n`, `stats.jobs += 1`) outside `metrics.rs`.
+pub const SHARDSTATS_ACCESSOR: &str = "shardstats-accessor";
 /// Meta-rule for malformed `lint:allow` annotations; not suppressible.
 pub const ALLOW_HYGIENE: &str = "allow-hygiene";
 
 /// Every suppressible rule, in report order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     POISON_SAFETY,
     GUARD_ACROSS_BLOCKING,
     CLOCK_INJECTION,
     PANIC_HYGIENE,
     BOUNDED_SEND,
+    SHARDSTATS_ACCESSOR,
 ];
 
 /// One violation: file, line, the invariant violated, and the fix.
@@ -92,6 +96,7 @@ pub fn lint_source(file: &str, source: &str) -> LintOutcome {
     raw.extend(clock_injection(&ctx));
     raw.extend(panic_hygiene(&ctx));
     raw.extend(bounded_send(&ctx));
+    raw.extend(shardstats_accessor(&ctx));
     raw.sort_by_key(|d| (d.line, d.rule));
 
     let (allows, mut hygiene) = parse_allows(file, &scanned.comments);
@@ -828,6 +833,106 @@ fn bounded_send(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
     out
 }
 
+/// The `ShardStats` counter fields whose writes must go through named
+/// accessors. Identity fields (`shard`, `dead`) are not counters and are
+/// out of scope.
+const SHARDSTATS_COUNTERS: [&str; 12] = [
+    "busy",
+    "jobs",
+    "query_items",
+    "coalesced_commands",
+    "coalesced_members",
+    "step3_jobs",
+    "step3_items",
+    "stolen_items",
+    "peak_inflight",
+    "faults",
+    "retries",
+    "failovers",
+];
+
+/// **shardstats-accessor** — `ShardStats` counter fields may only be
+/// mutated through their named accessors; a direct `=`/`+=` (or any other
+/// compound assignment) outside `metrics.rs` is a diagnostic. Funneling
+/// every write through a named method keeps the accounting invariants —
+/// which counter means what, who owns it, and when it is written — in one
+/// reviewable place, so a new code path cannot silently skew the
+/// `faults == retries` style cross-checks the fault suite asserts.
+///
+/// Receivers are recognized lexically: the identifier (or `[..]`-indexed
+/// identifier) before the field access must contain `stats`
+/// (case-insensitive), so `usage[shard].busy += w` on an unrelated struct
+/// does not fire. Reads (`stats.jobs == 3`, `s.retries`) are untouched.
+fn shardstats_accessor(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // metrics.rs *is* the accessor module: the named methods' own field
+    // writes (and the module's tests) live there by design.
+    if ctx.basename == "metrics.rs" {
+        return out;
+    }
+    let n = ctx.tokens.len();
+    for i in 0..n {
+        if !ctx.is_p(i, ".") {
+            continue;
+        }
+        let Some(field) = ctx.ident(i + 1) else {
+            continue;
+        };
+        if !SHARDSTATS_COUNTERS.contains(&field) {
+            continue;
+        }
+        // A mutation is `field =` (but not `field ==`) or a compound
+        // assignment `field op=`; puncts are single-char tokens.
+        let op = if ctx.is_p(i + 2, "=") && !ctx.is_p(i + 3, "=") {
+            "="
+        } else if ["+", "-", "*", "/", "%", "|", "&", "^"]
+            .iter()
+            .any(|op| ctx.is_p(i + 2, op))
+            && ctx.is_p(i + 3, "=")
+        {
+            "op="
+        } else {
+            continue;
+        };
+        // Walk back to the receiver identifier, skipping one `[..]` index
+        // group (`shard_stats[i].retries = ..`).
+        let mut j = i;
+        if j > 0 && ctx.is_p(j - 1, "]") {
+            let mut depth = 0i64;
+            while j > 0 {
+                j -= 1;
+                if ctx.is_p(j, "]") {
+                    depth += 1;
+                } else if ctx.is_p(j, "[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(receiver) = j.checked_sub(1).and_then(|r| ctx.ident(r)) else {
+            continue;
+        };
+        if !receiver.to_ascii_lowercase().contains("stats") {
+            continue;
+        }
+        out.push(ctx.diag(
+            i + 1,
+            SHARDSTATS_ACCESSOR,
+            format!(
+                "direct `{op}` write to `ShardStats` counter field `{field}` (receiver \
+                 `{receiver}`) outside `metrics.rs`: counter writes must go through the named \
+                 accessors so the accounting invariants stay reviewable in one place"
+            ),
+            "route the write through the field's named accessor on `ShardStats` (adding one in \
+             `metrics.rs` if missing), or annotate a deliberate exception with \
+             `// lint:allow(shardstats-accessor, why this direct write is sound)`",
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -982,6 +1087,51 @@ mod tests {
         assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
         assert_eq!(out.suppressed.len(), 1);
         assert_eq!(out.suppressed[0].rule, BOUNDED_SEND);
+    }
+
+    #[test]
+    fn shardstats_accessor_fires_on_direct_counter_writes() {
+        let src = "fn f(stats: &mut ShardStats) { stats.retries = 3; }";
+        assert_eq!(rules_of(src), vec![SHARDSTATS_ACCESSOR]);
+        let src = "fn f(stats: &mut ShardStats) { stats.jobs += 1; }";
+        assert_eq!(rules_of(src), vec![SHARDSTATS_ACCESSOR]);
+        let src = "fn f(shard_stats: &mut [ShardStats]) { shard_stats[i].coalesced_members += 2; }";
+        assert_eq!(rules_of(src), vec![SHARDSTATS_ACCESSOR]);
+    }
+
+    #[test]
+    fn shardstats_accessor_spares_reads_accessors_and_other_structs() {
+        // Comparisons and reads are not writes.
+        let src = "fn f(stats: &ShardStats) { assert!(stats.retries == 3); let j = stats.jobs; }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+        // The named accessor is the required idiom.
+        let src = "fn f(stats: &mut ShardStats) { stats.set_retries(3); }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+        // Same field name on a non-stats receiver (e.g. `DeviceUsage`).
+        let src = "fn f(usage: &mut [DeviceUsage]) { usage[shard].busy += width; }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+        // Struct-literal construction is initialization, not mutation.
+        let src = "fn f() -> ShardStats { ShardStats { jobs: served, ..ShardStats::default() } }";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+    }
+
+    #[test]
+    fn shardstats_accessor_exempts_metrics_rs_and_honors_allow() {
+        let src = "impl ShardStats { pub fn set_retries(&mut self, n: u64) { self.retries = n; } }";
+        assert!(
+            lint_source("crates/sched/src/metrics.rs", src)
+                .diagnostics
+                .is_empty(),
+            "the accessor module owns the field writes"
+        );
+        // `self` does not contain `stats`, so accessor bodies outside
+        // metrics.rs are also out of reach of the lexical heuristic —
+        // but a stats-named receiver elsewhere is not.
+        let src = "fn f() {\n    // lint:allow(shardstats-accessor, teardown aggregation owns these counters)\n    stats.failovers = n;\n}";
+        let out = lint_source("other.rs", src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.suppressed.len(), 1);
+        assert_eq!(out.suppressed[0].rule, SHARDSTATS_ACCESSOR);
     }
 
     #[test]

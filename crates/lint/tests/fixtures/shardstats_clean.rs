@@ -1,0 +1,31 @@
+// Fixture: shardstats-accessor negative cases — accessor calls, reads,
+// comparisons, struct-literal construction, same-named fields on other
+// structs, and a reasoned suppression all stay clean.
+
+fn accessors_are_the_idiom(stats: &mut ShardStats, state: &SharedState) {
+    stats.set_peak_inflight(state.shard_inflight_peak[stats.shard]);
+    stats.set_retries(state.shard_retries[stats.shard]);
+    stats.set_failovers(state.shard_failovers[stats.shard]);
+}
+
+fn reads_and_comparisons(stats: &ShardStats) -> u64 {
+    assert!(stats.retries == stats.faults);
+    stats.jobs + stats.step3_jobs
+}
+
+fn literal_construction(served: u64) -> ShardStats {
+    ShardStats {
+        jobs: served,
+        ..ShardStats::default()
+    }
+}
+
+fn other_structs_share_field_names(usage: &mut [DeviceUsage], shard: usize, width: Duration) {
+    // `usage` is not a stats receiver: the rule keys on the name.
+    usage[shard].busy += width;
+}
+
+fn reasoned_exception(stats: &mut ShardStats) {
+    // lint:allow(shardstats-accessor, fixture demonstrating a reviewed direct write)
+    stats.stolen_items += 1;
+}

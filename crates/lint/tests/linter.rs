@@ -5,7 +5,7 @@
 use megis_lint::report::LintReport;
 use megis_lint::rules::{
     lint_source, LintOutcome, ALLOW_HYGIENE, BOUNDED_SEND, CLOCK_INJECTION, GUARD_ACROSS_BLOCKING,
-    PANIC_HYGIENE, POISON_SAFETY,
+    PANIC_HYGIENE, POISON_SAFETY, SHARDSTATS_ACCESSOR,
 };
 use std::path::{Path, PathBuf};
 
@@ -108,6 +108,25 @@ fn bounded_send_fixtures() {
     // The reasoned annotation is recorded, not silently dropped.
     assert_eq!(good.suppressed.len(), 1);
     assert_eq!(good.suppressed[0].rule, BOUNDED_SEND);
+}
+
+#[test]
+fn shardstats_fixtures() {
+    let bad = fixture("shardstats_violation.rs");
+    assert_eq!(
+        rule_counts(&bad, SHARDSTATS_ACCESSOR),
+        3,
+        "{:?}",
+        bad.diagnostics
+    );
+    assert_eq!(bad.diagnostics.len(), 3);
+    assert!(bad.diagnostics.iter().all(|d| d.hint.contains("accessor")));
+
+    let good = fixture("shardstats_clean.rs");
+    assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+    // The reasoned direct-write annotation is recorded, not dropped.
+    assert_eq!(good.suppressed.len(), 1);
+    assert_eq!(good.suppressed[0].rule, SHARDSTATS_ACCESSOR);
 }
 
 #[test]
